@@ -1,0 +1,106 @@
+//! # qpp-ablation — the paper's §3 strawmen, implemented for real
+//!
+//! Section 3 of *Plan-Structured Deep Neural Network Models for Query
+//! Performance Prediction* (Marcus & Papaemmanouil, VLDB 2019) motivates
+//! the plan-structured architecture by arguing that three simpler neural
+//! designs are ill-suited to the task. This crate implements each of those
+//! designs as a complete, trainable model so the argument can be tested
+//! empirically rather than taken on faith:
+//!
+//! * [`FlatDnn`] — the "straightforward application of deep learning …
+//!   model the whole query as a single neural network and use query plan
+//!   features as the input vector". A fixed-size bag-of-plan-statistics
+//!   vector feeds a plain MLP; tree structure, intermediate results and
+//!   per-operator detail are all collapsed away.
+//! * [`SparseUnitDnn`] — the "naive solution" to heterogeneous tree nodes:
+//!   "concatenate vectors together for each relational operator", padding
+//!   with zeros. One *shared* neural unit serves every operator family,
+//!   consuming the sparse concatenation — keeping QPPNet's tree wiring and
+//!   per-operator supervision but giving up per-family weights.
+//! * [`TreeLstm`] — the tree-structured recurrent architecture of the NLP
+//!   literature the paper cites as ill-suited ([49], Tai et al.): a
+//!   child-sum Tree-LSTM over the same sparse featurization, with a shared
+//!   linear latency readout at every node.
+//!
+//! All three implement [`qpp_baselines::LatencyModel`], train on the same
+//! executed plans, see exactly the same `EXPLAIN`-level features as QPPNet
+//! (via [`SparseFeaturizer`] / plan-level summaries thereof), and are
+//! compared against QPPNet by the `ablation` bench binary.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod flat;
+pub mod shared_unit;
+pub mod sparse_features;
+pub mod treelstm;
+
+mod tree_pos;
+
+pub use flat::FlatDnn;
+pub use shared_unit::SparseUnitDnn;
+pub use sparse_features::SparseFeaturizer;
+pub use treelstm::TreeLstm;
+
+use qppnet::TargetTransform;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by the ablation models.
+///
+/// Defaults mirror the QPPNet configuration where the concepts coincide
+/// (ReLU MLPs, SGD with momentum, `log1p` targets) so differences in
+/// accuracy are attributable to the *architecture*, not the tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Hidden width of MLPs / the Tree-LSTM cell.
+    pub hidden_units: usize,
+    /// Hidden layers for the MLP-based models.
+    pub hidden_layers: usize,
+    /// Data-vector size `d` for [`SparseUnitDnn`] (matches QPPNet's).
+    pub data_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Large-batch size (plans per gradient step).
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Latency-target transform.
+    pub target_transform: TargetTransform,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            hidden_units: 128,
+            hidden_layers: 5,
+            data_size: 32,
+            epochs: 100,
+            batch_size: 512,
+            learning_rate: 1e-3,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            target_transform: TargetTransform::Log1p,
+            seed: 0xAB1A710,
+        }
+    }
+}
+
+impl AblationConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn tiny() -> Self {
+        AblationConfig {
+            hidden_units: 32,
+            hidden_layers: 2,
+            data_size: 8,
+            epochs: 30,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+}

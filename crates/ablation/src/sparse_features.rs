@@ -1,0 +1,142 @@
+//! The sparse concatenated featurization of the paper's §3.
+//!
+//! > "if a join operator has 9 properties and a filter operator has 7
+//! > properties, one could represent either a join or a filter operator
+//! > with a vector of size 9 + 7 = 16 properties … The problem with this
+//! > solution is sparsity."
+//!
+//! [`SparseFeaturizer`] lays the per-family Table-2 vectors end to end:
+//! a node's sparse vector has its family's segment populated (whitened
+//! exactly as QPPNet's features are) and every other segment zero. The
+//! resulting width is the *sum* of all family widths — the sparsity the
+//! paper warns about, made concrete and measurable.
+
+use qpp_plansim::catalog::Catalog;
+use qpp_plansim::features::{Featurizer, Whitener};
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::{Plan, PlanNode};
+use serde::{Deserialize, Serialize};
+
+/// Maps plan nodes to sparse concatenated feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseFeaturizer {
+    featurizer: Featurizer,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl SparseFeaturizer {
+    /// Builds the sparse layout for `catalog`.
+    pub fn new(catalog: &Catalog) -> SparseFeaturizer {
+        let featurizer = Featurizer::new(catalog);
+        let mut offsets = Vec::with_capacity(OpKind::ALL.len());
+        let mut total = 0usize;
+        for kind in OpKind::ALL {
+            offsets.push(total);
+            total += featurizer.feature_size(kind);
+        }
+        SparseFeaturizer { featurizer, offsets, total }
+    }
+
+    /// Width of the sparse vector (sum of all family widths).
+    pub fn total_size(&self) -> usize {
+        self.total
+    }
+
+    /// The underlying dense per-family featurizer.
+    pub fn dense(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// Offset of `kind`'s segment inside the sparse vector.
+    pub fn offset(&self, kind: OpKind) -> usize {
+        self.offsets[kind.index()]
+    }
+
+    /// Fits whitening statistics on the training plans (delegates to the
+    /// dense featurization; zeros outside a node's segment are never
+    /// whitened, mirroring how one-hots are handled).
+    pub fn fit_whitener<'a>(&self, plans: impl IntoIterator<Item = &'a Plan>) -> Whitener {
+        Whitener::fit(&self.featurizer, plans)
+    }
+
+    /// The sparse (whitened) feature vector for one node.
+    pub fn featurize(&self, whitener: &Whitener, node: &PlanNode) -> Vec<f32> {
+        let kind = node.op.kind();
+        let mut out = vec![0.0f32; self.total];
+        let dense = whitener.features(&self.featurizer, node);
+        let off = self.offset(kind);
+        out[off..off + dense.len()].copy_from_slice(&dense);
+        out
+    }
+
+    /// Fraction of positions that are zero for a node of `kind` — the
+    /// sparsity §3 warns about (reported by the ablation bench).
+    pub fn sparsity(&self, kind: OpKind) -> f64 {
+        1.0 - self.featurizer.feature_size(kind) as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    fn setup() -> (Dataset, SparseFeaturizer, Whitener) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 20, 3);
+        let sf = SparseFeaturizer::new(&ds.catalog);
+        let wh = sf.fit_whitener(ds.plans.iter());
+        (ds, sf, wh)
+    }
+
+    #[test]
+    fn total_is_sum_of_family_sizes() {
+        let (_, sf, _) = setup();
+        let sum: usize =
+            OpKind::ALL.iter().map(|&k| sf.dense().feature_size(k)).sum();
+        assert_eq!(sf.total_size(), sum);
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let (_, sf, _) = setup();
+        for w in OpKind::ALL.windows(2) {
+            assert_eq!(
+                sf.offset(w[0]) + sf.dense().feature_size(w[0]),
+                sf.offset(w[1]),
+                "{:?} and {:?} segments must be adjacent",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn only_the_nodes_family_segment_is_populated() {
+        let (ds, sf, wh) = setup();
+        let node = &ds.plans[0].root.postorder()[0]; // a scan leaf
+        let kind = node.op.kind();
+        let v = sf.featurize(&wh, node);
+        assert_eq!(v.len(), sf.total_size());
+        let off = sf.offset(kind);
+        let width = sf.dense().feature_size(kind);
+        for (i, &x) in v.iter().enumerate() {
+            if i < off || i >= off + width {
+                assert_eq!(x, 0.0, "position {i} outside {kind:?} segment must be zero");
+            }
+        }
+        // The populated segment equals the whitened dense vector.
+        assert_eq!(&v[off..off + width], wh.features(sf.dense(), node).as_slice());
+    }
+
+    #[test]
+    fn sparsity_is_high_for_every_family() {
+        // The paper's point: with many operator types the sparse vectors
+        // are mostly zeros.
+        let (_, sf, _) = setup();
+        for kind in OpKind::ALL {
+            assert!(sf.sparsity(kind) > 0.5, "{kind:?} sparsity {}", sf.sparsity(kind));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Crate-private helper: lowering an equivalence class of structurally
+//! identical plans into aligned evaluation positions (post order, with
+//! child indices), shared by the tree-shaped ablation models.
+
+use qpp_plansim::plan::PlanNode;
+
+/// An equivalence class lowered to evaluation order.
+pub(crate) struct PositionedClass<'a> {
+    /// `nodes[k][b]` = node at position `k` of plan `b`.
+    pub nodes: Vec<Vec<&'a PlanNode>>,
+    /// `children[k]` = positions of position `k`'s children.
+    pub children: Vec<Vec<usize>>,
+}
+
+impl<'a> PositionedClass<'a> {
+    /// Lowers `roots` (structurally identical trees).
+    ///
+    /// # Panics
+    /// Panics if `roots` is empty or structures diverge.
+    pub(crate) fn lower(roots: &[&'a PlanNode]) -> PositionedClass<'a> {
+        assert!(!roots.is_empty(), "empty class");
+        let lists: Vec<Vec<&PlanNode>> = roots.iter().map(|r| r.postorder()).collect();
+        let n = lists[0].len();
+        for l in &lists {
+            assert_eq!(l.len(), n, "class members must share structure");
+        }
+
+        fn index(node: &PlanNode, next: &mut usize, out: &mut Vec<Vec<usize>>) -> usize {
+            let kids: Vec<usize> = node.children.iter().map(|c| index(c, next, out)).collect();
+            let me = *next;
+            *next += 1;
+            out[me] = kids;
+            me
+        }
+        let mut children = vec![Vec::new(); n];
+        let mut counter = 0usize;
+        index(roots[0], &mut counter, &mut children);
+        debug_assert_eq!(counter, n);
+
+        // Positions are transposed: nodes[k][b].
+        let nodes: Vec<Vec<&PlanNode>> = (0..n)
+            .map(|k| {
+                let kind = lists[0][k].op.kind();
+                lists
+                    .iter()
+                    .map(|l| {
+                        assert_eq!(l[k].op.kind(), kind, "class members must share structure");
+                        l[k]
+                    })
+                    .collect()
+            })
+            .collect();
+
+        PositionedClass { nodes, children }
+    }
+
+    /// Number of positions per plan.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of plans in the class.
+    pub(crate) fn batch(&self) -> usize {
+        self.nodes[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    #[test]
+    fn lowering_matches_postorder() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 10, 1);
+        let root = &ds.plans[0].root;
+        let pc = PositionedClass::lower(&[root]);
+        assert_eq!(pc.len(), root.node_count());
+        assert_eq!(pc.batch(), 1);
+        // Root is last; its children indices point below it.
+        let last = pc.len() - 1;
+        for &c in &pc.children[last] {
+            assert!(c < last);
+        }
+        // Child counts match arities.
+        for (k, kids) in pc.children.iter().enumerate() {
+            assert_eq!(kids.len(), pc.nodes[k][0].op.kind().arity());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! CART regression trees and MART (gradient-boosted) ensembles.
+//!
+//! MART — Multiple Additive Regression Trees — is the learner Li et
+//! al. [25] use for resource estimation; the paper's RBF baseline adapts it
+//! to latency prediction. Trees are grown greedily with exact
+//! least-squares splits; boosting fits each tree to the residuals of the
+//! ensemble so far.
+
+/// One node of a regression tree (indices into the flat node arena).
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Tree-growing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 4, min_leaf: 8 }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `x` (accessed via index set `idx`) and targets
+    /// `y` with exact greedy least-squares splits.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], config: TreeConfig) -> RegressionTree {
+        assert!(!x.is_empty(), "cannot fit a tree on zero rows");
+        assert_eq!(x.len(), y.len());
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, idx, config.max_depth, config.min_leaf);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f32>],
+        y: &[f32],
+        idx: Vec<usize>,
+        depth_left: usize,
+        min_leaf: usize,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i] as f64).sum::<f64>() / idx.len() as f64;
+        if depth_left == 0 || idx.len() < 2 * min_leaf {
+            self.nodes.push(Node::Leaf { value: mean as f32 });
+            return self.nodes.len() - 1;
+        }
+
+        // Best split over all features.
+        let n_features = x[0].len();
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, sse gain)
+        let total_sum: f64 = idx.iter().map(|&i| y[i] as f64).sum();
+        let total_sq: f64 = idx.iter().map(|&i| (y[i] as f64) * (y[i] as f64)).sum();
+        let total_sse = total_sq - total_sum * total_sum / idx.len() as f64;
+
+        let mut sorted = idx.clone();
+        for f in 0..n_features {
+            sorted.sort_by(|&a, &b| {
+                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0f64;
+            let mut left_sq = 0.0f64;
+            for (k, &i) in sorted.iter().enumerate().take(sorted.len() - min_leaf) {
+                let yi = y[i] as f64;
+                left_sum += yi;
+                left_sq += yi * yi;
+                let nl = (k + 1) as f64;
+                if k + 1 < min_leaf {
+                    continue;
+                }
+                // Can't split between equal feature values.
+                if x[i][f] == x[sorted[k + 1]][f] {
+                    continue;
+                }
+                let nr = (sorted.len() - k - 1) as f64;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                let gain = total_sse - sse;
+                if gain > best.map(|b| b.2).unwrap_or(1e-12) {
+                    let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        match best {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean as f32 });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold, _)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+                let left = self.grow(x, y, left_idx, depth_left - 1, min_leaf);
+                let right = self.grow(x, y, right_idx, depth_left - 1, min_leaf);
+                self.nodes.push(Node::Split { feature, threshold, left, right });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut at = self.nodes.len() - 1; // root is pushed last
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for tests).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// MART configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MartConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Shrinkage (learning rate).
+    pub shrinkage: f32,
+    /// Per-tree growing parameters.
+    pub tree: TreeConfig,
+}
+
+impl Default for MartConfig {
+    fn default() -> Self {
+        MartConfig { n_trees: 80, shrinkage: 0.1, tree: TreeConfig::default() }
+    }
+}
+
+/// A gradient-boosted regression forest.
+#[derive(Debug, Clone)]
+pub struct Mart {
+    base: f32,
+    shrinkage: f32,
+    trees: Vec<RegressionTree>,
+}
+
+impl Mart {
+    /// Fits `config.n_trees` least-squares boosting rounds.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], config: MartConfig) -> Mart {
+        assert!(!x.is_empty(), "cannot fit MART on zero rows");
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut residuals: Vec<f32> = y.iter().map(|v| v - base).collect();
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            let tree = RegressionTree::fit(x, &residuals, config.tree);
+            for (r, xi) in residuals.iter_mut().zip(x) {
+                *r -= config.shrinkage * tree.predict(xi);
+            }
+            trees.push(tree);
+        }
+        Mart { base, shrinkage: config.shrinkage, trees }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut acc = self.base;
+        for t in &self.trees {
+            acc += self.shrinkage * t.predict(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f32>>, Vec<f32>) {
+        // A step function a linear model cannot capture.
+        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..100).map(|i| if i < 50 { 1.0 } else { 10.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn single_tree_learns_a_step() {
+        let (x, y) = step_data();
+        let t = RegressionTree::fit(&x, &y, TreeConfig::default());
+        assert!((t.predict(&[10.0]) - 1.0).abs() < 0.5);
+        assert!((t.predict(&[90.0]) - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn leaf_only_tree_predicts_mean() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y = vec![4.0f32; 10];
+        let t = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 0, min_leaf: 1 });
+        assert_eq!(t.len(), 1);
+        assert!((t.predict(&[3.0]) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let (x, y) = step_data();
+        let t = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 10, min_leaf: 30 });
+        // With min_leaf 30 the tree can split at most a couple of times.
+        assert!(t.len() <= 7, "tree has {} nodes", t.len());
+    }
+
+    #[test]
+    fn boosting_beats_a_single_tree_on_smooth_targets() {
+        let x: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 20.0]).collect();
+        let y: Vec<f32> = x.iter().map(|r| (r[0]).sin() * 3.0).collect();
+        let single = RegressionTree::fit(&x, &y, TreeConfig::default());
+        let forest = Mart::fit(&x, &y, MartConfig::default());
+        let mse = |pred: &dyn Fn(&[f32]) -> f32| {
+            x.iter()
+                .zip(&y)
+                .map(|(xi, yi)| {
+                    let e = pred(xi) - yi;
+                    (e * e) as f64
+                })
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        let mse_single = mse(&|xi| single.predict(xi));
+        let mse_forest = mse(&|xi| forest.predict(xi));
+        assert!(mse_forest < mse_single * 0.5, "single {mse_single} forest {mse_forest}");
+    }
+
+    #[test]
+    fn mart_handles_multifeature_interactions() {
+        // y = x0 XOR-ish interaction: x0>5 && x1>5 -> high.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..12 {
+            for b in 0..12 {
+                x.push(vec![a as f32, b as f32]);
+                y.push(if a > 5 && b > 5 { 8.0 } else { 1.0 });
+            }
+        }
+        let m = Mart::fit(&x, &y, MartConfig::default());
+        assert!(m.predict(&[9.0, 9.0]) > 6.0);
+        assert!(m.predict(&[2.0, 9.0]) < 3.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Hand-picked feature extraction for the baseline models.
+//!
+//! These are the "intelligent human feature engineering" feature sets the
+//! paper contrasts QPPNet against: per-operator resource indicators
+//! (estimated rows, cost, I/Os, memory) and coarse plan-level summaries —
+//! no relation identities, no attribute statistics, no learned vectors.
+
+use qpp_plansim::features::signed_log1p;
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::{Plan, PlanNode};
+
+/// Number of per-operator resource features.
+pub const OP_FEATURES: usize = 10;
+
+/// Hand-picked per-operator resource features ([25]-style).
+///
+/// `[log rows, log width, log buffers, log ios, log cost, selectivity,
+///   log child₁ rows, log child₂ rows, #children, kind ordinal]`
+pub fn op_features(node: &PlanNode) -> Vec<f32> {
+    let mut v = Vec::with_capacity(OP_FEATURES);
+    v.push(signed_log1p(node.est.rows));
+    v.push(signed_log1p(node.est.width));
+    v.push(signed_log1p(node.est.buffers));
+    v.push(signed_log1p(node.est.ios));
+    v.push(signed_log1p(node.est.total_cost));
+    v.push(node.est.selectivity as f32);
+    v.push(node.children.first().map(|c| signed_log1p(c.est.rows)).unwrap_or(0.0));
+    v.push(node.children.get(1).map(|c| signed_log1p(c.est.rows)).unwrap_or(0.0));
+    v.push(node.children.len() as f32);
+    v.push(node.op.kind().index() as f32);
+    v
+}
+
+/// Number of plan-level summary features.
+pub const PLAN_FEATURES: usize = OpKind::ALL.len() + 5;
+
+/// Plan-level summary features ([4]-style plan models).
+///
+/// Per-family operator counts plus root cost/rows, node count, depth and
+/// total estimated I/Os.
+pub fn plan_features(plan: &Plan) -> Vec<f32> {
+    let mut counts = [0f32; OpKind::ALL.len()];
+    let mut total_ios = 0.0f64;
+    plan.root.visit_postorder(&mut |n| {
+        counts[n.op.kind().index()] += 1.0;
+        total_ios += n.est.ios;
+    });
+    let mut v = Vec::with_capacity(PLAN_FEATURES);
+    v.extend_from_slice(&counts);
+    v.push(signed_log1p(plan.root.est.total_cost));
+    v.push(signed_log1p(plan.root.est.rows));
+    v.push(signed_log1p(plan.node_count() as f64));
+    v.push(plan.depth() as f32);
+    v.push(signed_log1p(total_ios));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    #[test]
+    fn feature_vectors_have_documented_sizes() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 5, 1);
+        for p in &ds.plans {
+            assert_eq!(plan_features(p).len(), PLAN_FEATURES);
+            p.root.visit_postorder(&mut |n| {
+                assert_eq!(op_features(n).len(), OP_FEATURES);
+            });
+        }
+    }
+
+    #[test]
+    fn plan_feature_counts_sum_to_node_count() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 5, 2);
+        for p in &ds.plans {
+            let v = plan_features(p);
+            let count: f32 = v[..OpKind::ALL.len()].iter().sum();
+            assert_eq!(count as usize, p.node_count());
+        }
+    }
+
+    #[test]
+    fn features_never_read_actuals() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 3, 3);
+        let mut plan = ds.plans[0].clone();
+        let before = plan_features(&plan);
+        let before_op = op_features(&plan.root);
+        plan.root.actual.latency_ms *= 100.0;
+        plan.root.actual.rows += 1e6;
+        assert_eq!(before, plan_features(&plan));
+        assert_eq!(before_op, op_features(&plan.root));
+    }
+}

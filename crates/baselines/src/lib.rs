@@ -1,0 +1,52 @@
+//! # qpp-baselines — prior query-performance-prediction approaches
+//!
+//! The three comparison techniques of the paper's §6 "Evaluation
+//! techniques", reimplemented with the feature-access rules their source
+//! papers describe (hand-picked features; no learned inter-operator
+//! vectors):
+//!
+//! * [`tam::TamModel`] — **TAM**, the tuned analytic/optimizer cost model
+//!   of Wu et al. [13]: per-cost-unit coefficients calibrated by least
+//!   squares, then latency predicted as a linear combination of the
+//!   optimizer's cost components.
+//! * [`svm::SvmModel`] — **SVM**, the operator-level ε-SVR models of
+//!   Akdere et al. [4] with their plan-level fallback heuristic. Operator
+//!   models see hand-picked per-operator features plus their children's
+//!   *predicted latencies* (a scalar — not QPPNet's learned data vectors).
+//! * [`rbf::RbfModel`] — **RBF**, resource-based features fed to MART
+//!   (gradient-boosted regression trees), after Li et al. [25], with the
+//!   human-derived combination rule "query latency = Σ operator self
+//!   times".
+//!
+//! All models implement [`LatencyModel`] so the benchmark harness can
+//! treat them, and QPPNet, uniformly.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cart;
+pub mod features;
+pub mod linreg;
+pub mod rbf;
+pub mod svm;
+pub mod svr;
+pub mod tam;
+
+use qpp_plansim::plan::Plan;
+
+/// A trainable query-latency predictor.
+pub trait LatencyModel {
+    /// Short display name ("TAM", "SVM", "RBF", "QPP Net").
+    fn name(&self) -> &'static str;
+
+    /// Fits the model on executed training plans.
+    fn fit(&mut self, plans: &[&Plan]);
+
+    /// Predicts the latency of one plan, in milliseconds.
+    fn predict(&self, plan: &Plan) -> f64;
+
+    /// Predicts latencies for many plans (default: one by one).
+    fn predict_batch(&self, plans: &[&Plan]) -> Vec<f64> {
+        plans.iter().map(|p| self.predict(p)).collect()
+    }
+}

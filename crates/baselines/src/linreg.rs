@@ -1,0 +1,158 @@
+//! Ridge least-squares regression via normal equations + Cholesky.
+//!
+//! Used by the TAM baseline's coefficient calibration. Problems here are
+//! tiny (≤ ~30 features), so the `O(F³)` solve is trivially fast and `f64`
+//! keeps it well-conditioned together with the ridge term.
+
+/// A fitted linear model `y ≈ w · x + b` (bias folded into the weights).
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Weights; the last element is the intercept.
+    pub weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits ridge regression with penalty `lambda` on rows `x` (each of
+    /// equal length) against targets `y`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], lambda: f64) -> LinearModel {
+        assert!(!x.is_empty(), "cannot fit on zero rows");
+        assert_eq!(x.len(), y.len(), "row/target count mismatch");
+        let f = x[0].len() + 1; // + intercept
+
+        // Normal equations: (XᵀX + λI) w = Xᵀy, with X augmented by 1s.
+        let mut xtx = vec![0.0f64; f * f];
+        let mut xty = vec![0.0f64; f];
+        let mut row = vec![0.0f64; f];
+        for (xi, &yi) in x.iter().zip(y) {
+            assert_eq!(xi.len(), f - 1, "ragged feature rows");
+            row[..f - 1].copy_from_slice(xi);
+            row[f - 1] = 1.0;
+            for a in 0..f {
+                xty[a] += row[a] * yi;
+                for b in a..f {
+                    xtx[a * f + b] += row[a] * row[b];
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge (not on the bias).
+        for a in 0..f {
+            for b in 0..a {
+                xtx[a * f + b] = xtx[b * f + a];
+            }
+        }
+        for a in 0..f - 1 {
+            xtx[a * f + a] += lambda;
+        }
+        xtx[f * f - 1] += 1e-9;
+
+        let weights = cholesky_solve(&mut xtx, &xty, f);
+        LinearModel { weights }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len() + 1, self.weights.len());
+        let mut acc = self.weights[self.weights.len() - 1];
+        for (w, v) in self.weights.iter().zip(x) {
+            acc += w * v;
+        }
+        acc
+    }
+}
+
+/// Solves `A·w = b` for symmetric positive-definite `A` (row-major, `n×n`)
+/// by Cholesky decomposition. Falls back to a diagonal boost on
+/// near-singular input.
+fn cholesky_solve(a: &mut [f64], b: &[f64], n: usize) -> Vec<f64> {
+    // Decompose A = L·Lᵀ in place (lower triangle).
+    for boost in 0..6 {
+        let mut ok = true;
+        let mut l = a.to_vec();
+        'outer: for i in 0..n {
+            for j in 0..=i {
+                let mut sum = l[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        ok = false;
+                        break 'outer;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        if ok {
+            // Forward substitution L·z = b.
+            let mut z = vec![0.0f64; n];
+            for i in 0..n {
+                let mut sum = b[i];
+                for k in 0..i {
+                    sum -= l[i * n + k] * z[k];
+                }
+                z[i] = sum / l[i * n + i];
+            }
+            // Back substitution Lᵀ·w = z.
+            let mut w = vec![0.0f64; n];
+            for i in (0..n).rev() {
+                let mut sum = z[i];
+                for k in i + 1..n {
+                    sum -= l[k * n + i] * w[k];
+                }
+                w[i] = sum / l[i * n + i];
+            }
+            return w;
+        }
+        // Boost the diagonal and retry.
+        let scale = 10f64.powi(boost as i32 - 3);
+        for i in 0..n {
+            a[i * n + i] += scale.max(1e-6);
+        }
+    }
+    // Pathological input: return zeros (predicts the bias-free 0).
+    vec![0.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2x₀ − 3x₁ + 5
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let m = LinearModel::fit(&x, &y, 1e-9);
+        assert!((m.weights[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights[1] + 3.0).abs() < 1e-6);
+        assert!((m.weights[2] - 5.0).abs() < 1e-5);
+        assert!((m.predict(&[10.0, 1.0]) - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0]).collect();
+        let loose = LinearModel::fit(&x, &y, 1e-9);
+        let tight = LinearModel::fit(&x, &y, 1e4);
+        assert!(tight.weights[0].abs() < loose.weights[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        // Two identical columns: the ridge keeps the solve finite.
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..15).map(|i| 3.0 * i as f64).collect();
+        let m = LinearModel::fit(&x, &y, 1e-3);
+        assert!(m.weights.iter().all(|w| w.is_finite()));
+        assert!((m.predict(&[5.0, 5.0]) - 15.0).abs() < 0.5);
+    }
+}

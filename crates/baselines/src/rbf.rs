@@ -1,0 +1,146 @@
+//! RBF — Resource-Based Features with MART (Li et al. [25]).
+//!
+//! One gradient-boosted forest per operator family predicts the operator's
+//! *self* (exclusive) latency from hand-picked resource features; the
+//! human-derived combination model is that operator self-times add up to
+//! the query latency. This gives the baseline nonlinear per-operator
+//! models — unlike TAM — but, unlike QPPNet, the features are fixed by a
+//! human and no information flows between operators beyond child
+//! cardinality estimates.
+//!
+//! Self-latencies are regressed in `log1p` space and decoded before
+//! summation.
+
+use crate::cart::{Mart, MartConfig};
+use crate::features::op_features;
+use crate::LatencyModel;
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::Plan;
+
+fn encode(ms: f64) -> f32 {
+    ms.max(0.0).ln_1p() as f32
+}
+
+fn decode(v: f32) -> f64 {
+    (v as f64).exp_m1().max(0.0)
+}
+
+/// The MART-based resource model.
+pub struct RbfModel {
+    config: MartConfig,
+    per_kind: Vec<Option<Mart>>,
+    /// Fallback mean encoded self-latency per family (for families with
+    /// too few training rows to grow a forest).
+    fallback: Vec<f32>,
+}
+
+impl RbfModel {
+    /// Creates an untrained model with default MART settings.
+    pub fn new() -> RbfModel {
+        RbfModel::with_config(MartConfig::default())
+    }
+
+    /// Creates an untrained model with explicit MART settings.
+    pub fn with_config(config: MartConfig) -> RbfModel {
+        RbfModel {
+            config,
+            per_kind: (0..OpKind::ALL.len()).map(|_| None).collect(),
+            fallback: vec![0.0; OpKind::ALL.len()],
+        }
+    }
+
+    fn fitted(&self) -> bool {
+        self.per_kind.iter().any(Option::is_some) || self.fallback.iter().any(|v| *v > 0.0)
+    }
+}
+
+impl Default for RbfModel {
+    fn default() -> Self {
+        RbfModel::new()
+    }
+}
+
+impl LatencyModel for RbfModel {
+    fn name(&self) -> &'static str {
+        "RBF"
+    }
+
+    fn fit(&mut self, plans: &[&Plan]) {
+        assert!(!plans.is_empty(), "RBF needs training plans");
+        let mut xs: Vec<Vec<Vec<f32>>> = (0..OpKind::ALL.len()).map(|_| Vec::new()).collect();
+        let mut ys: Vec<Vec<f32>> = (0..OpKind::ALL.len()).map(|_| Vec::new()).collect();
+        for p in plans {
+            p.root.visit_postorder(&mut |node| {
+                let k = node.op.kind().index();
+                xs[k].push(op_features(node));
+                ys[k].push(encode(node.actual.self_latency_ms));
+            });
+        }
+        for k in 0..OpKind::ALL.len() {
+            if !ys[k].is_empty() {
+                self.fallback[k] = ys[k].iter().sum::<f32>() / ys[k].len() as f32;
+            }
+            if xs[k].len() >= 16 {
+                self.per_kind[k] = Some(Mart::fit(&xs[k], &ys[k], self.config));
+            }
+        }
+    }
+
+    fn predict(&self, plan: &Plan) -> f64 {
+        assert!(self.fitted(), "RBF must be fitted before prediction");
+        let mut total = 0.0f64;
+        plan.root.visit_postorder(&mut |node| {
+            let k = node.op.kind().index();
+            let encoded = match &self.per_kind[k] {
+                Some(forest) => forest.predict(&op_features(node)),
+                None => self.fallback[k],
+            };
+            total += decode(encoded);
+        });
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    #[test]
+    fn fit_predict_round_trip() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 80, 11);
+        let refs: Vec<&Plan> = ds.plans.iter().collect();
+        let mut rbf = RbfModel::new();
+        rbf.fit(&refs[..70]);
+        for p in &refs[70..] {
+            let pred = rbf.predict(p);
+            assert!(pred.is_finite() && pred >= 0.0);
+        }
+    }
+
+    #[test]
+    fn train_set_accuracy_is_reasonable() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 150, 12);
+        let refs: Vec<&Plan> = ds.plans.iter().collect();
+        let mut rbf = RbfModel::new();
+        rbf.fit(&refs);
+        // Geometric-mean error factor on training data should be modest.
+        let mut log_r = 0.0f64;
+        for p in &refs {
+            let pred = rbf.predict(p).max(1e-9);
+            let actual = p.latency_ms().max(1e-9);
+            log_r += (pred / actual).ln().abs();
+        }
+        let gm = (log_r / refs.len() as f64).exp();
+        assert!(gm < 3.0, "geometric mean error factor {gm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted")]
+    fn predict_before_fit_panics() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 1, 13);
+        let rbf = RbfModel::new();
+        let _ = rbf.predict(&ds.plans[0]);
+    }
+}

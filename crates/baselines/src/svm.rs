@@ -1,0 +1,223 @@
+//! SVM — operator-level SVR models with a plan-level fallback
+//! (Akdere et al. [4]).
+//!
+//! One ε-SVR per operator family predicts the operator's (inclusive)
+//! latency from hand-picked features plus its children's *predicted
+//! latencies* — a single scalar per child, in contrast to QPPNet's learned
+//! `d`-dimensional data vectors. Prediction composes the models bottom-up;
+//! the root's prediction is the query latency.
+//!
+//! Following [4], a plan-level SVR over coarse whole-plan features is
+//! trained alongside, and used instead of the composed operator models for
+//! plans containing operator families whose operator-level models proved
+//! unreliable on a validation split ("selective applications of plan-level
+//! models in situations where the operator-level models are likely to be
+//! inaccurate").
+//!
+//! Latencies are regressed in `log1p` space (they span orders of
+//! magnitude), as for every learned model in this reproduction.
+
+use crate::features::{op_features, plan_features, OP_FEATURES};
+use crate::svr::{Svr, SvrConfig};
+use crate::LatencyModel;
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::{Plan, PlanNode};
+use rand::SeedableRng;
+
+fn encode(ms: f64) -> f32 {
+    ms.max(0.0).ln_1p() as f32
+}
+
+fn decode(v: f32) -> f64 {
+    (v as f64).exp_m1().max(0.0)
+}
+
+/// Relative-error threshold above which an operator family's model is
+/// deemed unreliable and triggers the plan-level fallback.
+const UNRELIABLE_THRESHOLD: f64 = 1.0;
+
+/// The hybrid operator-level / plan-level SVR model.
+pub struct SvmModel {
+    seed: u64,
+    per_kind: Vec<Option<Svr>>,
+    plan_level: Option<Svr>,
+    unreliable: Vec<bool>,
+}
+
+impl SvmModel {
+    /// Creates an untrained model.
+    pub fn new(seed: u64) -> SvmModel {
+        SvmModel {
+            seed,
+            per_kind: (0..OpKind::ALL.len()).map(|_| None).collect(),
+            plan_level: None,
+            unreliable: vec![false; OpKind::ALL.len()],
+        }
+    }
+
+    /// Operator feature vector: hand-picked features ⌢ child latency
+    /// predictions (encoded), padded to two children.
+    fn op_input(node: &PlanNode, child_preds: &[f32]) -> Vec<f32> {
+        let mut v = op_features(node);
+        v.push(child_preds.first().copied().unwrap_or(0.0));
+        v.push(child_preds.get(1).copied().unwrap_or(0.0));
+        debug_assert_eq!(v.len(), OP_FEATURES + 2);
+        v
+    }
+
+    /// Bottom-up composed prediction (encoded space) for a subtree.
+    fn predict_node(&self, node: &PlanNode) -> f32 {
+        let child_preds: Vec<f32> =
+            node.children.iter().map(|c| self.predict_node(c)).collect();
+        let input = Self::op_input(node, &child_preds);
+        match &self.per_kind[node.op.kind().index()] {
+            Some(svr) => svr.predict(&input),
+            // Families never seen in training: fall back to the child sum.
+            None => child_preds.iter().copied().fold(0.0f32, f32::max),
+        }
+    }
+
+    /// Whether the plan triggers the plan-level fallback.
+    fn needs_fallback(&self, plan: &Plan) -> bool {
+        let mut needs = false;
+        plan.root.visit_postorder(&mut |n| {
+            let k = n.op.kind().index();
+            if self.unreliable[k] || self.per_kind[k].is_none() {
+                needs = true;
+            }
+        });
+        needs
+    }
+}
+
+impl LatencyModel for SvmModel {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn fit(&mut self, plans: &[&Plan]) {
+        assert!(!plans.is_empty(), "SVM needs training plans");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        // 80/20 fit/validation split (deterministic order split is fine
+        // because dataset generation already randomizes template order).
+        let n_fit = ((plans.len() as f64) * 0.8).ceil() as usize;
+        let (fit_plans, val_plans) = plans.split_at(n_fit.min(plans.len()));
+
+        // Collect per-kind training rows. Child inputs use *actual* child
+        // latencies at training time (teacher forcing, as in [4]).
+        let mut xs: Vec<Vec<Vec<f32>>> = (0..OpKind::ALL.len()).map(|_| Vec::new()).collect();
+        let mut ys: Vec<Vec<f32>> = (0..OpKind::ALL.len()).map(|_| Vec::new()).collect();
+        for p in fit_plans {
+            p.root.visit_postorder(&mut |node| {
+                let child_preds: Vec<f32> =
+                    node.children.iter().map(|c| encode(c.actual.latency_ms)).collect();
+                xs[node.op.kind().index()].push(Self::op_input(node, &child_preds));
+                ys[node.op.kind().index()].push(encode(node.actual.latency_ms));
+            });
+        }
+        for k in 0..OpKind::ALL.len() {
+            if xs[k].len() >= 8 {
+                self.per_kind[k] =
+                    Some(Svr::fit(&xs[k], &ys[k], SvrConfig::default(), &mut rng));
+            }
+        }
+
+        // Plan-level model.
+        let px: Vec<Vec<f32>> = fit_plans.iter().map(|p| plan_features(p)).collect();
+        let py: Vec<f32> = fit_plans.iter().map(|p| encode(p.latency_ms())).collect();
+        self.plan_level = Some(Svr::fit(&px, &py, SvrConfig::default(), &mut rng));
+
+        // Validation: mark operator families whose model's composed
+        // prediction error is large.
+        let val = if val_plans.is_empty() { fit_plans } else { val_plans };
+        let mut err_sum = vec![0.0f64; OpKind::ALL.len()];
+        let mut err_n = vec![0usize; OpKind::ALL.len()];
+        for p in val {
+            p.root.visit_postorder(&mut |node| {
+                let k = node.op.kind().index();
+                if self.per_kind[k].is_none() {
+                    return;
+                }
+                let pred = decode(self.predict_node(node));
+                let actual = node.actual.latency_ms.max(1e-9);
+                err_sum[k] += (pred - actual).abs() / actual;
+                err_n[k] += 1;
+            });
+        }
+        for k in 0..OpKind::ALL.len() {
+            if err_n[k] > 0 {
+                self.unreliable[k] = err_sum[k] / err_n[k] as f64 > UNRELIABLE_THRESHOLD;
+            }
+        }
+    }
+
+    fn predict(&self, plan: &Plan) -> f64 {
+        let plan_model = self.plan_level.as_ref().expect("SVM must be fitted before prediction");
+        if self.needs_fallback(plan) {
+            decode(plan_model.predict(&plan_features(plan)))
+        } else {
+            decode(self.predict_node(&plan.root))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    #[test]
+    fn fit_predict_round_trip() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 80, 5);
+        let refs: Vec<&Plan> = ds.plans.iter().collect();
+        let mut svm = SvmModel::new(1);
+        svm.fit(&refs[..70]);
+        for p in &refs[70..] {
+            let pred = svm.predict(p);
+            assert!(pred.is_finite() && pred >= 0.0, "prediction {pred}");
+        }
+    }
+
+    #[test]
+    fn predictions_track_latency_ordering_roughly() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 150, 6);
+        let refs: Vec<&Plan> = ds.plans.iter().collect();
+        let mut svm = SvmModel::new(2);
+        svm.fit(&refs);
+        // On the training data, the rank correlation between predictions
+        // and actuals should be clearly positive.
+        let mut pairs: Vec<(f64, f64)> =
+            refs.iter().map(|p| (svm.predict(p), p.latency_ms())).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let n = pairs.len();
+        let top_half_actual: f64 =
+            pairs[n / 2..].iter().map(|(_, a)| a).sum::<f64>() / (n - n / 2) as f64;
+        let bottom_half_actual: f64 =
+            pairs[..n / 2].iter().map(|(_, a)| a).sum::<f64>() / (n / 2) as f64;
+        assert!(
+            top_half_actual > bottom_half_actual,
+            "top {top_half_actual} bottom {bottom_half_actual}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted")]
+    fn predict_before_fit_panics() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 1, 7);
+        let svm = SvmModel::new(3);
+        let _ = svm.predict(&ds.plans[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 40, 8);
+        let refs: Vec<&Plan> = ds.plans.iter().collect();
+        let mut a = SvmModel::new(9);
+        let mut b = SvmModel::new(9);
+        a.fit(&refs);
+        b.fit(&refs);
+        assert_eq!(a.predict(&ds.plans[0]), b.predict(&ds.plans[0]));
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for QPPNet inference latency: single-plan
+//! prediction (the admission-control path, where the model must be faster
+//! than running the query) and batched prediction across equivalence
+//! classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_plansim::catalog::Workload;
+use qpp_plansim::dataset::Dataset;
+use qpp_plansim::plan::Plan;
+use qppnet::{QppConfig, QppNet};
+
+fn fitted_model(ds: &Dataset) -> QppNet {
+    // Two epochs: learned weights don't matter for timing.
+    let cfg = QppConfig { epochs: 2, ..QppConfig::default() };
+    let mut model = QppNet::new(cfg, &ds.catalog);
+    let train: Vec<&Plan> = ds.plans.iter().take(60).collect();
+    model.fit(&train);
+    model
+}
+
+fn bench_single_plan(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcH, 100.0, 120, 9);
+    let model = fitted_model(&ds);
+
+    // Smallest and largest plans in the sample.
+    let small = ds.plans.iter().min_by_key(|p| p.node_count()).unwrap();
+    let large = ds.plans.iter().max_by_key(|p| p.node_count()).unwrap();
+
+    let mut group = c.benchmark_group("predict_single_plan");
+    group.bench_function(format!("small_{}_ops", small.node_count()), |b| {
+        b.iter(|| std::hint::black_box(model.predict(small)))
+    });
+    group.bench_function(format!("large_{}_ops", large.node_count()), |b| {
+        b.iter(|| std::hint::black_box(model.predict(large)))
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcDs, 100.0, 256, 10);
+    let model = fitted_model(&ds);
+    let mut group = c.benchmark_group("predict_batched");
+    for &n in &[16usize, 64, 256] {
+        let plans: Vec<&Plan> = ds.plans.iter().take(n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(model.predict_batch(&plans)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_plan, bench_batched);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the `qpp-nn` matrix kernels that dominate
+//! training time: forward matmul (`X·W`), input gradient (`dZ·Wᵀ`) and
+//! weight gradient (`Xᵀ·dZ`), at the paper's layer shape (128×128) across
+//! batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_nn::Matrix;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matrix_kernels_128x128");
+    for &batch in &[1usize, 16, 64, 256] {
+        let x = rand_matrix(batch, 128, &mut rng);
+        let w = rand_matrix(128, 128, &mut rng);
+        let dz = rand_matrix(batch, 128, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("forward_xw", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(x.matmul(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("input_grad_a_bt", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(dz.matmul_a_bt(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("weight_grad_at_b", batch), &batch, |b, _| {
+            let mut out = Matrix::zeros(128, 128);
+            b.iter(|| {
+                out.fill_zero();
+                x.matmul_at_b_into(&dz, &mut out);
+                std::hint::black_box(out.norm())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hcat_slice(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    // A join unit's input assembly: features ⌢ child₁(33) ⌢ child₂(33).
+    let feats = rand_matrix(64, 16, &mut rng);
+    let c1 = rand_matrix(64, 33, &mut rng);
+    let c2 = rand_matrix(64, 33, &mut rng);
+    c.bench_function("hcat_join_input_batch64", |b| {
+        b.iter(|| std::hint::black_box(Matrix::hcat(&[&feats, &c1, &c2])))
+    });
+    let cat = Matrix::hcat(&[&feats, &c1, &c2]);
+    c.bench_function("slice_child_grad_batch64", |b| {
+        b.iter(|| std::hint::black_box(cat.slice_cols(16, 33)))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_hcat_slice);
+criterion_main!(benches);

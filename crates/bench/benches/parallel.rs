@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the data-parallel trainer (extension) and the
+//! Tree-LSTM cell kernels backing the §3 ablation baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_nn::{Matrix, TreeLstmCell};
+use qpp_plansim::catalog::Workload;
+use qpp_plansim::dataset::Dataset;
+use qpp_plansim::plan::Plan;
+use qppnet::{QppConfig, QppNet};
+use rand::SeedableRng;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcH, 100.0, 96, 21);
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+
+    let mut group = c.benchmark_group("one_epoch_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = QppConfig {
+                        epochs: 1,
+                        batch_size: 96,
+                        threads,
+                        hidden_layers: 3,
+                        hidden_units: 64,
+                        data_size: 16,
+                        ..QppConfig::default()
+                    };
+                    let mut model = QppNet::new(cfg, &ds.catalog);
+                    std::hint::black_box(model.fit(&plans));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_treelstm_cell(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let cell = TreeLstmCell::new(128, 64, &mut rng);
+    let x = Matrix::from_fn(32, 128, |i, j| ((i * 7 + j) % 13) as f32 * 0.07 - 0.4);
+
+    let mut group = c.benchmark_group("treelstm_cell");
+    group.bench_function("forward_leaf_batch32", |b| {
+        b.iter(|| std::hint::black_box(cell.forward(&x, &[])))
+    });
+    let leaf = cell.forward(&x, &[]);
+    group.bench_function("forward_internal_batch32", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                cell.forward(&x, &[(leaf.hidden(), leaf.memory()), (leaf.hidden(), leaf.memory())]),
+            )
+        })
+    });
+    let root = cell.forward(&x, &[(leaf.hidden(), leaf.memory())]);
+    let dh = Matrix::from_fn(32, 64, |_, _| 0.01);
+    let dm = Matrix::zeros(32, 64);
+    group.bench_function("backward_batch32", |b| {
+        b.iter(|| {
+            let mut cell = cell.clone();
+            std::hint::black_box(cell.backward(&root, &dh, &dm))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_treelstm_cell);
+criterion_main!(benches);

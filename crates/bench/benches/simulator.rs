@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the database substrate: plan
+//! generation+simulation throughput and featurization cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_plansim::catalog::Workload;
+use qpp_plansim::dataset::Dataset;
+use qpp_plansim::features::{Featurizer, Whitener};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generate_100_queries");
+    group.sample_size(10);
+    for workload in [Workload::TpcH, Workload::TpcDs] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.name()),
+            &workload,
+            |b, &w| b.iter(|| std::hint::black_box(Dataset::generate(w, 100.0, 100, 13))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_featurization(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcDs, 100.0, 200, 14);
+    let fz = Featurizer::new(&ds.catalog);
+    let wh = Whitener::fit(&fz, ds.plans.iter());
+
+    c.bench_function("whitener_fit_200_plans", |b| {
+        b.iter(|| std::hint::black_box(Whitener::fit(&fz, ds.plans.iter())))
+    });
+
+    let plan = &ds.plans[0];
+    c.bench_function("featurize_one_plan", |b| {
+        b.iter(|| {
+            let mut total = 0.0f32;
+            plan.root.visit_postorder(&mut |n| {
+                total += wh.features(&fz, n).iter().sum::<f32>();
+            });
+            std::hint::black_box(total)
+        })
+    });
+
+    c.bench_function("plan_signature", |b| {
+        b.iter(|| std::hint::black_box(plan.signature()))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_featurization);
+criterion_main!(benches);

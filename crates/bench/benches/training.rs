@@ -1,0 +1,62 @@
+//! Criterion benchmarks for training-epoch throughput under the four §5.1
+//! optimization modes — the micro-benchmark behind Figure 9a's wall-clock
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpp_plansim::catalog::Workload;
+use qpp_plansim::dataset::Dataset;
+use qpp_plansim::plan::Plan;
+use qppnet::{OptMode, QppConfig, QppNet};
+
+fn bench_opt_modes(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcH, 100.0, 64, 11);
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+
+    let mut group = c.benchmark_group("one_epoch_64_plans");
+    group.sample_size(10);
+    for mode in OptMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &mode| {
+            b.iter(|| {
+                let cfg = QppConfig {
+                    epochs: 1,
+                    batch_size: 64,
+                    opt_mode: mode,
+                    hidden_layers: 3,
+                    hidden_units: 64,
+                    data_size: 16,
+                    ..QppConfig::default()
+                };
+                let mut model = QppNet::new(cfg, &ds.catalog);
+                std::hint::black_box(model.fit(&plans));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size_scaling(c: &mut Criterion) {
+    let ds = Dataset::generate(Workload::TpcDs, 100.0, 128, 12);
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+    let mut group = c.benchmark_group("one_epoch_batch_size");
+    group.sample_size(10);
+    for &batch in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let cfg = QppConfig {
+                    epochs: 1,
+                    batch_size: batch,
+                    hidden_layers: 3,
+                    hidden_units: 64,
+                    data_size: 16,
+                    ..QppConfig::default()
+                };
+                let mut model = QppNet::new(cfg, &ds.catalog);
+                std::hint::black_box(model.fit(&plans));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_modes, bench_batch_size_scaling);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Diagnostic utility: per-template test metrics for every model on the
+//! paper split. Useful for understanding *where* each model's error comes
+//! from (complements Figure 8's hold-one-out view).
+
+use qpp_bench::{generate, render_table, run_all_models, ExpConfig};
+use qpp_plansim::catalog::Workload;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut defaults = ExpConfig { queries: 1000, ..ExpConfig::default() };
+    defaults.qpp.epochs = 100;
+    let cfg = ExpConfig::from_args(defaults);
+
+    for workload in [Workload::TpcDs] {
+        let (ds, split) = generate(&cfg, workload);
+        let runs = run_all_models(&cfg, &ds, &split);
+
+        // template -> indices into the test vector
+        let mut by_template: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (k, &i) in split.test.iter().enumerate() {
+            by_template.entry(ds.plans[i].template_id).or_default().push(k);
+        }
+
+        let mut rows = Vec::new();
+        for (tid, idxs) in &by_template {
+            let actual_mean =
+                idxs.iter().map(|&k| runs[0].actuals[k]).sum::<f64>() / idxs.len() as f64;
+            let mut row = vec![
+                format!("q{tid}"),
+                format!("{:.1}", actual_mean / 60_000.0),
+                idxs.len().to_string(),
+            ];
+            for r in &runs {
+                let rel = idxs
+                    .iter()
+                    .map(|&k| (r.actuals[k] - r.predictions[k]).abs() / r.actuals[k].max(1e-9))
+                    .sum::<f64>()
+                    / idxs.len() as f64;
+                row.push(format!("{:.0}%", rel * 100.0));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("{} per-template relative error (test split)", workload.name()),
+                &["template", "mean lat (min)", "n", "TAM", "SVM", "RBF", "QPPNet"],
+                &rows,
+            )
+        );
+
+        // Worst QPPNet queries with actual vs predicted, for debugging.
+        let qpp = &runs[3];
+        let mut worst: Vec<usize> = (0..qpp.actuals.len()).collect();
+        worst.sort_by(|&a, &b| {
+            let ra = (qpp.actuals[a] - qpp.predictions[a]).abs() / qpp.actuals[a];
+            let rb = (qpp.actuals[b] - qpp.predictions[b]).abs() / qpp.actuals[b];
+            rb.partial_cmp(&ra).unwrap()
+        });
+        println!("worst QPPNet predictions:");
+        for &k in worst.iter().take(10) {
+            let i = split.test[k];
+            println!(
+                "  q{} #{:>4}: actual {:>10.1}s predicted {:>10.1}s ({} ops)",
+                ds.plans[i].template_id,
+                ds.plans[i].query_id,
+                qpp.actuals[k] / 1000.0,
+                qpp.predictions[k] / 1000.0,
+                ds.plans[i].node_count(),
+            );
+        }
+
+        // Per-operator breakdown of the single worst plan: retrain a
+        // QPPNet (same config/seed) to access predict_operators.
+        let train = ds.select(&split.train);
+        let mut model = qppnet::QppNet::new(cfg.qpp.clone(), &ds.catalog);
+        model.fit(&train);
+        let plan = &ds.plans[split.test[worst[0]]];
+        let per_op = model.predict_operators(plan);
+        println!("\nper-operator view of the worst plan (q{}):", plan.template_id);
+        for (node, pred) in plan.root.postorder().iter().zip(&per_op) {
+            println!(
+                "  {:<22} est_rows={:>12.0} true_rows={:>12.0} actual={:>9.1}s pred={:>9.1}s",
+                node.op.display_name(),
+                node.est.rows,
+                node.actual.rows,
+                node.actual.latency_ms / 1000.0,
+                pred / 1000.0,
+            );
+        }
+
+        // Library-side analyses: which neural unit carries the error, and
+        // is the model calibrated across latency decades?
+        let test = ds.select(&split.test);
+        let fam_rows: Vec<Vec<String>> = qppnet::error_by_family(&model, &test)
+            .iter()
+            .map(|f| {
+                vec![
+                    format!("{:?}", f.kind),
+                    f.count.to_string(),
+                    format!("{:.2}", f.mae_ms / 60_000.0),
+                    format!("{:.2}", f.mean_r),
+                    format!("{:.0}%", f.r_le_15 * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "\n{}",
+            render_table(
+                "QPPNet error by operator family (inclusive latencies, test split)",
+                &["family", "instances", "MAE (min)", "mean R", "R≤1.5"],
+                &fam_rows,
+            )
+        );
+
+        let cal_rows: Vec<Vec<String>> = qppnet::calibration(&model, &test)
+            .iter()
+            .map(|b| {
+                vec![
+                    format!("{:.0}..{:.0}s", b.lo_ms / 1000.0, b.hi_ms / 1000.0),
+                    b.count.to_string(),
+                    format!("{:.1}", b.mean_actual_ms / 60_000.0),
+                    format!("{:.1}", b.mean_predicted_ms / 60_000.0),
+                    format!("{:.2}", b.mean_bias),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "QPPNet calibration by actual-latency decade (bias >1 = over-prediction)",
+                &["actual range", "n", "mean actual (min)", "mean pred (min)", "bias"],
+                &cal_rows,
+            )
+        );
+    }
+}

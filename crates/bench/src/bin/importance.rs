@@ -1,0 +1,69 @@
+//! Feature-importance report (interpretability extension).
+//!
+//! The paper's data vectors are deliberately opaque (§5); permutation
+//! importance (`qppnet::importance`) recovers which *inputs* a trained
+//! QPP Net actually relies on. This binary trains on TPC-H and prints the
+//! top features by MAE degradation when permuted.
+//!
+//! ```text
+//! cargo run -p qpp-bench --release --bin importance -- --queries 800 --epochs 80
+//! ```
+
+use qpp_bench::{generate, render_table, ExpConfig};
+use qpp_plansim::catalog::Workload;
+use qppnet::{permutation_importance, QppNet};
+
+fn main() {
+    let cfg = ExpConfig::from_args(ExpConfig { queries: 800, ..ExpConfig::default() });
+    println!(
+        "Permutation importance (extension) — queries={}, sf={}, epochs={}, seed={}\n",
+        cfg.queries, cfg.scale_factor, cfg.qpp.epochs, cfg.seed
+    );
+
+    let (ds, split) = generate(&cfg, Workload::TpcH);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+
+    let mut model = QppNet::new(cfg.qpp.clone(), &ds.catalog);
+    model.fit(&train);
+    let baseline = model.evaluate(&test);
+    println!(
+        "baseline: MAE {:.2} min, relative error {:.1}%\n",
+        baseline.mae_ms / 60_000.0,
+        baseline.relative_error_pct()
+    );
+
+    let importances = permutation_importance(&model, &test, cfg.seed);
+    let rows: Vec<Vec<String>> = importances
+        .iter()
+        .take(20)
+        .map(|f| {
+            vec![
+                format!("{:?}", f.kind),
+                f.label.clone(),
+                format!("{:+.2}", f.delta_mae_ms / 60_000.0),
+                format!("{:.2}", f.permuted_mae_ms / 60_000.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "top-20 features by permutation importance",
+            &["operator", "feature", "ΔMAE (min)", "permuted MAE (min)"],
+            &rows,
+        )
+    );
+
+    let zeros = importances.iter().filter(|f| f.delta_mae_ms == 0.0).count();
+    println!(
+        "{} of {} feature positions have zero importance on this test set\n\
+         (constant columns: unused one-hot slots, never-seen indexes, …).",
+        zeros,
+        importances.len()
+    );
+    println!(
+        "Expected shape: optimizer cardinality/cost estimates and scan relation\n\
+         identities dominate; exotic one-hot slots contribute nothing."
+    );
+}

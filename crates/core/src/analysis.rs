@@ -1,0 +1,220 @@
+//! Post-hoc error analysis for trained models.
+//!
+//! The paper evaluates models with aggregate metrics (§6); production
+//! deployments need to know *where* the error lives before trusting a
+//! predictor for admission control or scheduling. This module attributes
+//! a fitted QPPNet's error to operator families (which neural unit is
+//! wrong) and to latency magnitudes (is the model calibrated across the
+//! five orders of magnitude the workloads span) — both computable from
+//! per-operator predictions, which plan-structured models uniquely expose.
+
+use crate::model::QppNet;
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::Plan;
+use serde::{Deserialize, Serialize};
+
+/// Error attribution for one operator family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyErrors {
+    /// The operator family.
+    pub kind: OpKind,
+    /// Number of operator instances evaluated.
+    pub count: usize,
+    /// Mean absolute error of the family's *inclusive* latency
+    /// predictions, in milliseconds.
+    pub mae_ms: f64,
+    /// Mean R(q) factor over the family's instances.
+    pub mean_r: f64,
+    /// Fraction of instances within a factor 1.5 of truth.
+    pub r_le_15: f64,
+}
+
+/// One row of the calibration report: queries whose *actual* latency
+/// falls in `[lo_ms, hi_ms)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationBucket {
+    /// Bucket lower bound (inclusive), milliseconds.
+    pub lo_ms: f64,
+    /// Bucket upper bound (exclusive), milliseconds.
+    pub hi_ms: f64,
+    /// Queries in the bucket.
+    pub count: usize,
+    /// Mean actual latency (ms).
+    pub mean_actual_ms: f64,
+    /// Mean predicted latency (ms).
+    pub mean_predicted_ms: f64,
+    /// Mean prediction/actual ratio — `> 1` means the model systematically
+    /// over-predicts at this magnitude, `< 1` under-predicts.
+    pub mean_bias: f64,
+}
+
+/// Attributes per-operator prediction error to operator families.
+///
+/// Families that never occur in `plans` are omitted. Sorted by descending
+/// MAE so the worst unit leads.
+///
+/// # Panics
+/// Panics if the model is unfitted or `plans` is empty.
+pub fn error_by_family(model: &QppNet, plans: &[&Plan]) -> Vec<FamilyErrors> {
+    assert!(!plans.is_empty(), "cannot analyse zero plans");
+    let nk = OpKind::ALL.len();
+    let mut count = vec![0usize; nk];
+    let mut abs_err = vec![0.0f64; nk];
+    let mut r_sum = vec![0.0f64; nk];
+    let mut r_ok = vec![0usize; nk];
+
+    for plan in plans {
+        let preds = model.predict_operators(plan);
+        for (node, pred) in plan.root.postorder().iter().zip(preds) {
+            let k = node.op.kind().index();
+            let actual = node.actual.latency_ms;
+            count[k] += 1;
+            abs_err[k] += (actual - pred).abs();
+            let r = crate::metrics::r_factor(actual, pred);
+            r_sum[k] += r;
+            if r <= 1.5 {
+                r_ok[k] += 1;
+            }
+        }
+    }
+
+    let mut out: Vec<FamilyErrors> = OpKind::ALL
+        .iter()
+        .filter(|k| count[k.index()] > 0)
+        .map(|&kind| {
+            let k = kind.index();
+            let n = count[k] as f64;
+            FamilyErrors {
+                kind,
+                count: count[k],
+                mae_ms: abs_err[k] / n,
+                mean_r: r_sum[k] / n,
+                r_le_15: r_ok[k] as f64 / n,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.mae_ms.partial_cmp(&a.mae_ms).expect("finite MAE"));
+    out
+}
+
+/// Builds a calibration report over latency decades.
+///
+/// Queries are bucketed by actual latency (one bucket per decade between
+/// 1 ms and 10⁸ ms); empty buckets are omitted.
+///
+/// # Panics
+/// Panics if the model is unfitted or `plans` is empty.
+pub fn calibration(model: &QppNet, plans: &[&Plan]) -> Vec<CalibrationBucket> {
+    assert!(!plans.is_empty(), "cannot analyse zero plans");
+    const DECADES: usize = 9;
+    let mut buckets: Vec<(usize, f64, f64, f64)> = vec![(0, 0.0, 0.0, 0.0); DECADES];
+
+    let preds = model.predict_batch(plans);
+    for (plan, pred) in plans.iter().zip(preds) {
+        let actual = plan.latency_ms();
+        let b = (actual.max(1.0).log10().floor() as usize).min(DECADES - 1);
+        let e = &mut buckets[b];
+        e.0 += 1;
+        e.1 += actual;
+        e.2 += pred;
+        e.3 += pred / actual.max(1e-9);
+    }
+
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (n, ..))| *n > 0)
+        .map(|(b, (n, actual, pred, bias))| CalibrationBucket {
+            lo_ms: 10f64.powi(b as i32),
+            hi_ms: 10f64.powi(b as i32 + 1),
+            count: n,
+            mean_actual_ms: actual / n as f64,
+            mean_predicted_ms: pred / n as f64,
+            mean_bias: bias / n as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QppConfig;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    fn fitted() -> (Dataset, QppNet) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 70, 33);
+        let mut model = QppNet::new(QppConfig { epochs: 40, ..QppConfig::tiny() }, &ds.catalog);
+        model.fit(&ds.plans.iter().collect::<Vec<_>>());
+        (ds, model)
+    }
+
+    #[test]
+    fn family_errors_cover_observed_families_only() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().take(25).collect();
+        let fams = error_by_family(&model, &plans);
+        // Scans always occur; every row has data.
+        assert!(fams.iter().any(|f| f.kind == OpKind::Scan));
+        let mut seen = std::collections::HashSet::new();
+        for f in &fams {
+            assert!(f.count > 0);
+            assert!(f.mae_ms.is_finite() && f.mean_r >= 1.0);
+            assert!((0.0..=1.0).contains(&f.r_le_15));
+            assert!(seen.insert(f.kind), "duplicate family");
+        }
+        // Sorted by descending MAE.
+        for w in fams.windows(2) {
+            assert!(w[0].mae_ms >= w[1].mae_ms);
+        }
+    }
+
+    #[test]
+    fn family_instance_counts_match_plan_contents() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().take(10).collect();
+        let fams = error_by_family(&model, &plans);
+        let total: usize = fams.iter().map(|f| f.count).sum();
+        let expected: usize = plans.iter().map(|p| p.node_count()).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn calibration_buckets_partition_the_queries() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let cal = calibration(&model, &plans);
+        let total: usize = cal.iter().map(|b| b.count).sum();
+        assert_eq!(total, plans.len());
+        for b in &cal {
+            assert!(b.lo_ms < b.hi_ms);
+            assert!(b.mean_actual_ms >= b.lo_ms && b.mean_actual_ms < b.hi_ms);
+            assert!(b.mean_bias.is_finite() && b.mean_bias > 0.0);
+        }
+        // Buckets ascend by latency.
+        for w in cal.windows(2) {
+            assert!(w[0].hi_ms <= w[1].lo_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_have_unit_bias() {
+        // Feed the model's own predictions back as "actuals" by checking
+        // the bias identity instead: a model evaluated against itself is
+        // perfectly calibrated. We emulate it via the public API by
+        // asserting bias is finite and within a broad trained range.
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let cal = calibration(&model, &plans);
+        // Trained on these exact plans: bias should be within [0.2, 5].
+        for b in cal {
+            assert!(
+                b.mean_bias > 0.2 && b.mean_bias < 5.0,
+                "bucket {}..{} bias {}",
+                b.lo_ms,
+                b.hi_ms,
+                b.mean_bias
+            );
+        }
+    }
+}

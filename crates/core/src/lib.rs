@@ -1,0 +1,56 @@
+//! # qppnet — plan-structured deep neural networks for query performance prediction
+//!
+//! A faithful Rust implementation of *Plan-Structured Deep Neural Network
+//! Models for Query Performance Prediction* (Marcus & Papaemmanouil,
+//! VLDB 2019, arXiv:1902.00132).
+//!
+//! The model assigns each logical operator family (scan, join, sort, …) its
+//! own small MLP — a **neural unit** ([`unit::UnitSet`]) — which maps the
+//! operator's `EXPLAIN` features plus its children's outputs to a
+//! `(latency, data-vector)` pair. Units are assembled into a network
+//! **isomorphic to the query plan** ([`tree::TreeBatch`]); the root's
+//! latency output is the query's predicted latency. Training (§5,
+//! [`train::Trainer`]) supervises the latency output of *every* operator
+//! while leaving the `d`-dimensional data vectors free ("opaque" learned
+//! features), and implements both §5.1 optimizations:
+//!
+//! * **plan-based batch training** — structurally identical plans are
+//!   vectorized; per-class gradients are recombined weighted by class size
+//!   so the estimate stays unbiased;
+//! * **information sharing in subtrees** — bottom-up evaluation computes
+//!   each operator's output exactly once.
+//!
+//! Quick start (see `examples/quickstart.rs` for a narrated version):
+//!
+//! ```
+//! use qppnet::{QppConfig, QppNet};
+//! use qpp_plansim::prelude::*;
+//!
+//! let ds = Dataset::generate(Workload::TpcH, 1.0, 60, 7);
+//! let split = ds.paper_split(0);
+//! let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+//! model.fit(&ds.select(&split.train));
+//! println!("relative error: {:.1}%",
+//!          model.evaluate(&ds.select(&split.test)).relative_error_pct());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod config;
+pub mod importance;
+pub mod metrics;
+pub mod model;
+pub mod train;
+pub mod tree;
+pub mod unit;
+
+pub use analysis::{calibration, error_by_family, CalibrationBucket, FamilyErrors};
+pub use config::{LrSchedule, OptMode, OptimizerKind, QppConfig, TargetTransform};
+pub use importance::{permutation_importance, FeatureImportance};
+pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
+pub use model::QppNet;
+pub use train::{predict_plans, TrainHistory, Trainer};
+pub use tree::{equivalence_classes, Supervision, TreeBatch};
+pub use unit::UnitSet;

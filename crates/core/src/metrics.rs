@@ -1,0 +1,238 @@
+//! Evaluation metrics (paper §6, "Evaluation metrics").
+//!
+//! * **relative prediction error** — `mean(|actual − predicted| / actual)`,
+//!   the metric of [4, 25] (known to favour underestimates);
+//! * **mean absolute error** — symmetric, in the units of the target
+//!   (milliseconds here; the paper reports minutes);
+//! * **R(q)** — `max(actual/predicted, predicted/actual)`, the "factor by
+//!   which the estimate was off"; reported as Table 1's buckets
+//!   (`R ≤ 1.5`, `1.5 < R < 2`, `R ≥ 2`) and Figure 7b's CDF.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds per minute (the paper reports MAE in minutes).
+pub const MS_PER_MINUTE: f64 = 60_000.0;
+
+/// Summary metrics over a set of (actual, predicted) latency pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of evaluated queries.
+    pub count: usize,
+    /// Mean relative prediction error (unitless, often shown as %).
+    pub relative_error: f64,
+    /// Mean absolute error in milliseconds.
+    pub mae_ms: f64,
+    /// Root mean squared error in milliseconds.
+    pub rmse_ms: f64,
+    /// Fraction of queries with `R(q) ≤ 1.5`.
+    pub r_le_15: f64,
+    /// Fraction with `1.5 < R(q) < 2`.
+    pub r_15_to_2: f64,
+    /// Fraction with `R(q) ≥ 2`.
+    pub r_ge_2: f64,
+    /// Mean R(q).
+    pub mean_r: f64,
+    /// Median R(q) (the cardinality-estimation literature's "q-error"
+    /// median; robust to outliers where `mean_r` is not).
+    #[serde(default = "one")]
+    pub median_r: f64,
+    /// 90th-percentile R(q).
+    #[serde(default = "one")]
+    pub p90_r: f64,
+    /// 99th-percentile R(q).
+    #[serde(default = "one")]
+    pub p99_r: f64,
+    /// Worst-case R(q).
+    #[serde(default = "one")]
+    pub max_r: f64,
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+impl Metrics {
+    /// Mean absolute error in minutes (the paper's reporting unit).
+    pub fn mae_minutes(&self) -> f64 {
+        self.mae_ms / MS_PER_MINUTE
+    }
+
+    /// Relative error as a percentage.
+    pub fn relative_error_pct(&self) -> f64 {
+        self.relative_error * 100.0
+    }
+}
+
+/// The error factor `R(q) = max(actual/predicted, predicted/actual)`.
+///
+/// Degenerate predictions (≤ 0) are assigned the factor `actual / ε`,
+/// i.e. "very wrong", rather than being dropped.
+pub fn r_factor(actual: f64, predicted: f64) -> f64 {
+    let eps = 1e-9;
+    let a = actual.max(eps);
+    let p = predicted.max(eps);
+    (a / p).max(p / a)
+}
+
+/// Computes all metrics from parallel slices of actual and predicted
+/// latencies (milliseconds).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn evaluate(actual_ms: &[f64], predicted_ms: &[f64]) -> Metrics {
+    assert_eq!(actual_ms.len(), predicted_ms.len(), "metric input length mismatch");
+    assert!(!actual_ms.is_empty(), "cannot evaluate zero queries");
+    let n = actual_ms.len() as f64;
+
+    let mut rel = 0.0;
+    let mut mae = 0.0;
+    let mut mse = 0.0;
+    let mut r_le_15 = 0usize;
+    let mut r_15_to_2 = 0usize;
+    let mut r_ge_2 = 0usize;
+    let mut r_sum = 0.0;
+    let mut rs = Vec::with_capacity(actual_ms.len());
+
+    for (&a, &p) in actual_ms.iter().zip(predicted_ms) {
+        let err = (a - p).abs();
+        rel += err / a.max(1e-9);
+        mae += err;
+        mse += err * err;
+        let r = r_factor(a, p);
+        r_sum += r;
+        rs.push(r);
+        if r <= 1.5 {
+            r_le_15 += 1;
+        } else if r < 2.0 {
+            r_15_to_2 += 1;
+        } else {
+            r_ge_2 += 1;
+        }
+    }
+
+    rs.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
+    let quantile = |q: f64| -> f64 {
+        let idx = ((rs.len() as f64 - 1.0) * q).round() as usize;
+        rs[idx]
+    };
+
+    Metrics {
+        count: actual_ms.len(),
+        relative_error: rel / n,
+        mae_ms: mae / n,
+        rmse_ms: (mse / n).sqrt(),
+        r_le_15: r_le_15 as f64 / n,
+        r_15_to_2: r_15_to_2 as f64 / n,
+        r_ge_2: r_ge_2 as f64 / n,
+        mean_r: r_sum / n,
+        median_r: quantile(0.5),
+        p90_r: quantile(0.9),
+        p99_r: quantile(0.99),
+        max_r: *rs.last().expect("non-empty"),
+    }
+}
+
+/// The cumulative distribution of R(q) values for Figure 7b: returns
+/// `(fraction_of_test_set, r_value)` pairs with the fractions ascending.
+///
+/// Reading: "the model's prediction was within a factor of `r` for
+/// `fraction` of the test set".
+pub fn r_cdf(actual_ms: &[f64], predicted_ms: &[f64]) -> Vec<(f64, f64)> {
+    assert_eq!(actual_ms.len(), predicted_ms.len());
+    let mut rs: Vec<f64> =
+        actual_ms.iter().zip(predicted_ms).map(|(&a, &p)| r_factor(a, p)).collect();
+    rs.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
+    let n = rs.len() as f64;
+    rs.into_iter().enumerate().map(|(i, r)| ((i + 1) as f64 / n, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_zero_error() {
+        let a = [100.0, 2000.0, 30.0];
+        let m = evaluate(&a, &a);
+        assert_eq!(m.relative_error, 0.0);
+        assert_eq!(m.mae_ms, 0.0);
+        assert_eq!(m.r_le_15, 1.0);
+        assert_eq!(m.r_ge_2, 0.0);
+        assert!((m.mean_r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_factor_is_symmetric() {
+        // Paper example: predicting 2 min for a 1 min query and 2 min for a
+        // 4 min query both give R = 2.
+        assert!((r_factor(1.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((r_factor(4.0, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_is_asymmetric_as_documented() {
+        // Underestimates bound relative error at 1; overestimates don't.
+        let a = [100.0];
+        let under = evaluate(&a, &[0.0]);
+        let over = evaluate(&a, &[300.0]);
+        assert!((under.relative_error - 1.0).abs() < 1e-9);
+        assert!((over.relative_error - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_partition_the_test_set() {
+        let a = [100.0, 100.0, 100.0, 100.0];
+        let p = [105.0, 160.0, 210.0, 100.0]; // R = 1.05, 1.6, 2.1, 1.0
+        let m = evaluate(&a, &p);
+        assert!((m.r_le_15 + m.r_15_to_2 + m.r_ge_2 - 1.0).abs() < 1e-12);
+        assert!((m.r_le_15 - 0.5).abs() < 1e-12);
+        assert!((m.r_15_to_2 - 0.25).abs() < 1e-12);
+        assert!((m.r_ge_2 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let a = [10.0, 20.0, 30.0, 40.0];
+        let p = [12.0, 10.0, 33.0, 41.0];
+        let cdf = r_cdf(&a, &p);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.last().unwrap().0 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn degenerate_predictions_are_penalized_not_dropped() {
+        let m = evaluate(&[100.0], &[0.0]);
+        assert!(m.mean_r > 1e6);
+        assert_eq!(m.r_ge_2, 1.0);
+    }
+
+    #[test]
+    fn mae_unit_conversion() {
+        let m = evaluate(&[MS_PER_MINUTE * 2.0], &[MS_PER_MINUTE]);
+        assert!((m.mae_minutes() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_order_correctly() {
+        // R values: 1.0, 1.2, 2.0, 4.0 → median ∈ {1.2, 2.0}, max = 4.
+        let a = [100.0, 100.0, 100.0, 100.0];
+        let p = [100.0, 120.0, 200.0, 400.0];
+        let m = evaluate(&a, &p);
+        assert!(m.median_r <= m.p90_r);
+        assert!(m.p90_r <= m.p99_r);
+        assert!(m.p99_r <= m.max_r);
+        assert!((m.max_r - 4.0).abs() < 1e-12);
+        assert!(m.median_r >= 1.2 && m.median_r <= 2.0);
+    }
+
+    #[test]
+    fn single_query_quantiles_collapse() {
+        let m = evaluate(&[100.0], &[150.0]);
+        assert_eq!(m.median_r, m.max_r);
+        assert!((m.max_r - 1.5).abs() < 1e-12);
+    }
+}

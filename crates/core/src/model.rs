@@ -1,0 +1,336 @@
+//! The `QppNet` model facade: fit / predict / evaluate / save / load.
+
+use crate::config::{QppConfig, TargetCodec};
+use crate::metrics::{evaluate, Metrics};
+use crate::train::{predict_plans, TrainHistory, Trainer};
+use crate::tree::{RatioCaps, TreeBatch};
+use crate::unit::UnitSet;
+use qpp_plansim::catalog::Catalog;
+use qpp_plansim::features::{Featurizer, Whitener};
+use qpp_plansim::plan::Plan;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Trained state: whitening statistics plus the neural units.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Fitted {
+    whitener: Whitener,
+    units: UnitSet,
+    codec: TargetCodec,
+    /// Stratified inclusive/child latency ratio caps (training maxima per
+    /// family and child-latency decade, widened), for the inference-time
+    /// structural envelope.
+    ratio_caps: RatioCaps,
+}
+
+/// A plan-structured neural network for query performance prediction.
+///
+/// ```
+/// use qppnet::{QppConfig, QppNet};
+/// use qpp_plansim::prelude::*;
+///
+/// let ds = Dataset::generate(Workload::TpcH, 1.0, 60, 7);
+/// let split = ds.paper_split(0);
+/// let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+/// model.fit(&ds.select(&split.train));
+/// let metrics = model.evaluate(&ds.select(&split.test));
+/// assert!(metrics.relative_error.is_finite());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QppNet {
+    config: QppConfig,
+    featurizer: Featurizer,
+    fitted: Option<Fitted>,
+}
+
+impl QppNet {
+    /// Creates an untrained model for plans generated against `catalog`.
+    pub fn new(config: QppConfig, catalog: &Catalog) -> QppNet {
+        QppNet { config, featurizer: Featurizer::new(catalog), fitted: None }
+    }
+
+    /// Creates an untrained model with a custom featurizer — e.g.
+    /// [`Featurizer::with_learned_cardinalities`] for the paper's §7
+    /// integration of an external cardinality estimator.
+    pub fn with_featurizer(config: QppConfig, featurizer: Featurizer) -> QppNet {
+        QppNet { config, featurizer, fitted: None }
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> &QppConfig {
+        &self.config
+    }
+
+    /// Whether [`QppNet::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted.is_some()
+    }
+
+    /// Total trainable parameters (0 before fitting).
+    pub fn num_params(&self) -> usize {
+        self.fitted.as_ref().map(|f| f.units.num_params()).unwrap_or(0)
+    }
+
+    /// Trains on `plans` (fits whitening statistics, initializes units
+    /// unless warm-started, and runs the §5 training loop).
+    pub fn fit(&mut self, plans: &[&Plan]) -> TrainHistory {
+        self.fit_tracked(plans, None)
+    }
+
+    /// Like [`QppNet::fit`], additionally evaluating on `eval.0` every
+    /// `eval.1` epochs (convergence traces for Figures 9b/9c).
+    pub fn fit_tracked(
+        &mut self,
+        plans: &[&Plan],
+        eval: Option<(&[&Plan], usize)>,
+    ) -> TrainHistory {
+        assert!(!plans.is_empty(), "cannot fit on zero plans");
+        // Warm starts keep existing units, whitener and codec; cold starts
+        // fit all three on the training plans.
+        if self.fitted.is_none() {
+            let whitener = Whitener::fit(&self.featurizer, plans.iter().copied());
+            // The loss supervises every operator, so the codec is fit over
+            // all per-operator latencies, not just query latencies.
+            let mut latencies = Vec::new();
+            for p in plans {
+                p.root.visit_postorder(&mut |n| latencies.push(n.actual.latency_ms));
+            }
+            let codec = TargetCodec::fit(self.config.target_transform, latencies);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+            let mut units = UnitSet::new(&self.config, &self.featurizer, &mut rng);
+
+            // Disarm categorical features that never activate in training
+            // (e.g. relations only referenced by held-out templates): their
+            // randomly-initialized first-layer rows would otherwise inject
+            // noise into unseen-template predictions.
+            for kind in qpp_plansim::operators::OpKind::ALL {
+                let size = self.featurizer.feature_size(kind);
+                let numeric = self.featurizer.numeric_mask(kind);
+                // Numeric positions stay live (whitening makes them
+                // non-zero even when the raw value is 0).
+                let mut active: Vec<bool> = numeric.to_vec();
+                debug_assert_eq!(active.len(), size);
+                for p in plans {
+                    p.root.visit_postorder(&mut |n| {
+                        if n.op.kind() == kind {
+                            for (a, v) in
+                                active.iter_mut().zip(self.featurizer.featurize(n))
+                            {
+                                *a |= v != 0.0;
+                            }
+                        }
+                    });
+                }
+                units.mask_unused_inputs(kind, &active);
+            }
+
+            let ratio_caps = crate::tree::fit_ratio_caps(plans.iter().copied(), 2.0);
+            self.fitted = Some(Fitted { whitener, units, codec, ratio_caps });
+        }
+        let fitted = self.fitted.as_mut().expect("just initialized");
+        let trainer = Trainer {
+            config: &self.config,
+            featurizer: &self.featurizer,
+            whitener: &fitted.whitener,
+            codec: &fitted.codec,
+            ratio_caps: if self.config.monotone_clamp {
+                Some(&fitted.ratio_caps)
+            } else {
+                None
+            },
+        };
+        trainer.train(&mut fitted.units, plans, eval)
+    }
+
+    /// Transfer-learning warm start (paper §8 future work): adopt the
+    /// trained units and whitener of `src`. A subsequent [`QppNet::fit`]
+    /// continues from these weights instead of re-initializing.
+    ///
+    /// # Panics
+    /// Panics if `src` is unfitted or its feature layout differs.
+    pub fn warm_start_from(&mut self, src: &QppNet) {
+        let src_fitted = src.fitted.as_ref().expect("warm start from an unfitted model");
+        for kind in qpp_plansim::operators::OpKind::ALL {
+            assert_eq!(
+                self.featurizer.feature_size(kind),
+                src.featurizer.feature_size(kind),
+                "feature layout mismatch for {kind:?}"
+            );
+        }
+        self.fitted = Some(src_fitted.clone());
+    }
+
+    fn fitted(&self) -> &Fitted {
+        self.fitted.as_ref().expect("model must be fitted before prediction")
+    }
+
+    /// Crate-internal view of the fitted state (featurizer, whitener,
+    /// units, codec, active ratio caps) for analyses that drive the
+    /// network directly, e.g. [`crate::importance`].
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted.
+    pub(crate) fn fitted_parts(
+        &self,
+    ) -> (&Featurizer, &Whitener, &UnitSet, &TargetCodec, Option<&RatioCaps>) {
+        let f = self.fitted();
+        let caps = self.config.monotone_clamp.then_some(&f.ratio_caps);
+        (&self.featurizer, &f.whitener, &f.units, &f.codec, caps)
+    }
+
+    /// Predicts the latency (milliseconds) of one plan.
+    pub fn predict(&self, plan: &Plan) -> f64 {
+        self.predict_batch(&[plan])[0]
+    }
+
+    /// Predicts latencies (milliseconds) for many plans, vectorizing over
+    /// structural equivalence classes.
+    pub fn predict_batch(&self, plans: &[&Plan]) -> Vec<f64> {
+        let f = self.fitted();
+        let caps = self.config.monotone_clamp.then_some(&f.ratio_caps);
+        predict_plans(&f.units, &self.featurizer, &f.whitener, &f.codec, caps, plans)
+    }
+
+    /// Per-operator latency predictions for one plan, in post order
+    /// (milliseconds). The last entry is the root/query prediction.
+    pub fn predict_operators(&self, plan: &Plan) -> Vec<f64> {
+        let f = self.fitted();
+        let tb = TreeBatch::build(&self.featurizer, &f.whitener, &f.codec, &[&plan.root]);
+        let all = if self.config.monotone_clamp {
+            tb.predict_all_clamped(&f.units, &f.codec, &f.ratio_caps)
+        } else {
+            tb.predict_all(&f.units, &f.codec)
+        };
+        all.into_iter().map(|per_plan| per_plan[0]).collect()
+    }
+
+    /// Evaluates prediction quality on `plans`.
+    pub fn evaluate(&self, plans: &[&Plan]) -> Metrics {
+        let preds = self.predict_batch(plans);
+        let actual: Vec<f64> = plans.iter().map(|p| p.latency_ms()).collect();
+        evaluate(&actual, &preds)
+    }
+
+    /// Serializes the full model (config, featurization, whitening, units)
+    /// to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Restores a model from [`QppNet::to_json`] output.
+    pub fn from_json(json: &str) -> Result<QppNet, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(Workload::TpcH, 1.0, 80, 31)
+    }
+
+    #[test]
+    fn fit_then_predict_produces_finite_latencies() {
+        let ds = dataset();
+        let split = ds.paper_split(1);
+        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        model.fit(&ds.select(&split.train));
+        assert!(model.is_fitted());
+        assert!(model.num_params() > 0);
+        for p in ds.select(&split.test) {
+            let pred = model.predict(p);
+            assert!(pred.is_finite() && pred >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted")]
+    fn predict_before_fit_panics() {
+        let ds = dataset();
+        let model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let _ = model.predict(&ds.plans[0]);
+    }
+
+    #[test]
+    fn training_beats_an_untrained_model() {
+        let ds = dataset();
+        let split = ds.paper_split(2);
+        let train = ds.select(&split.train);
+        let test = ds.select(&split.test);
+
+        // Clamping is disabled so the comparison isolates what *training*
+        // contributes (the structural envelope already helps untrained
+        // models).
+        let cfg = QppConfig { monotone_clamp: false, ..QppConfig::tiny() };
+        let mut trained = QppNet::new(QppConfig { epochs: 60, ..cfg.clone() }, &ds.catalog);
+        trained.fit(&train);
+        let trained_m = trained.evaluate(&test);
+
+        let mut barely = QppNet::new(QppConfig { epochs: 1, ..cfg }, &ds.catalog);
+        barely.fit(&train);
+        let barely_m = barely.evaluate(&test);
+
+        assert!(
+            trained_m.mae_ms < barely_m.mae_ms,
+            "trained {} vs barely {}",
+            trained_m.mae_ms,
+            barely_m.mae_ms
+        );
+    }
+
+    #[test]
+    fn per_operator_predictions_align_with_postorder() {
+        let ds = dataset();
+        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        model.fit(&ds.plans.iter().take(30).collect::<Vec<_>>());
+        let plan = &ds.plans[0];
+        let per_op = model.predict_operators(plan);
+        assert_eq!(per_op.len(), plan.node_count());
+        let root_pred = model.predict(plan);
+        let rel = (per_op.last().unwrap() - root_pred).abs() / (1.0 + root_pred);
+        assert!(rel < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let ds = dataset();
+        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        model.fit(&ds.plans.iter().take(20).collect::<Vec<_>>());
+        let json = model.to_json();
+        let back = QppNet::from_json(&json).unwrap();
+        for p in ds.plans.iter().take(5) {
+            assert_eq!(model.predict(p), back.predict(p));
+        }
+    }
+
+    #[test]
+    fn warm_start_transfers_behaviour_and_allows_fine_tuning() {
+        let ds = dataset();
+        let train: Vec<&Plan> = ds.plans.iter().take(30).collect();
+        let mut src = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        src.fit(&train);
+
+        let mut dst = QppNet::new(QppConfig { epochs: 3, ..QppConfig::tiny() }, &ds.catalog);
+        dst.warm_start_from(&src);
+        // Identical predictions before fine-tuning.
+        assert_eq!(src.predict(&ds.plans[0]), dst.predict(&ds.plans[0]));
+        // Fine-tuning continues from the warm state without panicking.
+        dst.fit(&train);
+        assert!(dst.predict(&ds.plans[0]).is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let train: Vec<&Plan> = ds.plans.iter().take(25).collect();
+        let mut a = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut b = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        a.fit(&train);
+        b.fit(&train);
+        assert_eq!(a.predict(&ds.plans[0]), b.predict(&ds.plans[0]));
+    }
+}

@@ -1,0 +1,682 @@
+//! Plan-structured network evaluation: trees of neural units (paper §4.2).
+//!
+//! A [`TreeBatch`] is a *batch of structurally-identical plans* lowered to
+//! evaluation order: positions in post order, each holding the operator
+//! family, the (whitened) feature rows of every plan in the batch, and the
+//! indices of its child positions. Forward evaluation walks positions
+//! bottom-up — each neural unit consumes its features concatenated with its
+//! children's `(latency ⌢ data)` outputs — and the backward pass routes
+//! input gradients from parents into the output gradients of their
+//! children, implementing end-to-end training of the opaque data vectors
+//! (paper §5).
+//!
+//! Both §5.1 training optimizations are expressible here:
+//!
+//! * **batching** — build a `TreeBatch` from many plans of one equivalence
+//!   class instead of one plan;
+//! * **information sharing** — supervise *all* positions of one pass
+//!   ([`Supervision::AllOperators`]); the unshared baseline instead builds a
+//!   `TreeBatch` per subtree and supervises only its root
+//!   ([`Supervision::RootOnly`]), recomputing descendants once per ancestor
+//!   exactly as the naive Equation-7 evaluation would.
+
+use crate::config::TargetCodec;
+use crate::unit::UnitSet;
+use qpp_nn::{Matrix, MlpCache};
+use qpp_plansim::features::{Featurizer, Whitener};
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::PlanNode;
+use serde::{Deserialize, Serialize};
+
+/// Which positions contribute latency-error terms to the loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Supervision {
+    /// Every operator in the tree (Equation 7 over the whole plan; used by
+    /// the information-sharing fast path).
+    AllOperators,
+    /// Only the root (used when each operator's subtree is evaluated
+    /// separately by the naive path).
+    RootOnly,
+}
+
+/// One evaluation position (an operator occurrence shared by all plans in
+/// the batch).
+struct Position {
+    kind: OpKind,
+    /// Indices (into the position list) of this node's children.
+    children: Vec<usize>,
+    /// Whitened features, `batch × feature_size(kind)`.
+    features: Matrix,
+    /// Encoded latency targets, one per plan in the batch.
+    targets: Vec<f32>,
+}
+
+/// A batch of structurally-identical plans in evaluation order.
+pub struct TreeBatch {
+    positions: Vec<Position>,
+    batch: usize,
+}
+
+/// Cached activations from a [`TreeBatch::forward`] pass.
+pub struct TreeForward {
+    caches: Vec<MlpCache>,
+}
+
+impl TreeBatch {
+    /// Lowers `roots` (all with identical structure signatures) into a
+    /// batch. Features are whitened with `whitener`; targets encoded with
+    /// `transform`.
+    ///
+    /// # Panics
+    /// Panics if `roots` is empty or the trees are not structurally
+    /// identical.
+    pub fn build(
+        featurizer: &Featurizer,
+        whitener: &Whitener,
+        codec: &TargetCodec,
+        roots: &[&PlanNode],
+    ) -> TreeBatch {
+        Self::build_with(|node| whitener.features(featurizer, node), codec, roots)
+    }
+
+    /// Like [`TreeBatch::build`], but with an arbitrary feature source.
+    ///
+    /// `features_of` must return the *whitened* feature vector for a node,
+    /// with a consistent size per operator family. Used by the
+    /// permutation-importance analysis ([`crate::importance`]) to perturb
+    /// individual feature columns without touching the plans.
+    ///
+    /// # Panics
+    /// Panics if `roots` is empty or the trees are not structurally
+    /// identical.
+    pub fn build_with(
+        features_of: impl Fn(&PlanNode) -> Vec<f32>,
+        codec: &TargetCodec,
+        roots: &[&PlanNode],
+    ) -> TreeBatch {
+        assert!(!roots.is_empty(), "empty tree batch");
+        let batch = roots.len();
+
+        // Post-order node lists per plan; identical signatures guarantee
+        // positional alignment.
+        let node_lists: Vec<Vec<&PlanNode>> = roots.iter().map(|r| r.postorder()).collect();
+        let n = node_lists[0].len();
+        for l in &node_lists {
+            assert_eq!(l.len(), n, "tree batch requires identical structures");
+        }
+
+        // Child indices derived from the first plan's recursive structure.
+        fn index_children(node: &PlanNode, next: &mut usize, out: &mut Vec<Vec<usize>>) -> usize {
+            let kids: Vec<usize> =
+                node.children.iter().map(|c| index_children(c, next, out)).collect();
+            let my = *next;
+            *next += 1;
+            out[my] = kids;
+            my
+        }
+        let mut children = vec![Vec::new(); n];
+        let mut counter = 0usize;
+        index_children(roots[0], &mut counter, &mut children);
+        debug_assert_eq!(counter, n);
+
+        let positions = (0..n)
+            .map(|k| {
+                let kind = node_lists[0][k].op.kind();
+                let first = features_of(node_lists[0][k]);
+                let fsize = first.len();
+                let mut features = Matrix::zeros(batch, fsize);
+                let mut targets = Vec::with_capacity(batch);
+                for (b, nodes) in node_lists.iter().enumerate() {
+                    let node = nodes[k];
+                    assert_eq!(node.op.kind(), kind, "tree batch structure mismatch");
+                    let v = if b == 0 { first.clone() } else { features_of(node) };
+                    assert_eq!(v.len(), fsize, "inconsistent feature size for {kind:?}");
+                    features.row_mut(b).copy_from_slice(&v);
+                    targets.push(codec.encode(node.actual.latency_ms));
+                }
+                Position { kind, children: std::mem::take(&mut children[k]), features, targets }
+            })
+            .collect();
+
+        TreeBatch { positions, batch }
+    }
+
+    /// Number of plans in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of operator positions per plan.
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Total supervised operator instances under `sup`.
+    pub fn supervised_count(&self, sup: Supervision) -> usize {
+        match sup {
+            Supervision::AllOperators => self.batch * self.positions.len(),
+            Supervision::RootOnly => self.batch,
+        }
+    }
+
+    /// Bottom-up forward pass through the neural units, caching
+    /// activations for [`TreeBatch::backward`].
+    pub fn forward(&self, units: &UnitSet) -> TreeForward {
+        let out_w = units.out_size();
+        let mut caches: Vec<MlpCache> = Vec::with_capacity(self.positions.len());
+        for pos in &self.positions {
+            let input = if pos.children.is_empty() {
+                pos.features.clone()
+            } else {
+                let mut parts: Vec<&Matrix> = Vec::with_capacity(1 + pos.children.len());
+                parts.push(&pos.features);
+                for &c in &pos.children {
+                    parts.push(caches[c].output());
+                }
+                Matrix::hcat(&parts)
+            };
+            debug_assert_eq!(input.cols(), units.unit(pos.kind).in_dim());
+            let cache = units.unit(pos.kind).forward_cached(&input);
+            debug_assert_eq!(cache.output().cols(), out_w);
+            caches.push(cache);
+        }
+        TreeForward { caches }
+    }
+
+    /// Inference-style forward returning the decoded root latency
+    /// predictions (milliseconds), one per plan.
+    pub fn predict_roots(&self, units: &UnitSet, codec: &TargetCodec) -> Vec<f64> {
+        let fwd = self.forward(units);
+        let root = self.positions.len() - 1;
+        (0..self.batch)
+            .map(|b| codec.decode(fwd.caches[root].output().get(b, 0)))
+            .collect()
+    }
+
+    /// Decoded latency predictions for every position of every plan
+    /// (`result[position][plan]`, milliseconds).
+    pub fn predict_all(&self, units: &UnitSet, codec: &TargetCodec) -> Vec<Vec<f64>> {
+        let fwd = self.forward(units);
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(k, _)| {
+                (0..self.batch)
+                    .map(|b| codec.decode(fwd.caches[k].output().get(b, 0)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Like [`TreeBatch::predict_all`], additionally projecting the decoded
+    /// predictions onto the structural envelope of inclusive latencies:
+    ///
+    /// * **monotonicity** — a node's inclusive latency is never below its
+    ///   largest child's (true of the ground truth by construction);
+    /// * **bounded amplification** — a node's inclusive latency is at most
+    ///   `caps.cap(kind, child_ms) ×` its largest child's, where the caps
+    ///   are maxima observed on the *training set*, stratified by the
+    ///   child-latency decade (a 2 ms sort may multiply its child's time
+    ///   a thousandfold; a 500 s sort never does).
+    ///
+    /// In-distribution predictions already satisfy the envelope; the
+    /// projection only clips extrapolation blow-ups on unseen templates
+    /// (see EXPERIMENTS.md, "Unseen-template guard"). The network's
+    /// internal data flow is untouched — clamping is a post-hoc fold over
+    /// decoded values.
+    pub fn predict_all_clamped(
+        &self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+    ) -> Vec<Vec<f64>> {
+        let mut preds = self.predict_all(units, codec);
+        for k in 0..self.positions.len() {
+            let pos = &self.positions[k];
+            if pos.children.is_empty() {
+                continue;
+            }
+            for b in 0..self.batch {
+                let max_child = pos
+                    .children
+                    .iter()
+                    .map(|&c| preds[c][b])
+                    .fold(0.0f64, f64::max);
+                let cap = caps.cap(pos.kind, max_child);
+                let (lo, hi) = (max_child, max_child * cap.max(1.0));
+                preds[k][b] = preds[k][b].clamp(lo, hi.max(lo));
+            }
+        }
+        preds
+    }
+
+    /// Root predictions under the structural envelope (see
+    /// [`TreeBatch::predict_all_clamped`]).
+    pub fn predict_roots_clamped(
+        &self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+    ) -> Vec<f64> {
+        self.predict_all_clamped(units, codec, caps)
+            .pop()
+            .expect("tree has at least one position")
+    }
+
+    /// Computes the summed-squared-error loss over the supervised
+    /// positions and the per-position output gradients.
+    ///
+    /// Returns `(sse, grads)`. Gradients are **unnormalized** (pure SSE):
+    /// the trainer accumulates across equivalence classes and normalizes
+    /// once by the total operator count — the unbiased recombination of
+    /// §5.1.1.
+    pub fn loss(&self, fwd: &TreeForward, sup: Supervision) -> (f64, Vec<Matrix>) {
+        let out_w = fwd.caches[0].output().cols();
+        let mut grads: Vec<Matrix> =
+            self.positions.iter().map(|_| Matrix::zeros(self.batch, out_w)).collect();
+        let mut sse = 0.0f64;
+        let root = self.positions.len() - 1;
+        for (k, pos) in self.positions.iter().enumerate() {
+            if sup == Supervision::RootOnly && k != root {
+                continue;
+            }
+            let out = fwd.caches[k].output();
+            for b in 0..self.batch {
+                let err = out.get(b, 0) - pos.targets[b];
+                sse += (err as f64) * (err as f64);
+                grads[k].set(b, 0, 2.0 * err);
+            }
+        }
+        (sse, grads)
+    }
+
+    /// Reverse pass: accumulates parameter gradients into `units` and
+    /// routes input gradients from each parent into its children's output
+    /// gradients.
+    pub fn backward(&self, units: &mut UnitSet, fwd: &TreeForward, mut grads: Vec<Matrix>) {
+        let out_w = units.out_size();
+        for k in (0..self.positions.len()).rev() {
+            let pos = &self.positions[k];
+            if grads[k].max_abs() == 0.0 {
+                continue;
+            }
+            let d_in = units.unit_mut(pos.kind).backward(&fwd.caches[k], &grads[k]);
+            let feat_w = pos.features.cols();
+            for (i, &c) in pos.children.iter().enumerate() {
+                let slice = d_in.slice_cols(feat_w + i * out_w, out_w);
+                grads[c].add_scaled(&slice, 1.0);
+            }
+        }
+    }
+}
+
+/// Number of child-latency decades distinguished by [`RatioCaps`]
+/// (bucket `b` covers children in `[10^b, 10^(b+1))` milliseconds).
+pub const RATIO_BUCKETS: usize = 10;
+
+/// Per-family, child-latency-stratified inclusive/child ratio caps for
+/// the inference-time structural envelope.
+///
+/// The observation behind the stratification: how much an operator can
+/// *multiply* its largest child's inclusive latency depends strongly on
+/// that child's magnitude. A sort above a 2 ms index probe can easily be
+/// 100× its child; a sort above a 500 s join pipeline never is. A single
+/// per-family cap (the maximum over all scales) is therefore dominated by
+/// the tiny-child regime and lets large-child extrapolation errors
+/// through. Stratifying by the child-latency decade keeps the guard tight
+/// exactly where blow-ups hurt the most.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioCaps {
+    /// `caps[family][bucket]`; `-1.0` marks buckets unobserved in training
+    /// (a sentinel rather than `NAN` so snapshots survive JSON, which has
+    /// no NaN literal).
+    caps: Vec<[f64; RATIO_BUCKETS]>,
+    /// Per-family global maximum (fallback for unobserved families).
+    global: Vec<f64>,
+}
+
+/// Sentinel for "bucket unobserved in training".
+const UNSET: f64 = -1.0;
+
+impl RatioCaps {
+    fn bucket(child_ms: f64) -> usize {
+        (child_ms.max(1.0).log10().floor() as usize).min(RATIO_BUCKETS - 1)
+    }
+
+    /// The amplification cap for a `kind` node whose largest child has
+    /// (predicted) inclusive latency `child_ms`.
+    ///
+    /// Unobserved buckets fall back to the nearest observed bucket of the
+    /// same family (preferring the larger of the two when equidistant);
+    /// families with no internal-node observations at all are uncapped.
+    pub fn cap(&self, kind: OpKind, child_ms: f64) -> f64 {
+        let row = &self.caps[kind.index()];
+        let b = Self::bucket(child_ms);
+        if row[b] != UNSET {
+            return row[b];
+        }
+        for dist in 1..RATIO_BUCKETS {
+            let lo = b.checked_sub(dist).map(|i| row[i]).unwrap_or(UNSET);
+            let hi = row.get(b + dist).copied().unwrap_or(UNSET);
+            match (lo != UNSET, hi != UNSET) {
+                (true, true) => return lo.max(hi),
+                (true, false) => return lo,
+                (false, true) => return hi,
+                (false, false) => {}
+            }
+        }
+        if self.global[kind.index()] > 0.0 {
+            self.global[kind.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Fits the stratified inclusive/child latency ratio caps used by
+/// [`TreeBatch::predict_all_clamped`], from ground-truth training plans.
+///
+/// `margin` widens the observed maxima (e.g. `2.0` doubles them) to leave
+/// room for unseen-but-plausible regimes; widened caps are floored at 1.5
+/// so the envelope never forbids modest growth.
+pub fn fit_ratio_caps<'a>(
+    plans: impl IntoIterator<Item = &'a qpp_plansim::plan::Plan>,
+    margin: f64,
+) -> RatioCaps {
+    let nk = OpKind::ALL.len();
+    let mut caps = vec![[UNSET; RATIO_BUCKETS]; nk];
+    let mut global = vec![0.0f64; nk];
+    for plan in plans {
+        plan.root.visit_postorder(&mut |n| {
+            if n.children.is_empty() {
+                return;
+            }
+            let max_child = n
+                .children
+                .iter()
+                .map(|c| c.actual.latency_ms)
+                .fold(0.0f64, f64::max)
+                .max(1e-9);
+            let ratio = n.actual.latency_ms / max_child;
+            let k = n.op.kind().index();
+            let b = RatioCaps::bucket(max_child);
+            if caps[k][b] == UNSET || ratio > caps[k][b] {
+                caps[k][b] = ratio;
+            }
+            global[k] = global[k].max(ratio);
+        });
+    }
+    let margin = margin.max(1.0);
+    for row in &mut caps {
+        for c in row.iter_mut() {
+            if *c != UNSET {
+                *c = (*c * margin).max(1.5);
+            }
+        }
+    }
+    for g in &mut global {
+        if *g > 0.0 {
+            *g = (*g * margin).max(1.5);
+        }
+    }
+    RatioCaps { caps, global }
+}
+
+/// Groups plans into the structural equivalence classes of §5.1.1.
+///
+/// Returns `(signature, member indices)` pairs in first-seen order.
+pub fn equivalence_classes<'a>(
+    plans: impl IntoIterator<Item = (usize, &'a PlanNode)>,
+) -> Vec<(String, Vec<usize>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut classes: std::collections::HashMap<String, Vec<usize>> = Default::default();
+    for (idx, root) in plans {
+        let sig = root.signature();
+        let entry = classes.entry(sig.clone()).or_insert_with(|| {
+            order.push(sig);
+            Vec::new()
+        });
+        entry.push(idx);
+    }
+    order
+        .into_iter()
+        .map(|sig| {
+            let members = classes.remove(&sig).expect("class recorded");
+            (sig, members)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QppConfig, TargetTransform};
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Featurizer, Whitener, UnitSet) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 24, 11);
+        let fz = Featurizer::new(&ds.catalog);
+        let wh = Whitener::fit(&fz, ds.plans.iter());
+        let cfg = QppConfig::tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let units = UnitSet::new(&cfg, &fz, &mut rng);
+        (ds, fz, wh, units)
+    }
+
+    #[test]
+    fn forward_produces_one_output_per_position() {
+        let (ds, fz, wh, units) = setup();
+        let tb = TreeBatch::build(&fz, &wh, &TargetCodec::identity(TargetTransform::Log1p), &[&ds.plans[0].root]);
+        assert_eq!(tb.num_positions(), ds.plans[0].node_count());
+        let fwd = tb.forward(&units);
+        assert_eq!(fwd.caches.len(), tb.num_positions());
+    }
+
+    #[test]
+    fn batched_forward_equals_single_plan_forward() {
+        let (ds, fz, wh, units) = setup();
+        // Find two plans with identical signatures.
+        let classes = equivalence_classes(ds.plans.iter().enumerate().map(|(i, p)| (i, &p.root)));
+        let class = classes.iter().find(|(_, m)| m.len() >= 2).expect("a repeated structure");
+        let (a, b) = (class.1[0], class.1[1]);
+
+        let codec = TargetCodec::identity(TargetTransform::Log1p);
+        let both = TreeBatch::build(&fz, &wh, &codec, &[&ds.plans[a].root, &ds.plans[b].root]);
+        let preds_both = both.predict_roots(&units, &TargetCodec::identity(TargetTransform::Log1p));
+
+        for (i, idx) in [(0usize, a), (1usize, b)] {
+            let single = TreeBatch::build(&fz, &wh, &TargetCodec::identity(TargetTransform::Log1p), &[&ds.plans[idx].root]);
+            let pred = single.predict_roots(&units, &TargetCodec::identity(TargetTransform::Log1p))[0];
+            let rel = (pred - preds_both[i]).abs() / (1.0 + pred.abs());
+            assert!(rel < 1e-4, "plan {idx}: single {pred} vs batched {}", preds_both[i]);
+        }
+    }
+
+    #[test]
+    fn root_only_loss_counts_fewer_terms() {
+        let (ds, fz, wh, units) = setup();
+        let tb = TreeBatch::build(&fz, &wh, &TargetCodec::identity(TargetTransform::Log1p), &[&ds.plans[0].root]);
+        let fwd = tb.forward(&units);
+        let (all, _) = tb.loss(&fwd, Supervision::AllOperators);
+        let (root, _) = tb.loss(&fwd, Supervision::RootOnly);
+        assert!(all >= root);
+        assert_eq!(tb.supervised_count(Supervision::AllOperators), tb.num_positions());
+        assert_eq!(tb.supervised_count(Supervision::RootOnly), 1);
+    }
+
+    #[test]
+    fn backward_fills_gradients_for_used_units() {
+        let (ds, fz, wh, mut units) = setup();
+        let tb = TreeBatch::build(&fz, &wh, &TargetCodec::identity(TargetTransform::Log1p), &[&ds.plans[0].root]);
+        let fwd = tb.forward(&units);
+        let (_, grads) = tb.loss(&fwd, Supervision::AllOperators);
+        units.zero_grad();
+        tb.backward(&mut units, &fwd, grads);
+        // The scan unit is always used; its first-layer gradient must be
+        // non-zero.
+        let g = &units.unit(OpKind::Scan).layers()[0].gw;
+        assert!(g.norm() > 0.0);
+    }
+
+    /// Finite-difference check through an entire plan-structured network:
+    /// perturb a weight of the *scan* unit and verify the loss moves as the
+    /// analytic gradient (accumulated through parent units) predicts.
+    #[test]
+    fn plan_structured_gradients_match_finite_differences() {
+        let (ds, fz, wh, mut units) = setup();
+        // Pick a plan with at least 3 nodes so the scan output feeds a parent.
+        let plan = ds.plans.iter().find(|p| p.node_count() >= 3).unwrap();
+        let tb = TreeBatch::build(&fz, &wh, &TargetCodec::identity(TargetTransform::Log1p), &[&plan.root]);
+
+        let loss_of = |units: &UnitSet| -> f64 {
+            let fwd = tb.forward(units);
+            tb.loss(&fwd, Supervision::AllOperators).0
+        };
+
+        units.zero_grad();
+        let fwd = tb.forward(&units);
+        let (_, grads) = tb.loss(&fwd, Supervision::AllOperators);
+        tb.backward(&mut units, &fwd, grads);
+
+        let mut worst: f64 = 0.0;
+        let h = 5e-3f32;
+        for kind in [OpKind::Scan, OpKind::Join, OpKind::Aggregate] {
+            let layer0_params = {
+                let u = units.unit(kind);
+                (u.layers()[0].w.rows(), u.layers()[0].w.cols())
+            };
+            // Check a handful of weights in layer 0.
+            for (r, c) in [(0, 0), (1, 2), (layer0_params.0 - 1, layer0_params.1 - 1)] {
+                let analytic = units.unit(kind).layers()[0].gw.get(r, c) as f64;
+                let orig = units.unit(kind).layers()[0].w.get(r, c);
+                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig + h);
+                let lp = loss_of(&units);
+                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig - h);
+                let lm = loss_of(&units);
+                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * h as f64);
+                let denom = analytic.abs().max(numeric.abs()).max(1e-2);
+                worst = worst.max((analytic - numeric).abs() / denom);
+            }
+        }
+        assert!(worst < 0.05, "worst relative gradient error {worst}");
+    }
+
+    #[test]
+    fn clamped_predictions_respect_the_structural_envelope() {
+        let (ds, fz, wh, units) = setup();
+        let codec = TargetCodec::identity(TargetTransform::Log1p);
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        for plan in ds.plans.iter().take(6) {
+            let tb = TreeBatch::build(&fz, &wh, &codec, &[&plan.root]);
+            let preds = tb.predict_all_clamped(&units, &codec, &caps);
+            // Walk positions: every parent within [max child, max child*cap].
+            let nodes = plan.root.postorder();
+            // Rebuild child indices the same way TreeBatch does.
+            fn children_of(plan: &qpp_plansim::plan::PlanNode) -> Vec<Vec<usize>> {
+                fn rec(
+                    n: &qpp_plansim::plan::PlanNode,
+                    next: &mut usize,
+                    out: &mut Vec<Vec<usize>>,
+                ) -> usize {
+                    let kids: Vec<usize> = n.children.iter().map(|c| rec(c, next, out)).collect();
+                    let me = *next;
+                    *next += 1;
+                    out[me] = kids;
+                    me
+                }
+                let mut out = vec![Vec::new(); n_count(plan)];
+                let mut c = 0;
+                rec(plan, &mut c, &mut out);
+                out
+            }
+            fn n_count(n: &qpp_plansim::plan::PlanNode) -> usize {
+                n.node_count()
+            }
+            let children = children_of(&plan.root);
+            for (k, kids) in children.iter().enumerate() {
+                if kids.is_empty() {
+                    continue;
+                }
+                let max_child = kids.iter().map(|&c| preds[c][0]).fold(0.0f64, f64::max);
+                let cap = caps.cap(nodes[k].op.kind(), max_child);
+                assert!(preds[k][0] + 1e-9 >= max_child, "monotonicity violated");
+                assert!(preds[k][0] <= max_child * cap.max(1.0) + 1e-6, "cap violated");
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_caps_cover_training_ground_truth() {
+        let (ds, ..) = setup();
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 1.0);
+        for p in &ds.plans {
+            p.root.visit_postorder(&mut |n| {
+                if n.children.is_empty() {
+                    return;
+                }
+                let max_child = n
+                    .children
+                    .iter()
+                    .map(|c| c.actual.latency_ms)
+                    .fold(0.0f64, f64::max)
+                    .max(1e-9);
+                let ratio = n.actual.latency_ms / max_child;
+                // The bucket-matched cap covers every training node (caps
+                // are per-bucket maxima, floored at 1.5).
+                assert!(
+                    ratio <= caps.cap(n.op.kind(), max_child) + 1e-9,
+                    "{:?}: ratio {ratio} above cap",
+                    n.op.kind()
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn stratified_caps_are_tighter_for_expensive_children() {
+        // The stratification's whole point: the cap the envelope applies
+        // to a node above a multi-minute child must be far smaller than
+        // the cap above a millisecond child (whose training ratios are
+        // huge). Uses a larger workload so both decades are populated.
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 200, 13);
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        let cheap = caps.cap(OpKind::Aggregate, 2.0);
+        let expensive = caps.cap(OpKind::Aggregate, 5.0 * 60_000.0);
+        assert!(
+            expensive < cheap,
+            "expensive-child cap {expensive} should be tighter than cheap-child cap {cheap}"
+        );
+    }
+
+    #[test]
+    fn caps_fall_back_to_neighbours_and_global() {
+        let (ds, ..) = setup();
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        // Every queryable point returns something positive and finite or
+        // infinity (never NaN), across 12 decades.
+        for kind in OpKind::ALL {
+            for exp in 0..12 {
+                let c = caps.cap(kind, 10f64.powi(exp));
+                assert!(!c.is_nan(), "{kind:?} 1e{exp}");
+                assert!(c >= 1.5 || c.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_partition_the_input() {
+        let (ds, ..) = setup();
+        let classes = equivalence_classes(ds.plans.iter().enumerate().map(|(i, p)| (i, &p.root)));
+        let total: usize = classes.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, ds.plans.len());
+        // All members of a class share a signature.
+        for (sig, members) in &classes {
+            for &m in members {
+                assert_eq!(&ds.plans[m].signature(), sig);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Operator-level neural units (paper §4.1).
+//!
+//! One [`Mlp`] per logical operator family: the scan unit, the join unit,
+//! the sort unit, … Every instance of a family — anywhere in any plan —
+//! shares that family's weights (the paper's weight-sharing / recurrent
+//! property, §4.3). A unit maps
+//!
+//! ```text
+//! [ F(op) ⌢ child₁(d+1) ⌢ … ⌢ childₖ(d+1) ]  →  [ latency ⌢ data(d) ]
+//! ```
+//!
+//! where `F(op)` is the family's Table-2 feature vector and `k` is the
+//! family's arity (2 for joins, 1 for unary operators, 0 for scans).
+
+use crate::config::QppConfig;
+use qpp_nn::{Activation, Init, Mlp, Optimizer};
+use qpp_plansim::features::Featurizer;
+use qpp_plansim::operators::OpKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The set of neural units, one per operator family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnitSet {
+    units: Vec<Mlp>,
+    data_size: usize,
+}
+
+impl UnitSet {
+    /// Builds units sized for `featurizer`'s feature vectors.
+    pub fn new(config: &QppConfig, featurizer: &Featurizer, rng: &mut impl Rng) -> UnitSet {
+        let d = config.data_size;
+        let units = OpKind::ALL
+            .iter()
+            .map(|&kind| {
+                let in_dim = featurizer.feature_size(kind) + kind.arity() * (d + 1);
+                let mut dims = Vec::with_capacity(config.hidden_layers + 2);
+                dims.push(in_dim);
+                dims.extend(std::iter::repeat(config.hidden_units).take(config.hidden_layers));
+                dims.push(d + 1);
+                Mlp::new(&dims, Activation::Relu, Activation::Identity, Init::He, rng)
+            })
+            .collect();
+        UnitSet { units, data_size: d }
+    }
+
+    /// The data-vector size `d`.
+    pub fn data_size(&self) -> usize {
+        self.data_size
+    }
+
+    /// Output width of every unit (`d + 1`).
+    pub fn out_size(&self) -> usize {
+        self.data_size + 1
+    }
+
+    /// Borrows the unit for an operator family.
+    pub fn unit(&self, kind: OpKind) -> &Mlp {
+        &self.units[kind.index()]
+    }
+
+    /// Mutably borrows the unit for an operator family.
+    pub fn unit_mut(&mut self, kind: OpKind) -> &mut Mlp {
+        &mut self.units[kind.index()]
+    }
+
+    /// Total trainable parameters across all units.
+    pub fn num_params(&self) -> usize {
+        self.units.iter().map(Mlp::num_params).sum()
+    }
+
+    /// Clears accumulated gradients in every unit.
+    pub fn zero_grad(&mut self) {
+        for u in &mut self.units {
+            u.zero_grad();
+        }
+    }
+
+    /// Scales accumulated gradients in every unit.
+    pub fn scale_grad(&mut self, s: f32) {
+        for u in &mut self.units {
+            u.scale_grad(s);
+        }
+    }
+
+    /// Adds L2 weight decay (`grad += decay · w`) to every unit's weight
+    /// gradients (biases are not decayed).
+    pub fn add_weight_decay(&mut self, decay: f32) {
+        if decay == 0.0 {
+            return;
+        }
+        for u in &mut self.units {
+            for layer in u.layers_mut() {
+                let (gw, w) = (&mut layer.gw, &layer.w);
+                gw.add_scaled(w, decay);
+            }
+        }
+    }
+
+    /// Applies accumulated gradients via `opt`.
+    ///
+    /// Each unit gets a disjoint key namespace so optimizer state
+    /// (velocities, moments) never collides across units.
+    pub fn apply_grads(&mut self, opt: &mut dyn Optimizer) {
+        for (i, u) in self.units.iter_mut().enumerate() {
+            u.apply_grads(opt, i * 1024);
+        }
+        opt.end_step();
+    }
+
+    /// Zeroes the first-layer weight rows of input positions marked
+    /// inactive, so features never seen during training contribute exactly
+    /// nothing (instead of random-initialization noise) when they appear
+    /// in unseen-template plans. Gradients can still revive the rows if
+    /// the features activate during later fine-tuning.
+    ///
+    /// `active` covers only the *feature* prefix of the unit's input; the
+    /// child-output suffix is always live.
+    pub fn mask_unused_inputs(&mut self, kind: OpKind, active: &[bool]) {
+        let unit = self.unit_mut(kind);
+        let layer0 = &mut unit.layers_mut()[0];
+        assert!(active.len() <= layer0.w.rows(), "mask longer than input");
+        for (row, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                for col in 0..layer0.w.cols() {
+                    layer0.w.set(row, col, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Adds another unit set's accumulated gradients into this one's
+    /// (the reduction step of data-parallel training).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_grads_from(&mut self, other: &UnitSet) {
+        assert_eq!(self.units.len(), other.units.len());
+        for (dst, src) in self.units.iter_mut().zip(&other.units) {
+            dst.add_grads_from(src);
+        }
+    }
+
+    /// Copies parameters from another unit set of identical shape
+    /// (transfer-learning warm start, paper §8).
+    pub fn copy_params_from(&mut self, other: &UnitSet) {
+        assert_eq!(self.units.len(), other.units.len());
+        for (dst, src) in self.units.iter_mut().zip(&other.units) {
+            dst.copy_params_from(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::catalog::Catalog;
+    use rand::SeedableRng;
+
+    fn units() -> (UnitSet, Featurizer) {
+        let cat = Catalog::tpch(1.0);
+        let fz = Featurizer::new(&cat);
+        let cfg = QppConfig::tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        (UnitSet::new(&cfg, &fz, &mut rng), fz)
+    }
+
+    #[test]
+    fn one_unit_per_family_with_correct_dims() {
+        let (us, fz) = units();
+        let d = us.data_size();
+        for kind in OpKind::ALL {
+            let u = us.unit(kind);
+            assert_eq!(u.in_dim(), fz.feature_size(kind) + kind.arity() * (d + 1), "{kind:?}");
+            assert_eq!(u.out_dim(), d + 1);
+        }
+    }
+
+    #[test]
+    fn join_unit_takes_two_children() {
+        let (us, fz) = units();
+        let d = us.data_size();
+        assert_eq!(
+            us.unit(OpKind::Join).in_dim(),
+            fz.feature_size(OpKind::Join) + 2 * (d + 1)
+        );
+        assert_eq!(us.unit(OpKind::Scan).in_dim(), fz.feature_size(OpKind::Scan));
+    }
+
+    #[test]
+    fn param_count_is_substantial() {
+        let (us, _) = units();
+        assert!(us.num_params() > 10_000);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (us, _) = units();
+        let json = serde_json::to_string(&us).unwrap();
+        let back: UnitSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_params(), us.num_params());
+        assert_eq!(back.data_size(), us.data_size());
+    }
+}

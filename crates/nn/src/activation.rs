@@ -1,0 +1,125 @@
+//! Activation functions and their derivatives.
+//!
+//! The paper uses rectified linear units (ReLU, Glorot et al. [12]) inside
+//! every neural unit. The other activations are provided for ablations and
+//! for the baselines' internals.
+
+use serde::{Deserialize, Serialize};
+
+/// Slope of the negative branch of [`Activation::LeakyRelu`].
+pub const LEAKY_SLOPE: f32 = 0.01;
+
+/// A differentiable elementwise nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, z)` — the paper's choice for all hidden layers.
+    Relu,
+    /// `max(0.01·z, z)`; avoids dead units in very deep stacks.
+    LeakyRelu,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (used by output layers producing unconstrained latencies).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f32) -> f32 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    z
+                } else {
+                    LEAKY_SLOPE * z
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Activation::Tanh => z.tanh(),
+            Activation::Identity => z,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation `z`.
+    #[inline]
+    pub fn derivative(self, z: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if z >= 0.0 {
+                    1.0
+                } else {
+                    LEAKY_SLOPE
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(z);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_is_centered_at_half() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn identity_derivative_is_one() {
+        assert_eq!(Activation::Identity.derivative(123.0), 1.0);
+    }
+
+    /// Central-difference check of every activation derivative.
+    fn numeric_derivative(act: Activation, z: f32) -> f32 {
+        let h = 1e-3;
+        (act.apply(z + h) - act.apply(z - h)) / (2.0 * h)
+    }
+
+    proptest! {
+        #[test]
+        fn derivatives_match_numeric(
+            z in -4.0f32..4.0,
+            which in 0usize..5,
+        ) {
+            let act = [
+                Activation::Relu,
+                Activation::LeakyRelu,
+                Activation::Sigmoid,
+                Activation::Tanh,
+                Activation::Identity,
+            ][which];
+            // ReLU-family derivatives are discontinuous at 0; skip the kink.
+            prop_assume!(z.abs() > 1e-2);
+            let analytic = act.derivative(z);
+            let numeric = numeric_derivative(act, z);
+            prop_assert!((analytic - numeric).abs() < 1e-2,
+                "{act:?} at {z}: analytic {analytic} vs numeric {numeric}");
+        }
+    }
+}

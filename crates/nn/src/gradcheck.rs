@@ -1,0 +1,165 @@
+//! Finite-difference gradient checking.
+//!
+//! The plan-structured network's correctness hinges on gradients flowing
+//! correctly through concatenated child outputs; the test suites of both this
+//! crate and `qppnet` certify their analytic gradients against the
+//! central-difference estimates computed here.
+
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Result of a gradient check: worst relative error over all parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Maximum relative error between analytic and numeric gradients.
+    pub max_rel_err: f32,
+    /// Number of parameters compared.
+    pub checked: usize,
+}
+
+/// Relative error between an analytic and a numeric derivative, with an
+/// absolute floor so near-zero pairs compare absolutely.
+#[inline]
+pub fn rel_err(analytic: f32, numeric: f32) -> f32 {
+    let denom = analytic.abs().max(numeric.abs()).max(1e-3);
+    (analytic - numeric).abs() / denom
+}
+
+/// Checks every parameter gradient of `mlp` for the scalar loss
+/// `loss_fn(output)` on input `x` via central differences.
+///
+/// `loss_fn` must return `(loss, d_loss/d_output)`. This is `O(P)` forward
+/// passes — keep the MLP small in tests.
+pub fn check_mlp(
+    mlp: &mut Mlp,
+    x: &Matrix,
+    loss_fn: &dyn Fn(&Matrix) -> (f32, Matrix),
+    h: f32,
+) -> GradCheck {
+    // Analytic gradients.
+    mlp.zero_grad();
+    let cache = mlp.forward_cached(x);
+    let (_, dout) = loss_fn(cache.output());
+    let _ = mlp.backward(&cache, &dout);
+
+    let analytic: Vec<(Matrix, Vec<f32>)> = mlp
+        .layers()
+        .iter()
+        .map(|l| (l.gw.clone(), l.gb.clone()))
+        .collect();
+
+    let mut max_rel = 0.0f32;
+    let mut checked = 0usize;
+
+    let num_layers = mlp.num_layers();
+    for li in 0..num_layers {
+        // Weights.
+        let (rows, cols) = {
+            let l = &mlp.layers()[li];
+            (l.w.rows(), l.w.cols())
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = mlp.layers()[li].w.get(r, c);
+                mlp.layers_mut()[li].w.set(r, c, orig + h);
+                let (lp, _) = loss_fn(&mlp.forward(x));
+                mlp.layers_mut()[li].w.set(r, c, orig - h);
+                let (lm, _) = loss_fn(&mlp.forward(x));
+                mlp.layers_mut()[li].w.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * h);
+                max_rel = max_rel.max(rel_err(analytic[li].0.get(r, c), numeric));
+                checked += 1;
+            }
+        }
+        // Biases.
+        let blen = mlp.layers()[li].b.len();
+        for bi in 0..blen {
+            let orig = mlp.layers()[li].b[bi];
+            mlp.layers_mut()[li].b[bi] = orig + h;
+            let (lp, _) = loss_fn(&mlp.forward(x));
+            mlp.layers_mut()[li].b[bi] = orig - h;
+            let (lm, _) = loss_fn(&mlp.forward(x));
+            mlp.layers_mut()[li].b[bi] = orig;
+            let numeric = (lp - lm) / (2.0 * h);
+            max_rel = max_rel.max(rel_err(analytic[li].1[bi], numeric));
+            checked += 1;
+        }
+    }
+
+    GradCheck { max_rel_err: max_rel, checked }
+}
+
+/// Checks the gradient an MLP reports for its *input* (the path by which
+/// plan-structured networks push errors into child units).
+pub fn check_input_grad(
+    mlp: &mut Mlp,
+    x: &Matrix,
+    loss_fn: &dyn Fn(&Matrix) -> (f32, Matrix),
+    h: f32,
+) -> GradCheck {
+    mlp.zero_grad();
+    let cache = mlp.forward_cached(x);
+    let (_, dout) = loss_fn(cache.output());
+    let dx = mlp.backward(&cache, &dout);
+
+    let mut max_rel = 0.0f32;
+    let mut checked = 0usize;
+    let mut xp = x.clone();
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            let orig = x.get(i, j);
+            xp.set(i, j, orig + h);
+            let (lp, _) = loss_fn(&mlp.forward(&xp));
+            xp.set(i, j, orig - h);
+            let (lm, _) = loss_fn(&mlp.forward(&xp));
+            xp.set(i, j, orig);
+            let numeric = (lp - lm) / (2.0 * h);
+            max_rel = max_rel.max(rel_err(dx.get(i, j), numeric));
+            checked += 1;
+        }
+    }
+    GradCheck { max_rel_err: max_rel, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::Init;
+    use crate::loss;
+    use rand::SeedableRng;
+
+    /// Smooth activations give very tight agreement.
+    #[test]
+    fn tanh_mlp_passes_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Tanh, Activation::Identity, Init::Xavier, &mut rng);
+        let x = Matrix::from_fn(3, 4, |i, j| ((i * 4 + j) as f32).sin());
+        let t = Matrix::from_fn(3, 3, |i, j| ((i + j) as f32).cos());
+        let res = check_mlp(&mut mlp, &x, &|o| loss::mse(o, &t), 1e-2);
+        assert!(res.max_rel_err < 2e-2, "max rel err {}", res.max_rel_err);
+        assert_eq!(res.checked, mlp.num_params());
+    }
+
+    /// ReLU (the paper's activation) also passes away from kinks.
+    #[test]
+    fn relu_mlp_passes_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut mlp = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Identity, Init::He, &mut rng);
+        let x = Matrix::from_fn(4, 3, |i, j| 0.5 + 0.1 * (i as f32) + 0.2 * (j as f32));
+        let t = Matrix::from_fn(4, 2, |i, _| i as f32 * 0.3);
+        let res = check_mlp(&mut mlp, &x, &|o| loss::mse(o, &t), 1e-3);
+        assert!(res.max_rel_err < 5e-2, "max rel err {}", res.max_rel_err);
+    }
+
+    #[test]
+    fn input_gradient_passes_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut mlp = Mlp::new(&[5, 7, 2], Activation::Tanh, Activation::Identity, Init::Xavier, &mut rng);
+        let x = Matrix::from_fn(2, 5, |i, j| ((i * 5 + j) as f32 * 0.7).sin());
+        let t = Matrix::from_fn(2, 2, |_, _| 0.25);
+        let res = check_input_grad(&mut mlp, &x, &|o| loss::mse(o, &t), 1e-2);
+        assert!(res.max_rel_err < 2e-2, "max rel err {}", res.max_rel_err);
+        assert_eq!(res.checked, 10);
+    }
+}

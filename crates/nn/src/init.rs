@@ -1,0 +1,62 @@
+//! Weight initialization schemes.
+//!
+//! Initial weights are "picked randomly" (paper §5); the schemes here are the
+//! standard choices that make deep ReLU stacks trainable. All draw from a
+//! caller-supplied RNG so runs are reproducible.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Initialization scheme for a dense layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    Xavier,
+    /// He/Kaiming uniform, suited to ReLU: `U(±sqrt(6 / fan_in))`.
+    He,
+    /// Uniform in `±limit`.
+    Uniform(f32),
+}
+
+impl Init {
+    /// Samples an `fan_in × fan_out` weight matrix.
+    pub fn matrix(self, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        let limit = match self {
+            Init::Xavier => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+            Init::He => (6.0 / fan_in as f32).sqrt(),
+            Init::Uniform(l) => l,
+        };
+        Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..=limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_follow_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = Init::He.matrix(24, 8, &mut rng);
+        let limit = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+        // With 192 samples, at least one should land beyond half the limit.
+        assert!(m.as_slice().iter().any(|v| v.abs() > limit * 0.5));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = Init::Xavier.matrix(5, 5, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = Init::Xavier.matrix(5, 5, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Init::Xavier.matrix(5, 5, &mut rand::rngs::StdRng::seed_from_u64(1));
+        let b = Init::Xavier.matrix(5, 5, &mut rand::rngs::StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+}

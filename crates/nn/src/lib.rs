@@ -1,0 +1,66 @@
+//! # qpp-nn — dense neural-network substrate
+//!
+//! A small, dependency-light neural-network library built for the QPPNet
+//! reproduction (Marcus & Papaemmanouil, *Plan-Structured Deep Neural Network
+//! Models for Query Performance Prediction*, VLDB 2019). The paper trains its
+//! model with PyTorch; this crate provides the equivalent building blocks in
+//! pure Rust:
+//!
+//! * [`Matrix`] — row-major `f32` matrices with the handful of fused kernels
+//!   backpropagation needs (`X·W`, `A·Bᵀ`, `Aᵀ·B`, horizontal concatenation,
+//!   column slicing).
+//! * [`Dense`] / [`Mlp`] — affine layers with configurable [`Activation`]s,
+//!   batched forward passes, cached activations, and exact reverse-mode
+//!   gradients (including the *input* gradient, which plan-structured
+//!   networks must route into child units).
+//! * [`Sgd`] (momentum, the paper's optimizer) and [`Adam`] (evaluated as the
+//!   paper's §8 future-work extension) behind the [`Optimizer`] trait.
+//! * [`loss`] — L2/MSE and absolute-error losses with gradients.
+//! * [`gradcheck`] — central-difference gradient checking used by the test
+//!   suite to certify every backward pass.
+//!
+//! All randomness is injected through explicit [`rand::Rng`] handles so that
+//! experiments are reproducible bit-for-bit.
+//!
+//! ```
+//! use qpp_nn::{Activation, Init, Matrix, Mlp, Sgd, loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 2 inputs -> 16 hidden -> 1 output, ReLU inside, identity out.
+//! let mut mlp = Mlp::new(&[2, 16, 1], Activation::Relu, Activation::Identity,
+//!                        Init::He, &mut rng);
+//! let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let target = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+//! let mut opt = Sgd::new(0.05, 0.9);
+//! for _ in 0..200 {
+//!     let cache = mlp.forward_cached(&x);
+//!     let (_, dout) = loss::mse(cache.output(), &target);
+//!     mlp.zero_grad();
+//!     mlp.backward(&cache, &dout);
+//!     mlp.apply_grads(&mut opt, 0);
+//! }
+//! let pred = mlp.forward(&x);
+//! assert!((pred.get(0, 0) - 1.0).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod activation;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use init::Init;
+pub use layer::Dense;
+pub use lstm::{LstmNodeCache, TreeLstmCell};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpCache};
+pub use optim::{Adam, Optimizer, Sgd};

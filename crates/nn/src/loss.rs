@@ -1,0 +1,123 @@
+//! Loss functions and their gradients.
+//!
+//! The paper's training objective (Equation 7) is the L2 error over the
+//! latency prediction of *every operator* in the training plans. We optimize
+//! mean squared error — which has the same minimizer and, unlike the square
+//! root form, decomposes linearly over the equivalence classes of the
+//! plan-based batching optimization (§5.1.1) — and report RMSE/MAE.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error and its gradient w.r.t. `pred`.
+///
+/// Returns `(mse, d_pred)` where `d_pred[i] = 2·(pred[i] − target[i]) / n`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.rows(), "loss shape mismatch");
+    assert_eq!(pred.cols(), target.cols(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut total = 0.0f64;
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let e = p - t;
+        total += (e as f64) * (e as f64);
+        *g = 2.0 * e / n;
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+/// Sum of squared errors and its (un-normalized) gradient.
+///
+/// The plan-batch trainer accumulates SSE gradients across equivalence
+/// classes and normalizes once by the total operator count, which is exactly
+/// the unbiased recombination of §5.1.1.
+pub fn sse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.rows(), "loss shape mismatch");
+    assert_eq!(pred.cols(), target.cols(), "loss shape mismatch");
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut total = 0.0f64;
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let e = p - t;
+        total += (e as f64) * (e as f64);
+        *g = 2.0 * e;
+    }
+    (total as f32, grad)
+}
+
+/// Mean absolute error (reporting metric; also usable as a training loss).
+pub fn mae(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.len(), target.len(), "loss shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p - t).abs() as f64)
+        .sum();
+    (total / pred.len() as f64) as f32
+}
+
+/// Root mean squared error (the paper's Equation 3 form, for reporting).
+pub fn rmse(pred: &Matrix, target: &Matrix) -> f32 {
+    let (m, _) = mse(pred, target);
+    m.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_loss() {
+        let p = Matrix::from_row(&[1.0, 2.0, 3.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_row(&[0.0, 0.0]);
+        let t = Matrix::from_row(&[2.0, -2.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 4.0).abs() < 1e-6);
+        // d/dp of mean((p-t)^2) at p=0: 2*(0-2)/2 = -2 and 2*(0+2)/2 = 2
+        assert!((g.get(0, 0) + 2.0).abs() < 1e-6);
+        assert!((g.get(0, 1) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sse_is_n_times_mse() {
+        let p = Matrix::from_row(&[1.0, 3.0, -1.0, 0.5]);
+        let t = Matrix::from_row(&[0.0, 1.0, 2.0, 0.5]);
+        let (l_mse, _) = mse(&p, &t);
+        let (l_sse, _) = sse(&p, &t);
+        assert!((l_sse - 4.0 * l_mse).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let p = Matrix::from_row(&[3.0]);
+        let t = Matrix::from_row(&[0.0]);
+        assert!((rmse(&p, &t) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mae_symmetric_in_sign() {
+        let p = Matrix::from_row(&[1.0, -1.0]);
+        let t = Matrix::from_row(&[0.0, 0.0]);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,520 @@
+//! Row-major `f32` matrices with the kernels reverse-mode autodiff needs.
+//!
+//! The QPPNet training loop spends essentially all of its time in four
+//! kernels: `X·W` (forward), `dZ·Wᵀ` (input gradient), `Xᵀ·dZ` (weight
+//! gradient) and horizontal concatenation / column slicing (assembling and
+//! splitting neural-unit inputs). Each is implemented directly on the
+//! row-major buffer with loop orders chosen for sequential access, following
+//! the usual `ikj` blocking advice.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` matrix.
+///
+/// Rows are samples (batch dimension) and columns are features throughout
+/// this workspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices (all rows must share a length).
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn from_row(row: &[f32]) -> Self {
+        Matrix { rows: 1, cols: row.len(), data: row.to_vec() }
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn from_col(col: &[f32]) -> Self {
+        Matrix { rows: col.len(), cols: 1, data: col.to_vec() }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element count (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Writes element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrows row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrows the whole row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the whole row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Extracts column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "column out of range");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Matrix product `self · other` (`n×k · k×m = n×m`).
+    ///
+    /// Loop order is `ikj`, so both the `other` row and the output row are
+    /// traversed sequentially; zero left-operands (common after ReLU) are
+    /// skipped.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let oc = other.cols;
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * oc..(i + 1) * oc];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * oc..(k + 1) * oc];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`n×k · m×k = n×m`) without materializing a transpose.
+    ///
+    /// Used for the input gradient `dX = dZ · Wᵀ` when weights are stored
+    /// `in×out`.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_a_bt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`n×r`ᵀ `· n×c = r×c`) without materializing a
+    /// transpose; accumulates into `out` (callers reuse gradient buffers).
+    ///
+    /// Used for the weight gradient `dW += Xᵀ · dZ`.
+    pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
+        assert_eq!(out.rows, self.cols, "matmul_at_b out rows mismatch");
+        assert_eq!(out.cols, other.cols, "matmul_at_b out cols mismatch");
+        let oc = other.cols;
+        for n in 0..self.rows {
+            let arow = self.row(n);
+            let brow = &other.data[n * oc..(n + 1) * oc];
+            for (r, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[r * oc..(r + 1) * oc];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ · other`, allocating the output.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_at_b_into(other, &mut out);
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Adds `row` to every row in place (bias broadcast).
+    pub fn add_row_inplace(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        for i in 0..self.rows {
+            for (o, &b) in self.row_mut(i).iter_mut().zip(row) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients), accumulated into `out`.
+    pub fn col_sum_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sum output length mismatch");
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(self.rows, other.rows, "add_scaled shape mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled shape mismatch");
+        for (o, &v) in self.data.iter_mut().zip(&other.data) {
+            *o += scale * v;
+        }
+    }
+
+    /// Element-wise (Hadamard) product: `self ⊙ other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_elem(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "mul_elem shape mismatch");
+        assert_eq!(self.cols, other.cols, "mul_elem shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise product in place: `self ⊙= other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul_elem_inplace(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "mul_elem shape mismatch");
+        assert_eq!(self.cols, other.cols, "mul_elem shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Multiplies every element by `scale` in place.
+    pub fn scale_inplace(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Horizontally concatenates matrices that share a row count.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hcat of zero matrices");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let orow = out.row_mut(i);
+            let mut off = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hcat row count mismatch");
+                orow[off..off + p.cols].copy_from_slice(p.row(i));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Copies columns `[start, start+width)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
+        assert!(start + width <= self.cols, "column slice out of range");
+        let mut out = Matrix::zeros(self.rows, width);
+        for i in 0..self.rows {
+            let src = &self.row(i)[start..start + width];
+            out.row_mut(i).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new matrix (row `k` of the output is
+    /// row `indices[k]` of `self`).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(i < self.rows, "gather_rows index out of range");
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn zeros_has_expected_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_rows_round_trips_elements() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.25], &[0.0, 3.0, 9.0]]);
+        let id = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Matrix::hcat(&[&a, &b]);
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_inverts_hcat() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 8.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[5.0]]);
+        let c = Matrix::hcat(&[&a, &b]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 1), b);
+    }
+
+    #[test]
+    fn gather_rows_picks_rows_in_order() {
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.col(0), vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts_bias() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_inplace(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sum_accumulates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut out = vec![10.0, 0.0];
+        a.col_sum_into(&mut out);
+        assert_eq!(out, vec![14.0, 6.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_matches_naive(
+            n in 1usize..6, k in 1usize..6, m in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(n, k, |_, _| rng.gen_range(-2.0..2.0));
+            let b = Matrix::from_fn(k, m, |_, _| rng.gen_range(-2.0..2.0));
+            prop_assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5));
+        }
+
+        #[test]
+        fn matmul_a_bt_matches_explicit_transpose(
+            n in 1usize..6, k in 1usize..6, m in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(n, k, |_, _| rng.gen_range(-2.0..2.0));
+            let b = Matrix::from_fn(m, k, |_, _| rng.gen_range(-2.0..2.0));
+            prop_assert!(approx_eq(&a.matmul_a_bt(&b), &a.matmul(&b.transpose()), 1e-4));
+        }
+
+        #[test]
+        fn matmul_at_b_matches_explicit_transpose(
+            n in 1usize..6, r in 1usize..6, c in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(n, r, |_, _| rng.gen_range(-2.0..2.0));
+            let b = Matrix::from_fn(n, c, |_, _| rng.gen_range(-2.0..2.0));
+            prop_assert!(approx_eq(&a.matmul_at_b(&b), &a.transpose().matmul(&b), 1e-4));
+        }
+
+        #[test]
+        fn hcat_then_slice_round_trips(
+            rows in 1usize..5, c1 in 1usize..5, c2 in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(rows, c1, |_, _| rng.gen_range(-1.0..1.0));
+            let b = Matrix::from_fn(rows, c2, |_, _| rng.gen_range(-1.0..1.0));
+            let cat = Matrix::hcat(&[&a, &b]);
+            prop_assert_eq!(cat.slice_cols(0, c1), a);
+            prop_assert_eq!(cat.slice_cols(c1, c2), b);
+        }
+    }
+}

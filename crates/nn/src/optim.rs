@@ -1,0 +1,247 @@
+//! Gradient-descent optimizers.
+//!
+//! The paper trains with plain stochastic gradient descent, learning rate
+//! `0.001` and momentum `0.9` (§6, "Neural networks"); [`Sgd`] reproduces
+//! that. [`Adam`] implements the §8 future-work suggestion ("using a
+//! different optimizer [16] may prove fruitful") and is exercised by the
+//! training-optimizer ablation bench.
+//!
+//! Optimizer state (velocities / moments) is keyed by an opaque `usize` so a
+//! single optimizer can drive many separately-owned parameter tensors — one
+//! per layer per neural unit — without borrowing them all at once.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// A stateful gradient-descent rule applied tensor-by-tensor.
+///
+/// `key` identifies a parameter tensor across steps; implementations lazily
+/// allocate per-key state the first time a key is seen.
+pub trait Optimizer {
+    /// Updates a weight matrix in place from its accumulated gradient.
+    fn step_matrix(&mut self, key: usize, w: &mut Matrix, g: &Matrix);
+    /// Updates a bias vector in place from its accumulated gradient.
+    fn step_vec(&mut self, key: usize, b: &mut [f32], g: &[f32]);
+    /// Signals that one optimization step (over all tensors) completed.
+    ///
+    /// Implementations that need a global step counter (Adam's bias
+    /// correction) bump it here; SGD ignores it.
+    fn end_step(&mut self) {}
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Replaces the learning rate (for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// `v ← μ·v + g`, `w ← w − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    vel_m: HashMap<usize, Matrix>,
+    vel_v: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. The paper's settings are
+    /// `Sgd::new(0.001, 0.9)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, vel_m: HashMap::new(), vel_v: HashMap::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_matrix(&mut self, key: usize, w: &mut Matrix, g: &Matrix) {
+        let v = self
+            .vel_m
+            .entry(key)
+            .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+        debug_assert_eq!(v.rows(), w.rows());
+        let mu = self.momentum;
+        let lr = self.lr;
+        for ((vv, &gv), wv) in v
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice())
+            .zip(w.as_mut_slice())
+        {
+            *vv = mu * *vv + gv;
+            *wv -= lr * *vv;
+        }
+    }
+
+    fn step_vec(&mut self, key: usize, b: &mut [f32], g: &[f32]) {
+        let v = self.vel_v.entry(key).or_insert_with(|| vec![0.0; b.len()]);
+        let mu = self.momentum;
+        let lr = self.lr;
+        for ((vv, &gv), bv) in v.iter_mut().zip(g).zip(b.iter_mut()) {
+            *vv = mu * *vv + gv;
+            *bv -= lr * *vv;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba [16]) with bias-corrected first/second moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m_m: HashMap<usize, Matrix>,
+    v_m: HashMap<usize, Matrix>,
+    m_v: HashMap<usize, Vec<f32>>,
+    v_v: HashMap<usize, Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 1,
+            m_m: HashMap::new(),
+            v_m: HashMap::new(),
+            m_v: HashMap::new(),
+            v_v: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn corrections(&self) -> (f32, f32) {
+        let c1 = 1.0 - self.beta1.powi(self.t);
+        let c2 = 1.0 - self.beta2.powi(self.t);
+        (c1, c2)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_matrix(&mut self, key: usize, w: &mut Matrix, g: &Matrix) {
+        let (c1, c2) = self.corrections();
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let m = self
+            .m_m
+            .entry(key)
+            .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+        let v = self
+            .v_m
+            .entry(key)
+            .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+        for (((mv, vv), &gv), wv) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(g.as_slice())
+            .zip(w.as_mut_slice())
+        {
+            *mv = b1 * *mv + (1.0 - b1) * gv;
+            *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+            let mhat = *mv / c1;
+            let vhat = *vv / c2;
+            *wv -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    fn step_vec(&mut self, key: usize, b: &mut [f32], g: &[f32]) {
+        let (c1, c2) = self.corrections();
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let m = self.m_v.entry(key).or_insert_with(|| vec![0.0; b.len()]);
+        let v = self.v_v.entry(key).or_insert_with(|| vec![0.0; b.len()]);
+        for (((mv, vv), &gv), bv) in m.iter_mut().zip(v.iter_mut()).zip(g).zip(b.iter_mut()) {
+            *mv = b1 * *mv + (1.0 - b1) * gv;
+            *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+            let mhat = *mv / c1;
+            let vhat = *vv / c2;
+            *bv -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    fn end_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut w = Matrix::from_row(&[1.0, -1.0]);
+        let g = Matrix::from_row(&[0.5, -0.5]);
+        opt.step_matrix(0, &mut w, &g);
+        assert!((w.get(0, 0) - 0.95).abs() < 1e-6);
+        assert!((w.get(0, 1) + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates_repeated_gradients() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut w = Matrix::from_row(&[0.0]);
+        let g = Matrix::from_row(&[1.0]);
+        opt.step_matrix(0, &mut w, &g);
+        let first_step = -w.get(0, 0);
+        opt.step_matrix(0, &mut w, &g);
+        let second_step = first_step - -w.get(0, 0);
+        assert!(second_step.abs() > first_step.abs());
+    }
+
+    #[test]
+    fn distinct_keys_have_independent_state() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut w1 = Matrix::from_row(&[0.0]);
+        let mut w2 = Matrix::from_row(&[0.0]);
+        let g = Matrix::from_row(&[1.0]);
+        opt.step_matrix(0, &mut w1, &g);
+        opt.step_matrix(0, &mut w1, &g);
+        opt.step_matrix(1, &mut w2, &g);
+        // w2's first step must match w1's first step, not carry w1's velocity.
+        assert!((w2.get(0, 0) + 0.1).abs() < 1e-6);
+        assert!(w1.get(0, 0) < -0.25);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut w = Matrix::from_row(&[5.0]);
+        for _ in 0..300 {
+            // gradient of (w-2)^2
+            let g = Matrix::from_row(&[2.0 * (w.get(0, 0) - 2.0)]);
+            opt.step_matrix(0, &mut w, &g);
+            opt.end_step();
+        }
+        assert!((w.get(0, 0) - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

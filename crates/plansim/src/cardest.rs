@@ -1,0 +1,79 @@
+//! Simulated *learned cardinality estimators* (paper §7 integration).
+//!
+//! The paper's related-work section observes that learned cardinality
+//! estimation (Kipf et al. [17], Liu et al. [27]) "could be easily
+//! integrated into our deep neural network by inserting the cardinality
+//! estimate of each operator into its neural unit's input vector", letting
+//! the network "learn the relationship between these estimates and the
+//! latency of the entire query execution plan".
+//!
+//! This module simulates such an estimator at a configurable quality: a
+//! lognormal perturbation of the true cardinality with width `sigma`
+//! (σ = 0 is a perfect oracle; σ ≈ 0.3 matches published learned-estimator
+//! accuracy; larger σ degrades toward uselessness). The estimates are
+//! attached to [`PlanNode::learned_rows`], surfaced to models through
+//! [`crate::features::Featurizer::with_learned_cardinalities`], and
+//! evaluated by the `card_est` bench binary.
+
+use crate::plan::PlanNode;
+use crate::util::lognormal;
+use rand::Rng;
+
+/// Attaches simulated learned-estimator cardinalities to every node of a
+/// plan: `learned_rows = true_rows · exp(N(0, sigma))`.
+pub fn inject_learned_cardinalities(root: &mut PlanNode, sigma: f64, rng: &mut impl Rng) {
+    root.visit_postorder_mut(&mut |node| {
+        node.learned_rows = Some((node.actual.rows * lognormal(rng, sigma)).max(1.0));
+    });
+}
+
+/// Removes attached learned cardinalities (back to optimizer-only
+/// estimates).
+pub fn clear_learned_cardinalities(root: &mut PlanNode) {
+    root.visit_postorder_mut(&mut |node| {
+        node.learned_rows = None;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Workload;
+    use crate::dataset::Dataset;
+    use rand::SeedableRng;
+
+    #[test]
+    fn injection_covers_every_node_and_tracks_truth() {
+        let mut ds = Dataset::generate(Workload::TpcH, 1.0, 10, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for p in &mut ds.plans {
+            inject_learned_cardinalities(&mut p.root, 0.1, &mut rng);
+        }
+        for p in &ds.plans {
+            p.root.visit_postorder(&mut |n| {
+                let learned = n.learned_rows.expect("injected everywhere");
+                let ratio = learned / n.actual.rows.max(1.0);
+                assert!(ratio > 0.3 && ratio < 3.0, "ratio {ratio}");
+            });
+        }
+    }
+
+    #[test]
+    fn sigma_zero_is_a_perfect_oracle() {
+        let mut ds = Dataset::generate(Workload::TpcH, 1.0, 5, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        inject_learned_cardinalities(&mut ds.plans[0].root, 0.0, &mut rng);
+        ds.plans[0].root.visit_postorder(&mut |n| {
+            assert_eq!(n.learned_rows, Some(n.actual.rows.max(1.0)));
+        });
+    }
+
+    #[test]
+    fn clear_restores_optimizer_only_estimates() {
+        let mut ds = Dataset::generate(Workload::TpcH, 1.0, 5, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        inject_learned_cardinalities(&mut ds.plans[0].root, 0.2, &mut rng);
+        clear_learned_cardinalities(&mut ds.plans[0].root);
+        ds.plans[0].root.visit_postorder(&mut |n| assert_eq!(n.learned_rows, None));
+    }
+}

@@ -1,0 +1,616 @@
+//! Database catalogs: tables, columns, statistics and indexes.
+//!
+//! The paper evaluates on TPC-H and TPC-DS at scale factor 100 running on
+//! PostgreSQL. This module models the parts of those databases that the
+//! paper's feature set (Table 2) and the optimizer/simulator need: table
+//! cardinalities, row widths, per-column min/median/max statistics,
+//! distinct-value counts, and available indexes.
+//!
+//! Row counts are expressed at scale factor 1 and scaled by
+//! [`Catalog::scale_factor`]; fixed-size dimension tables (e.g. `region`,
+//! `store`) do not scale, matching the benchmarks' specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a table inside a [`Catalog`] (index into [`Catalog::tables`]).
+pub type TableId = usize;
+
+/// Identifies an index inside a [`Catalog`] (global across tables).
+pub type IndexId = usize;
+
+/// Size of a disk page in bytes (PostgreSQL default).
+pub const PAGE_SIZE: f64 = 8192.0;
+
+/// A column with the statistics the scan featurization exposes
+/// ("Attribute Mins/Medians/Maxs" in the paper's Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Minimum value (numeric encoding; dates are days since epoch).
+    pub min: f64,
+    /// Median value.
+    pub median: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Number of distinct values at scale factor 1.
+    pub ndv: f64,
+    /// Storage width in bytes.
+    pub width: f64,
+}
+
+impl Column {
+    fn new(name: &str, min: f64, median: f64, max: f64, ndv: f64, width: f64) -> Self {
+        Column { name: name.to_string(), min, median, max, ndv, width }
+    }
+}
+
+/// A secondary or primary B-tree index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Index {
+    /// Index name (one-hot encoded in index-scan features).
+    pub name: String,
+    /// Table the index belongs to.
+    pub table: TableId,
+    /// Indexed column (position in the table's column list).
+    pub column: usize,
+    /// Whether the heap is physically correlated with the index order
+    /// (clustered indexes make index scans dramatically cheaper).
+    pub clustered: bool,
+}
+
+/// A base relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Relation name (one-hot encoded in scan features).
+    pub name: String,
+    /// Rows at scale factor 1.
+    pub base_rows: f64,
+    /// Whether rows scale linearly with the scale factor.
+    pub scales: bool,
+    /// Total tuple width in bytes.
+    pub row_width: f64,
+    /// Columns with statistics.
+    pub columns: Vec<Column>,
+}
+
+/// Which benchmark a catalog (and every plan generated from it) models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// TPC-H: 8 tables, 22 query templates.
+    TpcH,
+    /// TPC-DS: larger schema, 70 PostgreSQL-compatible templates.
+    TpcDs,
+}
+
+impl Workload {
+    /// Human-readable benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::TpcH => "TPC-H",
+            Workload::TpcDs => "TPC-DS",
+        }
+    }
+}
+
+/// A database schema plus statistics at a chosen scale factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Benchmark this catalog models.
+    pub workload: Workload,
+    /// Scale factor (the paper uses 100).
+    pub scale_factor: f64,
+    /// All base relations.
+    pub tables: Vec<Table>,
+    /// All indexes (across tables).
+    pub indexes: Vec<Index>,
+    /// Shared buffer pool size in pages (affects cold-cache behaviour).
+    pub buffer_pool_pages: f64,
+    /// Per-operator working memory in bytes (`work_mem`); exceeding it
+    /// causes hash/sort spills in the simulator.
+    pub work_mem_bytes: f64,
+}
+
+impl Catalog {
+    /// Looks a table up by name.
+    ///
+    /// # Panics
+    /// Panics if the table does not exist (catalog construction is static,
+    /// so a miss is a programming error).
+    pub fn table_id(&self, name: &str) -> TableId {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .unwrap_or_else(|| panic!("no table named {name}"))
+    }
+
+    /// Borrows a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Row count of a table at this catalog's scale factor.
+    pub fn rows(&self, id: TableId) -> f64 {
+        let t = &self.tables[id];
+        if t.scales {
+            t.base_rows * self.scale_factor
+        } else {
+            t.base_rows
+        }
+    }
+
+    /// Heap pages occupied by a table at this scale factor.
+    pub fn pages(&self, id: TableId) -> f64 {
+        (self.rows(id) * self.tables[id].row_width / PAGE_SIZE).max(1.0)
+    }
+
+    /// Indexes defined on `table`.
+    pub fn indexes_on(&self, table: TableId) -> impl Iterator<Item = (IndexId, &Index)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(move |(_, ix)| ix.table == table)
+    }
+
+    /// Finds an index on `(table, column)` if one exists.
+    pub fn index_on(&self, table: TableId, column: usize) -> Option<IndexId> {
+        self.indexes
+            .iter()
+            .position(|ix| ix.table == table && ix.column == column)
+    }
+
+    /// Number of tables (size of the relation one-hot in scan features).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of indexes (size of the index one-hot in scan features).
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The TPC-H catalog at the given scale factor.
+    ///
+    /// Row counts and key statistics follow the TPC-H specification; column
+    /// stats are representative values a `pg_stats` view would report.
+    pub fn tpch(scale_factor: f64) -> Catalog {
+        let c = Column::new;
+        let tables = vec![
+            Table {
+                name: "region".into(),
+                base_rows: 5.0,
+                scales: false,
+                row_width: 120.0,
+                columns: vec![c("r_regionkey", 0.0, 2.0, 4.0, 5.0, 4.0)],
+            },
+            Table {
+                name: "nation".into(),
+                base_rows: 25.0,
+                scales: false,
+                row_width: 128.0,
+                columns: vec![
+                    c("n_nationkey", 0.0, 12.0, 24.0, 25.0, 4.0),
+                    c("n_regionkey", 0.0, 2.0, 4.0, 5.0, 4.0),
+                ],
+            },
+            Table {
+                name: "supplier".into(),
+                base_rows: 10_000.0,
+                scales: true,
+                row_width: 160.0,
+                columns: vec![
+                    c("s_suppkey", 1.0, 5_000.0, 10_000.0, 10_000.0, 4.0),
+                    c("s_nationkey", 0.0, 12.0, 24.0, 25.0, 4.0),
+                    c("s_acctbal", -999.99, 4_500.0, 9_999.99, 9_000.0, 8.0),
+                ],
+            },
+            Table {
+                name: "customer".into(),
+                base_rows: 150_000.0,
+                scales: true,
+                row_width: 180.0,
+                columns: vec![
+                    c("c_custkey", 1.0, 75_000.0, 150_000.0, 150_000.0, 4.0),
+                    c("c_nationkey", 0.0, 12.0, 24.0, 25.0, 4.0),
+                    c("c_acctbal", -999.99, 4_500.0, 9_999.99, 140_000.0, 8.0),
+                    c("c_mktsegment", 0.0, 2.0, 4.0, 5.0, 10.0),
+                ],
+            },
+            Table {
+                name: "part".into(),
+                base_rows: 200_000.0,
+                scales: true,
+                row_width: 156.0,
+                columns: vec![
+                    c("p_partkey", 1.0, 100_000.0, 200_000.0, 200_000.0, 4.0),
+                    c("p_size", 1.0, 25.0, 50.0, 50.0, 4.0),
+                    c("p_retailprice", 901.0, 1_500.0, 2_098.99, 20_000.0, 8.0),
+                    c("p_brand", 0.0, 12.0, 24.0, 25.0, 10.0),
+                ],
+            },
+            Table {
+                name: "partsupp".into(),
+                base_rows: 800_000.0,
+                scales: true,
+                row_width: 144.0,
+                columns: vec![
+                    c("ps_partkey", 1.0, 100_000.0, 200_000.0, 200_000.0, 4.0),
+                    c("ps_suppkey", 1.0, 5_000.0, 10_000.0, 10_000.0, 4.0),
+                    c("ps_supplycost", 1.0, 500.0, 1_000.0, 99_865.0, 8.0),
+                ],
+            },
+            Table {
+                name: "orders".into(),
+                base_rows: 1_500_000.0,
+                scales: true,
+                row_width: 110.0,
+                columns: vec![
+                    c("o_orderkey", 1.0, 3_000_000.0, 6_000_000.0, 1_500_000.0, 4.0),
+                    c("o_custkey", 1.0, 75_000.0, 150_000.0, 100_000.0, 4.0),
+                    c("o_orderdate", 8_036.0, 9_240.0, 10_440.0, 2_406.0, 4.0),
+                    c("o_totalprice", 857.71, 144_411.0, 555_285.16, 1_464_556.0, 8.0),
+                    c("o_orderstatus", 0.0, 1.0, 2.0, 3.0, 1.0),
+                ],
+            },
+            Table {
+                name: "lineitem".into(),
+                base_rows: 6_001_215.0,
+                scales: true,
+                row_width: 128.0,
+                columns: vec![
+                    c("l_orderkey", 1.0, 3_000_000.0, 6_000_000.0, 1_500_000.0, 4.0),
+                    c("l_partkey", 1.0, 100_000.0, 200_000.0, 200_000.0, 4.0),
+                    c("l_suppkey", 1.0, 5_000.0, 10_000.0, 10_000.0, 4.0),
+                    c("l_shipdate", 8_036.0, 9_298.0, 10_561.0, 2_526.0, 4.0),
+                    c("l_quantity", 1.0, 25.0, 50.0, 50.0, 8.0),
+                    c("l_extendedprice", 901.0, 36_262.0, 104_949.5, 933_900.0, 8.0),
+                ],
+            },
+        ];
+        let mut cat = Catalog {
+            workload: Workload::TpcH,
+            scale_factor,
+            tables,
+            indexes: Vec::new(),
+            buffer_pool_pages: 1_048_576.0, // 8 GiB of shared buffers
+            work_mem_bytes: 64.0 * 1024.0 * 1024.0,
+        };
+        cat.indexes = vec![
+            Index { name: "pk_supplier".into(), table: cat.table_id("supplier"), column: 0, clustered: true },
+            Index { name: "pk_customer".into(), table: cat.table_id("customer"), column: 0, clustered: true },
+            Index { name: "pk_part".into(), table: cat.table_id("part"), column: 0, clustered: true },
+            Index { name: "pk_partsupp".into(), table: cat.table_id("partsupp"), column: 0, clustered: true },
+            Index { name: "pk_orders".into(), table: cat.table_id("orders"), column: 0, clustered: true },
+            Index { name: "idx_orders_custkey".into(), table: cat.table_id("orders"), column: 1, clustered: false },
+            Index { name: "idx_orders_orderdate".into(), table: cat.table_id("orders"), column: 2, clustered: false },
+            Index { name: "idx_lineitem_orderkey".into(), table: cat.table_id("lineitem"), column: 0, clustered: true },
+            Index { name: "idx_lineitem_partkey".into(), table: cat.table_id("lineitem"), column: 1, clustered: false },
+            Index { name: "idx_lineitem_shipdate".into(), table: cat.table_id("lineitem"), column: 3, clustered: false },
+        ];
+        cat
+    }
+
+    /// The TPC-DS catalog at the given scale factor.
+    ///
+    /// Covers the fact tables and the dimension tables referenced by the 70
+    /// PostgreSQL-compatible templates the paper evaluates.
+    pub fn tpcds(scale_factor: f64) -> Catalog {
+        let c = Column::new;
+        let tables = vec![
+            Table {
+                name: "date_dim".into(),
+                base_rows: 73_049.0,
+                scales: false,
+                row_width: 140.0,
+                columns: vec![
+                    c("d_date_sk", 2_415_022.0, 2_451_546.0, 2_488_070.0, 73_049.0, 4.0),
+                    c("d_year", 1900.0, 1998.0, 2100.0, 201.0, 4.0),
+                    c("d_moy", 1.0, 6.0, 12.0, 12.0, 4.0),
+                    c("d_qoy", 1.0, 2.0, 4.0, 4.0, 4.0),
+                ],
+            },
+            Table {
+                name: "time_dim".into(),
+                base_rows: 86_400.0,
+                scales: false,
+                row_width: 60.0,
+                columns: vec![c("t_time_sk", 0.0, 43_200.0, 86_399.0, 86_400.0, 4.0)],
+            },
+            Table {
+                name: "item".into(),
+                base_rows: 18_000.0,
+                scales: true,
+                row_width: 280.0,
+                columns: vec![
+                    c("i_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("i_category", 0.0, 5.0, 10.0, 10.0, 16.0),
+                    c("i_brand", 0.0, 350.0, 714.0, 714.0, 16.0),
+                    c("i_current_price", 0.09, 50.0, 99.99, 9_000.0, 8.0),
+                    c("i_manufact_id", 1.0, 500.0, 1_000.0, 1_000.0, 4.0),
+                ],
+            },
+            Table {
+                name: "customer".into(),
+                base_rows: 100_000.0,
+                scales: true,
+                row_width: 220.0,
+                columns: vec![
+                    c("c_customer_sk", 1.0, 50_000.0, 100_000.0, 100_000.0, 4.0),
+                    c("c_current_addr_sk", 1.0, 25_000.0, 50_000.0, 50_000.0, 4.0),
+                    c("c_birth_year", 1924.0, 1960.0, 1992.0, 69.0, 4.0),
+                ],
+            },
+            Table {
+                name: "customer_address".into(),
+                base_rows: 50_000.0,
+                scales: true,
+                row_width: 160.0,
+                columns: vec![
+                    c("ca_address_sk", 1.0, 25_000.0, 50_000.0, 50_000.0, 4.0),
+                    c("ca_state", 0.0, 25.0, 50.0, 51.0, 2.0),
+                    c("ca_gmt_offset", -10.0, -6.0, -5.0, 6.0, 8.0),
+                ],
+            },
+            Table {
+                name: "customer_demographics".into(),
+                base_rows: 1_920_800.0,
+                scales: false,
+                row_width: 60.0,
+                columns: vec![
+                    c("cd_demo_sk", 1.0, 960_400.0, 1_920_800.0, 1_920_800.0, 4.0),
+                    c("cd_gender", 0.0, 0.5, 1.0, 2.0, 1.0),
+                    c("cd_education_status", 0.0, 3.0, 6.0, 7.0, 10.0),
+                ],
+            },
+            Table {
+                name: "household_demographics".into(),
+                base_rows: 7_200.0,
+                scales: false,
+                row_width: 40.0,
+                columns: vec![
+                    c("hd_demo_sk", 1.0, 3_600.0, 7_200.0, 7_200.0, 4.0),
+                    c("hd_dep_count", 0.0, 4.0, 9.0, 10.0, 4.0),
+                ],
+            },
+            Table {
+                name: "store".into(),
+                base_rows: 12.0,
+                scales: false,
+                row_width: 300.0,
+                columns: vec![
+                    c("s_store_sk", 1.0, 6.0, 12.0, 12.0, 4.0),
+                    c("s_state", 0.0, 25.0, 50.0, 9.0, 2.0),
+                ],
+            },
+            Table {
+                name: "warehouse".into(),
+                base_rows: 5.0,
+                scales: false,
+                row_width: 200.0,
+                columns: vec![c("w_warehouse_sk", 1.0, 3.0, 5.0, 5.0, 4.0)],
+            },
+            Table {
+                name: "promotion".into(),
+                base_rows: 300.0,
+                scales: false,
+                row_width: 130.0,
+                columns: vec![c("p_promo_sk", 1.0, 150.0, 300.0, 300.0, 4.0)],
+            },
+            Table {
+                name: "web_site".into(),
+                base_rows: 30.0,
+                scales: false,
+                row_width: 290.0,
+                columns: vec![c("web_site_sk", 1.0, 15.0, 30.0, 30.0, 4.0)],
+            },
+            Table {
+                name: "web_page".into(),
+                base_rows: 60.0,
+                scales: false,
+                row_width: 100.0,
+                columns: vec![c("wp_web_page_sk", 1.0, 30.0, 60.0, 60.0, 4.0)],
+            },
+            Table {
+                name: "call_center".into(),
+                base_rows: 6.0,
+                scales: false,
+                row_width: 310.0,
+                columns: vec![c("cc_call_center_sk", 1.0, 3.0, 6.0, 6.0, 4.0)],
+            },
+            Table {
+                name: "ship_mode".into(),
+                base_rows: 20.0,
+                scales: false,
+                row_width: 60.0,
+                columns: vec![c("sm_ship_mode_sk", 1.0, 10.0, 20.0, 20.0, 4.0)],
+            },
+            Table {
+                name: "reason".into(),
+                base_rows: 35.0,
+                scales: false,
+                row_width: 40.0,
+                columns: vec![c("r_reason_sk", 1.0, 18.0, 35.0, 35.0, 4.0)],
+            },
+            Table {
+                name: "income_band".into(),
+                base_rows: 20.0,
+                scales: false,
+                row_width: 16.0,
+                columns: vec![c("ib_income_band_sk", 1.0, 10.0, 20.0, 20.0, 4.0)],
+            },
+            Table {
+                name: "store_sales".into(),
+                base_rows: 2_880_404.0,
+                scales: true,
+                row_width: 100.0,
+                columns: vec![
+                    c("ss_sold_date_sk", 2_450_816.0, 2_451_730.0, 2_452_642.0, 1_823.0, 4.0),
+                    c("ss_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("ss_customer_sk", 1.0, 50_000.0, 100_000.0, 100_000.0, 4.0),
+                    c("ss_store_sk", 1.0, 6.0, 12.0, 12.0, 4.0),
+                    c("ss_sales_price", 0.0, 37.0, 200.0, 19_000.0, 8.0),
+                ],
+            },
+            Table {
+                name: "store_returns".into(),
+                base_rows: 287_514.0,
+                scales: true,
+                row_width: 88.0,
+                columns: vec![
+                    c("sr_returned_date_sk", 2_450_820.0, 2_451_850.0, 2_452_822.0, 2_003.0, 4.0),
+                    c("sr_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("sr_customer_sk", 1.0, 50_000.0, 100_000.0, 100_000.0, 4.0),
+                ],
+            },
+            Table {
+                name: "catalog_sales".into(),
+                base_rows: 1_441_548.0,
+                scales: true,
+                row_width: 160.0,
+                columns: vec![
+                    c("cs_sold_date_sk", 2_450_815.0, 2_451_730.0, 2_452_654.0, 1_837.0, 4.0),
+                    c("cs_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("cs_bill_customer_sk", 1.0, 50_000.0, 100_000.0, 100_000.0, 4.0),
+                    c("cs_call_center_sk", 1.0, 3.0, 6.0, 6.0, 4.0),
+                ],
+            },
+            Table {
+                name: "catalog_returns".into(),
+                base_rows: 144_067.0,
+                scales: true,
+                row_width: 130.0,
+                columns: vec![
+                    c("cr_returned_date_sk", 2_450_821.0, 2_451_860.0, 2_452_924.0, 2_100.0, 4.0),
+                    c("cr_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                ],
+            },
+            Table {
+                name: "web_sales".into(),
+                base_rows: 719_384.0,
+                scales: true,
+                row_width: 170.0,
+                columns: vec![
+                    c("ws_sold_date_sk", 2_450_816.0, 2_451_730.0, 2_452_642.0, 1_823.0, 4.0),
+                    c("ws_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("ws_bill_customer_sk", 1.0, 50_000.0, 100_000.0, 100_000.0, 4.0),
+                    c("ws_web_page_sk", 1.0, 30.0, 60.0, 60.0, 4.0),
+                ],
+            },
+            Table {
+                name: "web_returns".into(),
+                base_rows: 71_763.0,
+                scales: true,
+                row_width: 120.0,
+                columns: vec![
+                    c("wr_returned_date_sk", 2_450_819.0, 2_451_870.0, 2_453_000.0, 2_185.0, 4.0),
+                    c("wr_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                ],
+            },
+            Table {
+                name: "inventory".into(),
+                base_rows: 11_745_000.0,
+                scales: true,
+                row_width: 16.0,
+                columns: vec![
+                    c("inv_date_sk", 2_450_815.0, 2_451_553.0, 2_452_635.0, 261.0, 4.0),
+                    c("inv_item_sk", 1.0, 9_000.0, 18_000.0, 18_000.0, 4.0),
+                    c("inv_quantity_on_hand", 0.0, 500.0, 1_000.0, 1_001.0, 4.0),
+                ],
+            },
+        ];
+        let mut cat = Catalog {
+            workload: Workload::TpcDs,
+            scale_factor,
+            tables,
+            indexes: Vec::new(),
+            buffer_pool_pages: 1_048_576.0,
+            work_mem_bytes: 64.0 * 1024.0 * 1024.0,
+        };
+        cat.indexes = vec![
+            Index { name: "pk_date_dim".into(), table: cat.table_id("date_dim"), column: 0, clustered: true },
+            Index { name: "pk_item".into(), table: cat.table_id("item"), column: 0, clustered: true },
+            Index { name: "pk_customer".into(), table: cat.table_id("customer"), column: 0, clustered: true },
+            Index { name: "pk_customer_address".into(), table: cat.table_id("customer_address"), column: 0, clustered: true },
+            Index { name: "idx_ss_sold_date".into(), table: cat.table_id("store_sales"), column: 0, clustered: true },
+            Index { name: "idx_ss_item".into(), table: cat.table_id("store_sales"), column: 1, clustered: false },
+            Index { name: "idx_ss_customer".into(), table: cat.table_id("store_sales"), column: 2, clustered: false },
+            Index { name: "idx_cs_sold_date".into(), table: cat.table_id("catalog_sales"), column: 0, clustered: true },
+            Index { name: "idx_cs_item".into(), table: cat.table_id("catalog_sales"), column: 1, clustered: false },
+            Index { name: "idx_ws_sold_date".into(), table: cat.table_id("web_sales"), column: 0, clustered: true },
+            Index { name: "idx_ws_item".into(), table: cat.table_id("web_sales"), column: 1, clustered: false },
+            Index { name: "idx_inv_date".into(), table: cat.table_id("inventory"), column: 0, clustered: true },
+            Index { name: "idx_sr_item".into(), table: cat.table_id("store_returns"), column: 1, clustered: false },
+        ];
+        cat
+    }
+
+    /// Convenience constructor from a [`Workload`] tag.
+    pub fn for_workload(workload: Workload, scale_factor: f64) -> Catalog {
+        match workload {
+            Workload::TpcH => Catalog::tpch(scale_factor),
+            Workload::TpcDs => Catalog::tpcds(scale_factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_has_eight_tables() {
+        let cat = Catalog::tpch(1.0);
+        assert_eq!(cat.num_tables(), 8);
+        assert_eq!(cat.table(cat.table_id("lineitem")).base_rows as u64, 6_001_215);
+    }
+
+    #[test]
+    fn scale_factor_scales_fact_tables_only() {
+        let cat = Catalog::tpch(100.0);
+        let lineitem = cat.table_id("lineitem");
+        let region = cat.table_id("region");
+        assert_eq!(cat.rows(lineitem), 6_001_215.0 * 100.0);
+        assert_eq!(cat.rows(region), 5.0);
+    }
+
+    #[test]
+    fn pages_are_positive_and_follow_width() {
+        let cat = Catalog::tpch(1.0);
+        let lineitem = cat.table_id("lineitem");
+        let pages = cat.pages(lineitem);
+        assert!(pages > 90_000.0 && pages < 100_000.0, "pages = {pages}");
+    }
+
+    #[test]
+    fn tpcds_catalog_is_consistent() {
+        let cat = Catalog::tpcds(1.0);
+        assert!(cat.num_tables() >= 20);
+        for (i, t) in cat.tables.iter().enumerate() {
+            assert!(!t.columns.is_empty(), "table {} has no columns", t.name);
+            assert!(cat.rows(i) >= 1.0);
+            for col in &t.columns {
+                assert!(col.min <= col.median && col.median <= col.max, "{}.{}", t.name, col.name);
+            }
+        }
+    }
+
+    #[test]
+    fn indexes_reference_valid_tables_and_columns() {
+        for cat in [Catalog::tpch(1.0), Catalog::tpcds(1.0)] {
+            for ix in &cat.indexes {
+                assert!(ix.table < cat.num_tables());
+                assert!(ix.column < cat.table(ix.table).columns.len(), "{}", ix.name);
+            }
+        }
+    }
+
+    #[test]
+    fn index_lookup_by_column_works() {
+        let cat = Catalog::tpch(1.0);
+        let lineitem = cat.table_id("lineitem");
+        let shipdate_col = 3;
+        let ix = cat.index_on(lineitem, shipdate_col).expect("shipdate index");
+        assert_eq!(cat.indexes[ix].name, "idx_lineitem_shipdate");
+        assert_eq!(cat.index_on(lineitem, 5), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! Dataset generation and train/test splitting.
+//!
+//! Reproduces the paper's experimental protocol (§6, "Workload" and
+//! "Training data"):
+//!
+//! * queries are sampled from the benchmark's templates and *executed* (here:
+//!   simulated) to obtain per-operator latencies;
+//! * **TPC-DS** splits by holding out all instances of 10 randomly-selected
+//!   templates (the model is evaluated on unseen templates);
+//! * **TPC-H** has too few templates for that, so 10% of queries are held
+//!   out at random;
+//! * Figure 8 uses hold-*one*-template-out.
+
+use crate::catalog::{Catalog, Workload};
+use crate::executor::Executor;
+use crate::optimizer::Optimizer;
+use crate::plan::Plan;
+use crate::workload::templates;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A generated workload: executed plans plus the catalog they ran against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The catalog (schema + statistics) queries were planned against.
+    pub catalog: Catalog,
+    /// Executed query plans with per-operator latencies.
+    pub plans: Vec<Plan>,
+}
+
+/// Index-based train/test split of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Indices of training plans.
+    pub train: Vec<usize>,
+    /// Indices of test plans.
+    pub test: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates `n_queries` executed queries for `workload` at
+    /// `scale_factor`, deterministically in `seed`.
+    ///
+    /// Each query samples a template uniformly at random, instantiates it
+    /// with fresh parameters, plans it and simulates its execution — the
+    /// counterpart of the paper's 20,000 `EXPLAIN ANALYZE` runs.
+    pub fn generate(workload: Workload, scale_factor: f64, n_queries: usize, seed: u64) -> Dataset {
+        Self::generate_concurrent(workload, scale_factor, n_queries, seed, 1)
+    }
+
+    /// Like [`Dataset::generate`], but each query executes under a
+    /// multiprogramming level sampled uniformly from `1..=max_mpl`
+    /// (the paper's §8 concurrent-query extension; `max_mpl = 1`
+    /// reproduces the paper's isolated-execution protocol exactly).
+    ///
+    /// The sampled load is recorded on every plan node
+    /// ([`crate::plan::PlanNode::concurrency`]), where load-aware
+    /// featurization ([`crate::features::Featurizer::with_system_load`])
+    /// can read it.
+    ///
+    /// # Panics
+    /// Panics if `max_mpl == 0`.
+    pub fn generate_concurrent(
+        workload: Workload,
+        scale_factor: f64,
+        n_queries: usize,
+        seed: u64,
+        max_mpl: u32,
+    ) -> Dataset {
+        assert!(max_mpl >= 1, "max_mpl must be at least 1");
+        let catalog = Catalog::for_workload(workload, scale_factor);
+        let tpls = templates(workload);
+        let optimizer = Optimizer::new(&catalog);
+        let executor = Executor::new(&catalog);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut plans = Vec::with_capacity(n_queries);
+        for query_id in 0..n_queries {
+            let t = &tpls[rng.gen_range(0..tpls.len())];
+            let spec = (t.gen)(&catalog, &mut rng);
+            let mut root = optimizer.build(&spec, &mut rng);
+            let mpl = if max_mpl == 1 { 1.0 } else { rng.gen_range(1..=max_mpl) as f64 };
+            executor.run_with_load(&mut root, mpl, &mut rng);
+            plans.push(Plan { root, workload, template_id: t.id, query_id: query_id as u64 });
+        }
+        Dataset { catalog, plans }
+    }
+
+    /// Number of plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Total operator count across all plans (the `|D|` of Equation 7).
+    pub fn total_operators(&self) -> usize {
+        self.plans.iter().map(Plan::node_count).sum()
+    }
+
+    /// The paper's split for the benchmark: hold-out templates for TPC-DS,
+    /// random 10% for TPC-H.
+    pub fn paper_split(&self, seed: u64) -> Split {
+        match self.plans.first().map(|p| p.workload) {
+            Some(Workload::TpcDs) => self.split_holdout_templates(10, seed),
+            _ => self.split_random(0.10, seed),
+        }
+    }
+
+    /// Random split holding out `test_frac` of queries (TPC-H protocol).
+    pub fn split_random(&self, test_frac: f64, seed: u64) -> Split {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac in [0,1)");
+        let mut idx: Vec<usize> = (0..self.plans.len()).collect();
+        idx.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let n_test = ((self.plans.len() as f64) * test_frac).round() as usize;
+        let (test, train) = idx.split_at(n_test.min(idx.len()));
+        Split { train: train.to_vec(), test: test.to_vec() }
+    }
+
+    /// Holds out all instances of `k` randomly-chosen templates (TPC-DS
+    /// protocol: "train on 60 templates, measure on the unseen 10").
+    pub fn split_holdout_templates(&self, k: usize, seed: u64) -> Split {
+        let mut template_ids: Vec<u32> = self.plans.iter().map(|p| p.template_id).collect();
+        template_ids.sort_unstable();
+        template_ids.dedup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        template_ids.shuffle(&mut rng);
+        let held: Vec<u32> = template_ids.into_iter().take(k).collect();
+        self.split_by_templates(&held)
+    }
+
+    /// Holds out exactly the given template (Figure 8 protocol).
+    pub fn split_hold_one_template(&self, template_id: u32) -> Split {
+        self.split_by_templates(&[template_id])
+    }
+
+    /// Splits with all instances of `held` templates in the test set.
+    pub fn split_by_templates(&self, held: &[u32]) -> Split {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, p) in self.plans.iter().enumerate() {
+            if held.contains(&p.template_id) {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        Split { train, test }
+    }
+
+    /// Borrows the plans selected by `indices`.
+    pub fn select(&self, indices: &[usize]) -> Vec<&Plan> {
+        indices.iter().map(|&i| &self.plans[i]).collect()
+    }
+
+    /// K-fold cross-validation over *templates*: template ids are shuffled
+    /// and partitioned into `k` folds; fold `i`'s test set holds every
+    /// instance of its templates (the TPC-DS unseen-template protocol,
+    /// repeated so every template is held out exactly once).
+    ///
+    /// Returns `k` splits. Folds differ in size by at most one template.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the dataset has fewer than `k` templates.
+    pub fn cross_validate_templates(&self, k: usize, seed: u64) -> Vec<Split> {
+        assert!(k > 0, "k must be positive");
+        let mut template_ids: Vec<u32> = self.plans.iter().map(|p| p.template_id).collect();
+        template_ids.sort_unstable();
+        template_ids.dedup();
+        assert!(
+            template_ids.len() >= k,
+            "need at least {k} templates, have {}",
+            template_ids.len()
+        );
+        template_ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+
+        (0..k)
+            .map(|fold| {
+                let held: Vec<u32> = template_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % k == fold)
+                    .map(|(_, &t)| t)
+                    .collect();
+                self.split_by_templates(&held)
+            })
+            .collect()
+    }
+
+    /// Mean query latency (ms) over the given indices.
+    pub fn mean_latency_ms(&self, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        indices.iter().map(|&i| self.plans[i].latency_ms()).sum::<f64>() / indices.len() as f64
+    }
+
+    /// Per-template mean latency, sorted by template id (Figure 12).
+    pub fn latency_by_template(&self) -> Vec<(u32, f64, usize)> {
+        let mut acc: std::collections::BTreeMap<u32, (f64, usize)> = Default::default();
+        for p in &self.plans {
+            let e = acc.entry(p.template_id).or_insert((0.0, 0));
+            e.0 += p.latency_ms();
+            e.1 += 1;
+        }
+        acc.into_iter().map(|(id, (sum, n))| (id, sum / n as f64, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_in_seed() {
+        let a = Dataset::generate(Workload::TpcH, 1.0, 20, 7);
+        let b = Dataset::generate(Workload::TpcH, 1.0, 20, 7);
+        assert_eq!(a.plans, b.plans);
+        let c = Dataset::generate(Workload::TpcH, 1.0, 20, 8);
+        assert_ne!(a.plans, c.plans);
+    }
+
+    #[test]
+    fn concurrent_generation_varies_load_and_slows_queries() {
+        let iso = Dataset::generate(Workload::TpcH, 1.0, 60, 42);
+        let conc = Dataset::generate_concurrent(Workload::TpcH, 1.0, 60, 42, 8);
+        // Loads actually vary.
+        let loads: std::collections::BTreeSet<u64> =
+            conc.plans.iter().map(|p| p.root.concurrency as u64).collect();
+        assert!(loads.len() > 3, "expected varied MPLs, got {loads:?}");
+        assert!(loads.iter().all(|&l| (1..=8).contains(&l)));
+        // Mean latency under load exceeds isolated mean latency.
+        let mean = |d: &Dataset| {
+            d.plans.iter().map(Plan::latency_ms).sum::<f64>() / d.plans.len() as f64
+        };
+        assert!(mean(&conc) > mean(&iso) * 1.3, "{} vs {}", mean(&conc), mean(&iso));
+        // Isolated generation is untouched by the extension.
+        assert!(iso.plans.iter().all(|p| p.root.concurrency == 1.0));
+    }
+
+    #[test]
+    fn random_split_partitions_everything() {
+        let d = Dataset::generate(Workload::TpcH, 1.0, 50, 1);
+        let s = d.split_random(0.1, 2);
+        assert_eq!(s.train.len() + s.test.len(), 50);
+        assert_eq!(s.test.len(), 5);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn holdout_split_separates_templates() {
+        let d = Dataset::generate(Workload::TpcDs, 1.0, 120, 3);
+        let s = d.split_holdout_templates(10, 4);
+        let train_templates: std::collections::HashSet<u32> =
+            s.train.iter().map(|&i| d.plans[i].template_id).collect();
+        let test_templates: std::collections::HashSet<u32> =
+            s.test.iter().map(|&i| d.plans[i].template_id).collect();
+        assert!(train_templates.is_disjoint(&test_templates));
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn hold_one_template_out_isolates_it() {
+        let d = Dataset::generate(Workload::TpcH, 1.0, 100, 5);
+        let tid = d.plans[0].template_id;
+        let s = d.split_hold_one_template(tid);
+        assert!(s.test.iter().all(|&i| d.plans[i].template_id == tid));
+        assert!(s.train.iter().all(|&i| d.plans[i].template_id != tid));
+    }
+
+    #[test]
+    fn latency_by_template_covers_all_queries() {
+        let d = Dataset::generate(Workload::TpcH, 1.0, 60, 6);
+        let by_template = d.latency_by_template();
+        let total: usize = by_template.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 60);
+        for (_, mean, _) in by_template {
+            assert!(mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn cross_validation_holds_every_template_out_exactly_once() {
+        let d = Dataset::generate(Workload::TpcH, 1.0, 120, 8);
+        let folds = d.cross_validate_templates(4, 9);
+        assert_eq!(folds.len(), 4);
+        // Every plan appears in exactly one test fold.
+        let mut test_counts = vec![0usize; d.len()];
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), d.len());
+            for &i in &f.test {
+                test_counts[i] += 1;
+            }
+            // Templates never straddle train/test within a fold.
+            let test_templates: std::collections::HashSet<u32> =
+                f.test.iter().map(|&i| d.plans[i].template_id).collect();
+            assert!(f.train.iter().all(|&i| !test_templates.contains(&d.plans[i].template_id)));
+        }
+        assert!(test_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn cross_validation_rejects_too_many_folds() {
+        let d = Dataset::generate(Workload::TpcH, 1.0, 30, 8);
+        let _ = d.cross_validate_templates(1000, 0);
+    }
+
+    #[test]
+    fn paper_split_uses_workload_protocol() {
+        let h = Dataset::generate(Workload::TpcH, 1.0, 40, 9);
+        let s = h.paper_split(1);
+        assert_eq!(s.test.len(), 4); // 10% of 40
+        let ds = Dataset::generate(Workload::TpcDs, 1.0, 200, 9);
+        let s = ds.paper_split(1);
+        let test_templates: std::collections::HashSet<u32> =
+            s.test.iter().map(|&i| ds.plans[i].template_id).collect();
+        assert!(test_templates.len() <= 10);
+    }
+}

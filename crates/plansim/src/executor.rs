@@ -1,0 +1,712 @@
+//! The executor: a ground-truth latency simulator.
+//!
+//! Plays the role the paper's PostgreSQL testbed plays: given a physical
+//! plan (with *true* cardinalities computed by the optimizer from the hidden
+//! spec parameters), it assigns every node an observed latency. Latencies
+//! follow analytic per-operator models with the regime switches that make
+//! real systems hard to predict from linear cost models:
+//!
+//! * **cold-cache penalties** — the paper executes every query from a cold
+//!   cache; first touches of a relation pay full I/O prices, repeated
+//!   touches within the same plan hit the buffer pool;
+//! * **memory spills** — hash builds, hash aggregates, sorts and
+//!   materializations past `work_mem` switch to multi-pass disk algorithms;
+//! * **hash-table pressure** — probe costs grow with the true
+//!   build-rows-per-bucket ratio;
+//! * **per-relation factors** — hidden per-table CPU multipliers (row
+//!   unpacking costs not derivable from row width alone), learnable only
+//!   from the relation's identity;
+//! * **noise** — per-operator and per-query lognormal noise.
+//!
+//! All latencies are **subtree-inclusive** (PostgreSQL `actual total time`),
+//! so the root latency is the query latency, matching what Equation 7 of
+//! the paper supervises.
+
+use crate::catalog::{Catalog, TableId, PAGE_SIZE};
+use crate::operators::{
+    AggStrategy, JoinAlgorithm, Operator, ScanMethod, SortMethod,
+};
+use crate::plan::PlanNode;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Latency-model constants, in milliseconds. These play the role of the
+/// hardware profile of the paper's testbed (Xeon E5-2640 v4, 32 GB RAM,
+/// SSD); changing them rescales latencies without changing the learning
+/// problem.
+pub mod latency_model {
+    /// Sequential page read, cold cache.
+    pub const COLD_SEQ_PAGE_MS: f64 = 0.020;
+    /// Sequential page read, buffered.
+    pub const WARM_SEQ_PAGE_MS: f64 = 0.002;
+    /// Random page read, cold cache.
+    pub const COLD_RANDOM_IO_MS: f64 = 0.080;
+    /// Random page read, buffered.
+    pub const WARM_RANDOM_IO_MS: f64 = 0.010;
+    /// Spill-file page write+read (amortized per page per pass).
+    pub const SPILL_PAGE_MS: f64 = 0.025;
+    /// Per-tuple CPU cost of a scan.
+    pub const SCAN_ROW_MS: f64 = 0.000_10;
+    /// Per-tuple CPU cost of evaluating a predicate.
+    pub const PRED_ROW_MS: f64 = 0.000_06;
+    /// Per-pair CPU cost of a nested-loop comparison.
+    pub const NL_PAIR_MS: f64 = 0.000_02;
+    /// Per-tuple cost of inserting into a hash table.
+    pub const HASH_BUILD_ROW_MS: f64 = 0.000_30;
+    /// Per-tuple cost of probing a hash table (at 1 row/bucket).
+    pub const HASH_PROBE_ROW_MS: f64 = 0.000_15;
+    /// Per-comparison cost of sorting.
+    pub const SORT_CMP_MS: f64 = 0.000_05;
+    /// Per-tuple cost of a merge-join step.
+    pub const MERGE_ROW_MS: f64 = 0.000_08;
+    /// Per-tuple cost of aggregate accumulation.
+    pub const AGG_ROW_MS: f64 = 0.000_08;
+    /// Per-group cost of aggregate finalization.
+    pub const AGG_GROUP_MS: f64 = 0.000_40;
+    /// Per-tuple cost of emitting an output row.
+    pub const EMIT_ROW_MS: f64 = 0.000_03;
+    /// B-tree descent cost per index lookup.
+    pub const BTREE_DESCENT_MS: f64 = 0.05;
+    /// Standard deviation of per-operator lognormal noise.
+    pub const OP_NOISE_SIGMA: f64 = 0.08;
+    /// Standard deviation of per-query lognormal noise (system state).
+    pub const QUERY_NOISE_SIGMA: f64 = 0.12;
+    /// Per-concurrent-query slowdown of CPU-bound work (cache pollution,
+    /// scheduler overhead) in the §8 concurrency extension.
+    pub const CPU_CONTENTION_PER_QUERY: f64 = 0.12;
+    /// Per-concurrent-query slowdown of I/O-bound work (shared disk
+    /// bandwidth) in the §8 concurrency extension.
+    pub const IO_CONTENTION_PER_QUERY: f64 = 0.45;
+}
+
+use latency_model::*;
+
+/// Hidden per-relation CPU multiplier in `[0.5, 2.0]`.
+///
+/// Models per-table row-unpacking costs (compression, varlena columns,
+/// TOAST) that are not derivable from the row width. Deterministic in the
+/// table name so the factor is a stable property of the database — exactly
+/// the kind of signal the relation one-hot feature lets QPPNet learn,
+/// while the baselines' resource features cannot see it.
+pub fn relation_cpu_factor(catalog: &Catalog, table: TableId) -> f64 {
+    let name = &catalog.table(table).name;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    0.5 + (h % 1500) as f64 / 1000.0
+}
+
+/// Hidden locality factor of an operator's *output* stream.
+///
+/// Downstream per-tuple CPU costs depend on how cache-friendly the input
+/// stream is: sorted/clustered/materialized inputs are cheap to consume,
+/// hash-join output (scattered pointers) is expensive. This is an
+/// *inter-operator interaction*: the parent's latency depends on the
+/// child's operator identity, which QPPNet's learned data vectors can
+/// carry upward but per-operator feature models cannot express.
+pub fn output_locality(node: &PlanNode) -> f64 {
+    match &node.op {
+        Operator::Scan { method: ScanMethod::Seq, .. } => 1.0,
+        Operator::Scan { method: ScanMethod::Index { .. }, .. } => 0.75,
+        Operator::Sort { .. } => 0.55,
+        Operator::Materialize => 0.7,
+        Operator::Join { algo: JoinAlgorithm::Merge, .. } => 0.8,
+        Operator::Join { algo: JoinAlgorithm::Hash, .. } => 1.6,
+        Operator::Join { algo: JoinAlgorithm::NestedLoop, .. } => 1.15,
+        Operator::Hash { .. } => 1.3,
+        Operator::Aggregate { strategy: AggStrategy::Hashed, .. } => 1.5,
+        Operator::Aggregate { .. } => 0.85,
+        // Filters and limits pass their input through untouched.
+        Operator::Filter { .. } | Operator::Limit { .. } => {
+            node.children.first().map(output_locality).unwrap_or(1.0)
+        }
+    }
+}
+
+/// Samples `exp(N(0, sigma))` lognormal noise.
+fn lognormal(rng: &mut impl Rng, sigma: f64) -> f64 {
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (z * sigma).exp()
+}
+
+/// The latency simulator.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+}
+
+struct ExecState {
+    /// Tables already touched by this query (buffered pages).
+    warm: HashSet<TableId>,
+    /// Per-query system-state noise factor.
+    query_factor: f64,
+    /// Multiprogramming level (1.0 = the paper's isolated execution).
+    mpl: f64,
+    /// Effective per-operator working memory: `work_mem / mpl` — concurrent
+    /// queries share the memory budget, so higher load moves spill
+    /// thresholds *down* (a regime interaction, not just a multiplier).
+    work_mem: f64,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Executor { catalog }
+    }
+
+    /// Executes (simulates) `plan` in place: fills `actual.latency_ms` and
+    /// `actual.self_latency_ms` on every node. Returns the query latency
+    /// (root-inclusive time) in milliseconds.
+    ///
+    /// Cardinalities (`actual.rows`) must already be present (the optimizer
+    /// computes them from the spec's hidden true parameters).
+    pub fn run(&self, plan: &mut PlanNode, rng: &mut impl Rng) -> f64 {
+        self.run_with_load(plan, 1.0, rng)
+    }
+
+    /// Executes `plan` under a multiprogramming level of `mpl` concurrent
+    /// queries (the paper's §8 concurrent-query extension; `mpl = 1.0`
+    /// reproduces [`Executor::run`] exactly).
+    ///
+    /// Interference has three components:
+    ///
+    /// * CPU-bound work slows by [`CPU_CONTENTION_PER_QUERY`] per
+    ///   co-runner (cache pollution, scheduling);
+    /// * I/O-bound work slows by [`IO_CONTENTION_PER_QUERY`] per
+    ///   co-runner (shared disk bandwidth) — operators pay in proportion
+    ///   to how I/O-bound they are;
+    /// * the per-operator memory budget shrinks to `work_mem / mpl`,
+    ///   moving hash/sort/aggregate **spill thresholds down** — a regime
+    ///   change a linear slowdown model cannot express.
+    ///
+    /// The in-effect load is recorded on every node
+    /// ([`PlanNode::concurrency`]) so load-aware featurization can see it.
+    ///
+    /// # Panics
+    /// Panics if `mpl < 1.0`.
+    pub fn run_with_load(&self, plan: &mut PlanNode, mpl: f64, rng: &mut impl Rng) -> f64 {
+        assert!(mpl >= 1.0, "multiprogramming level must be ≥ 1");
+        let mut state = ExecState {
+            warm: HashSet::new(),
+            query_factor: lognormal(rng, QUERY_NOISE_SIGMA),
+            mpl,
+            work_mem: self.catalog.work_mem_bytes / mpl,
+        };
+        plan.visit_postorder_mut(&mut |n| n.concurrency = mpl);
+        self.exec_node(plan, &mut state, rng)
+    }
+
+    fn exec_node(&self, node: &mut PlanNode, state: &mut ExecState, rng: &mut impl Rng) -> f64 {
+        // Children first (bottom-up), accumulating inclusive time.
+        let mut child_time = 0.0;
+        let child_true_rows: Vec<f64> = node.children.iter().map(|c| c.actual.rows).collect();
+        for c in &mut node.children {
+            child_time += self.exec_node(c, state, rng);
+        }
+
+        let self_ms = self.self_latency(node, &child_true_rows, state)
+            * Self::interference(node, state.mpl)
+            * lognormal(rng, OP_NOISE_SIGMA)
+            * state.query_factor;
+        node.actual.self_latency_ms = self_ms;
+        node.actual.latency_ms = child_time + self_ms;
+        node.actual.latency_ms
+    }
+
+    /// Load multiplier for one operator at multiprogramming level `mpl`.
+    ///
+    /// Each operator family pays CPU contention plus I/O contention scaled
+    /// by how I/O-bound the family is.
+    fn interference(node: &PlanNode, mpl: f64) -> f64 {
+        if mpl <= 1.0 {
+            return 1.0;
+        }
+        let io_weight = match &node.op {
+            // Scans and materializations are dominated by I/O.
+            Operator::Scan { .. } => 0.8,
+            Operator::Materialize => 0.6,
+            // Spill-prone blocking operators are partially I/O-bound.
+            Operator::Hash { .. } => 0.35,
+            Operator::Sort { .. } => 0.40,
+            Operator::Aggregate { strategy: AggStrategy::Hashed, .. } => 0.30,
+            // Pure CPU pipelines.
+            Operator::Join { .. }
+            | Operator::Aggregate { .. }
+            | Operator::Filter { .. }
+            | Operator::Limit { .. } => 0.10,
+        };
+        let extra = mpl - 1.0;
+        1.0 + extra * (CPU_CONTENTION_PER_QUERY * (1.0 - io_weight)
+            + IO_CONTENTION_PER_QUERY * io_weight)
+    }
+
+    /// Analytic self-latency of one operator, in milliseconds.
+    fn self_latency(&self, node: &PlanNode, child_rows: &[f64], state: &mut ExecState) -> f64 {
+        let out_rows = node.actual.rows;
+        let in_rows = child_rows.first().copied().unwrap_or(0.0);
+        match &node.op {
+            Operator::Scan { table, method, predicate_col } => {
+                let t = *table;
+                let table_rows = self.catalog.rows(t);
+                let pages = self.catalog.pages(t);
+                let cold = state.warm.insert(t);
+                let cpu_factor = relation_cpu_factor(self.catalog, t);
+                match method {
+                    ScanMethod::Seq => {
+                        let page_ms = if cold { COLD_SEQ_PAGE_MS } else { WARM_SEQ_PAGE_MS };
+                        let io = pages * page_ms;
+                        let mut cpu = table_rows * SCAN_ROW_MS * cpu_factor;
+                        if predicate_col.is_some() {
+                            cpu += table_rows * PRED_ROW_MS;
+                        }
+                        io + cpu + out_rows * EMIT_ROW_MS
+                    }
+                    ScanMethod::Index { index, .. } => {
+                        let ix = &self.catalog.indexes[*index];
+                        let matched = out_rows;
+                        let io = if ix.clustered {
+                            let page_ms = if cold { COLD_SEQ_PAGE_MS } else { WARM_SEQ_PAGE_MS };
+                            (pages * (matched / table_rows).min(1.0)).max(1.0) * page_ms
+                        } else {
+                            let io_ms = if cold { COLD_RANDOM_IO_MS } else { WARM_RANDOM_IO_MS };
+                            matched.min(pages * 4.0) * io_ms
+                        };
+                        BTREE_DESCENT_MS
+                            + io
+                            + matched * SCAN_ROW_MS * 1.2 * cpu_factor
+                            + matched * EMIT_ROW_MS
+                    }
+                }
+            }
+            Operator::Filter { parallel } => {
+                let factor = if *parallel { 0.35 } else { 1.0 };
+                let loc = node.children.first().map(output_locality).unwrap_or(1.0);
+                in_rows * PRED_ROW_MS * 1.5 * factor * loc + out_rows * EMIT_ROW_MS
+            }
+            Operator::Join { algo, .. } => {
+                let outer = child_rows.first().copied().unwrap_or(1.0);
+                let inner = child_rows.get(1).copied().unwrap_or(1.0);
+                let outer_loc =
+                    node.children.first().map(output_locality).unwrap_or(1.0);
+                let inner_loc = node.children.get(1).map(output_locality).unwrap_or(1.0);
+                match algo {
+                    JoinAlgorithm::NestedLoop => {
+                        // Materialized inners make rescans cheap (factor
+                        // captured in the pair constant; unmaterialized
+                        // scans would be re-executed, but the optimizer
+                        // always materializes non-leaf inners).
+                        outer * inner * NL_PAIR_MS * inner_loc + out_rows * EMIT_ROW_MS
+                    }
+                    JoinAlgorithm::Hash => {
+                        // The inner child is the Hash node; its build-side
+                        // pressure raises probe costs.
+                        let (buckets, build_rows) = match &node.children[1].op {
+                            Operator::Hash { buckets, .. } => {
+                                (*buckets, node.children[1].actual.rows)
+                            }
+                            _ => (1024.0_f64.max(inner), inner),
+                        };
+                        let pressure = (build_rows / buckets).clamp(1.0, 64.0);
+                        let build_bytes = build_rows * node.children[1].est.width;
+                        let spilled = build_bytes > state.work_mem;
+                        let spill_ms = if spilled {
+                            // Probe side written and re-read per extra pass.
+                            let probe_bytes = outer * node.children[0].est.width;
+                            let passes =
+                                (build_bytes / state.work_mem).log2().max(1.0);
+                            probe_bytes / PAGE_SIZE * SPILL_PAGE_MS * passes
+                        } else {
+                            0.0
+                        };
+                        outer * HASH_PROBE_ROW_MS * pressure * outer_loc
+                            + spill_ms
+                            + out_rows * EMIT_ROW_MS
+                    }
+                    JoinAlgorithm::Merge => {
+                        (outer + inner) * MERGE_ROW_MS * 0.5 * (outer_loc + inner_loc)
+                            + out_rows * EMIT_ROW_MS
+                    }
+                }
+            }
+            Operator::Hash { .. } => {
+                let build_rows = in_rows;
+                let bytes = build_rows * node.est.width;
+                let mut ms = build_rows * HASH_BUILD_ROW_MS;
+                if bytes > state.work_mem {
+                    let passes = (bytes / state.work_mem).log2().max(1.0);
+                    ms += bytes / PAGE_SIZE * SPILL_PAGE_MS * passes;
+                }
+                ms
+            }
+            Operator::Sort { method, .. } => {
+                let n = in_rows.max(2.0);
+                let bytes = n * node.est.width;
+                let loc = node.children.first().map(output_locality).unwrap_or(1.0);
+                match method {
+                    SortMethod::TopN => {
+                        // Bounded heap: never spills regardless of load.
+                        let k = out_rows.max(2.0).min(n);
+                        n * k.log2() * SORT_CMP_MS * loc + out_rows * EMIT_ROW_MS
+                    }
+                    // The planner picks quicksort vs. external from
+                    // *estimates*; the executor switches at runtime based on
+                    // the *actual* bytes vs. the effective memory budget
+                    // (exactly PostgreSQL's behaviour, and the reason
+                    // planned-quicksort nodes sometimes spill).
+                    SortMethod::Quicksort | SortMethod::External => {
+                        let spill = if bytes > state.work_mem {
+                            let passes = (bytes / state.work_mem).log2().max(1.0) + 1.0;
+                            bytes / PAGE_SIZE * SPILL_PAGE_MS * passes
+                        } else {
+                            0.0
+                        };
+                        n * n.log2() * SORT_CMP_MS * loc + spill + out_rows * EMIT_ROW_MS
+                    }
+                }
+            }
+            Operator::Aggregate { strategy, partial, .. } => {
+                let groups = out_rows;
+                let parallel_factor = if *partial { 0.6 } else { 1.0 };
+                let loc = node.children.first().map(output_locality).unwrap_or(1.0);
+                let parallel_factor = parallel_factor * loc;
+                let base = match strategy {
+                    AggStrategy::Plain => in_rows * AGG_ROW_MS,
+                    AggStrategy::Sorted => in_rows * (AGG_ROW_MS + SORT_CMP_MS),
+                    AggStrategy::Hashed => {
+                        let bytes = groups * node.est.width * 1.5;
+                        let spill = if bytes > state.work_mem {
+                            2.0 * in_rows * node.est.width / PAGE_SIZE * SPILL_PAGE_MS
+                        } else {
+                            0.0
+                        };
+                        in_rows * (AGG_ROW_MS + HASH_BUILD_ROW_MS * 0.5) + spill
+                    }
+                };
+                base * parallel_factor + groups * AGG_GROUP_MS + out_rows * EMIT_ROW_MS
+            }
+            Operator::Materialize => {
+                let bytes = in_rows * node.est.width;
+                let spill = if bytes > state.work_mem {
+                    2.0 * bytes / PAGE_SIZE * SPILL_PAGE_MS
+                } else {
+                    0.0
+                };
+                in_rows * EMIT_ROW_MS * 2.0 + spill
+            }
+            Operator::Limit { .. } => out_rows * EMIT_ROW_MS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::optimizer::Optimizer;
+    use crate::spec::{FilterSpec, JoinCard, JoinInput, JoinSpec, QuerySpec, TableTerm};
+    use crate::operators::JoinType;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn scan_spec(cat: &Catalog, table: &str) -> QuerySpec {
+        QuerySpec::single(TableTerm { table: cat.table_id(table), filter: None })
+    }
+
+    #[test]
+    fn latencies_are_positive_and_inclusive() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("lineitem"), filter: None },
+                TableTerm { table: cat.table_id("orders"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("orders"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let mut plan = Optimizer::new(&cat).build(&spec, &mut rng(1));
+        let total = Executor::new(&cat).run(&mut plan, &mut rng(2));
+        assert!(total > 0.0);
+        assert_eq!(total, plan.actual.latency_ms);
+        // Inclusive: parent >= sum of children.
+        fn check(node: &crate::plan::PlanNode) {
+            let child_sum: f64 = node.children.iter().map(|c| c.actual.latency_ms).sum();
+            assert!(node.actual.latency_ms >= child_sum);
+            assert!(node.actual.self_latency_ms > 0.0);
+            for c in &node.children {
+                check(c);
+            }
+        }
+        check(&plan);
+    }
+
+    #[test]
+    fn bigger_tables_take_longer() {
+        let cat = Catalog::tpch(1.0);
+        let mut small = Optimizer::new(&cat).build(&scan_spec(&cat, "supplier"), &mut rng(1));
+        let mut big = Optimizer::new(&cat).build(&scan_spec(&cat, "lineitem"), &mut rng(1));
+        let ex = Executor::new(&cat);
+        let t_small = ex.run(&mut small, &mut rng(3));
+        let t_big = ex.run(&mut big, &mut rng(3));
+        assert!(t_big > t_small * 50.0, "small={t_small} big={t_big}");
+    }
+
+    #[test]
+    fn scale_factor_scales_latency() {
+        let sf1 = Catalog::tpch(1.0);
+        let sf10 = Catalog::tpch(10.0);
+        let mut p1 = Optimizer::new(&sf1).build(&scan_spec(&sf1, "lineitem"), &mut rng(1));
+        let mut p10 = Optimizer::new(&sf10).build(&scan_spec(&sf10, "lineitem"), &mut rng(1));
+        let t1 = Executor::new(&sf1).run(&mut p1, &mut rng(4));
+        let t10 = Executor::new(&sf10).run(&mut p10, &mut rng(4));
+        assert!(t10 > t1 * 5.0 && t10 < t1 * 20.0, "t1={t1} t10={t10}");
+    }
+
+    #[test]
+    fn selective_index_scan_is_faster_than_full_scan() {
+        let cat = Catalog::tpch(1.0);
+        let filtered = QuerySpec::single(TableTerm {
+            table: cat.table_id("lineitem"),
+            filter: Some(FilterSpec { col: 3, true_sel: 0.0005, est_sel: 0.0005, separate_node: false }),
+        });
+        let mut pf = Optimizer::new(&cat).build(&filtered, &mut rng(1));
+        let mut pa = Optimizer::new(&cat).build(&scan_spec(&cat, "lineitem"), &mut rng(1));
+        let ex = Executor::new(&cat);
+        let tf = ex.run(&mut pf, &mut rng(5));
+        let ta = ex.run(&mut pa, &mut rng(5));
+        assert!(tf < ta / 4.0, "filtered={tf} full={ta}");
+    }
+
+    #[test]
+    fn noise_makes_repeated_runs_differ_slightly() {
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let base = Optimizer::new(&cat).build(&scan_spec(&cat, "orders"), &mut rng(1));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let ta = ex.run(&mut a, &mut rng(100));
+        let tb = ex.run(&mut b, &mut rng(200));
+        assert_ne!(ta, tb);
+        let ratio = ta / tb;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let base = Optimizer::new(&cat).build(&scan_spec(&cat, "orders"), &mut rng(1));
+        let mut a = base.clone();
+        let mut b = base;
+        assert_eq!(ex.run(&mut a, &mut rng(7)), ex.run(&mut b, &mut rng(7)));
+    }
+
+    #[test]
+    fn relation_cpu_factor_is_stable_and_bounded() {
+        let cat = Catalog::tpch(1.0);
+        for id in 0..cat.num_tables() {
+            let f = relation_cpu_factor(&cat, id);
+            assert!((0.5..=2.0).contains(&f));
+            assert_eq!(f, relation_cpu_factor(&cat, id));
+        }
+    }
+
+    #[test]
+    fn sort_spills_make_big_sorts_superlinear() {
+        // Sorting n rows past work_mem must cost disproportionally more
+        // than sorting n/8 rows (external merge passes), beyond the n·log n
+        // growth.
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let mk = |sel: f64, seed: u64| {
+            let spec = QuerySpec {
+                terms: vec![TableTerm {
+                    table: cat.table_id("lineitem"),
+                    filter: Some(FilterSpec {
+                        col: 3,
+                        true_sel: sel,
+                        est_sel: sel,
+                        separate_node: false,
+                    }),
+                }],
+                join: crate::spec::JoinInput::Term(0),
+                post_filter: None,
+                agg: None,
+                sort: Some(crate::spec::SortSpec { key: 0 }),
+                limit: None,
+            };
+            let mut plan = Optimizer::new(&cat).build(&spec, &mut rng(seed));
+            ex.run(&mut plan, &mut rng(seed + 1));
+            // Find the sort node's self time.
+            let mut sort_ms = 0.0;
+            plan.visit_postorder(&mut |n| {
+                if matches!(n.op, crate::operators::Operator::Sort { .. }) {
+                    sort_ms = n.actual.self_latency_ms;
+                }
+            });
+            sort_ms
+        };
+        let small = mk(0.1, 10); // ~600k rows * 90B = fits nowhere near spill? 54MB < 64MB work_mem
+        let big = mk(0.8, 10); // ~4.8M rows: definitely spills
+        // 8x the rows with spill passes should cost far more than 8x.
+        assert!(big > small * 10.0, "small={small} big={big}");
+    }
+
+    #[test]
+    fn unit_mpl_reproduces_isolated_execution_exactly() {
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let base = Optimizer::new(&cat).build(&scan_spec(&cat, "orders"), &mut rng(1));
+        let mut a = base.clone();
+        let mut b = base;
+        let ta = ex.run(&mut a, &mut rng(7));
+        let tb = ex.run_with_load(&mut b, 1.0, &mut rng(7));
+        assert_eq!(ta, tb);
+        assert_eq!(a.concurrency, 1.0);
+    }
+
+    #[test]
+    fn higher_load_slows_queries_monotonically() {
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let base = Optimizer::new(&cat).build(&scan_spec(&cat, "lineitem"), &mut rng(1));
+        let mut last = 0.0;
+        for mpl in [1.0, 2.0, 4.0, 8.0] {
+            let mut p = base.clone();
+            let t = ex.run_with_load(&mut p, mpl, &mut rng(3));
+            assert!(t > last, "mpl {mpl}: {t} vs {last}");
+            assert!(p.concurrency == mpl);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn load_is_recorded_on_every_node() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("lineitem"), filter: None },
+                TableTerm { table: cat.table_id("orders"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("orders"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let mut plan = Optimizer::new(&cat).build(&spec, &mut rng(1));
+        Executor::new(&cat).run_with_load(&mut plan, 5.0, &mut rng(2));
+        plan.visit_postorder(&mut |n| assert_eq!(n.concurrency, 5.0));
+    }
+
+    #[test]
+    fn io_bound_operators_suffer_more_under_load() {
+        // A full lineitem scan (I/O-bound) must degrade by a larger factor
+        // than a CPU-bound aggregate-only query section. We compare the
+        // scan node's self time ratio against the aggregate node's.
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let spec = QuerySpec {
+            terms: vec![TableTerm { table: cat.table_id("lineitem"), filter: None }],
+            join: crate::spec::JoinInput::Term(0),
+            post_filter: None,
+            agg: Some(crate::spec::AggSpec {
+                op: crate::operators::AggOp::Sum,
+                groups: 1.0,
+                est_groups: 1.0,
+                partial: false,
+            }),
+            sort: None,
+            limit: None,
+        };
+        let base = Optimizer::new(&cat).build(&spec, &mut rng(1));
+        let self_times = |mpl: f64| {
+            let mut p = base.clone();
+            ex.run_with_load(&mut p, mpl, &mut rng(9));
+            let mut scan = 0.0;
+            let mut agg = 0.0;
+            p.visit_postorder(&mut |n| match n.op.kind() {
+                crate::operators::OpKind::Scan => scan = n.actual.self_latency_ms,
+                crate::operators::OpKind::Aggregate => agg = n.actual.self_latency_ms,
+                _ => {}
+            });
+            (scan, agg)
+        };
+        let (scan1, agg1) = self_times(1.0);
+        let (scan8, agg8) = self_times(8.0);
+        assert!(scan8 / scan1 > agg8 / agg1, "scan {} agg {}", scan8 / scan1, agg8 / agg1);
+    }
+
+    #[test]
+    fn load_shrinks_work_mem_and_triggers_spills() {
+        // A sort that fits in work_mem alone must spill under high MPL,
+        // costing disproportionally more than the plain contention factor.
+        let cat = Catalog::tpch(1.0);
+        let ex = Executor::new(&cat);
+        let spec = QuerySpec {
+            terms: vec![TableTerm {
+                table: cat.table_id("lineitem"),
+                filter: Some(FilterSpec {
+                    col: 3,
+                    true_sel: 0.08,
+                    est_sel: 0.08,
+                    separate_node: false,
+                }),
+            }],
+            join: crate::spec::JoinInput::Term(0),
+            post_filter: None,
+            agg: None,
+            sort: Some(crate::spec::SortSpec { key: 0 }),
+            limit: None,
+        };
+        let base = Optimizer::new(&cat).build(&spec, &mut rng(2));
+        let sort_self = |mpl: f64| {
+            let mut p = base.clone();
+            ex.run_with_load(&mut p, mpl, &mut rng(11));
+            let mut ms = 0.0;
+            p.visit_postorder(&mut |n| {
+                if matches!(n.op, Operator::Sort { .. }) {
+                    ms = n.actual.self_latency_ms;
+                }
+            });
+            ms
+        };
+        let isolated = sort_self(1.0);
+        let loaded = sort_self(16.0);
+        // Pure contention would multiply a mostly-CPU sort by
+        // ~1 + 15·(0.12·0.6 + 0.45·0.4) ≈ 4.8; spill passes push it
+        // far beyond that.
+        assert!(loaded > isolated * 6.0, "isolated={isolated} loaded={loaded}");
+    }
+
+    #[test]
+    fn output_locality_passes_through_filters() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec::single(TableTerm {
+            table: cat.table_id("lineitem"),
+            filter: Some(FilterSpec { col: 3, true_sel: 0.3, est_sel: 0.3, separate_node: true }),
+        });
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng(1));
+        // Filter on top of a seq scan: locality equals the scan's.
+        assert_eq!(output_locality(&plan), output_locality(&plan.children[0]));
+    }
+}

@@ -1,0 +1,687 @@
+//! Operator featurization (the paper's Table 2, Appendix B).
+//!
+//! Every operator family gets a fixed-size feature vector built from what
+//! PostgreSQL's `EXPLAIN` exposes *before execution*:
+//!
+//! * **all operators** — plan width, plan rows, plan buffers, estimated
+//!   I/Os, total cost (numeric);
+//! * **joins** — physical algorithm, join type (semi/inner/anti/full) and
+//!   parent relationship (one-hot);
+//! * **hash** — bucket count (numeric) and hash algorithm (one-hot);
+//! * **sort** — sort key and sort method (one-hot);
+//! * **scans** — relation name (one-hot), attribute min/median/max vectors
+//!   (numeric), index name (one-hot) and scan direction (boolean);
+//! * **aggregates** — strategy (one-hot), partial mode (boolean) and
+//!   aggregate operator (one-hot);
+//! * **filters** — selectivity estimate (numeric), parallelism flag.
+//!
+//! Numeric features are passed through a signed `log1p` (they span many
+//! orders of magnitude; see DESIGN.md §5) and then *whitened* — scaled to
+//! zero mean / unit variance using statistics of the **training set only**
+//! ([`Whitener`]), exactly as the paper prescribes. Booleans are 0/1 and
+//! categoricals are one-hot, unwhitened.
+//!
+//! Featurization never reads `NodeActual`: a test asserts that plans
+//! differing only in their actuals featurize identically.
+
+use crate::catalog::Catalog;
+use crate::operators::{
+    AggOp, AggStrategy, HashAlgorithm, JoinAlgorithm, JoinType, OpKind, Operator, ParentRel,
+    ScanMethod, SortMethod,
+};
+use crate::plan::{Plan, PlanNode};
+use crate::spec::MAX_SORT_KEYS;
+use serde::{Deserialize, Serialize};
+
+/// Number of leading table columns whose min/median/max statistics are
+/// exposed to scan features ("Attribute Mins/Medians/Maxs").
+pub const ATTR_STATS_COLS: usize = 4;
+
+/// Signed `log1p`: order-preserving compression that tolerates negatives.
+#[inline]
+pub fn signed_log1p(x: f64) -> f32 {
+    (x.signum() * x.abs().ln_1p()) as f32
+}
+
+/// Builds raw (pre-whitening) feature vectors for plan nodes.
+///
+/// The featurizer is catalog-specific: one-hot widths depend on the number
+/// of tables and indexes, and scan features embed per-table column
+/// statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Featurizer {
+    num_tables: usize,
+    num_indexes: usize,
+    /// Append a learned-cardinality feature to every operator (paper §7
+    /// integration; see [`crate::cardest`]).
+    #[serde(default)]
+    learned_cardinalities: bool,
+    /// Append the multiprogramming level ([`PlanNode::concurrency`]) to
+    /// every operator (paper §8 concurrent-query extension).
+    #[serde(default)]
+    system_load: bool,
+    /// Per-table `[mins, medians, maxs]` stats, signed-log'd, padded to
+    /// `ATTR_STATS_COLS` columns.
+    table_stats: Vec<[f32; 3 * ATTR_STATS_COLS]>,
+    /// Per-kind feature-vector sizes.
+    sizes: [usize; OpKind::ALL.len()],
+    /// Per-kind mask of positions that are numeric (whitened).
+    numeric_masks: Vec<Vec<bool>>,
+}
+
+impl Featurizer {
+    /// Creates a featurizer for `catalog`.
+    pub fn new(catalog: &Catalog) -> Featurizer {
+        let num_tables = catalog.num_tables();
+        let num_indexes = catalog.num_indexes();
+        let table_stats = catalog
+            .tables
+            .iter()
+            .map(|t| {
+                let mut s = [0.0f32; 3 * ATTR_STATS_COLS];
+                for (i, col) in t.columns.iter().take(ATTR_STATS_COLS).enumerate() {
+                    s[i] = signed_log1p(col.min);
+                    s[ATTR_STATS_COLS + i] = signed_log1p(col.median);
+                    s[2 * ATTR_STATS_COLS + i] = signed_log1p(col.max);
+                }
+                s
+            })
+            .collect();
+
+        let mut f = Featurizer {
+            num_tables,
+            num_indexes,
+            learned_cardinalities: false,
+            system_load: false,
+            table_stats,
+            sizes: [0; OpKind::ALL.len()],
+            numeric_masks: Vec::new(),
+        };
+        let mut masks = Vec::with_capacity(OpKind::ALL.len());
+        for kind in OpKind::ALL {
+            let mask = f.build_mask(kind);
+            f.sizes[kind.index()] = mask.len();
+            masks.push(mask);
+        }
+        f.numeric_masks = masks;
+        f
+    }
+
+    /// A featurizer that additionally exposes learned-estimator
+    /// cardinalities ([`crate::plan::PlanNode::learned_rows`]) as one extra
+    /// numeric feature per operator — the paper's §7 integration. Nodes
+    /// without an attached estimate fall back to the optimizer's rows.
+    pub fn with_learned_cardinalities(catalog: &Catalog) -> Featurizer {
+        let mut f = Featurizer::new(catalog);
+        f.learned_cardinalities = true;
+        // Rebuild sizes/masks with the extra trailing numeric position.
+        for kind in OpKind::ALL {
+            f.sizes[kind.index()] += 1;
+            f.numeric_masks[kind.index()].push(true);
+        }
+        f
+    }
+
+    /// A featurizer that additionally exposes the multiprogramming level
+    /// in effect when the plan runs ([`PlanNode::concurrency`]) as one
+    /// extra numeric feature per operator — the paper's §8 concurrent-query
+    /// extension. An admission controller knows the current load before
+    /// execution, so this is a legitimate ahead-of-time feature.
+    pub fn with_system_load(catalog: &Catalog) -> Featurizer {
+        let mut f = Featurizer::new(catalog);
+        f.system_load = true;
+        for kind in OpKind::ALL {
+            f.sizes[kind.index()] += 1;
+            f.numeric_masks[kind.index()].push(true);
+        }
+        f
+    }
+
+    /// Size of the feature vector for `kind`.
+    pub fn feature_size(&self, kind: OpKind) -> usize {
+        self.sizes[kind.index()]
+    }
+
+    /// Which positions of `kind`'s vector are numeric (whitening targets).
+    pub fn numeric_mask(&self, kind: OpKind) -> &[bool] {
+        &self.numeric_masks[kind.index()]
+    }
+
+    /// Common `EXPLAIN` numerics available for every operator.
+    fn push_common(out: &mut Vec<f32>, node: &PlanNode) {
+        out.push(signed_log1p(node.est.width));
+        out.push(signed_log1p(node.est.rows));
+        out.push(signed_log1p(node.est.buffers));
+        out.push(signed_log1p(node.est.ios));
+        out.push(signed_log1p(node.est.total_cost));
+    }
+
+    fn push_onehot(out: &mut Vec<f32>, hot: usize, len: usize) {
+        debug_assert!(hot < len);
+        for i in 0..len {
+            out.push(if i == hot { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Featurizes one plan node (raw, pre-whitening).
+    ///
+    /// Reads only the operator, its estimates and catalog statistics —
+    /// never `NodeActual`.
+    pub fn featurize(&self, node: &PlanNode) -> Vec<f32> {
+        let kind = node.op.kind();
+        let mut out = Vec::with_capacity(self.feature_size(kind));
+        Self::push_common(&mut out, node);
+        match &node.op {
+            Operator::Scan { table, method, predicate_col: _ } => {
+                // Scan method one-hot: [seq, index].
+                let is_index = matches!(method, ScanMethod::Index { .. });
+                Self::push_onehot(&mut out, is_index as usize, 2);
+                // Relation name one-hot.
+                Self::push_onehot(&mut out, *table, self.num_tables);
+                // Attribute min/median/max stats.
+                out.extend_from_slice(&self.table_stats[*table]);
+                // Index name one-hot (+1 slot for "no index") and direction.
+                let (ix_hot, forward) = match method {
+                    ScanMethod::Index { index, forward } => (*index + 1, *forward),
+                    ScanMethod::Seq => (0, true),
+                };
+                Self::push_onehot(&mut out, ix_hot, self.num_indexes + 1);
+                out.push(forward as u8 as f32);
+            }
+            Operator::Filter { parallel } => {
+                out.push(node.est.selectivity as f32);
+                out.push(*parallel as u8 as f32);
+            }
+            Operator::Join { algo, jtype, parent_rel } => {
+                let a = match algo {
+                    JoinAlgorithm::NestedLoop => 0,
+                    JoinAlgorithm::Hash => 1,
+                    JoinAlgorithm::Merge => 2,
+                };
+                Self::push_onehot(&mut out, a, 3);
+                let t = match jtype {
+                    JoinType::Semi => 0,
+                    JoinType::Inner => 1,
+                    JoinType::Anti => 2,
+                    JoinType::Full => 3,
+                };
+                Self::push_onehot(&mut out, t, 4);
+                let p = match parent_rel {
+                    ParentRel::None => 0,
+                    ParentRel::Inner => 1,
+                    ParentRel::Outer => 2,
+                    ParentRel::Subquery => 3,
+                };
+                Self::push_onehot(&mut out, p, 4);
+            }
+            Operator::Hash { buckets, algo } => {
+                out.push(signed_log1p(*buckets));
+                Self::push_onehot(&mut out, matches!(algo, HashAlgorithm::Chained) as usize, 2);
+            }
+            Operator::Sort { key, method } => {
+                Self::push_onehot(&mut out, (*key).min(MAX_SORT_KEYS - 1), MAX_SORT_KEYS);
+                let m = match method {
+                    SortMethod::Quicksort => 0,
+                    SortMethod::TopN => 1,
+                    SortMethod::External => 2,
+                };
+                Self::push_onehot(&mut out, m, 3);
+            }
+            Operator::Aggregate { strategy, partial, op } => {
+                let s = match strategy {
+                    AggStrategy::Plain => 0,
+                    AggStrategy::Sorted => 1,
+                    AggStrategy::Hashed => 2,
+                };
+                Self::push_onehot(&mut out, s, 3);
+                out.push(*partial as u8 as f32);
+                let o = match op {
+                    AggOp::Count => 0,
+                    AggOp::Sum => 1,
+                    AggOp::Avg => 2,
+                    AggOp::Min => 3,
+                    AggOp::Max => 4,
+                };
+                Self::push_onehot(&mut out, o, 5);
+            }
+            Operator::Materialize => {}
+            Operator::Limit { count } => {
+                out.push(signed_log1p(*count));
+            }
+        }
+        if self.learned_cardinalities {
+            out.push(signed_log1p(node.learned_rows.unwrap_or(node.est.rows)));
+        }
+        if self.system_load {
+            out.push(node.concurrency as f32);
+        }
+        debug_assert_eq!(out.len(), self.feature_size(kind));
+        out
+    }
+
+    /// Human-readable labels for every feature position of `kind`, aligned
+    /// with [`Featurizer::featurize`]'s layout (used by the Table-2 report
+    /// and the permutation-importance analysis).
+    pub fn feature_labels(&self, kind: OpKind) -> Vec<String> {
+        let mut out: Vec<String> = ["Plan Width", "Plan Rows", "Plan Buffers", "Estimated I/Os", "Total Cost"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match kind {
+            OpKind::Scan => {
+                out.push("Scan Method = Seq".into());
+                out.push("Scan Method = Index".into());
+                for t in 0..self.num_tables {
+                    out.push(format!("Relation Name = #{t}"));
+                }
+                for stat in ["Min", "Median", "Max"] {
+                    for c in 0..ATTR_STATS_COLS {
+                        out.push(format!("Attribute {stat}s[{c}]"));
+                    }
+                }
+                out.push("Index Name = none".into());
+                for i in 0..self.num_indexes {
+                    out.push(format!("Index Name = #{i}"));
+                }
+                out.push("Scan Direction".into());
+            }
+            OpKind::Filter => {
+                out.push("Selectivity".into());
+                out.push("Parallel".into());
+            }
+            OpKind::Join => {
+                for a in ["NestedLoop", "Hash", "Merge"] {
+                    out.push(format!("Join Algorithm = {a}"));
+                }
+                for t in ["semi", "inner", "anti", "full"] {
+                    out.push(format!("Join Type = {t}"));
+                }
+                for p in ["none", "inner", "outer", "subquery"] {
+                    out.push(format!("Parent Relationship = {p}"));
+                }
+            }
+            OpKind::Hash => {
+                out.push("Hash Buckets".into());
+                out.push("Hash Algorithm = linear".into());
+                out.push("Hash Algorithm = chained".into());
+            }
+            OpKind::Sort => {
+                for k in 0..MAX_SORT_KEYS {
+                    out.push(format!("Sort Key = {k}"));
+                }
+                for m in ["quicksort", "top-N heapsort", "external merge"] {
+                    out.push(format!("Sort Method = {m}"));
+                }
+            }
+            OpKind::Aggregate => {
+                for s in ["plain", "sorted", "hashed"] {
+                    out.push(format!("Strategy = {s}"));
+                }
+                out.push("Partial Mode".into());
+                for o in ["count", "sum", "avg", "min", "max"] {
+                    out.push(format!("Operator = {o}"));
+                }
+            }
+            OpKind::Materialize => {}
+            OpKind::Limit => {
+                out.push("Limit Count".into());
+            }
+        }
+        if self.learned_cardinalities {
+            out.push("Learned Cardinality".into());
+        }
+        if self.system_load {
+            out.push("System Load (MPL)".into());
+        }
+        debug_assert_eq!(out.len(), self.feature_size(kind));
+        out
+    }
+
+    /// Builds the numeric mask (and implicitly the size) for a kind by
+    /// mirroring [`Featurizer::featurize`]'s layout.
+    fn build_mask(&self, kind: OpKind) -> Vec<bool> {
+        let mut m = vec![true; 5]; // common numerics
+        match kind {
+            OpKind::Scan => {
+                m.extend(std::iter::repeat_n(false, 2)); // method one-hot
+                m.extend(std::iter::repeat_n(false, self.num_tables));
+                m.extend(std::iter::repeat_n(true, 3 * ATTR_STATS_COLS));
+                m.extend(std::iter::repeat_n(false, self.num_indexes + 1));
+                m.push(false); // direction
+            }
+            OpKind::Filter => {
+                m.push(true); // selectivity
+                m.push(false); // parallel flag
+            }
+            OpKind::Join => {
+                m.extend(std::iter::repeat_n(false, 3 + 4 + 4));
+            }
+            OpKind::Hash => {
+                m.push(true); // buckets
+                m.extend(std::iter::repeat(false).take(2));
+            }
+            OpKind::Sort => {
+                m.extend(std::iter::repeat_n(false, MAX_SORT_KEYS + 3));
+            }
+            OpKind::Aggregate => {
+                m.extend(std::iter::repeat_n(false, 3));
+                m.push(false); // partial
+                m.extend(std::iter::repeat_n(false, 5));
+            }
+            OpKind::Materialize => {}
+            OpKind::Limit => {
+                m.push(true); // count
+            }
+        }
+        m
+    }
+}
+
+/// Per-kind, per-position mean/std statistics for whitening numeric
+/// features. Fit on the **training split only** and reused at inference,
+/// as the paper prescribes ("At inference time, the same scaling values are
+/// used").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Whitener {
+    /// `stats[kind][pos] = (mean, std)`; one-hot positions carry `(0, 1)`.
+    stats: Vec<Vec<(f32, f32)>>,
+}
+
+impl Whitener {
+    /// Fits whitening statistics over every operator of `plans`.
+    pub fn fit<'a>(
+        featurizer: &Featurizer,
+        plans: impl IntoIterator<Item = &'a Plan>,
+    ) -> Whitener {
+        let nkinds = OpKind::ALL.len();
+        let mut sums: Vec<Vec<f64>> = (0..nkinds)
+            .map(|k| vec![0.0; featurizer.sizes[k]])
+            .collect();
+        let mut sqs: Vec<Vec<f64>> = sums.clone();
+        let mut counts = vec![0usize; nkinds];
+
+        for plan in plans {
+            plan.root.visit_postorder(&mut |node| {
+                let kind = node.op.kind();
+                let k = kind.index();
+                let v = featurizer.featurize(node);
+                counts[k] += 1;
+                for (i, &x) in v.iter().enumerate() {
+                    sums[k][i] += x as f64;
+                    sqs[k][i] += (x as f64) * (x as f64);
+                }
+            });
+        }
+
+        let stats = (0..nkinds)
+            .map(|k| {
+                let n = counts[k].max(1) as f64;
+                let mask = &featurizer.numeric_masks[k];
+                (0..featurizer.sizes[k])
+                    .map(|i| {
+                        if !mask[i] || counts[k] == 0 {
+                            (0.0, 1.0)
+                        } else {
+                            let mean = sums[k][i] / n;
+                            let var = (sqs[k][i] / n - mean * mean).max(0.0);
+                            let std = var.sqrt().max(1e-6);
+                            (mean as f32, std as f32)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Whitener { stats }
+    }
+
+    /// Identity whitener (for tests and untrained pipelines).
+    pub fn identity(featurizer: &Featurizer) -> Whitener {
+        Whitener {
+            stats: (0..OpKind::ALL.len())
+                .map(|k| vec![(0.0, 1.0); featurizer.sizes[k]])
+                .collect(),
+        }
+    }
+
+    /// Whitens a raw feature vector in place.
+    pub fn apply(&self, kind: OpKind, v: &mut [f32]) {
+        let stats = &self.stats[kind.index()];
+        debug_assert_eq!(stats.len(), v.len());
+        for (x, &(mean, std)) in v.iter_mut().zip(stats) {
+            *x = (*x - mean) / std;
+        }
+    }
+
+    /// Convenience: featurize + whiten one node.
+    pub fn features(&self, featurizer: &Featurizer, node: &PlanNode) -> Vec<f32> {
+        let kind = node.op.kind();
+        let mut v = featurizer.featurize(node);
+        self.apply(kind, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, Workload};
+    use crate::optimizer::Optimizer;
+    use crate::spec::{FilterSpec, QuerySpec, TableTerm};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    fn scan_plan(cat: &Catalog, table: &str, sel: Option<f64>) -> Plan {
+        let spec = QuerySpec::single(TableTerm {
+            table: cat.table_id(table),
+            filter: sel.map(|s| FilterSpec { col: 0, true_sel: s, est_sel: s, separate_node: false }),
+        });
+        Plan {
+            root: Optimizer::new(cat).build(&spec, &mut rng()),
+            workload: Workload::TpcH,
+            template_id: 0,
+            query_id: 0,
+        }
+    }
+
+    #[test]
+    fn feature_sizes_are_consistent_with_vectors() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let plan = scan_plan(&cat, "lineitem", None);
+        let v = f.featurize(&plan.root);
+        assert_eq!(v.len(), f.feature_size(OpKind::Scan));
+        assert_eq!(f.numeric_mask(OpKind::Scan).len(), v.len());
+    }
+
+    #[test]
+    fn scan_features_one_hot_relation() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let a = f.featurize(&scan_plan(&cat, "lineitem", None).root);
+        let b = f.featurize(&scan_plan(&cat, "orders", None).root);
+        // Exactly one relation slot is hot in each, and they differ.
+        let rel_range = 5 + 2..5 + 2 + cat.num_tables();
+        let hot_a: Vec<usize> =
+            rel_range.clone().filter(|&i| a[i] == 1.0).collect();
+        let hot_b: Vec<usize> = rel_range.filter(|&i| b[i] == 1.0).collect();
+        assert_eq!(hot_a.len(), 1);
+        assert_eq!(hot_b.len(), 1);
+        assert_ne!(hot_a, hot_b);
+    }
+
+    #[test]
+    fn features_ignore_actuals() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let mut plan = scan_plan(&cat, "lineitem", Some(0.1));
+        let before = f.featurize(&plan.root);
+        plan.root.actual.latency_ms = 1e9;
+        plan.root.actual.rows = 42.0;
+        let after = f.featurize(&plan.root);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn whitener_normalizes_numeric_positions() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let plans: Vec<Plan> = ["lineitem", "orders", "customer", "part", "supplier"]
+            .iter()
+            .map(|t| scan_plan(&cat, t, None))
+            .collect();
+        let w = Whitener::fit(&f, plans.iter());
+        // After whitening, the "plan rows" position (index 1) should have
+        // near-zero mean across the fitted plans.
+        let mut sum = 0.0f32;
+        for p in &plans {
+            let v = w.features(&f, &p.root);
+            sum += v[1];
+        }
+        assert!((sum / plans.len() as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn whitener_leaves_one_hots_untouched() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let plans: Vec<Plan> =
+            ["lineitem", "orders"].iter().map(|t| scan_plan(&cat, t, None)).collect();
+        let w = Whitener::fit(&f, plans.iter());
+        let v = w.features(&f, &plans[0].root);
+        let raw = f.featurize(&plans[0].root);
+        for (i, numeric) in f.numeric_mask(OpKind::Scan).iter().enumerate() {
+            if !numeric {
+                assert_eq!(v[i], raw[i], "one-hot position {i} was modified");
+            }
+        }
+    }
+
+    fn node_of_kind(kind: OpKind) -> Plan {
+        // Generate plans until one contains `kind`, then prune to it.
+        for seed in 0..50u64 {
+            let ds = crate::dataset::Dataset::generate(
+                crate::catalog::Workload::TpcDs,
+                1.0,
+                10,
+                seed,
+            );
+            for p in &ds.plans {
+                let mut found = None;
+                p.root.visit_postorder(&mut |n| {
+                    if n.op.kind() == kind && found.is_none() {
+                        found = Some(n.clone());
+                    }
+                });
+                if let Some(node) = found {
+                    return Plan {
+                        root: node,
+                        workload: crate::catalog::Workload::TpcDs,
+                        template_id: 0,
+                        query_id: 0,
+                    };
+                }
+            }
+        }
+        panic!("no {kind:?} found in 500 plans");
+    }
+
+    #[test]
+    fn every_kind_featurizes_at_documented_size() {
+        let cat = Catalog::tpcds(1.0);
+        let f = Featurizer::new(&cat);
+        for kind in OpKind::ALL {
+            let plan = node_of_kind(kind);
+            let v = f.featurize(&plan.root);
+            assert_eq!(v.len(), f.feature_size(kind), "{kind:?}");
+            assert!(v.iter().all(|x| x.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn join_features_one_hot_exactly_three_groups() {
+        let cat = Catalog::tpcds(1.0);
+        let f = Featurizer::new(&cat);
+        let plan = node_of_kind(OpKind::Join);
+        let v = f.featurize(&plan.root);
+        // After the 5 common numerics: algo(3) + type(4) + parent(4),
+        // exactly one hot in each group.
+        let hot = |range: std::ops::Range<usize>| v[range].iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(hot(5..8), 1, "join algorithm one-hot");
+        assert_eq!(hot(8..12), 1, "join type one-hot");
+        assert_eq!(hot(12..16), 1, "parent relationship one-hot");
+    }
+
+    #[test]
+    fn learned_cardinality_featurizer_adds_one_numeric() {
+        let cat = Catalog::tpcds(1.0);
+        let plain = Featurizer::new(&cat);
+        let learned = Featurizer::with_learned_cardinalities(&cat);
+        for kind in OpKind::ALL {
+            assert_eq!(learned.feature_size(kind), plain.feature_size(kind) + 1);
+            assert_eq!(learned.numeric_mask(kind).last(), Some(&true));
+        }
+        // Without an attached estimate, the extra feature falls back to
+        // the optimizer's row estimate.
+        let plan = node_of_kind(OpKind::Scan);
+        let v = learned.featurize(&plan.root);
+        assert_eq!(*v.last().unwrap(), signed_log1p(plan.root.est.rows));
+    }
+
+    #[test]
+    fn system_load_featurizer_adds_one_numeric() {
+        let cat = Catalog::tpch(1.0);
+        let plain = Featurizer::new(&cat);
+        let loaded = Featurizer::with_system_load(&cat);
+        for kind in OpKind::ALL {
+            assert_eq!(loaded.feature_size(kind), plain.feature_size(kind) + 1);
+            assert_eq!(loaded.numeric_mask(kind).last(), Some(&true));
+        }
+        let mut plan = scan_plan(&cat, "lineitem", None);
+        plan.root.concurrency = 7.0;
+        let v = loaded.featurize(&plan.root);
+        assert_eq!(*v.last().unwrap(), 7.0);
+        // The plain featurizer ignores the load entirely.
+        let mut isolated = scan_plan(&cat, "lineitem", None);
+        isolated.root.concurrency = 1.0;
+        assert_eq!(plain.featurize(&plan.root), plain.featurize(&isolated.root));
+    }
+
+    #[test]
+    fn feature_labels_align_with_feature_sizes() {
+        for cat in [Catalog::tpch(1.0), Catalog::tpcds(1.0)] {
+            for f in [
+                Featurizer::new(&cat),
+                Featurizer::with_learned_cardinalities(&cat),
+                Featurizer::with_system_load(&cat),
+            ] {
+                for kind in OpKind::ALL {
+                    let labels = f.feature_labels(kind);
+                    assert_eq!(labels.len(), f.feature_size(kind), "{kind:?}");
+                    // Labels are unique within a kind.
+                    let set: std::collections::HashSet<&String> = labels.iter().collect();
+                    assert_eq!(set.len(), labels.len(), "{kind:?} labels not unique");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_log1p_handles_negatives() {
+        assert!(signed_log1p(-100.0) < 0.0);
+        assert_eq!(signed_log1p(0.0), 0.0);
+        assert!((signed_log1p(1.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tpcds_featurizer_builds_all_masks() {
+        let cat = Catalog::tpcds(1.0);
+        let f = Featurizer::new(&cat);
+        for kind in OpKind::ALL {
+            assert!(f.feature_size(kind) >= 5, "{kind:?}");
+            assert_eq!(f.numeric_mask(kind).len(), f.feature_size(kind));
+        }
+    }
+}

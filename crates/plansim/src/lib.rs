@@ -1,0 +1,71 @@
+//! # qpp-plansim — a PostgreSQL-style planning & execution simulator
+//!
+//! This crate is the *database substrate* of the QPPNet reproduction. The
+//! paper (Marcus & Papaemmanouil, VLDB 2019) trains and evaluates on
+//! PostgreSQL executing TPC-H and TPC-DS at scale factor 100; this crate
+//! replaces that testbed with a faithful simulator (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`catalog`] — TPC-H / TPC-DS schemas, row counts, column statistics
+//!   and indexes at a configurable scale factor;
+//! * [`spec`] + [`workload`] — logical query templates (all 22 TPC-H and
+//!   the 70 PostgreSQL-compatible TPC-DS templates) that sample predicate
+//!   selectivities, join skews and *estimation errors* per query;
+//! * [`optimizer`] — access-path and join-algorithm selection with a
+//!   PostgreSQL-style cost model, producing `EXPLAIN`-like per-node
+//!   estimates ([`plan::NodeEst`]);
+//! * [`executor`] — a ground-truth latency model with cold-cache effects,
+//!   memory spills and other regime switches, producing
+//!   `EXPLAIN ANALYZE`-like per-node actuals ([`plan::NodeActual`]);
+//! * [`features`] — the paper's Table-2 featurization with training-set
+//!   whitening;
+//! * [`dataset`] — workload generation and the paper's train/test split
+//!   protocols.
+//!
+//! The crate enforces the fundamental honesty rule of the reproduction:
+//! prediction models may read **only** optimizer estimates and catalog
+//! statistics; true cardinalities and latencies exist solely as training
+//! targets and evaluation ground truth.
+//!
+//! ```
+//! use qpp_plansim::prelude::*;
+//!
+//! // 50 executed TPC-H queries at scale factor 1.
+//! let ds = Dataset::generate(Workload::TpcH, 1.0, 50, 42);
+//! let split = ds.paper_split(0);
+//! assert_eq!(split.train.len() + split.test.len(), 50);
+//!
+//! // Feature pipeline: featurizer + whitener fitted on the training split.
+//! let fz = Featurizer::new(&ds.catalog);
+//! let wh = Whitener::fit(&fz, split.train.iter().map(|&i| &ds.plans[i]));
+//! let root_features = wh.features(&fz, &ds.plans[0].root);
+//! assert!(!root_features.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cardest;
+pub mod catalog;
+pub mod dataset;
+pub mod executor;
+pub mod features;
+pub mod operators;
+pub mod optimizer;
+pub mod plan;
+pub mod spec;
+pub mod util;
+pub mod workload;
+
+/// Convenient glob-import of the most-used types.
+pub mod prelude {
+    pub use crate::catalog::{Catalog, Workload};
+    pub use crate::dataset::{Dataset, Split};
+    pub use crate::executor::Executor;
+    pub use crate::features::{Featurizer, Whitener};
+    pub use crate::operators::OpKind;
+    pub use crate::optimizer::Optimizer;
+    pub use crate::plan::{Plan, PlanNode};
+    pub use crate::spec::QuerySpec;
+    pub use crate::workload::{templates, Template};
+}

@@ -1,0 +1,310 @@
+//! Physical plan operators and their properties.
+//!
+//! The operator vocabulary mirrors what PostgreSQL's `EXPLAIN` reports and
+//! what the paper's Table 2 featurizes: scans (sequential or index), joins
+//! (nested-loop / hash / merge, with join type and parent relationship),
+//! hash build nodes, sorts, aggregates, filters (selections), materialize
+//! and limit nodes.
+//!
+//! Each operator belongs to a logical *family* ([`OpKind`]); the
+//! plan-structured network assigns one neural unit per family (paper §4.1),
+//! with the physical variant (e.g. hash vs. nested-loop join) one-hot
+//! encoded inside the family's feature vector.
+
+use crate::catalog::{IndexId, TableId};
+use serde::{Deserialize, Serialize};
+
+/// Logical operator family — the key for neural-unit weight sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Leaf access to a base relation (sequential or index scan).
+    Scan,
+    /// Binary join (nested loop, hash or merge).
+    Join,
+    /// Hash-table build side of a hash join.
+    Hash,
+    /// Sort (quicksort, top-N heapsort or external merge).
+    Sort,
+    /// Aggregation (plain, sorted or hashed).
+    Aggregate,
+    /// Intermediate selection/filter.
+    Filter,
+    /// Materialization of an intermediate result.
+    Materialize,
+    /// Row-limit node.
+    Limit,
+}
+
+impl OpKind {
+    /// All families, in a stable order (used for unit indexing and reports).
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Scan,
+        OpKind::Join,
+        OpKind::Hash,
+        OpKind::Sort,
+        OpKind::Aggregate,
+        OpKind::Filter,
+        OpKind::Materialize,
+        OpKind::Limit,
+    ];
+
+    /// Stable index of this family in [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        OpKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+    }
+
+    /// Number of children nodes of this family always has.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Scan => 0,
+            OpKind::Join => 2,
+            _ => 1,
+        }
+    }
+
+    /// `EXPLAIN`-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Scan => "Scan",
+            OpKind::Join => "Join",
+            OpKind::Hash => "Hash",
+            OpKind::Sort => "Sort",
+            OpKind::Aggregate => "Aggregate",
+            OpKind::Filter => "Filter",
+            OpKind::Materialize => "Materialize",
+            OpKind::Limit => "Limit",
+        }
+    }
+}
+
+/// How a scan accesses its relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScanMethod {
+    /// Full sequential heap scan.
+    Seq,
+    /// B-tree index scan.
+    Index {
+        /// Which index is used ("Index Name" feature).
+        index: IndexId,
+        /// Scan direction ("Scan Direction" feature).
+        forward: bool,
+    },
+}
+
+/// Physical join algorithm (one-hot inside the join unit's features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinAlgorithm {
+    /// Tuple-at-a-time nested loops.
+    NestedLoop,
+    /// Build/probe hash join (build side is a child [`OpKind::Hash`] node).
+    Hash,
+    /// Merge join over sorted inputs.
+    Merge,
+}
+
+/// Logical join type ("Join Type" in Table 2: semi, inner, anti, full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Semi join (EXISTS-style).
+    Semi,
+    /// Anti join (NOT EXISTS-style).
+    Anti,
+    /// Full outer join.
+    Full,
+}
+
+/// Relationship of a node to its join parent ("Parent Relationship").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParentRel {
+    /// Not below a join.
+    None,
+    /// Inner (build/lookup) input of the parent join.
+    Inner,
+    /// Outer (probe/driving) input of the parent join.
+    Outer,
+    /// Subquery input.
+    Subquery,
+}
+
+/// Sorting algorithm ("Sort Method": quicksort, top-N heapsort, external).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortMethod {
+    /// In-memory quicksort.
+    Quicksort,
+    /// Bounded top-N heapsort (under a Limit).
+    TopN,
+    /// External merge sort (spills to disk).
+    External,
+}
+
+/// Hash-table organisation ("Hash Algorithm").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HashAlgorithm {
+    /// Linear probing.
+    Linear,
+    /// Separate chaining.
+    Chained,
+}
+
+/// Aggregation strategy ("Strategy": plain, sorted, hashed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggStrategy {
+    /// Single-group aggregate (no GROUP BY).
+    Plain,
+    /// Group aggregate over sorted input.
+    Sorted,
+    /// Hash aggregate.
+    Hashed,
+}
+
+/// Aggregate function ("Operator": max, min, avg, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggOp {
+    /// COUNT(*)
+    Count,
+    /// SUM(expr)
+    Sum,
+    /// AVG(expr)
+    Avg,
+    /// MIN(expr)
+    Min,
+    /// MAX(expr)
+    Max,
+}
+
+/// A physical operator with the properties `EXPLAIN` would report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Leaf scan of a base relation.
+    Scan {
+        /// Relation being read ("Relation Name" feature).
+        table: TableId,
+        /// Access method.
+        method: ScanMethod,
+        /// Column the pushed-down predicate applies to, if any.
+        predicate_col: Option<usize>,
+    },
+    /// Intermediate selection.
+    Filter {
+        /// Whether the filter may run in parallel ("parallelism flag").
+        parallel: bool,
+    },
+    /// Binary join.
+    Join {
+        /// Physical algorithm.
+        algo: JoinAlgorithm,
+        /// Logical join type.
+        jtype: JoinType,
+        /// This node's relationship to *its* parent join (if any).
+        parent_rel: ParentRel,
+    },
+    /// Hash build node under a hash join's inner input.
+    Hash {
+        /// Number of hash buckets.
+        buckets: f64,
+        /// Hashing algorithm.
+        algo: HashAlgorithm,
+    },
+    /// Sort node.
+    Sort {
+        /// Ordinal of the sort key (one-hot "Sort Key" feature).
+        key: usize,
+        /// Sorting algorithm.
+        method: SortMethod,
+    },
+    /// Aggregation node.
+    Aggregate {
+        /// Strategy.
+        strategy: AggStrategy,
+        /// Participates in parallel partial aggregation ("Partial Mode").
+        partial: bool,
+        /// Aggregate function.
+        op: AggOp,
+    },
+    /// Materialize node.
+    Materialize,
+    /// Limit node.
+    Limit {
+        /// Maximum number of rows to emit.
+        count: f64,
+    },
+}
+
+impl Operator {
+    /// The logical family this operator belongs to.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Operator::Scan { .. } => OpKind::Scan,
+            Operator::Filter { .. } => OpKind::Filter,
+            Operator::Join { .. } => OpKind::Join,
+            Operator::Hash { .. } => OpKind::Hash,
+            Operator::Sort { .. } => OpKind::Sort,
+            Operator::Aggregate { .. } => OpKind::Aggregate,
+            Operator::Materialize => OpKind::Materialize,
+            Operator::Limit { .. } => OpKind::Limit,
+        }
+    }
+
+    /// PostgreSQL-flavoured display name (e.g. "Hash Join", "Seq Scan").
+    pub fn display_name(&self) -> String {
+        match self {
+            Operator::Scan { method: ScanMethod::Seq, .. } => "Seq Scan".to_string(),
+            Operator::Scan { method: ScanMethod::Index { .. }, .. } => "Index Scan".to_string(),
+            Operator::Filter { .. } => "Filter".to_string(),
+            Operator::Join { algo, .. } => match algo {
+                JoinAlgorithm::NestedLoop => "Nested Loop".to_string(),
+                JoinAlgorithm::Hash => "Hash Join".to_string(),
+                JoinAlgorithm::Merge => "Merge Join".to_string(),
+            },
+            Operator::Hash { .. } => "Hash".to_string(),
+            Operator::Sort { method, .. } => match method {
+                SortMethod::Quicksort => "Sort (quicksort)".to_string(),
+                SortMethod::TopN => "Sort (top-N heapsort)".to_string(),
+                SortMethod::External => "Sort (external merge)".to_string(),
+            },
+            Operator::Aggregate { strategy, .. } => match strategy {
+                AggStrategy::Plain => "Aggregate".to_string(),
+                AggStrategy::Sorted => "GroupAggregate".to_string(),
+                AggStrategy::Hashed => "HashAggregate".to_string(),
+            },
+            Operator::Materialize => "Materialize".to_string(),
+            Operator::Limit { .. } => "Limit".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_is_in_all_exactly_once() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn arity_matches_family_semantics() {
+        assert_eq!(OpKind::Scan.arity(), 0);
+        assert_eq!(OpKind::Join.arity(), 2);
+        assert_eq!(OpKind::Sort.arity(), 1);
+        assert_eq!(OpKind::Limit.arity(), 1);
+    }
+
+    #[test]
+    fn operator_kind_mapping() {
+        let j = Operator::Join {
+            algo: JoinAlgorithm::Hash,
+            jtype: JoinType::Inner,
+            parent_rel: ParentRel::None,
+        };
+        assert_eq!(j.kind(), OpKind::Join);
+        assert_eq!(j.display_name(), "Hash Join");
+        let s = Operator::Scan { table: 0, method: ScanMethod::Seq, predicate_col: None };
+        assert_eq!(s.kind(), OpKind::Scan);
+        assert_eq!(s.display_name(), "Seq Scan");
+    }
+}

@@ -1,0 +1,724 @@
+//! The query optimizer: lowers a logical [`QuerySpec`] to a physical plan.
+//!
+//! Mirrors the parts of PostgreSQL's planner that matter for performance
+//! prediction: access-path selection (sequential vs. index scan), join
+//! algorithm choice (nested loop / hash / merge) driven by a classic cost
+//! model, hash-build and materialize node insertion, sort-method selection
+//! (quicksort / top-N / external), and aggregate-strategy selection
+//! (plain / sorted / hashed).
+//!
+//! Every node is annotated with `EXPLAIN`-style estimates ([`NodeEst`]):
+//! estimated rows are derived from the *estimated* selectivities in the spec
+//! under the independence assumption, so estimation errors compound up the
+//! tree exactly as they do in a real system. True cardinalities (derived
+//! from the spec's hidden true selectivities and join skews) are stored in
+//! `actual.rows` for the executor; **prediction models never read them**.
+
+use crate::catalog::{Catalog, PAGE_SIZE};
+use crate::operators::{
+    AggStrategy, HashAlgorithm, JoinAlgorithm, JoinType, Operator, ParentRel, ScanMethod,
+    SortMethod,
+};
+use crate::plan::{NodeEst, PlanNode};
+use crate::spec::{AggSpec, JoinCard, JoinInput, JoinSpec, QuerySpec, TableTerm};
+use rand::Rng;
+
+/// PostgreSQL-default cost units (used for `NodeEst::total_cost`).
+pub mod cost_units {
+    /// Cost of a sequentially-fetched page.
+    pub const SEQ_PAGE: f64 = 1.0;
+    /// Cost of a randomly-fetched page.
+    pub const RANDOM_PAGE: f64 = 4.0;
+    /// CPU cost of emitting one tuple.
+    pub const CPU_TUPLE: f64 = 0.01;
+    /// CPU cost of processing one index entry.
+    pub const CPU_INDEX_TUPLE: f64 = 0.005;
+    /// CPU cost of evaluating one operator/predicate.
+    pub const CPU_OPERATOR: f64 = 0.0025;
+}
+
+use cost_units::*;
+
+/// Intermediate state while building a subtree.
+struct Built {
+    node: PlanNode,
+    /// Whether the subtree's output is sorted on its join key (enables
+    /// merge joins and sorted aggregation).
+    sorted: bool,
+}
+
+impl Built {
+    fn est_rows(&self) -> f64 {
+        self.node.est.rows
+    }
+    fn true_rows(&self) -> f64 {
+        self.node.actual.rows
+    }
+    fn width(&self) -> f64 {
+        self.node.est.width
+    }
+    fn cost(&self) -> f64 {
+        self.node.est.total_cost
+    }
+}
+
+/// Lowers [`QuerySpec`]s to physical plans against a fixed catalog.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Optimizer { catalog }
+    }
+
+    /// Builds the physical plan for `spec`.
+    ///
+    /// `rng` drives minor physical choices (index scan direction, hash
+    /// algorithm variant) — the kinds of things that vary run-to-run in a
+    /// real system without changing the plan's cost structure.
+    pub fn build(&self, spec: &QuerySpec, rng: &mut impl Rng) -> PlanNode {
+        debug_assert!(spec.validate(self.catalog.num_tables()).is_ok());
+        let mut built = self.build_input(&spec.join, spec, rng);
+
+        // HAVING-like post filter.
+        if let Some((true_sel, est_sel)) = spec.post_filter {
+            built = self.add_filter(built, true_sel, est_sel, false);
+        }
+
+        // Aggregation.
+        if let Some(agg) = &spec.agg {
+            built = self.add_aggregate(built, agg);
+        }
+
+        // ORDER BY.
+        if let Some(sort) = &spec.sort {
+            built = self.add_sort(built, sort.key, spec.limit);
+        }
+
+        // LIMIT.
+        if let Some(limit) = spec.limit {
+            built = self.add_limit(built, limit);
+        }
+
+        built.node
+    }
+
+    // ----- leaf construction -------------------------------------------------
+
+    fn build_term(&self, term: &TableTerm, rng: &mut impl Rng) -> Built {
+        let table = term.table;
+        let table_rows = self.catalog.rows(table);
+        let pages = self.catalog.pages(table);
+        let width = self.catalog.table(table).row_width * 0.7;
+
+        let (true_sel, est_sel, pred_col, separate) = match &term.filter {
+            Some(f) => (f.true_sel, f.est_sel, Some(f.col), f.separate_node),
+            None => (1.0, 1.0, None, false),
+        };
+
+        // Pushed-down predicate unless the template marked it non-pushable.
+        let (scan_true_sel, scan_est_sel) = if separate { (1.0, 1.0) } else { (true_sel, est_sel) };
+
+        // Access-path selection by estimated cost.
+        let seq_cost = pages * SEQ_PAGE + table_rows * CPU_TUPLE;
+        let mut method = ScanMethod::Seq;
+        let mut scan_cost = seq_cost;
+        let mut ios = pages;
+        if let (Some(col), false) = (pred_col, separate) {
+            if let Some(ix_id) = self.catalog.index_on(table, col) {
+                let ix = &self.catalog.indexes[ix_id];
+                let matched = (table_rows * scan_est_sel).max(1.0);
+                let descent = (table_rows.max(2.0)).log2() * CPU_OPERATOR * 50.0;
+                let (ix_ios, ix_cost) = if ix.clustered {
+                    let p = (pages * scan_est_sel).max(1.0);
+                    (p, descent + p * SEQ_PAGE + matched * CPU_INDEX_TUPLE)
+                } else {
+                    let p = matched.min(pages);
+                    (p, descent + p * RANDOM_PAGE + matched * CPU_INDEX_TUPLE)
+                };
+                if ix_cost < scan_cost {
+                    method = ScanMethod::Index { index: ix_id, forward: rng.gen_bool(0.85) };
+                    scan_cost = ix_cost;
+                    ios = ix_ios;
+                }
+            }
+        }
+
+        let est_rows = (table_rows * scan_est_sel).max(1.0);
+        let true_rows = (table_rows * scan_true_sel).max(1.0);
+
+        let mut node = PlanNode::new(
+            Operator::Scan { table, method, predicate_col: if separate { None } else { pred_col } },
+            vec![],
+        );
+        node.est = NodeEst {
+            width,
+            rows: est_rows,
+            buffers: PAGE_SIZE * 32.0,
+            ios,
+            total_cost: scan_cost,
+            selectivity: scan_est_sel,
+        };
+        node.actual.rows = true_rows;
+        // Clustered index scans and full scans of physically-ordered heaps
+        // (tables with a clustered index) yield key-ordered output; pushed
+        // predicates do not disturb the order.
+        let sorted = match method {
+            ScanMethod::Index { index, .. } => self.catalog.indexes[index].clustered,
+            ScanMethod::Seq => self
+                .catalog
+                .indexes_on(table)
+                .any(|(_, ix)| ix.clustered),
+        };
+
+        let mut built = Built { node, sorted };
+        if separate {
+            built = self.add_filter(built, true_sel, est_sel, true);
+        }
+        built
+    }
+
+    // ----- unary node insertion ---------------------------------------------
+
+    fn add_filter(&self, child: Built, true_sel: f64, est_sel: f64, parallel_ok: bool) -> Built {
+        let est_rows = (child.est_rows() * est_sel).max(1.0);
+        let true_rows = (child.true_rows() * true_sel).max(1.0);
+        let width = child.width();
+        let cost = child.cost() + child.est_rows() * CPU_OPERATOR * 2.0;
+        let sorted = child.sorted;
+        let mut node = PlanNode::new(
+            Operator::Filter { parallel: parallel_ok && child.est_rows() > 100_000.0 },
+            vec![child.node],
+        );
+        node.est = NodeEst {
+            width,
+            rows: est_rows,
+            buffers: PAGE_SIZE,
+            ios: 0.0,
+            total_cost: cost,
+            selectivity: est_sel,
+        };
+        node.actual.rows = true_rows;
+        Built { node, sorted }
+    }
+
+    fn add_aggregate(&self, child: Built, agg: &AggSpec) -> Built {
+        let in_est = child.est_rows();
+        let width = 32.0;
+        let strategy = if agg.groups <= 1.0 {
+            AggStrategy::Plain
+        } else if child.sorted {
+            AggStrategy::Sorted
+        } else if agg.est_groups * width <= self.catalog.work_mem_bytes {
+            AggStrategy::Hashed
+        } else {
+            AggStrategy::Sorted
+        };
+
+        // A sorted aggregate over unsorted input needs a sort beneath it.
+        let child = if strategy == AggStrategy::Sorted && !child.sorted {
+            self.add_sort(child, 0, None)
+        } else {
+            child
+        };
+
+        let est_rows = agg.est_groups.max(1.0);
+        let true_rows = agg.groups.max(1.0);
+        let cost = child.cost()
+            + in_est * CPU_OPERATOR
+            + match strategy {
+                AggStrategy::Plain => 0.0,
+                AggStrategy::Sorted => in_est * CPU_OPERATOR,
+                AggStrategy::Hashed => in_est * CPU_OPERATOR * 2.0 + est_rows * CPU_TUPLE,
+            };
+        let buffers = match strategy {
+            AggStrategy::Hashed => (est_rows * width * 1.5).max(PAGE_SIZE),
+            _ => PAGE_SIZE,
+        };
+        let spill = strategy == AggStrategy::Hashed && buffers > self.catalog.work_mem_bytes;
+        let ios = if spill { 2.0 * in_est * width / PAGE_SIZE } else { 0.0 };
+        let sorted = strategy == AggStrategy::Sorted;
+        let mut node = PlanNode::new(
+            Operator::Aggregate { strategy, partial: in_est > 1_000_000.0, op: agg.op },
+            vec![child.node],
+        );
+        node.est = NodeEst { width, rows: est_rows, buffers, ios, total_cost: cost, selectivity: 1.0 };
+        node.actual.rows = true_rows;
+        Built { node, sorted }
+    }
+
+    fn add_sort(&self, child: Built, key: usize, limit: Option<f64>) -> Built {
+        let n_est = child.est_rows();
+        let width = child.width();
+        let bytes_est = n_est * width;
+        let method = if let Some(l) = limit {
+            if l < n_est {
+                SortMethod::TopN
+            } else if bytes_est > self.catalog.work_mem_bytes {
+                SortMethod::External
+            } else {
+                SortMethod::Quicksort
+            }
+        } else if bytes_est > self.catalog.work_mem_bytes {
+            SortMethod::External
+        } else {
+            SortMethod::Quicksort
+        };
+        let log_n = n_est.max(2.0).log2();
+        let cost = child.cost()
+            + match method {
+                SortMethod::TopN => n_est * limit.unwrap_or(2.0).max(2.0).log2() * CPU_OPERATOR,
+                SortMethod::Quicksort => n_est * log_n * CPU_OPERATOR,
+                SortMethod::External => {
+                    n_est * log_n * CPU_OPERATOR + 2.0 * bytes_est / PAGE_SIZE * SEQ_PAGE
+                }
+            };
+        let buffers = bytes_est.min(self.catalog.work_mem_bytes).max(PAGE_SIZE);
+        let ios = if method == SortMethod::External { 2.0 * bytes_est / PAGE_SIZE } else { 0.0 };
+        let true_rows = child.true_rows();
+        let est_rows = n_est;
+        let mut node = PlanNode::new(Operator::Sort { key, method }, vec![child.node]);
+        node.est = NodeEst { width, rows: est_rows, buffers, ios, total_cost: cost, selectivity: 1.0 };
+        node.actual.rows = true_rows;
+        Built { node, sorted: true }
+    }
+
+    fn add_limit(&self, child: Built, count: f64) -> Built {
+        let est_rows = child.est_rows().min(count).max(1.0);
+        let true_rows = child.true_rows().min(count).max(1.0);
+        let width = child.width();
+        let cost = child.cost() + est_rows * CPU_TUPLE * 0.1;
+        let sorted = child.sorted;
+        let mut node = PlanNode::new(Operator::Limit { count }, vec![child.node]);
+        node.est = NodeEst {
+            width,
+            rows: est_rows,
+            buffers: PAGE_SIZE,
+            ios: 0.0,
+            total_cost: cost,
+            selectivity: 1.0,
+        };
+        node.actual.rows = true_rows;
+        Built { node, sorted }
+    }
+
+    fn add_materialize(&self, child: Built) -> Built {
+        let est_rows = child.est_rows();
+        let true_rows = child.true_rows();
+        let width = child.width();
+        let bytes = est_rows * width;
+        let cost = child.cost() + est_rows * CPU_OPERATOR;
+        let sorted = child.sorted;
+        let mut node = PlanNode::new(Operator::Materialize, vec![child.node]);
+        node.est = NodeEst {
+            width,
+            rows: est_rows,
+            buffers: bytes.min(self.catalog.work_mem_bytes).max(PAGE_SIZE),
+            ios: if bytes > self.catalog.work_mem_bytes { 2.0 * bytes / PAGE_SIZE } else { 0.0 },
+            total_cost: cost,
+            selectivity: 1.0,
+        };
+        node.actual.rows = true_rows;
+        Built { node, sorted }
+    }
+
+    // ----- joins --------------------------------------------------------------
+
+    fn build_input(&self, input: &JoinInput, spec: &QuerySpec, rng: &mut impl Rng) -> Built {
+        match input {
+            JoinInput::Term(i) => self.build_term(&spec.terms[*i], rng),
+            JoinInput::Join(j) => self.build_join(j, spec, rng),
+            JoinInput::Derived(q) => {
+                let node = self.build(q, rng);
+                let sorted = matches!(node.op, Operator::Sort { .. });
+                let mut b = Built { node, sorted };
+                // Derived inputs are subquery children of their parent join.
+                if let Operator::Join { parent_rel, .. } = &mut b.node.op {
+                    *parent_rel = ParentRel::Subquery;
+                }
+                b
+            }
+        }
+    }
+
+    /// Output cardinalities `(true, estimated)` for a join.
+    fn join_cardinality(&self, j: &JoinSpec, l: &Built, r: &Built) -> (f64, f64) {
+        let (lt, le) = (l.true_rows(), l.est_rows());
+        let (rt, re) = (r.true_rows(), r.est_rows());
+        match (&j.card, j.jtype) {
+            (JoinCard::MatchFraction { true_frac, est_frac }, JoinType::Anti) => {
+                ((lt * (1.0 - true_frac)).max(1.0), (le * (1.0 - est_frac)).max(1.0))
+            }
+            (JoinCard::MatchFraction { true_frac, est_frac }, _) => {
+                ((lt * true_frac).max(1.0), (le * est_frac).max(1.0))
+            }
+            (JoinCard::ForeignKey { pk_table, skew }, jt) => {
+                let domain = self.catalog.rows(*pk_table).max(1.0);
+                let (t, e) = ((lt * rt / domain * skew).max(1.0), (le * re / domain).max(1.0));
+                match jt {
+                    JoinType::Semi => (t.min(lt), e.min(le)),
+                    JoinType::Anti => ((lt - t.min(lt)).max(1.0), (le - e.min(le)).max(1.0)),
+                    JoinType::Full => (t + 0.05 * (lt + rt), e + 0.05 * (le + re)),
+                    JoinType::Inner => (t, e),
+                }
+            }
+            (JoinCard::Domain { rows, skew }, jt) => {
+                let domain = rows.max(1.0);
+                let (t, e) = ((lt * rt / domain * skew).max(1.0), (le * re / domain).max(1.0));
+                match jt {
+                    JoinType::Semi => (t.min(lt), e.min(le)),
+                    JoinType::Anti => ((lt - t.min(lt)).max(1.0), (le - e.min(le)).max(1.0)),
+                    JoinType::Full => (t + 0.05 * (lt + rt), e + 0.05 * (le + re)),
+                    JoinType::Inner => (t, e),
+                }
+            }
+        }
+    }
+
+    fn build_join(&self, j: &JoinSpec, spec: &QuerySpec, rng: &mut impl Rng) -> Built {
+        let mut left = self.build_input(&j.left, spec, rng);
+        let mut right = self.build_input(&j.right, spec, rng);
+        let (true_rows, est_rows) = self.join_cardinality(j, &left, &right);
+
+        // Cost each algorithm on estimates.
+        let (le, re) = (left.est_rows(), right.est_rows());
+        let nl_cost = left.cost() + right.cost() + le * re * CPU_OPERATOR;
+        let build_bytes = re * right.width();
+        let spill = build_bytes > self.catalog.work_mem_bytes;
+        // Hash joins pay a fixed setup cost (hash-table allocation), which
+        // is what makes nested loops win on tiny inputs.
+        const HASH_SETUP: f64 = 15.0;
+        let hash_cost = left.cost()
+            + right.cost()
+            + HASH_SETUP
+            + re * CPU_OPERATOR * 3.0
+            + le * CPU_OPERATOR * 1.5
+            + if spill {
+                2.0 * (build_bytes + le * left.width()) / PAGE_SIZE * SEQ_PAGE
+            } else {
+                0.0
+            };
+        // Merge joins need both inputs ordered; per-tuple cost is higher
+        // than a hash probe (two advancing cursors + comparisons), so they
+        // win only when both inputs are large and pre-sorted.
+        let merge_cost = if left.sorted && right.sorted {
+            left.cost() + right.cost() + (le + re) * CPU_OPERATOR * 2.0
+        } else {
+            f64::INFINITY
+        };
+
+        let algo = if merge_cost <= hash_cost && merge_cost <= nl_cost {
+            JoinAlgorithm::Merge
+        } else if nl_cost < hash_cost {
+            JoinAlgorithm::NestedLoop
+        } else {
+            JoinAlgorithm::Hash
+        };
+
+        // Tag child joins with their relationship to this join.
+        if let Operator::Join { parent_rel, .. } = &mut left.node.op {
+            if *parent_rel == ParentRel::None {
+                *parent_rel = ParentRel::Outer;
+            }
+        }
+        if let Operator::Join { parent_rel, .. } = &mut right.node.op {
+            if *parent_rel == ParentRel::None {
+                *parent_rel = ParentRel::Inner;
+            }
+        }
+
+        let width = (left.width() + right.width()).min(512.0);
+        let left_width = left.width();
+        let (children, total_cost, ios, buffers) = match algo {
+            JoinAlgorithm::Hash => {
+                // Wrap the build (inner) side in a Hash node.
+                let buckets = (re.max(1.0).log2().ceil()).exp2().max(1024.0);
+                let hash_ios = if spill { 2.0 * build_bytes / PAGE_SIZE } else { 0.0 };
+                let mut hash_node = PlanNode::new(
+                    Operator::Hash {
+                        buckets,
+                        algo: if rng.gen_bool(0.8) {
+                            HashAlgorithm::Linear
+                        } else {
+                            HashAlgorithm::Chained
+                        },
+                    },
+                    vec![],
+                );
+                hash_node.est = NodeEst {
+                    width: right.width(),
+                    rows: re,
+                    buffers: build_bytes.min(self.catalog.work_mem_bytes * 4.0).max(PAGE_SIZE),
+                    ios: hash_ios,
+                    total_cost: right.cost() + re * CPU_OPERATOR * 3.0,
+                    selectivity: 1.0,
+                };
+                hash_node.actual.rows = right.true_rows();
+                hash_node.children = vec![right.node];
+                (vec![left.node, hash_node], hash_cost, if spill { 2.0 * le * left_width / PAGE_SIZE } else { 0.0 }, PAGE_SIZE * 16.0)
+            }
+            JoinAlgorithm::NestedLoop => {
+                // Materialize the inner side when rescans would otherwise
+                // be expensive: any non-leaf inner, or a leaf inner that
+                // will be rescanned many times (large outer).
+                let inner = if right.node.children.is_empty() && le <= 10_000.0 {
+                    right
+                } else {
+                    self.add_materialize(right)
+                };
+                (vec![left.node, inner.node], nl_cost, 0.0, PAGE_SIZE * 4.0)
+            }
+            JoinAlgorithm::Merge => {
+                (vec![left.node, right.node], merge_cost, 0.0, PAGE_SIZE * 8.0)
+            }
+        };
+
+        let mut node = PlanNode::new(
+            Operator::Join { algo, jtype: j.jtype, parent_rel: ParentRel::None },
+            children,
+        );
+        node.est = NodeEst {
+            width,
+            rows: est_rows,
+            buffers,
+            ios,
+            total_cost: total_cost + est_rows * CPU_TUPLE * 0.5,
+            selectivity: 1.0,
+        };
+        node.actual.rows = true_rows;
+        // Merge joins preserve order; hash/NL joins follow the outer side.
+        let sorted = matches!(algo, JoinAlgorithm::Merge);
+        Built { node, sorted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::operators::{AggOp, OpKind};
+    use crate::spec::{FilterSpec, SortSpec};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn lineitem_filter(cat: &Catalog, sel: f64) -> TableTerm {
+        TableTerm {
+            table: cat.table_id("lineitem"),
+            filter: Some(FilterSpec { col: 3, true_sel: sel, est_sel: sel, separate_node: false }),
+        }
+    }
+
+    #[test]
+    fn single_table_scan_plan() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec::single(TableTerm { table: cat.table_id("orders"), filter: None });
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        assert_eq!(plan.op.kind(), OpKind::Scan);
+        assert!((plan.est.rows - cat.rows(cat.table_id("orders"))).abs() < 1.0);
+        assert!(plan.est.total_cost > 0.0);
+    }
+
+    #[test]
+    fn selective_predicate_with_index_uses_index_scan() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec::single(lineitem_filter(&cat, 0.001));
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        match plan.op {
+            Operator::Scan { method: ScanMethod::Index { .. }, .. } => {}
+            ref other => panic!("expected index scan, got {other:?}"),
+        }
+        assert!(plan.est.rows < 10_000.0);
+    }
+
+    #[test]
+    fn unselective_predicate_stays_sequential() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec::single(lineitem_filter(&cat, 0.7));
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        assert!(matches!(plan.op, Operator::Scan { method: ScanMethod::Seq, .. }));
+    }
+
+    fn fk_join_spec(cat: &Catalog) -> QuerySpec {
+        // orders ⋈ lineitem on orderkey.
+        QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("lineitem"), filter: None },
+                TableTerm { table: cat.table_id("orders"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("orders"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn fk_join_cardinality_matches_fact_side() {
+        let cat = Catalog::tpch(1.0);
+        let plan = Optimizer::new(&cat).build(&fk_join_spec(&cat), &mut rng());
+        assert_eq!(plan.op.kind(), OpKind::Join);
+        // lineitem ⋈ orders on the orders PK keeps lineitem's cardinality.
+        let lineitem_rows = cat.rows(cat.table_id("lineitem"));
+        assert!((plan.est.rows - lineitem_rows).abs() / lineitem_rows < 0.01);
+    }
+
+    #[test]
+    fn merge_join_chosen_for_large_presorted_inputs() {
+        // lineitem ⋈ orders: both heaps are clustered on the join key and a
+        // hash build of orders would spill past work_mem — merge wins.
+        let cat = Catalog::tpch(1.0);
+        let plan = Optimizer::new(&cat).build(&fk_join_spec(&cat), &mut rng());
+        assert!(
+            matches!(plan.op, Operator::Join { algo: JoinAlgorithm::Merge, .. }),
+            "got {:?}",
+            plan.op
+        );
+    }
+
+    #[test]
+    fn hash_join_grows_a_hash_build_node() {
+        // customer ⋈ orders-filtered-by-date: the unclustered orderdate
+        // index scan destroys sortedness, so the join must hash.
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("customer"), filter: None },
+                TableTerm {
+                    table: cat.table_id("orders"),
+                    filter: Some(FilterSpec {
+                        col: 2,
+                        true_sel: 0.03,
+                        est_sel: 0.03,
+                        separate_node: false,
+                    }),
+                },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("customer"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        if let Operator::Join { algo: JoinAlgorithm::Hash, .. } = plan.op {
+            assert_eq!(plan.children.len(), 2);
+            assert_eq!(plan.children[1].op.kind(), OpKind::Hash);
+            assert_eq!(plan.children[1].children.len(), 1);
+        } else {
+            panic!("expected a hash join, got {:?}", plan.op);
+        }
+    }
+
+    #[test]
+    fn tiny_inner_side_selects_nested_loop() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("nation"), filter: None },
+                TableTerm { table: cat.table_id("region"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("region"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        assert!(
+            matches!(plan.op, Operator::Join { algo: JoinAlgorithm::NestedLoop, .. }),
+            "got {:?}",
+            plan.op
+        );
+    }
+
+    #[test]
+    fn aggregate_sort_limit_stack() {
+        let cat = Catalog::tpch(1.0);
+        let mut spec = fk_join_spec(&cat);
+        spec.agg = Some(AggSpec { op: AggOp::Sum, groups: 500.0, est_groups: 450.0, partial: false });
+        spec.sort = Some(SortSpec { key: 1 });
+        spec.limit = Some(20.0);
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        assert_eq!(plan.op.kind(), OpKind::Limit);
+        assert_eq!(plan.children[0].op.kind(), OpKind::Sort);
+        assert_eq!(plan.children[0].children[0].op.kind(), OpKind::Aggregate);
+        // Top-N sort because of the limit.
+        assert!(matches!(plan.children[0].op, Operator::Sort { method: SortMethod::TopN, .. }));
+        assert!((plan.actual.rows - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimation_error_compounds_through_joins() {
+        let cat = Catalog::tpch(1.0);
+        // True selectivity 0.10 but the optimizer believes 0.02: the join
+        // output estimate inherits the 5x error.
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm {
+                    table: cat.table_id("lineitem"),
+                    filter: Some(FilterSpec { col: 3, true_sel: 0.10, est_sel: 0.02, separate_node: false }),
+                },
+                TableTerm { table: cat.table_id("orders"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Inner,
+                card: JoinCard::ForeignKey { pk_table: cat.table_id("orders"), skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        let ratio = plan.actual.rows / plan.est.rows;
+        assert!(ratio > 4.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn semi_join_caps_output_at_outer_side() {
+        let cat = Catalog::tpch(1.0);
+        let spec = QuerySpec {
+            terms: vec![
+                TableTerm { table: cat.table_id("orders"), filter: None },
+                TableTerm { table: cat.table_id("lineitem"), filter: None },
+            ],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Term(0),
+                right: JoinInput::Term(1),
+                jtype: JoinType::Semi,
+                card: JoinCard::MatchFraction { true_frac: 0.6, est_frac: 0.5 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        let plan = Optimizer::new(&cat).build(&spec, &mut rng());
+        let orders = cat.rows(cat.table_id("orders"));
+        assert!(plan.actual.rows <= orders);
+        assert!((plan.actual.rows - orders * 0.6).abs() / orders < 0.01);
+    }
+}

@@ -1,0 +1,295 @@
+//! Query execution plan trees.
+//!
+//! A [`Plan`] is the unit of training data: a tree of [`PlanNode`]s, each
+//! carrying the *optimizer-visible* estimates ([`NodeEst`], what `EXPLAIN`
+//! prints before execution — the only thing models may featurize) and the
+//! *observed* execution results ([`NodeActual`], what `EXPLAIN ANALYZE`
+//! reports — used exclusively for training targets and evaluation).
+//!
+//! Per-node latencies follow PostgreSQL's `actual total time` convention:
+//! they are **inclusive of the node's subtree**, so the root's latency is
+//! the query latency. This is exactly the quantity the paper's Equation 7
+//! supervises at every node.
+
+use crate::catalog::Workload;
+use crate::operators::{OpKind, Operator};
+use serde::{Deserialize, Serialize};
+
+/// Optimizer estimates for one plan node (the `EXPLAIN` columns the paper's
+/// Table 2 lists for every operator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeEst {
+    /// Estimated output row width in bytes ("Plan Width").
+    pub width: f64,
+    /// Estimated output cardinality ("Plan Rows").
+    pub rows: f64,
+    /// Estimated memory requirement in bytes ("Plan Buffers").
+    pub buffers: f64,
+    /// Estimated number of I/Os ("Estimated I/Os").
+    pub ios: f64,
+    /// Optimizer total cost for this node plus its subtree ("Total Cost").
+    pub total_cost: f64,
+    /// Estimated selectivity of this node's predicate (1.0 when none).
+    pub selectivity: f64,
+}
+
+impl NodeEst {
+    /// A neutral estimate (used transiently during plan construction).
+    pub fn unknown() -> NodeEst {
+        NodeEst { width: 0.0, rows: 0.0, buffers: 0.0, ios: 0.0, total_cost: 0.0, selectivity: 1.0 }
+    }
+}
+
+/// Ground-truth execution results for one plan node (from the simulator; a
+/// real deployment would read these from `EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeActual {
+    /// True output cardinality.
+    pub rows: f64,
+    /// Inclusive latency of this node's subtree, in milliseconds.
+    pub latency_ms: f64,
+    /// Exclusive (self) latency of this node, in milliseconds.
+    pub self_latency_ms: f64,
+}
+
+impl NodeActual {
+    /// Placeholder before execution.
+    pub fn unexecuted() -> NodeActual {
+        NodeActual { rows: 0.0, latency_ms: 0.0, self_latency_ms: 0.0 }
+    }
+}
+
+/// One node of a query execution plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// The physical operator.
+    pub op: Operator,
+    /// Optimizer estimates (feature source).
+    pub est: NodeEst,
+    /// Observed execution results (training target / evaluation only).
+    pub actual: NodeActual,
+    /// Cardinality estimate from an external *learned estimator*, when one
+    /// is attached (paper §7: "a technique predicting operator
+    /// cardinalities could be easily integrated … by inserting the
+    /// cardinality estimate of each operator into its neural unit's input
+    /// vector"). See [`crate::cardest`]. `None` = optimizer estimates only.
+    #[serde(default)]
+    pub learned_rows: Option<f64>,
+    /// Multiprogramming level (number of concurrently-running queries,
+    /// including this one) in effect when the plan executed — the paper's
+    /// §8 concurrent-query extension. `1.0` = isolated execution (the
+    /// paper's protocol). Known ahead of execution (an admission
+    /// controller sees the current load), so featurizing it is legitimate;
+    /// see [`crate::features::Featurizer::with_system_load`].
+    #[serde(default = "default_concurrency")]
+    pub concurrency: f64,
+    /// Child nodes (`OpKind::arity` many).
+    pub children: Vec<PlanNode>,
+}
+
+fn default_concurrency() -> f64 {
+    1.0
+}
+
+impl PlanNode {
+    /// Creates a node; estimates/actuals are filled by the optimizer and
+    /// executor respectively.
+    pub fn new(op: Operator, children: Vec<PlanNode>) -> PlanNode {
+        PlanNode {
+            op,
+            est: NodeEst::unknown(),
+            actual: NodeActual::unexecuted(),
+            learned_rows: None,
+            concurrency: 1.0,
+            children,
+        }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::node_count).sum::<usize>()
+    }
+
+    /// Height of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::depth).max().unwrap_or(0)
+    }
+
+    /// Visits the subtree in post order (children before parents).
+    pub fn visit_postorder<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode)) {
+        for c in &self.children {
+            c.visit_postorder(f);
+        }
+        f(self);
+    }
+
+    /// Mutable post-order visit.
+    pub fn visit_postorder_mut(&mut self, f: &mut impl FnMut(&mut PlanNode)) {
+        for c in &mut self.children {
+            c.visit_postorder_mut(f);
+        }
+        f(self);
+    }
+
+    /// Collects the nodes of the subtree in post order.
+    pub fn postorder(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.visit_postorder(&mut |n| out.push(n));
+        out
+    }
+
+    /// This subtree's structural signature.
+    ///
+    /// Two (sub)trees with equal signatures have the same operator *family*
+    /// at every position, and therefore identical neural-network shapes —
+    /// the equivalence relation behind the paper's plan-based batch
+    /// training (§5.1.1). Physical variants and feature values may differ
+    /// freely.
+    pub fn signature(&self) -> String {
+        let mut s = String::with_capacity(self.node_count() * 2);
+        self.push_signature(&mut s);
+        s
+    }
+
+    /// Appends this subtree's structural signature to `out`.
+    fn push_signature(&self, out: &mut String) {
+        out.push_str(match self.op.kind() {
+            OpKind::Scan => "s",
+            OpKind::Join => "j",
+            OpKind::Hash => "h",
+            OpKind::Sort => "o",
+            OpKind::Aggregate => "a",
+            OpKind::Filter => "f",
+            OpKind::Materialize => "m",
+            OpKind::Limit => "l",
+        });
+        if !self.children.is_empty() {
+            out.push('(');
+            for c in &self.children {
+                c.push_signature(out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// A complete, executed query plan with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Root operator (its `actual.latency_ms` is the query latency).
+    pub root: PlanNode,
+    /// Benchmark the plan was generated from.
+    pub workload: Workload,
+    /// Query template that produced the plan (e.g. TPC-DS template 17).
+    pub template_id: u32,
+    /// Sequence number within its dataset.
+    pub query_id: u64,
+}
+
+impl Plan {
+    /// Total number of operators in the plan.
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// Plan tree height.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// The query's observed latency in milliseconds (root-inclusive time).
+    pub fn latency_ms(&self) -> f64 {
+        self.root.actual.latency_ms
+    }
+
+    /// Structural signature for batching equivalence classes.
+    pub fn signature(&self) -> String {
+        self.root.signature()
+    }
+
+    /// Renders the plan in an `EXPLAIN ANALYZE`-like format.
+    pub fn explain(&self) -> String {
+        fn rec(node: &PlanNode, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            out.push_str(&format!(
+                "{pad}-> {}  (rows={:.0} cost={:.1} width={:.0}) (actual rows={:.0} time={:.2}ms)\n",
+                node.op.display_name(),
+                node.est.rows,
+                node.est.total_cost,
+                node.est.width,
+                node.actual.rows,
+                node.actual.latency_ms,
+            ));
+            for c in &node.children {
+                rec(c, indent + 1, out);
+            }
+        }
+        let mut out = String::new();
+        rec(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{JoinAlgorithm, JoinType, Operator, ParentRel, ScanMethod};
+
+    fn scan(table: usize) -> PlanNode {
+        PlanNode::new(Operator::Scan { table, method: ScanMethod::Seq, predicate_col: None }, vec![])
+    }
+
+    fn join(l: PlanNode, r: PlanNode) -> PlanNode {
+        PlanNode::new(
+            Operator::Join {
+                algo: JoinAlgorithm::Hash,
+                jtype: JoinType::Inner,
+                parent_rel: ParentRel::None,
+            },
+            vec![l, r],
+        )
+    }
+
+    fn plan(root: PlanNode) -> Plan {
+        Plan { root, workload: Workload::TpcH, template_id: 1, query_id: 0 }
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let p = plan(join(scan(0), join(scan(1), scan(2))));
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let p = plan(join(scan(0), scan(1)));
+        let order: Vec<OpKind> = p.root.postorder().iter().map(|n| n.op.kind()).collect();
+        assert_eq!(order, vec![OpKind::Scan, OpKind::Scan, OpKind::Join]);
+    }
+
+    #[test]
+    fn signatures_distinguish_structure_not_tables() {
+        let a = plan(join(scan(0), scan(1)));
+        let b = plan(join(scan(7), scan(3)));
+        let c = plan(join(scan(0), join(scan(1), scan(2))));
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn signature_distinguishes_left_vs_right_nesting() {
+        let left = plan(join(join(scan(0), scan(1)), scan(2)));
+        let right = plan(join(scan(0), join(scan(1), scan(2))));
+        assert_ne!(left.signature(), right.signature());
+    }
+
+    #[test]
+    fn explain_renders_every_node() {
+        let p = plan(join(scan(0), scan(1)));
+        let text = p.explain();
+        assert_eq!(text.matches("-> ").count(), 3);
+        assert!(text.contains("Hash Join"));
+        assert!(text.contains("Seq Scan"));
+    }
+}

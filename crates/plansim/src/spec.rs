@@ -1,0 +1,263 @@
+//! Logical query specifications.
+//!
+//! A [`QuerySpec`] is what a parsed+rewritten SQL query looks like before
+//! physical planning: base relations with predicates, a join tree, optional
+//! aggregation / sorting / limiting. Workload templates (`workload::tpch`,
+//! `workload::tpcds`) sample a `QuerySpec` per query — drawing predicate
+//! selectivities, join skews and estimation errors from template-specific
+//! ranges — and the [`crate::optimizer`] lowers it to a physical [`crate::plan::Plan`].
+//!
+//! Each predicate and join carries **two** selectivity-like values: the
+//! *true* one (used by the executor/simulator to derive ground-truth
+//! cardinalities and latencies) and the *estimated* one (used by the
+//! optimizer for costing, and the only value surfaced to prediction models).
+//! The gap between them reproduces the real-world cardinality-estimation
+//! errors that make query performance prediction hard.
+
+use crate::catalog::TableId;
+use crate::operators::{AggOp, JoinType};
+use serde::{Deserialize, Serialize};
+
+/// A predicate on a single column of a base relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    /// Column the predicate applies to.
+    pub col: usize,
+    /// True fraction of rows satisfying the predicate.
+    pub true_sel: f64,
+    /// The optimizer's (erroneous) selectivity estimate.
+    pub est_sel: f64,
+    /// When true, the predicate is too complex to push into the scan and
+    /// becomes a separate Filter node (e.g. multi-way OR, LIKE chains).
+    pub separate_node: bool,
+}
+
+/// A base relation reference with an optional predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableTerm {
+    /// Referenced table.
+    pub table: TableId,
+    /// Optional pushed-down or separate filter.
+    pub filter: Option<FilterSpec>,
+}
+
+/// How a join's output cardinality is derived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JoinCard {
+    /// Foreign-key equijoin: `out = l · r / rows(pk_table)`, times the
+    /// hidden `skew` the optimizer does not know about.
+    ForeignKey {
+        /// Primary-key side relation defining the key domain.
+        pk_table: TableId,
+        /// Hidden correlation multiplier (true cardinality only).
+        skew: f64,
+    },
+    /// Semi/anti join: `out = outer · match_frac` (resp. `1 − match_frac`).
+    MatchFraction {
+        /// True fraction of outer rows with a match.
+        true_frac: f64,
+        /// Optimizer's estimate of the match fraction.
+        est_frac: f64,
+    },
+    /// Explicit key-domain size (for non-FK equijoins).
+    Domain {
+        /// True size of the join-key domain.
+        rows: f64,
+        /// Hidden correlation multiplier.
+        skew: f64,
+    },
+}
+
+/// One side of a join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JoinInput {
+    /// A base relation (index into [`QuerySpec::terms`]).
+    Term(usize),
+    /// A nested join subtree (bushy plans).
+    Join(Box<JoinSpec>),
+    /// A derived table: an aggregated subquery planned recursively
+    /// (e.g. TPC-H Q15's revenue view).
+    Derived(Box<QuerySpec>),
+}
+
+/// A logical join between two inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// Outer (driving/probe) input.
+    pub left: JoinInput,
+    /// Inner (build/lookup) input.
+    pub right: JoinInput,
+    /// Logical join type.
+    pub jtype: JoinType,
+    /// Output-cardinality model.
+    pub card: JoinCard,
+}
+
+/// Aggregation in a query block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub op: AggOp,
+    /// True number of output groups (1 = no GROUP BY).
+    pub groups: f64,
+    /// Optimizer's estimate of the group count.
+    pub est_groups: f64,
+    /// Eligible for parallel partial aggregation.
+    pub partial: bool,
+}
+
+/// ORDER BY in a query block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SortSpec {
+    /// Canonical sort-key ordinal (one-hot "Sort Key" feature,
+    /// `0..MAX_SORT_KEYS`).
+    pub key: usize,
+}
+
+/// Number of canonical sort keys distinguished by the Sort featurization.
+pub const MAX_SORT_KEYS: usize = 8;
+
+/// A logical query block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Base relations referenced by the block.
+    pub terms: Vec<TableTerm>,
+    /// Join structure over the terms (`Term(0)` for single-table queries).
+    pub join: JoinInput,
+    /// Optional HAVING-like filter applied above the join/aggregate,
+    /// as (true selectivity, estimated selectivity).
+    pub post_filter: Option<(f64, f64)>,
+    /// Optional aggregation.
+    pub agg: Option<AggSpec>,
+    /// Optional ORDER BY.
+    pub sort: Option<SortSpec>,
+    /// Optional LIMIT.
+    pub limit: Option<f64>,
+}
+
+impl QuerySpec {
+    /// A single-table query block over `term`.
+    pub fn single(term: TableTerm) -> QuerySpec {
+        QuerySpec {
+            terms: vec![term],
+            join: JoinInput::Term(0),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        }
+    }
+
+    /// Number of join operators the spec implies (for sanity checks).
+    pub fn join_count(&self) -> usize {
+        fn count(input: &JoinInput) -> usize {
+            match input {
+                JoinInput::Term(_) => 0,
+                JoinInput::Join(j) => 1 + count(&j.left) + count(&j.right),
+                JoinInput::Derived(q) => count(&q.join),
+            }
+        }
+        count(&self.join)
+    }
+
+    /// Validates internal references (terms exist, selectivities in range).
+    ///
+    /// Returns a description of the first problem found, if any.
+    pub fn validate(&self, num_tables: usize) -> Result<(), String> {
+        for (i, t) in self.terms.iter().enumerate() {
+            if t.table >= num_tables {
+                return Err(format!("term {i} references unknown table {}", t.table));
+            }
+            if let Some(f) = &t.filter {
+                if !(0.0..=1.0).contains(&f.true_sel) || !(0.0..=1.0).contains(&f.est_sel) {
+                    return Err(format!("term {i} has selectivity outside [0,1]"));
+                }
+            }
+        }
+        fn walk(input: &JoinInput, n_terms: usize, num_tables: usize) -> Result<(), String> {
+            match input {
+                JoinInput::Term(i) if *i >= n_terms => Err(format!("join references missing term {i}")),
+                JoinInput::Term(_) => Ok(()),
+                JoinInput::Join(j) => {
+                    if let JoinCard::ForeignKey { pk_table, .. } = &j.card {
+                        if *pk_table >= num_tables {
+                            return Err(format!("join pk_table {pk_table} out of range"));
+                        }
+                    }
+                    walk(&j.left, n_terms, num_tables)?;
+                    walk(&j.right, n_terms, num_tables)
+                }
+                JoinInput::Derived(q) => q.validate(num_tables),
+            }
+        }
+        walk(&self.join, self.terms.len(), num_tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(t: TableId) -> TableTerm {
+        TableTerm { table: t, filter: None }
+    }
+
+    #[test]
+    fn single_table_spec_has_no_joins() {
+        let q = QuerySpec::single(term(3));
+        assert_eq!(q.join_count(), 0);
+        assert!(q.validate(8).is_ok());
+    }
+
+    #[test]
+    fn join_count_counts_nested_joins() {
+        let q = QuerySpec {
+            terms: vec![term(0), term(1), term(2)],
+            join: JoinInput::Join(Box::new(JoinSpec {
+                left: JoinInput::Join(Box::new(JoinSpec {
+                    left: JoinInput::Term(0),
+                    right: JoinInput::Term(1),
+                    jtype: JoinType::Inner,
+                    card: JoinCard::Domain { rows: 100.0, skew: 1.0 },
+                })),
+                right: JoinInput::Term(2),
+                jtype: JoinType::Inner,
+                card: JoinCard::Domain { rows: 100.0, skew: 1.0 },
+            })),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        assert_eq!(q.join_count(), 2);
+        assert!(q.validate(8).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_missing_term() {
+        let q = QuerySpec {
+            terms: vec![term(0)],
+            join: JoinInput::Term(5),
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        };
+        assert!(q.validate(8).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_table() {
+        let q = QuerySpec::single(term(99));
+        assert!(q.validate(8).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_selectivity() {
+        let q = QuerySpec::single(TableTerm {
+            table: 0,
+            filter: Some(FilterSpec { col: 0, true_sel: 1.5, est_sel: 0.5, separate_node: false }),
+        });
+        assert!(q.validate(8).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Sampling utilities shared by the executor and the workload generators.
+
+use rand::Rng;
+
+/// Samples `exp(N(0, sigma))` — multiplicative lognormal noise.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (z * sigma).exp()
+}
+
+/// Samples log-uniformly from `[lo, hi]` (both must be positive).
+pub fn loguniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "loguniform needs 0 < lo <= hi");
+    if lo == hi {
+        return lo;
+    }
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// A `(true, estimated)` selectivity pair: the truth is log-uniform in
+/// `[lo, hi]`; the optimizer's estimate is the truth perturbed by
+/// lognormal error of width `err_sigma` (clamped to `[1e-8, 1]`).
+pub fn sel_pair<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, err_sigma: f64) -> (f64, f64) {
+    let true_sel = loguniform(rng, lo, hi);
+    let est_sel = (true_sel * lognormal(rng, err_sigma)).clamp(1e-8, 1.0);
+    (true_sel, est_sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn lognormal_is_centered_near_one() {
+        let mut r = rng(1);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| lognormal(&mut r, 0.1)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_identity() {
+        assert_eq!(lognormal(&mut rng(2), 0.0), 1.0);
+    }
+
+    #[test]
+    fn loguniform_stays_in_bounds() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let v = loguniform(&mut r, 0.001, 0.1);
+            assert!((0.001..=0.1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sel_pair_estimates_track_truth() {
+        let mut r = rng(4);
+        let mut ratios = Vec::new();
+        for _ in 0..1000 {
+            let (t, e) = sel_pair(&mut r, 0.01, 0.5, 0.3);
+            assert!((0.0..=1.0).contains(&e));
+            ratios.push((e / t).ln());
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean.abs() < 0.1, "log-ratio mean {mean}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Workload generators: parameterized query templates.
+//!
+//! A [`Template`] plays the role of a TPC query template: each invocation
+//! samples predicate selectivities, join skews and estimation errors from
+//! template-specific ranges and produces a logical [`QuerySpec`]. The
+//! optimizer may then choose different physical plans for different
+//! parameter draws — exactly like the paper's workloads, where each of the
+//! 20,000 queries per benchmark instantiates one template.
+//!
+//! * [`tpch`] — all 22 TPC-H templates;
+//! * [`tpcds`] — the 70 TPC-DS templates that run on PostgreSQL
+//!   unmodified, matching the template ids on the x-axis of the paper's
+//!   Figure 8.
+
+pub mod tpcds;
+pub mod tpch;
+
+use crate::catalog::{Catalog, Workload};
+use crate::spec::{FilterSpec, JoinCard, JoinInput, JoinSpec, QuerySpec, TableTerm};
+use crate::operators::JoinType;
+use crate::util::{lognormal, loguniform, sel_pair};
+use rand::RngCore;
+
+/// A parameterized query template.
+#[derive(Clone, Copy)]
+pub struct Template {
+    /// Template id (TPC query number).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Samples one query instance.
+    pub gen: fn(&Catalog, &mut dyn RngCore) -> QuerySpec,
+}
+
+impl std::fmt::Debug for Template {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Template").field("id", &self.id).field("name", &self.name).finish()
+    }
+}
+
+/// Returns the template set for a workload.
+pub fn templates(workload: Workload) -> &'static [Template] {
+    match workload {
+        Workload::TpcH => tpch::TEMPLATES,
+        Workload::TpcDs => tpcds::templates(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-building helpers shared by the template definitions.
+// ---------------------------------------------------------------------------
+
+/// Incrementally builds a [`QuerySpec`].
+pub(crate) struct SpecBuilder<'a> {
+    cat: &'a Catalog,
+    terms: Vec<TableTerm>,
+}
+
+impl<'a> SpecBuilder<'a> {
+    pub(crate) fn new(cat: &'a Catalog) -> Self {
+        SpecBuilder { cat, terms: Vec::new() }
+    }
+
+    /// Adds an unfiltered relation; returns its term as a join input.
+    pub(crate) fn term(&mut self, table: &str) -> JoinInput {
+        self.terms.push(TableTerm { table: self.cat.table_id(table), filter: None });
+        JoinInput::Term(self.terms.len() - 1)
+    }
+
+    /// Adds a relation with a pushed-down predicate on `col`, with true
+    /// selectivity log-uniform in `[lo, hi]` and estimation error `err`.
+    pub(crate) fn filtered(
+        &mut self,
+        rng: &mut dyn RngCore,
+        table: &str,
+        col: usize,
+        lo: f64,
+        hi: f64,
+        err: f64,
+    ) -> JoinInput {
+        let (true_sel, est_sel) = sel_pair(rng, lo, hi, err);
+        self.terms.push(TableTerm {
+            table: self.cat.table_id(table),
+            filter: Some(FilterSpec { col, true_sel, est_sel, separate_node: false }),
+        });
+        JoinInput::Term(self.terms.len() - 1)
+    }
+
+    /// Like [`SpecBuilder::filtered`] but the predicate is too complex to
+    /// push into the scan and becomes a separate Filter node.
+    pub(crate) fn complex_filtered(
+        &mut self,
+        rng: &mut dyn RngCore,
+        table: &str,
+        col: usize,
+        lo: f64,
+        hi: f64,
+        err: f64,
+    ) -> JoinInput {
+        let (true_sel, est_sel) = sel_pair(rng, lo, hi, err);
+        self.terms.push(TableTerm {
+            table: self.cat.table_id(table),
+            filter: Some(FilterSpec { col, true_sel, est_sel, separate_node: true }),
+        });
+        JoinInput::Term(self.terms.len() - 1)
+    }
+
+    /// Global scale on join-skew widths. Raising it makes cardinality
+    /// estimates compound errors faster through join trees, which is the
+    /// dominant difficulty of real-world performance prediction.
+    pub(crate) const SKEW_SCALE: f64 = 1.6;
+
+    /// Foreign-key join with hidden skew sampled at width `skew_sigma`
+    /// (scaled by [`Self::SKEW_SCALE`]).
+    pub(crate) fn fk(
+        &self,
+        rng: &mut dyn RngCore,
+        left: JoinInput,
+        right: JoinInput,
+        pk_table: &str,
+        skew_sigma: f64,
+    ) -> JoinInput {
+        JoinInput::Join(Box::new(JoinSpec {
+            left,
+            right,
+            jtype: JoinType::Inner,
+            card: JoinCard::ForeignKey {
+                pk_table: self.cat.table_id(pk_table),
+                skew: lognormal(rng, skew_sigma * Self::SKEW_SCALE),
+            },
+        }))
+    }
+
+    /// Equijoin with an explicit key-domain size.
+    pub(crate) fn domain_join(
+        &self,
+        rng: &mut dyn RngCore,
+        left: JoinInput,
+        right: JoinInput,
+        jtype: JoinType,
+        domain_rows: f64,
+        skew_sigma: f64,
+    ) -> JoinInput {
+        JoinInput::Join(Box::new(JoinSpec {
+            left,
+            right,
+            jtype,
+            card: JoinCard::Domain { rows: domain_rows.max(1.0), skew: lognormal(rng, skew_sigma) },
+        }))
+    }
+
+    /// Semi or anti join with a sampled match fraction.
+    pub(crate) fn match_join(
+        &self,
+        rng: &mut dyn RngCore,
+        left: JoinInput,
+        right: JoinInput,
+        jtype: JoinType,
+        lo: f64,
+        hi: f64,
+        err: f64,
+    ) -> JoinInput {
+        let (true_frac, est_frac) = sel_pair(rng, lo, hi, err);
+        JoinInput::Join(Box::new(JoinSpec {
+            left,
+            right,
+            jtype,
+            card: JoinCard::MatchFraction { true_frac, est_frac },
+        }))
+    }
+
+    /// Rows of a named table at the catalog's scale factor.
+    pub(crate) fn rows(&self, table: &str) -> f64 {
+        self.cat.rows(self.cat.table_id(table))
+    }
+
+    /// Finalizes the spec.
+    pub(crate) fn finish(self, join: JoinInput) -> QuerySpec {
+        QuerySpec {
+            terms: self.terms,
+            join,
+            post_filter: None,
+            agg: None,
+            sort: None,
+            limit: None,
+        }
+    }
+}
+
+/// Samples a `(true, estimated)` group count, log-uniform in `[lo, hi]`.
+pub(crate) fn groups_pair(rng: &mut dyn RngCore, lo: f64, hi: f64, err: f64) -> (f64, f64) {
+    let g = loguniform(rng, lo.max(1.0), hi.max(1.0));
+    let e = (g * lognormal(rng, err)).max(1.0);
+    (g, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use crate::executor::Executor;
+    use rand::SeedableRng;
+
+    /// Every template of both workloads must produce valid specs that plan
+    /// and execute, over many parameter draws.
+    #[test]
+    fn all_templates_generate_plannable_queries() {
+        for workload in [Workload::TpcH, Workload::TpcDs] {
+            let cat = Catalog::for_workload(workload, 1.0);
+            let opt = Optimizer::new(&cat);
+            let ex = Executor::new(&cat);
+            for t in templates(workload) {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + t.id as u64);
+                for _ in 0..3 {
+                    let spec = (t.gen)(&cat, &mut rng);
+                    spec.validate(cat.num_tables())
+                        .unwrap_or_else(|e| panic!("{} template {}: {e}", workload.name(), t.id));
+                    let mut plan = opt.build(&spec, &mut rng);
+                    let latency = ex.run(&mut plan, &mut rng);
+                    assert!(
+                        latency.is_finite() && latency > 0.0,
+                        "{} template {} produced latency {latency}",
+                        workload.name(),
+                        t.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn template_counts_match_the_paper() {
+        assert_eq!(templates(Workload::TpcH).len(), 22);
+        assert_eq!(templates(Workload::TpcDs).len(), 70);
+    }
+
+    #[test]
+    fn template_ids_are_unique() {
+        for workload in [Workload::TpcH, Workload::TpcDs] {
+            let mut ids: Vec<u32> = templates(workload).iter().map(|t| t.id).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_same_spec() {
+        let cat = Catalog::tpch(1.0);
+        let t = &tpch::TEMPLATES[2];
+        let a = (t.gen)(&cat, &mut rand::rngs::StdRng::seed_from_u64(5));
+        let b = (t.gen)(&cat, &mut rand::rngs::StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_draws_vary_parameters() {
+        let cat = Catalog::tpch(1.0);
+        let t = &tpch::TEMPLATES[5]; // Q6: selectivity-driven
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = (t.gen)(&cat, &mut rng);
+        let b = (t.gen)(&cat, &mut rng);
+        assert_ne!(a, b);
+    }
+}

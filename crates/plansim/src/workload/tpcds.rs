@@ -1,0 +1,406 @@
+//! The 70 TPC-DS query templates the paper evaluates.
+//!
+//! The paper uses the 70 TPC-DS templates that run on PostgreSQL without
+//! modification; the template ids here match the x-axis of the paper's
+//! Figure 8 (3, 6, 7, …, 97) plus template 98.
+//!
+//! Templates are data-driven: each [`DsDef`] captures the plan-shaping
+//! skeleton of its TPC-DS counterpart — the driving fact table, the
+//! dimensions it joins (with filter selectivities reflecting the predicate:
+//! a year ≈ 0.2 of the sales history, a month ≈ 0.017, a brand ≈ 0.0015 of
+//! `item`, …), additional fact tables (returns joins, cross-channel
+//! self-joins, the notorious `inventory` join of q72), and the
+//! aggregation/sort/limit epilogue. A shared builder lowers a definition to
+//! a [`QuerySpec`], sampling per-query parameters.
+
+use super::{groups_pair, SpecBuilder, Template};
+use crate::catalog::Catalog;
+use crate::operators::{AggOp, JoinType};
+use crate::spec::{AggSpec, JoinInput, QuerySpec, SortSpec, MAX_SORT_KEYS};
+use crate::util::{loguniform, sel_pair};
+use rand::RngCore;
+
+/// A filter: `(column, sel_lo, sel_hi, estimation_error_sigma)`.
+#[derive(Clone, Copy)]
+struct Filt(usize, f64, f64, f64);
+
+/// A dimension join: the dim table plus an optional filter on it.
+#[derive(Clone, Copy)]
+struct Dim {
+    table: &'static str,
+    filt: Option<Filt>,
+}
+
+const fn dim(table: &'static str) -> Dim {
+    Dim { table, filt: None }
+}
+
+const fn fdim(table: &'static str, f: Filt) -> Dim {
+    Dim { table, filt: Some(f) }
+}
+
+/// How an extra fact table joins the accumulated plan.
+#[derive(Clone, Copy)]
+enum XJoin {
+    /// Equijoin with key domain `rows(primary fact) / frac`, `frac` sampled
+    /// log-uniformly — `frac ≈ 0.1` models a returns join (10% of sales are
+    /// returned), `frac ≈ 1` a same-grain channel self-join.
+    Inner { frac_lo: f64, frac_hi: f64, err: f64 },
+    /// Semi join with a sampled match fraction.
+    Semi { lo: f64, hi: f64, err: f64 },
+    /// Anti join with a sampled match fraction.
+    Anti { lo: f64, hi: f64, err: f64 },
+}
+
+/// An additional fact table with its own dimensions.
+#[derive(Clone, Copy)]
+struct Extra {
+    table: &'static str,
+    join: XJoin,
+    filt: Option<Filt>,
+    dims: &'static [Dim],
+}
+
+/// Group-count model for the aggregate.
+#[derive(Clone, Copy)]
+enum Groups {
+    /// No aggregation.
+    None,
+    /// Absolute range (log-uniform).
+    Abs(f64, f64),
+    /// Fraction of a table's (scaled) row count.
+    Frac(&'static str, f64, f64),
+}
+
+/// One TPC-DS template definition.
+#[derive(Clone, Copy)]
+struct DsDef {
+    id: u32,
+    fact: &'static str,
+    fact_filt: Option<Filt>,
+    /// Fact filter is a complex predicate evaluated in a separate node.
+    complex_fact: bool,
+    dims: &'static [Dim],
+    extras: &'static [Extra],
+    op: AggOp,
+    groups: Groups,
+    /// HAVING-like filter `(lo, hi, err)`.
+    post: Option<(f64, f64, f64)>,
+    sort: bool,
+    limit: Option<f64>,
+}
+
+const fn base(id: u32, fact: &'static str) -> DsDef {
+    DsDef {
+        id,
+        fact,
+        fact_filt: None,
+        complex_fact: false,
+        dims: &[],
+        extras: &[],
+        op: AggOp::Sum,
+        groups: Groups::None,
+        post: None,
+        sort: false,
+        limit: None,
+    }
+}
+
+// Frequently-used filters. Selectivities are relative to the slice of the
+// dimension that intersects the sales history (see module docs).
+const YEAR: Filt = Filt(1, 0.18, 0.22, 0.15); // one year on date_dim
+const QUARTER: Filt = Filt(3, 0.04, 0.06, 0.2); // one quarter
+const MONTH: Filt = Filt(2, 0.015, 0.02, 0.2); // one month
+const MONTH_RANGE: Filt = Filt(2, 0.22, 0.28, 0.25); // a few months
+const DAY_WINDOW: Filt = Filt(0, 0.008, 0.015, 0.3); // ~weeks of days
+const ITEM_CATEGORY: Filt = Filt(1, 0.08, 0.12, 0.3);
+const ITEM_CLASS: Filt = Filt(1, 0.03, 0.06, 0.35);
+const ITEM_BRAND: Filt = Filt(2, 0.001, 0.002, 0.5);
+const ITEM_MANUFACT: Filt = Filt(4, 0.0008, 0.0015, 0.5);
+const ITEM_PRICE: Filt = Filt(3, 0.2, 0.4, 0.5);
+const STORE_STATE: Filt = Filt(1, 0.2, 0.4, 0.25);
+const CA_STATE: Filt = Filt(1, 0.02, 0.06, 0.35);
+const CA_GMT: Filt = Filt(2, 0.25, 0.4, 0.3);
+const CD_EDU: Filt = Filt(2, 0.1, 0.18, 0.3);
+const CD_GENDER: Filt = Filt(1, 0.45, 0.55, 0.15);
+const HD_DEP: Filt = Filt(1, 0.1, 0.25, 0.3);
+const TIME_SLOT: Filt = Filt(0, 0.02, 0.05, 0.3);
+const TIME_RANGE: Filt = Filt(0, 0.2, 0.4, 0.3);
+
+const RETURNS: XJoin = XJoin::Inner { frac_lo: 0.08, frac_hi: 0.12, err: 0.35 };
+const CHANNEL: XJoin = XJoin::Inner { frac_lo: 0.6, frac_hi: 1.4, err: 0.45 };
+
+/// The 70 template definitions (ids from the paper's Figure 8, plus 98).
+static DEFS: &[DsDef] = &[
+    DsDef { fact_filt: None, dims: &[fdim("date_dim", YEAR), fdim("item", ITEM_MANUFACT)], op: AggOp::Sum, groups: Groups::Abs(60.0, 140.0), sort: true, limit: Some(100.0), ..base(3, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_PRICE), dim("customer"), fdim("customer_address", CA_STATE)], groups: Groups::Abs(30.0, 70.0), post: Some((0.3, 0.5, 0.3)), sort: true, limit: Some(100.0), ..base(6, "store_sales") },
+    DsDef { dims: &[fdim("customer_demographics", CD_GENDER), fdim("date_dim", YEAR), dim("item"), fdim("promotion", Filt(0, 0.4, 0.6, 0.3))], op: AggOp::Avg, groups: Groups::Frac("item", 0.8, 1.0), sort: true, limit: Some(100.0), ..base(7, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", QUARTER), dim("store"), fdim("customer_address", Filt(1, 0.03, 0.08, 0.4))], groups: Groups::Abs(10.0, 14.0), sort: true, limit: Some(100.0), ..base(8, "store_sales") },
+    DsDef { fact_filt: Some(Filt(4, 0.15, 0.25, 0.35)), dims: &[dim("reason")], op: AggOp::Avg, groups: Groups::Abs(1.0, 1.0), ..base(9, "store_sales") },
+    DsDef { dims: &[dim("store"), fdim("customer_demographics", CD_EDU), fdim("household_demographics", HD_DEP), fdim("customer_address", CA_STATE), fdim("date_dim", YEAR)], op: AggOp::Avg, groups: Groups::Abs(1.0, 1.0), ..base(13, "store_sales") },
+    DsDef { dims: &[dim("customer"), fdim("customer_address", Filt(1, 0.04, 0.09, 0.4)), fdim("date_dim", QUARTER)], groups: Groups::Abs(300.0, 700.0), sort: true, limit: Some(100.0), ..base(15, "catalog_sales") },
+    DsDef { dims: &[fdim("date_dim", QUARTER), dim("store"), dim("item")], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(500.0, 1500.0), sort: true, limit: Some(100.0), ..base(17, "store_sales") },
+    DsDef { dims: &[fdim("customer_demographics", CD_EDU), fdim("customer", Filt(2, 0.2, 0.3, 0.3)), dim("customer_address"), fdim("date_dim", YEAR), dim("item")], op: AggOp::Avg, groups: Groups::Abs(2000.0, 4000.0), sort: true, limit: Some(100.0), ..base(18, "catalog_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_MANUFACT), dim("customer"), dim("customer_address"), dim("store")], groups: Groups::Abs(400.0, 1000.0), sort: true, limit: Some(100.0), ..base(19, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("item")], op: AggOp::Avg, groups: Groups::Frac("item", 0.9, 1.1), sort: true, limit: Some(100.0), ..base(22, "inventory") },
+    DsDef { dims: &[fdim("store", Filt(1, 0.05, 0.15, 0.3)), dim("item"), dim("customer"), fdim("customer_address", CA_STATE)], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }], groups: Groups::Abs(500.0, 1500.0), post: Some((0.05, 0.15, 0.4)), sort: true, ..base(24, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), dim("store"), dim("item")], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(800.0, 2000.0), sort: true, limit: Some(100.0), ..base(25, "store_sales") },
+    DsDef { dims: &[fdim("customer_demographics", CD_GENDER), fdim("date_dim", YEAR), fdim("promotion", Filt(0, 0.3, 0.5, 0.3)), dim("item")], op: AggOp::Avg, groups: Groups::Frac("item", 0.7, 1.0), sort: true, limit: Some(100.0), ..base(26, "catalog_sales") },
+    DsDef { dims: &[fdim("customer_demographics", CD_GENDER), fdim("date_dim", YEAR), fdim("store", STORE_STATE), dim("item")], op: AggOp::Avg, groups: Groups::Frac("item", 0.8, 1.1), sort: true, limit: Some(100.0), ..base(27, "store_sales") },
+    DsDef { fact_filt: Some(Filt(4, 0.1, 0.2, 0.45)), complex_fact: true, op: AggOp::Avg, groups: Groups::Abs(1.0, 1.0), limit: Some(100.0), ..base(28, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), dim("store"), dim("item")], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], op: AggOp::Avg, groups: Groups::Abs(800.0, 2000.0), sort: true, limit: Some(100.0), ..base(29, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("customer_address"), dim("customer")], groups: Groups::Frac("customer", 0.008, 0.015), post: Some((0.08, 0.12, 0.4)), sort: true, limit: Some(100.0), ..base(30, "web_returns") },
+    DsDef { dims: &[fdim("date_dim", QUARTER), dim("customer_address")], extras: &[Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(300.0, 700.0), sort: true, ..base(31, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_CATEGORY), fdim("customer_address", CA_GMT)], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(600.0, 1400.0), sort: true, limit: Some(100.0), ..base(33, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("customer")], extras: &[Extra { table: "catalog_sales", join: XJoin::Semi { lo: 0.25, hi: 0.45, err: 0.35 }, filt: None, dims: &[] }, Extra { table: "web_sales", join: XJoin::Semi { lo: 0.15, hi: 0.35, err: 0.35 }, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(1.0, 1.0), limit: Some(100.0), ..base(38, "store_sales") },
+    DsDef { dims: &[dim("item"), dim("warehouse"), fdim("date_dim", MONTH)], extras: &[Extra { table: "inventory", join: CHANNEL, filt: None, dims: &[] }], op: AggOp::Avg, groups: Groups::Frac("item", 1.5, 2.5), post: Some((0.08, 0.15, 0.35)), sort: true, ..base(39, "inventory") },
+    DsDef { fact_filt: Some(Filt(1, 0.0008, 0.002, 0.8)), complex_fact: true, op: AggOp::Count, groups: Groups::Abs(30.0, 80.0), sort: true, limit: Some(100.0), ..base(41, "item") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_CATEGORY)], groups: Groups::Abs(20.0, 40.0), sort: true, limit: Some(100.0), ..base(42, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("store")], groups: Groups::Abs(70.0, 100.0), sort: true, limit: Some(100.0), ..base(43, "store_sales") },
+    DsDef { fact_filt: Some(Filt(3, 0.3, 0.5, 0.35)), dims: &[dim("item")], op: AggOp::Avg, groups: Groups::Frac("item", 0.9, 1.1), post: Some((0.005, 0.02, 0.5)), sort: true, limit: Some(100.0), ..base(44, "store_sales") },
+    DsDef { dims: &[dim("customer"), dim("customer_address"), fdim("date_dim", QUARTER), fdim("item", Filt(0, 0.003, 0.008, 0.4))], groups: Groups::Abs(300.0, 700.0), sort: true, limit: Some(100.0), ..base(45, "web_sales") },
+    DsDef { dims: &[fdim("date_dim", Filt(2, 0.25, 0.32, 0.2)), fdim("store", Filt(1, 0.1, 0.25, 0.3)), fdim("household_demographics", HD_DEP), dim("customer_address"), dim("customer")], groups: Groups::Frac("customer", 0.05, 0.15), sort: true, limit: Some(100.0), ..base(46, "store_sales") },
+    DsDef { dims: &[dim("store"), fdim("customer_demographics", CD_EDU), fdim("customer_address", CA_STATE), fdim("date_dim", YEAR)], groups: Groups::Abs(1.0, 1.0), ..base(48, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH)], extras: &[Extra { table: "web_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "catalog_returns", join: RETURNS, filt: None, dims: &[] }], groups: Groups::Abs(600.0, 1400.0), sort: true, limit: Some(100.0), ..base(49, "web_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), dim("store")], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[Dim { table: "date_dim", filt: None }] }], groups: Groups::Abs(10.0, 14.0), sort: true, limit: Some(100.0), ..base(50, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("item")], extras: &[Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Frac("item", 2.0, 4.0), sort: true, limit: Some(100.0), ..base(51, "web_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_BRAND)], groups: Groups::Abs(60.0, 140.0), sort: true, limit: Some(100.0), ..base(52, "store_sales") },
+    DsDef { dims: &[fdim("item", ITEM_CLASS), fdim("date_dim", MONTH_RANGE), dim("store")], op: AggOp::Avg, groups: Groups::Abs(200.0, 500.0), post: Some((0.1, 0.2, 0.35)), sort: true, limit: Some(100.0), ..base(53, "store_sales") },
+    DsDef { dims: &[fdim("item", ITEM_CLASS), fdim("date_dim", MONTH), dim("customer"), dim("customer_address")], extras: &[Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(15.0, 30.0), sort: true, limit: Some(100.0), ..base(54, "catalog_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_MANUFACT)], groups: Groups::Abs(60.0, 140.0), sort: true, limit: Some(100.0), ..base(55, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_CATEGORY), fdim("customer_address", CA_GMT)], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(600.0, 1400.0), sort: true, limit: Some(100.0), ..base(56, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("item"), dim("call_center")], op: AggOp::Avg, groups: Groups::Frac("item", 0.5, 0.9), post: Some((0.03, 0.08, 0.4)), sort: true, limit: Some(100.0), ..base(57, "catalog_sales") },
+    DsDef { dims: &[fdim("date_dim", DAY_WINDOW), dim("item")], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(300.0, 800.0), post: Some((0.08, 0.15, 0.35)), sort: true, limit: Some(100.0), ..base(58, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("store")], extras: &[Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[Dim { table: "date_dim", filt: None }] }], groups: Groups::Abs(400.0, 800.0), sort: true, limit: Some(100.0), ..base(59, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH), fdim("item", ITEM_CATEGORY), fdim("customer_address", CA_GMT)], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(600.0, 1400.0), sort: true, limit: Some(100.0), ..base(60, "store_sales") },
+    DsDef { dims: &[fdim("promotion", Filt(0, 0.25, 0.45, 0.35)), dim("store"), fdim("customer_address", CA_GMT), fdim("date_dim", MONTH), fdim("item", ITEM_CATEGORY), dim("customer")], groups: Groups::Abs(1.0, 1.0), limit: Some(100.0), ..base(61, "store_sales") },
+    DsDef { dims: &[dim("ship_mode"), dim("web_site"), fdim("date_dim", MONTH_RANGE)], op: AggOp::Count, groups: Groups::Abs(90.0, 150.0), sort: true, limit: Some(100.0), ..base(62, "web_sales") },
+    DsDef { dims: &[fdim("item", ITEM_CLASS), fdim("date_dim", MONTH_RANGE), dim("store")], op: AggOp::Avg, groups: Groups::Abs(200.0, 500.0), post: Some((0.1, 0.2, 0.35)), sort: true, limit: Some(100.0), ..base(63, "store_sales") },
+    DsDef { fact_filt: Some(Filt(4, 0.03, 0.08, 0.5)), dims: &[fdim("date_dim", YEAR), dim("store"), dim("customer"), fdim("customer_demographics", CD_GENDER), fdim("household_demographics", HD_DEP), dim("customer_address"), fdim("item", ITEM_PRICE)], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "catalog_returns", join: RETURNS, filt: None, dims: &[] }], groups: Groups::Abs(5000.0, 15000.0), sort: true, ..base(64, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("store"), dim("item")], extras: &[Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Frac("item", 2.0, 4.0), post: Some((0.08, 0.15, 0.35)), sort: true, limit: Some(100.0), ..base(65, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), fdim("time_dim", TIME_RANGE), dim("ship_mode"), dim("warehouse")], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(40.0, 80.0), sort: true, limit: Some(100.0), ..base(66, "web_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("store"), dim("item")], groups: Groups::Frac("item", 4.0, 8.0), sort: true, limit: Some(100.0), ..base(67, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", Filt(2, 0.08, 0.15, 0.25)), fdim("store", Filt(1, 0.1, 0.25, 0.3)), fdim("household_demographics", HD_DEP), dim("customer_address"), dim("customer")], groups: Groups::Frac("customer", 0.03, 0.08), sort: true, limit: Some(100.0), ..base(68, "store_sales") },
+    DsDef { dims: &[fdim("customer_demographics", CD_GENDER), fdim("customer_address", CA_STATE)], extras: &[Extra { table: "store_sales", join: XJoin::Semi { lo: 0.3, hi: 0.5, err: 0.35 }, filt: None, dims: &[] }, Extra { table: "web_sales", join: XJoin::Anti { lo: 0.2, hi: 0.4, err: 0.4 }, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: XJoin::Anti { lo: 0.2, hi: 0.4, err: 0.4 }, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(150.0, 350.0), sort: true, limit: Some(100.0), ..base(69, "customer") },
+    DsDef { dims: &[fdim("item", ITEM_MANUFACT), fdim("date_dim", MONTH), fdim("time_dim", TIME_RANGE)], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(1000.0, 3000.0), sort: true, ..base(71, "web_sales") },
+    DsDef { dims: &[dim("warehouse"), dim("item"), fdim("customer_demographics", CD_GENDER), fdim("household_demographics", HD_DEP), fdim("date_dim", YEAR)], extras: &[Extra { table: "inventory", join: XJoin::Inner { frac_lo: 2.5, frac_hi: 4.5, err: 0.45 }, filt: Some(Filt(2, 0.3, 0.5, 0.4)), dims: &[] }], op: AggOp::Count, groups: Groups::Frac("item", 0.2, 0.5), sort: true, limit: Some(100.0), ..base(72, "catalog_sales") },
+    DsDef { dims: &[fdim("date_dim", Filt(2, 0.08, 0.15, 0.25)), fdim("store", STORE_STATE), fdim("household_demographics", HD_DEP), dim("customer")], op: AggOp::Count, groups: Groups::Frac("customer", 0.01, 0.04), post: Some((0.03, 0.08, 0.4)), sort: true, ..base(73, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), fdim("item", ITEM_CATEGORY)], extras: &[Extra { table: "catalog_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "store_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_returns", join: RETURNS, filt: None, dims: &[] }], groups: Groups::Abs(3000.0, 8000.0), sort: true, ..base(75, "catalog_sales") },
+    DsDef { fact_filt: Some(Filt(2, 0.03, 0.08, 0.5)), dims: &[dim("item"), dim("date_dim")], extras: &[Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(60.0, 140.0), sort: true, limit: Some(100.0), ..base(76, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("customer")], extras: &[Extra { table: "store_returns", join: XJoin::Anti { lo: 0.08, hi: 0.12, err: 0.4 }, filt: None, dims: &[] }, Extra { table: "web_sales", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Frac("customer", 0.05, 0.15), sort: true, limit: Some(100.0), ..base(78, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", Filt(2, 0.08, 0.15, 0.25)), fdim("store", Filt(1, 0.1, 0.3, 0.3)), fdim("household_demographics", HD_DEP), dim("customer")], groups: Groups::Frac("customer", 0.03, 0.08), sort: true, limit: Some(100.0), ..base(79, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", YEAR), dim("customer_address"), dim("customer")], groups: Groups::Frac("customer", 0.01, 0.03), post: Some((0.08, 0.12, 0.4)), sort: true, limit: Some(100.0), ..base(81, "catalog_returns") },
+    DsDef { dims: &[fdim("date_dim", DAY_WINDOW), dim("item")], extras: &[Extra { table: "catalog_returns", join: CHANNEL, filt: None, dims: &[] }, Extra { table: "web_returns", join: CHANNEL, filt: None, dims: &[] }], groups: Groups::Abs(300.0, 700.0), sort: true, limit: Some(100.0), ..base(83, "store_returns") },
+    DsDef { dims: &[fdim("customer_address", Filt(1, 0.01, 0.03, 0.4)), dim("customer_demographics"), dim("household_demographics"), fdim("income_band", Filt(0, 0.08, 0.15, 0.3)), dim("customer")], extras: &[Extra { table: "store_returns", join: XJoin::Inner { frac_lo: 0.8, frac_hi: 1.2, err: 0.4 }, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::None, sort: true, limit: Some(100.0), ..base(84, "customer") },
+    DsDef { fact_filt: Some(Filt(3, 0.25, 0.4, 0.35)), dims: &[fdim("customer_demographics", CD_EDU), fdim("customer_address", CA_STATE), fdim("date_dim", YEAR), dim("reason")], extras: &[Extra { table: "web_returns", join: RETURNS, filt: None, dims: &[] }], op: AggOp::Avg, groups: Groups::Abs(25.0, 40.0), sort: true, limit: Some(100.0), ..base(85, "web_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE), dim("customer")], extras: &[Extra { table: "catalog_sales", join: XJoin::Anti { lo: 0.3, hi: 0.5, err: 0.35 }, filt: None, dims: &[] }, Extra { table: "web_sales", join: XJoin::Anti { lo: 0.3, hi: 0.5, err: 0.35 }, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(1.0, 1.0), ..base(87, "store_sales") },
+    DsDef { dims: &[fdim("household_demographics", HD_DEP), fdim("time_dim", Filt(0, 0.15, 0.25, 0.25)), dim("store")], op: AggOp::Count, groups: Groups::Abs(1.0, 1.0), ..base(88, "store_sales") },
+    DsDef { dims: &[fdim("item", ITEM_CLASS), fdim("date_dim", YEAR), dim("store")], op: AggOp::Avg, groups: Groups::Abs(5000.0, 15000.0), post: Some((0.08, 0.15, 0.35)), sort: true, limit: Some(100.0), ..base(89, "store_sales") },
+    DsDef { dims: &[fdim("household_demographics", HD_DEP), fdim("time_dim", Filt(0, 0.06, 0.1, 0.3)), dim("web_page")], op: AggOp::Count, groups: Groups::Abs(1.0, 1.0), limit: Some(100.0), ..base(90, "web_sales") },
+    DsDef { dims: &[dim("call_center"), fdim("date_dim", MONTH), dim("customer"), fdim("customer_demographics", CD_GENDER), fdim("household_demographics", HD_DEP), fdim("customer_address", CA_GMT)], groups: Groups::Abs(5.0, 7.0), sort: true, ..base(91, "catalog_returns") },
+    DsDef { dims: &[], extras: &[Extra { table: "store_returns", join: RETURNS, filt: None, dims: &[Dim { table: "reason", filt: Some(Filt(0, 0.02, 0.05, 0.3)) }] }], groups: Groups::Frac("customer", 0.3, 0.6), sort: true, limit: Some(100.0), ..base(93, "store_sales") },
+    DsDef { dims: &[fdim("household_demographics", HD_DEP), fdim("time_dim", TIME_SLOT), dim("store")], op: AggOp::Count, groups: Groups::Abs(1.0, 1.0), limit: Some(100.0), ..base(96, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", MONTH_RANGE)], extras: &[Extra { table: "catalog_sales", join: CHANNEL, filt: None, dims: &[] }], op: AggOp::Count, groups: Groups::Abs(3.0, 3.0), ..base(97, "store_sales") },
+    DsDef { dims: &[fdim("date_dim", Filt(2, 0.025, 0.04, 0.25)), fdim("item", Filt(1, 0.25, 0.35, 0.3))], groups: Groups::Frac("item", 0.2, 0.4), sort: true, ..base(98, "store_sales") },
+];
+
+/// Lowers a template definition to a sampled [`QuerySpec`].
+fn build_def(def: &DsDef, cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let fact_rows = b.rows(def.fact);
+
+    // Driving fact table (optionally filtered).
+    let mut cur = match (def.fact_filt, def.complex_fact) {
+        (Some(Filt(col, lo, hi, err)), false) => b.filtered(rng, def.fact, col, lo, hi, err),
+        (Some(Filt(col, lo, hi, err)), true) => b.complex_filtered(rng, def.fact, col, lo, hi, err),
+        (None, _) => b.term(def.fact),
+    };
+
+    // Dimension joins, left-deep; skew widens with join depth, modelling
+    // compounding correlation the optimizer cannot see.
+    for (depth, d) in def.dims.iter().enumerate() {
+        let dim_input = match d.filt {
+            Some(Filt(col, lo, hi, err)) => b.filtered(rng, d.table, col, lo, hi, err),
+            None => b.term(d.table),
+        };
+        let skew_sigma = 0.22 + 0.07 * depth as f64;
+        cur = b.fk(rng, cur, dim_input, d.table, skew_sigma);
+    }
+
+    // Extra fact tables (returns / cross-channel / inventory joins).
+    for e in def.extras {
+        let mut ext = match e.filt {
+            Some(Filt(col, lo, hi, err)) => b.filtered(rng, e.table, col, lo, hi, err),
+            None => b.term(e.table),
+        };
+        for d in e.dims {
+            let dim_input = match d.filt {
+                Some(Filt(col, lo, hi, err)) => b.filtered(rng, d.table, col, lo, hi, err),
+                None => b.term(d.table),
+            };
+            ext = b.fk(rng, ext, dim_input, d.table, 0.25);
+        }
+        cur = match e.join {
+            XJoin::Inner { frac_lo, frac_hi, err } => {
+                let domain = fact_rows / loguniform(rng, frac_lo, frac_hi).max(1e-6);
+                b.domain_join(rng, cur, ext, JoinType::Inner, domain, err)
+            }
+            XJoin::Semi { lo, hi, err } => b.match_join(rng, cur, ext, JoinType::Semi, lo, hi, err),
+            XJoin::Anti { lo, hi, err } => b.match_join(rng, cur, ext, JoinType::Anti, lo, hi, err),
+        };
+    }
+
+    let mut q = b.finish(cur);
+    q.agg = match def.groups {
+        Groups::None => None,
+        Groups::Abs(lo, hi) => {
+            let (g, e) = groups_pair(rng, lo, hi, 0.3);
+            Some(AggSpec { op: def.op, groups: g, est_groups: e, partial: false })
+        }
+        Groups::Frac(table, lo, hi) => {
+            let rows = cat.rows(cat.table_id(table));
+            let (g, e) = groups_pair(rng, rows * lo, rows * hi, 0.35);
+            Some(AggSpec { op: def.op, groups: g, est_groups: e, partial: false })
+        }
+    };
+    q.post_filter = def.post.map(|(lo, hi, err)| sel_pair(rng, lo, hi, err));
+    if def.sort {
+        q.sort = Some(SortSpec { key: def.id as usize % MAX_SORT_KEYS });
+    }
+    q.limit = def.limit;
+    debug_assert!(matches!(q.join, JoinInput::Term(_) | JoinInput::Join(_)));
+    q
+}
+
+fn gen_by_id(id: u32, cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let def = DEFS
+        .iter()
+        .find(|d| d.id == id)
+        .unwrap_or_else(|| panic!("no TPC-DS template with id {id}"));
+    build_def(def, cat, rng)
+}
+
+macro_rules! ds_tpl {
+    ($id:literal) => {{
+        fn w(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+            gen_by_id($id, cat, rng)
+        }
+        Template { id: $id, name: concat!("tpc-ds q", $id), gen: w }
+    }};
+}
+
+static TEMPLATES: &[Template] = &[
+    ds_tpl!(3), ds_tpl!(6), ds_tpl!(7), ds_tpl!(8), ds_tpl!(9),
+    ds_tpl!(13), ds_tpl!(15), ds_tpl!(17), ds_tpl!(18), ds_tpl!(19),
+    ds_tpl!(22), ds_tpl!(24), ds_tpl!(25), ds_tpl!(26), ds_tpl!(27),
+    ds_tpl!(28), ds_tpl!(29), ds_tpl!(30), ds_tpl!(31), ds_tpl!(33),
+    ds_tpl!(38), ds_tpl!(39), ds_tpl!(41), ds_tpl!(42), ds_tpl!(43),
+    ds_tpl!(44), ds_tpl!(45), ds_tpl!(46), ds_tpl!(48), ds_tpl!(49),
+    ds_tpl!(50), ds_tpl!(51), ds_tpl!(52), ds_tpl!(53), ds_tpl!(54),
+    ds_tpl!(55), ds_tpl!(56), ds_tpl!(57), ds_tpl!(58), ds_tpl!(59),
+    ds_tpl!(60), ds_tpl!(61), ds_tpl!(62), ds_tpl!(63), ds_tpl!(64),
+    ds_tpl!(65), ds_tpl!(66), ds_tpl!(67), ds_tpl!(68), ds_tpl!(69),
+    ds_tpl!(71), ds_tpl!(72), ds_tpl!(73), ds_tpl!(75), ds_tpl!(76),
+    ds_tpl!(78), ds_tpl!(79), ds_tpl!(81), ds_tpl!(83), ds_tpl!(84),
+    ds_tpl!(85), ds_tpl!(87), ds_tpl!(88), ds_tpl!(89), ds_tpl!(90),
+    ds_tpl!(91), ds_tpl!(93), ds_tpl!(96), ds_tpl!(97), ds_tpl!(98),
+];
+
+/// All 70 TPC-DS templates.
+pub fn templates() -> &'static [Template] {
+    TEMPLATES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Workload;
+    use crate::executor::Executor;
+    use crate::optimizer::Optimizer;
+    use crate::plan::Plan;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_def_has_a_template_and_vice_versa() {
+        let mut def_ids: Vec<u32> = DEFS.iter().map(|d| d.id).collect();
+        let mut tpl_ids: Vec<u32> = TEMPLATES.iter().map(|t| t.id).collect();
+        def_ids.sort_unstable();
+        tpl_ids.sort_unstable();
+        assert_eq!(def_ids, tpl_ids);
+        assert_eq!(def_ids.len(), 70);
+    }
+
+    #[test]
+    fn defs_reference_valid_tables_and_columns() {
+        let cat = Catalog::tpcds(1.0);
+        let check_filt = |table: &str, f: &Filt| {
+            let t = cat.table(cat.table_id(table));
+            assert!(f.0 < t.columns.len(), "{table} col {} out of range", f.0);
+        };
+        for d in DEFS {
+            let _ = cat.table_id(d.fact);
+            if let Some(f) = &d.fact_filt {
+                check_filt(d.fact, f);
+            }
+            for dim in d.dims {
+                let _ = cat.table_id(dim.table);
+                if let Some(f) = &dim.filt {
+                    check_filt(dim.table, f);
+                }
+            }
+            for e in d.extras {
+                let _ = cat.table_id(e.table);
+                if let Some(f) = &e.filt {
+                    check_filt(e.table, f);
+                }
+                for dim in e.dims {
+                    if let Some(f) = &dim.filt {
+                        check_filt(dim.table, f);
+                    }
+                }
+            }
+        }
+    }
+
+    fn build(cat: &Catalog, id: u32, seed: u64) -> Plan {
+        let t = TEMPLATES.iter().find(|t| t.id == id).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = (t.gen)(cat, &mut rng);
+        let mut root = Optimizer::new(cat).build(&spec, &mut rng);
+        Executor::new(cat).run(&mut root, &mut rng);
+        Plan { root, workload: Workload::TpcDs, template_id: id, query_id: 0 }
+    }
+
+    #[test]
+    fn q41_is_tiny_and_q64_is_huge() {
+        let cat = Catalog::tpcds(1.0);
+        let tiny = build(&cat, 41, 1).latency_ms();
+        let huge = build(&cat, 64, 1).latency_ms();
+        assert!(huge > tiny * 100.0, "q41={tiny}ms q64={huge}ms");
+    }
+
+    #[test]
+    fn average_plan_size_exceeds_tpch() {
+        // Paper: average TPC-DS plan has ~22 operators vs. ~18 for TPC-H.
+        let cat = Catalog::tpcds(1.0);
+        let mut total = 0usize;
+        for (i, t) in TEMPLATES.iter().enumerate() {
+            total += build(&cat, t.id, 50 + i as u64).node_count();
+        }
+        let avg = total as f64 / TEMPLATES.len() as f64;
+        assert!(avg > 6.0, "average plan size {avg}");
+    }
+
+    #[test]
+    fn template_latencies_span_orders_of_magnitude() {
+        let cat = Catalog::tpcds(1.0);
+        let lats: Vec<f64> = TEMPLATES
+            .iter()
+            .enumerate()
+            .map(|(i, t)| build(&cat, t.id, 300 + i as u64).latency_ms())
+            .collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 100.0, "latency spread too small: {min}..{max}");
+    }
+}

@@ -1,0 +1,549 @@
+//! The 22 TPC-H query templates.
+//!
+//! Each template reproduces the *plan-shaping* characteristics of its TPC-H
+//! counterpart — which relations are joined in what shape, how selective the
+//! predicates are (with realistic estimation-error widths: simple range
+//! predicates estimate well, `LIKE`/`OR` predicates estimate poorly), which
+//! queries aggregate/sort/limit — rather than its SQL text. Parameter
+//! substitution (the `[dates]`, `[segments]`, `[brands]` of the official
+//! templates) becomes sampling selectivities from per-template ranges.
+
+use super::{groups_pair, SpecBuilder, Template};
+use crate::catalog::Catalog;
+use crate::operators::{AggOp, JoinType};
+use crate::spec::{AggSpec, QuerySpec, SortSpec};
+use rand::{Rng, RngCore};
+
+fn agg(op: AggOp, groups: (f64, f64)) -> Option<AggSpec> {
+    Some(AggSpec { op, groups: groups.0, est_groups: groups.1, partial: false })
+}
+
+/// Q1: pricing summary report. Full scan of `lineitem` with a generous
+/// shipdate predicate, grouped aggregation into a handful of groups, sort.
+fn q1(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let l = b.filtered(rng, "lineitem", 3, 0.92, 0.99, 0.05);
+    let mut q = b.finish(l);
+    q.agg = agg(AggOp::Sum, (6.0, 6.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q2: minimum-cost supplier. Five-way join with a bushy nation⋈region
+/// subtree, sorted output, limit 100.
+fn q2(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let part = b.filtered(rng, "part", 1, 0.002, 0.04, 0.35);
+    let ps = b.term("partsupp");
+    let supp = b.term("supplier");
+    let nation = b.term("nation");
+    let region = b.filtered(rng, "region", 0, 0.2, 0.2, 0.05);
+    let nr = b.fk(rng, nation, region, "region", 0.1);
+    let sn = b.fk(rng, supp, nr, "nation", 0.15);
+    let psp = b.fk(rng, ps, part, "part", 0.2);
+    let all = b.fk(rng, psp, sn, "supplier", 0.25);
+    let mut q = b.finish(all);
+    q.sort = Some(SortSpec { key: 1 });
+    q.limit = Some(100.0);
+    q
+}
+
+/// Q3: shipping priority. customer ⋈ orders ⋈ lineitem, grouped by order,
+/// top-10.
+fn q3(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.filtered(rng, "customer", 3, 0.18, 0.22, 0.15);
+    let orders = b.filtered(rng, "orders", 2, 0.4, 0.5, 0.2);
+    let line = b.filtered(rng, "lineitem", 3, 0.5, 0.6, 0.2);
+    let co = b.fk(rng, orders, cust, "customer", 0.25);
+    let col = b.fk(rng, line, co, "orders", 0.3);
+    let groups = b.rows("orders") * 0.08;
+    let mut q = b.finish(col);
+    q.agg = agg(AggOp::Sum, groups_pair(rng, groups * 0.5, groups * 1.5, 0.3));
+    q.sort = Some(SortSpec { key: 2 });
+    q.limit = Some(10.0);
+    q
+}
+
+/// Q4: order priority checking. orders semi-joined with late lineitems.
+fn q4(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let orders = b.filtered(rng, "orders", 2, 0.03, 0.05, 0.15);
+    let line = b.term("lineitem");
+    let semi = b.match_join(rng, orders, line, JoinType::Semi, 0.55, 0.70, 0.25);
+    let mut q = b.finish(semi);
+    q.agg = agg(AggOp::Count, (5.0, 5.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q5: local supplier volume. Six-way join down to a region filter.
+fn q5(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.term("customer");
+    let orders = b.filtered(rng, "orders", 2, 0.14, 0.16, 0.15);
+    let line = b.term("lineitem");
+    let supp = b.term("supplier");
+    let nation = b.term("nation");
+    let region = b.filtered(rng, "region", 0, 0.2, 0.2, 0.05);
+    let nr = b.fk(rng, nation, region, "region", 0.1);
+    let sn = b.fk(rng, supp, nr, "nation", 0.2);
+    let oc = b.fk(rng, orders, cust, "customer", 0.25);
+    let lo = b.fk(rng, line, oc, "orders", 0.3);
+    let all = b.fk(rng, lo, sn, "supplier", 0.35);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, (5.0, 5.0));
+    q.sort = Some(SortSpec { key: 3 });
+    q
+}
+
+/// Q6: forecasting revenue change. Single highly-selective lineitem scan,
+/// plain aggregate — the classic "how good is your selectivity estimate"
+/// query.
+fn q6(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let l = b.filtered(rng, "lineitem", 3, 0.005, 0.025, 0.30);
+    let mut q = b.finish(l);
+    q.agg = agg(AggOp::Sum, (1.0, 1.0));
+    q
+}
+
+/// Q7: volume shipping between two nations.
+fn q7(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let supp = b.filtered(rng, "supplier", 1, 0.04, 0.08, 0.2);
+    let line = b.filtered(rng, "lineitem", 3, 0.28, 0.32, 0.15);
+    let orders = b.term("orders");
+    let cust = b.filtered(rng, "customer", 1, 0.04, 0.08, 0.2);
+    let ls = b.fk(rng, line, supp, "supplier", 0.25);
+    let lso = b.fk(rng, ls, orders, "orders", 0.3);
+    let all = b.fk(rng, lso, cust, "customer", 0.35);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, (4.0, 4.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q8: national market share. Widest join in the benchmark (8 relations;
+/// we keep 6 with the region⋈nation bushy arm).
+fn q8(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let part = b.filtered(rng, "part", 3, 0.001, 0.004, 0.45);
+    let line = b.term("lineitem");
+    let orders = b.filtered(rng, "orders", 2, 0.3, 0.32, 0.1);
+    let cust = b.term("customer");
+    let nation = b.term("nation");
+    let region = b.filtered(rng, "region", 0, 0.2, 0.2, 0.05);
+    let nr = b.fk(rng, nation, region, "region", 0.1);
+    let lp = b.fk(rng, line, part, "part", 0.3);
+    let lpo = b.fk(rng, lp, orders, "orders", 0.3);
+    let lpoc = b.fk(rng, lpo, cust, "customer", 0.35);
+    let all = b.fk(rng, lpoc, nr, "nation", 0.35);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Avg, (2.0, 2.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q9: product type profit. part LIKE predicate (poorly estimated) over a
+/// five-way join, many groups.
+fn q9(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let part = b.complex_filtered(rng, "part", 0, 0.03, 0.08, 0.65);
+    let line = b.term("lineitem");
+    let supp = b.term("supplier");
+    let ps = b.term("partsupp");
+    let orders = b.term("orders");
+    let lp = b.fk(rng, line, part, "part", 0.3);
+    let lps = b.fk(rng, lp, supp, "supplier", 0.3);
+    let lpsp = b.fk(rng, lps, ps, "partsupp", 0.35);
+    let all = b.fk(rng, lpsp, orders, "orders", 0.35);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, (150.0, 200.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q10: returned item reporting. Four-way join, large group count, top-20.
+fn q10(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.term("customer");
+    let orders = b.filtered(rng, "orders", 2, 0.03, 0.045, 0.15);
+    let line = b.filtered(rng, "lineitem", 4, 0.24, 0.26, 0.1);
+    let nation = b.term("nation");
+    let oc = b.fk(rng, orders, cust, "customer", 0.2);
+    let loc = b.fk(rng, line, oc, "orders", 0.3);
+    let all = b.fk(rng, loc, nation, "nation", 0.2);
+    let groups = b.rows("customer") * 0.03;
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, groups_pair(rng, groups * 0.5, groups * 1.5, 0.3));
+    q.sort = Some(SortSpec { key: 2 });
+    q.limit = Some(20.0);
+    q
+}
+
+/// Q11: important stock identification, with a HAVING filter.
+fn q11(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let ps = b.term("partsupp");
+    let supp = b.term("supplier");
+    let nation = b.filtered(rng, "nation", 0, 0.04, 0.04, 0.1);
+    let sn = b.fk(rng, supp, nation, "nation", 0.15);
+    let all = b.fk(rng, ps, sn, "supplier", 0.25);
+    let groups = b.rows("part") * 0.04;
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, groups_pair(rng, groups * 0.6, groups * 1.4, 0.3));
+    q.post_filter = Some(crate::util::sel_pair(rng, 0.005, 0.02, 0.55));
+    q.sort = Some(SortSpec { key: 1 });
+    q
+}
+
+/// Q12: shipping mode / order priority. orders ⋈ lineitem on the shared
+/// clustered key — merge-join friendly.
+fn q12(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let orders = b.term("orders");
+    let line = b.filtered(rng, "lineitem", 3, 0.008, 0.012, 0.2);
+    let lo = b.fk(rng, line, orders, "orders", 0.2);
+    let mut q = b.finish(lo);
+    q.agg = agg(AggOp::Count, (2.0, 2.0));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q13: customer distribution. customer joined to filtered orders (comment
+/// LIKE — badly estimated), two-level aggregation approximated by one.
+fn q13(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.term("customer");
+    let orders = b.complex_filtered(rng, "orders", 3, 0.95, 0.99, 0.4);
+    let all = b.fk(rng, orders, cust, "customer", 0.25);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Count, (40.0, 45.0));
+    q.sort = Some(SortSpec { key: 4 });
+    q
+}
+
+/// Q14: promotion effect. lineitem (narrow date window) ⋈ part.
+fn q14(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let line = b.filtered(rng, "lineitem", 3, 0.01, 0.016, 0.2);
+    let part = b.term("part");
+    let lp = b.fk(rng, line, part, "part", 0.3);
+    let mut q = b.finish(lp);
+    q.agg = agg(AggOp::Sum, (1.0, 1.0));
+    q
+}
+
+/// Q15: top supplier, via the `revenue` view — a derived aggregated
+/// subquery joined back to supplier.
+fn q15(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    // Derived: per-supplier revenue over a date window.
+    let mut inner_b = SpecBuilder::new(cat);
+    let line = inner_b.filtered(rng, "lineitem", 3, 0.05, 0.065, 0.2);
+    let suppliers = inner_b.rows("supplier");
+    let mut derived = inner_b.finish(line);
+    derived.agg = agg(AggOp::Sum, groups_pair(rng, suppliers * 0.9, suppliers, 0.1));
+
+    let mut b = SpecBuilder::new(cat);
+    let supp = b.term("supplier");
+    let joined = b.domain_join(
+        rng,
+        supp,
+        crate::spec::JoinInput::Derived(Box::new(derived)),
+        JoinType::Inner,
+        b.rows("supplier"),
+        0.2,
+    );
+    let mut q = b.finish(joined);
+    q.post_filter = Some(crate::util::sel_pair(rng, 1e-4, 1e-3, 0.5));
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q16: parts/supplier relationship. Anti join against complained-about
+/// suppliers.
+fn q16(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let ps = b.term("partsupp");
+    let part = b.filtered(rng, "part", 3, 0.08, 0.12, 0.3);
+    let supp = b.complex_filtered(rng, "supplier", 2, 0.0003, 0.001, 0.7);
+    let psp = b.fk(rng, ps, part, "part", 0.25);
+    let anti = b.match_join(rng, psp, supp, JoinType::Anti, 0.0003, 0.001, 0.5);
+    let mut q = b.finish(anti);
+    q.agg = agg(AggOp::Count, groups_pair(rng, 800.0, 1200.0, 0.3));
+    q.sort = Some(SortSpec { key: 5 });
+    q
+}
+
+/// Q17: small-quantity-order revenue. part ⋈ lineitem with a correlated
+/// per-part average subquery (derived aggregate).
+fn q17(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let parts = {
+        let b = SpecBuilder::new(cat);
+        b.rows("part")
+    };
+    // Derived: avg quantity per part over all of lineitem.
+    let mut inner_b = SpecBuilder::new(cat);
+    let l_all = inner_b.term("lineitem");
+    let mut derived = inner_b.finish(l_all);
+    derived.agg = agg(AggOp::Avg, (parts, parts * 1.05));
+
+    let mut b = SpecBuilder::new(cat);
+    let line = b.term("lineitem");
+    let part = b.filtered(rng, "part", 3, 0.0008, 0.0015, 0.5);
+    let lp = b.fk(rng, line, part, "part", 0.35);
+    let joined = b.domain_join(
+        rng,
+        lp,
+        crate::spec::JoinInput::Derived(Box::new(derived)),
+        JoinType::Inner,
+        parts,
+        0.3,
+    );
+    let mut q = b.finish(joined);
+    q.post_filter = Some(crate::util::sel_pair(rng, 0.25, 0.35, 0.3));
+    q.agg = agg(AggOp::Sum, (1.0, 1.0));
+    q
+}
+
+/// Q18: large-volume customers. Semi join against an aggregated HAVING
+/// subquery, then a three-way join, top-100.
+fn q18(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let orders_cnt = {
+        let b = SpecBuilder::new(cat);
+        b.rows("orders")
+    };
+    // Derived: orderkeys whose total quantity exceeds a threshold.
+    let mut inner_b = SpecBuilder::new(cat);
+    let l_all = inner_b.term("lineitem");
+    let mut derived = inner_b.finish(l_all);
+    derived.agg = agg(AggOp::Sum, (orders_cnt, orders_cnt * 1.02));
+    derived.post_filter = Some(crate::util::sel_pair(rng, 2e-5, 2e-4, 0.6));
+
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.term("customer");
+    let orders = b.term("orders");
+    let line = b.term("lineitem");
+    let o_semi = b.domain_join(
+        rng,
+        orders,
+        crate::spec::JoinInput::Derived(Box::new(derived)),
+        JoinType::Semi,
+        orders_cnt,
+        0.3,
+    );
+    let oc = b.fk(rng, o_semi, cust, "customer", 0.25);
+    let all = b.fk(rng, line, oc, "orders", 0.3);
+    let mut q = b.finish(all);
+    q.agg = agg(AggOp::Sum, groups_pair(rng, 50.0, 150.0, 0.4));
+    q.sort = Some(SortSpec { key: 3 });
+    q.limit = Some(100.0);
+    q
+}
+
+/// Q19: discounted revenue. Triple-OR predicate — the benchmark's worst
+/// estimation case — as a separate filter above the join.
+fn q19(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let line = b.filtered(rng, "lineitem", 4, 0.02, 0.04, 0.3);
+    let part = b.complex_filtered(rng, "part", 3, 0.001, 0.003, 0.85);
+    let lp = b.fk(rng, line, part, "part", 0.45);
+    let mut q = b.finish(lp);
+    q.agg = agg(AggOp::Sum, (1.0, 1.0));
+    q
+}
+
+/// Q20: potential part promotion. Supplier semi-joined with a derived
+/// partsupp⋈part availability subquery, then nation filter.
+fn q20(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut inner_b = SpecBuilder::new(cat);
+    let ps = inner_b.term("partsupp");
+    let part = inner_b.filtered(rng, "part", 0, 0.008, 0.015, 0.5);
+    let psp = inner_b.fk(rng, ps, part, "part", 0.3);
+    let suppliers = inner_b.rows("supplier");
+    let mut derived = inner_b.finish(psp);
+    derived.agg = agg(AggOp::Sum, groups_pair(rng, suppliers * 0.3, suppliers * 0.6, 0.3));
+
+    let mut b = SpecBuilder::new(cat);
+    let supp = b.term("supplier");
+    let nation = b.filtered(rng, "nation", 0, 0.04, 0.04, 0.1);
+    let sn = b.fk(rng, supp, nation, "nation", 0.15);
+    let semi = b.domain_join(
+        rng,
+        sn,
+        crate::spec::JoinInput::Derived(Box::new(derived)),
+        JoinType::Semi,
+        b.rows("supplier"),
+        0.3,
+    );
+    let mut q = b.finish(semi);
+    q.sort = Some(SortSpec { key: 0 });
+    q
+}
+
+/// Q21: suppliers who kept orders waiting. Semi and anti self-joins of
+/// lineitem, four-way join, top-100.
+fn q21(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let supp = b.term("supplier");
+    let line = b.filtered(rng, "lineitem", 4, 0.45, 0.55, 0.25);
+    let orders = b.filtered(rng, "orders", 4, 0.48, 0.50, 0.1);
+    let nation = b.filtered(rng, "nation", 0, 0.04, 0.04, 0.1);
+    let l2 = b.term("lineitem");
+    let l3 = b.term("lineitem");
+    let ls = b.fk(rng, line, supp, "supplier", 0.25);
+    let lso = b.fk(rng, ls, orders, "orders", 0.3);
+    let lson = b.fk(rng, lso, nation, "nation", 0.2);
+    let semi = b.match_join(rng, lson, l2, JoinType::Semi, 0.85, 0.95, 0.3);
+    let anti = b.match_join(rng, semi, l3, JoinType::Anti, 0.5, 0.7, 0.4);
+    let groups = b.rows("supplier") * 0.02;
+    let mut q = b.finish(anti);
+    q.agg = agg(AggOp::Count, groups_pair(rng, groups * 0.5, groups * 1.5, 0.35));
+    q.sort = Some(SortSpec { key: 6 });
+    q.limit = Some(100.0);
+    q
+}
+
+/// Q22: global sales opportunity. Customers with no orders (anti join),
+/// phone-prefix filter as a separate node.
+fn q22(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+    let mut b = SpecBuilder::new(cat);
+    let cust = b.complex_filtered(rng, "customer", 2, 0.08, 0.10, 0.5);
+    let orders = b.term("orders");
+    let anti = b.match_join(rng, cust, orders, JoinType::Anti, 0.62, 0.68, 0.3);
+    let mut q = b.finish(anti);
+    q.post_filter = Some(crate::util::sel_pair(rng, 0.45, 0.55, 0.25));
+    q.agg = agg(AggOp::Count, (7.0, 7.0));
+    q.sort = Some(SortSpec { key: 7 });
+    q
+}
+
+/// A tiny amount of per-query physical variety: some instances drop the
+/// limit or flip aggregate ops, as real parameter substitution does.
+fn jitter(q: &mut QuerySpec, rng: &mut dyn RngCore) {
+    if let Some(a) = &mut q.agg {
+        if rng.gen_bool(0.15) {
+            a.op = AggOp::Avg;
+        }
+    }
+}
+
+macro_rules! tpl {
+    ($id:expr, $name:expr, $f:ident) => {
+        Template {
+            id: $id,
+            name: $name,
+            gen: {
+                fn wrapped(cat: &Catalog, rng: &mut dyn RngCore) -> QuerySpec {
+                    let mut q = $f(cat, rng);
+                    jitter(&mut q, rng);
+                    q
+                }
+                wrapped
+            },
+        }
+    };
+}
+
+/// All 22 TPC-H templates.
+pub static TEMPLATES: &[Template] = &[
+    tpl!(1, "pricing summary report", q1),
+    tpl!(2, "minimum cost supplier", q2),
+    tpl!(3, "shipping priority", q3),
+    tpl!(4, "order priority checking", q4),
+    tpl!(5, "local supplier volume", q5),
+    tpl!(6, "forecasting revenue change", q6),
+    tpl!(7, "volume shipping", q7),
+    tpl!(8, "national market share", q8),
+    tpl!(9, "product type profit", q9),
+    tpl!(10, "returned item reporting", q10),
+    tpl!(11, "important stock identification", q11),
+    tpl!(12, "shipping modes and order priority", q12),
+    tpl!(13, "customer distribution", q13),
+    tpl!(14, "promotion effect", q14),
+    tpl!(15, "top supplier", q15),
+    tpl!(16, "parts/supplier relationship", q16),
+    tpl!(17, "small-quantity-order revenue", q17),
+    tpl!(18, "large volume customer", q18),
+    tpl!(19, "discounted revenue", q19),
+    tpl!(20, "potential part promotion", q20),
+    tpl!(21, "suppliers who kept orders waiting", q21),
+    tpl!(22, "global sales opportunity", q22),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Workload;
+    use crate::executor::Executor;
+    use crate::optimizer::Optimizer;
+    use crate::operators::OpKind;
+    use crate::plan::Plan;
+    use rand::SeedableRng;
+
+    fn build(cat: &Catalog, t: &Template, seed: u64) -> Plan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = (t.gen)(cat, &mut rng);
+        let mut root = Optimizer::new(cat).build(&spec, &mut rng);
+        Executor::new(cat).run(&mut root, &mut rng);
+        Plan { root, workload: Workload::TpcH, template_id: t.id, query_id: 0 }
+    }
+
+    #[test]
+    fn q1_is_a_single_table_aggregate() {
+        let cat = Catalog::tpch(1.0);
+        let p = build(&cat, &TEMPLATES[0], 1);
+        let kinds: Vec<OpKind> = p.root.postorder().iter().map(|n| n.op.kind()).collect();
+        assert!(kinds.contains(&OpKind::Scan));
+        assert!(kinds.contains(&OpKind::Aggregate));
+        assert!(kinds.contains(&OpKind::Sort));
+        assert!(!kinds.contains(&OpKind::Join));
+    }
+
+    #[test]
+    fn q5_has_five_joins() {
+        let cat = Catalog::tpch(1.0);
+        let p = build(&cat, &TEMPLATES[4], 2);
+        let joins = p.root.postorder().iter().filter(|n| n.op.kind() == OpKind::Join).count();
+        assert_eq!(joins, 5);
+    }
+
+    #[test]
+    fn q15_contains_a_derived_aggregate_below_a_join() {
+        let cat = Catalog::tpch(1.0);
+        let p = build(&cat, &TEMPLATES[14], 3);
+        // There must be an Aggregate that is a descendant of a Join.
+        fn has_agg_below_join(node: &crate::plan::PlanNode, below_join: bool) -> bool {
+            let is_join = node.op.kind() == OpKind::Join;
+            if below_join && node.op.kind() == OpKind::Aggregate {
+                return true;
+            }
+            node.children.iter().any(|c| has_agg_below_join(c, below_join || is_join))
+        }
+        assert!(has_agg_below_join(&p.root, false));
+    }
+
+    #[test]
+    fn average_plan_size_matches_paper_ballpark() {
+        // Paper: average TPC-H plan has ~18 operators. Ours should be in
+        // the same regime (roughly 5-25).
+        let cat = Catalog::tpch(1.0);
+        let mut total = 0usize;
+        for (i, t) in TEMPLATES.iter().enumerate() {
+            total += build(&cat, t, 100 + i as u64).node_count();
+        }
+        let avg = total as f64 / TEMPLATES.len() as f64;
+        assert!(avg > 5.0 && avg < 25.0, "average plan size {avg}");
+    }
+
+    #[test]
+    fn template_latencies_span_orders_of_magnitude() {
+        let cat = Catalog::tpch(1.0);
+        let lats: Vec<f64> =
+            TEMPLATES.iter().enumerate().map(|(i, t)| build(&cat, t, 200 + i as u64).latency_ms()).collect();
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lats.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 10.0, "latency spread too small: {min}..{max}");
+    }
+}

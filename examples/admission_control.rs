@@ -1,0 +1,70 @@
+//! Admission control with predicted latencies — the paper's opening
+//! motivation (§1: "an important primitive for … admission control [51]").
+//!
+//! A database front end must reject queries that would miss a latency SLA.
+//! With a perfect oracle it rejects exactly the SLA-violating queries; with
+//! QPPNet it rejects queries whose *predicted* latency exceeds the SLA.
+//! This example measures how close the learned policy gets to the oracle.
+//!
+//! ```text
+//! cargo run --release --example admission_control
+//! ```
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn main() {
+    // Train on historical workload...
+    let ds = Dataset::generate(Workload::TpcDs, 10.0, 500, 2024);
+    let split = ds.split_random(0.3, 3);
+    let train = ds.select(&split.train);
+    let incoming = ds.select(&split.test);
+
+    let mut model = QppNet::new(
+        QppConfig { epochs: 100, batch_size: 64, ..QppConfig::default() },
+        &ds.catalog,
+    );
+    println!("training admission controller on {} historical queries...", train.len());
+    model.fit(&train);
+
+    // ...then gate incoming queries on an SLA at the 75th percentile of
+    // historical latency.
+    let mut historical: Vec<f64> = train.iter().map(|p| p.latency_ms()).collect();
+    historical.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sla_ms = historical[historical.len() * 3 / 4];
+    println!("SLA: {:.1}s ({}th percentile of history)\n", sla_ms / 1000.0, 75);
+
+    let mut true_pos = 0usize; // correctly rejected
+    let mut false_pos = 0usize; // wrongly rejected (lost work)
+    let mut false_neg = 0usize; // wrongly admitted (SLA miss)
+    let mut true_neg = 0usize; // correctly admitted
+    for q in &incoming {
+        let predicted = model.predict(q);
+        let violates = q.latency_ms() > sla_ms;
+        let rejected = predicted > sla_ms;
+        match (violates, rejected) {
+            (true, true) => true_pos += 1,
+            (false, true) => false_pos += 1,
+            (true, false) => false_neg += 1,
+            (false, false) => true_neg += 1,
+        }
+    }
+
+    let n = incoming.len() as f64;
+    println!("admission decisions over {} incoming queries:", incoming.len());
+    println!("  correctly rejected (SLA saves): {true_pos}");
+    println!("  correctly admitted:             {true_neg}");
+    println!("  false rejections (lost work):   {false_pos}");
+    println!("  SLA misses let through:         {false_neg}");
+    println!("  decision accuracy: {:.1}%", (true_pos + true_neg) as f64 / n * 100.0);
+
+    // Compare against the naive policy of admitting everything.
+    let violators = true_pos + false_neg;
+    println!(
+        "\nwithout prediction, all {} SLA-violating queries would have been\n\
+         admitted; the QPPNet-gated policy caught {} of them ({:.0}%).",
+        violators,
+        true_pos,
+        true_pos as f64 / (violators.max(1)) as f64 * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! Concurrent-query prediction (the paper's §8 future work).
+//!
+//! ```text
+//! cargo run --release --example concurrent_queries
+//! ```
+//!
+//! Queries rarely run alone. This example generates a workload whose
+//! queries execute under multiprogramming levels 1–8 (contended I/O,
+//! polluted caches, a shrinking share of working memory) and shows that:
+//!
+//! 1. the paper's load-blind QPP Net degrades under load variance, and
+//! 2. exposing the multiprogramming level as one extra feature per
+//!    operator (`Featurizer::with_system_load`) recovers most of the gap —
+//!    the integration style the paper suggests for external signals.
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::features::Featurizer;
+use qpp::plansim::prelude::*;
+
+fn main() {
+    println!("generating concurrent workload (MPL 1..=8)...");
+    let ds = Dataset::generate_concurrent(Workload::TpcH, 10.0, 400, 42, 8);
+    let split = ds.paper_split(7);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+
+    // How much does load matter? Group mean latency by MPL.
+    println!("\nmean latency by multiprogramming level:");
+    let mut by_mpl: std::collections::BTreeMap<u64, (f64, usize)> = Default::default();
+    for p in &ds.plans {
+        let e = by_mpl.entry(p.root.concurrency as u64).or_insert((0.0, 0));
+        e.0 += p.latency_ms();
+        e.1 += 1;
+    }
+    for (mpl, (sum, n)) in &by_mpl {
+        println!("  MPL {mpl}: {:>8.1}s over {n} queries", sum / *n as f64 / 1000.0);
+    }
+
+    let cfg = QppConfig { epochs: 80, batch_size: 64, ..QppConfig::default() };
+
+    println!("\ntraining load-blind QPP Net (the paper's model)...");
+    let mut blind = QppNet::new(cfg.clone(), &ds.catalog);
+    blind.fit(&train);
+    let blind_m = blind.evaluate(&test);
+
+    println!("training load-aware QPP Net (+1 system-load feature per operator)...");
+    let mut aware =
+        QppNet::with_featurizer(cfg, Featurizer::with_system_load(&ds.catalog));
+    aware.fit(&train);
+    let aware_m = aware.evaluate(&test);
+
+    println!("\n{:<22} {:>12} {:>12} {:>10}", "model", "rel err (%)", "MAE (min)", "R≤1.5 (%)");
+    for (name, m) in [("QPP Net (load-blind)", &blind_m), ("QPP Net (load-aware)", &aware_m)] {
+        println!(
+            "{:<22} {:>12.1} {:>12.2} {:>10.0}",
+            name,
+            m.relative_error_pct(),
+            m.mae_minutes(),
+            m.r_le_15 * 100.0
+        );
+    }
+
+    println!(
+        "\nOne feature closes most of the gap: the network learns per-operator\n\
+         interference (I/O-bound operators slow more, memory-hungry operators\n\
+         start spilling) without any hand-built contention model."
+    );
+}

@@ -1,0 +1,76 @@
+//! Where does a trained model's error live?
+//!
+//! ```text
+//! cargo run --release --example error_analysis
+//! ```
+//!
+//! Aggregate metrics (relative error, MAE) say *how much* a predictor is
+//! wrong; production use needs *where*: which operator's neural unit
+//! misses, and whether the model is calibrated across the five orders of
+//! magnitude query latencies span. Plan-structured models expose
+//! per-operator predictions, so both questions are answerable — this
+//! example runs `qpp::net::analysis` and the permutation-importance
+//! report on a freshly trained model.
+
+use qpp::net::{calibration, error_by_family, permutation_importance, QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn main() {
+    println!("generating workload + training...");
+    let ds = Dataset::generate(Workload::TpcH, 10.0, 300, 42);
+    let split = ds.paper_split(7);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+
+    let mut model = QppNet::new(
+        QppConfig { epochs: 80, batch_size: 64, ..QppConfig::default() },
+        &ds.catalog,
+    );
+    model.fit(&train);
+    let m = model.evaluate(&test);
+    println!(
+        "test: relative error {:.1}%, MAE {:.2} min, median R {:.2}\n",
+        m.relative_error_pct(),
+        m.mae_minutes(),
+        m.median_r
+    );
+
+    // 1. Which neural unit carries the error?
+    println!("error by operator family (inclusive latency predictions):");
+    println!("{:<12} {:>9} {:>11} {:>8} {:>7}", "family", "instances", "MAE (min)", "mean R", "R<=1.5");
+    for f in error_by_family(&model, &test) {
+        println!(
+            "{:<12} {:>9} {:>11.2} {:>8.2} {:>6.0}%",
+            format!("{:?}", f.kind),
+            f.count,
+            f.mae_ms / 60_000.0,
+            f.mean_r,
+            f.r_le_15 * 100.0
+        );
+    }
+
+    // 2. Is the model calibrated across latency magnitudes?
+    println!("\ncalibration by actual-latency decade (bias > 1 = over-prediction):");
+    println!("{:<14} {:>5} {:>14} {:>13} {:>6}", "actual range", "n", "mean actual", "mean pred", "bias");
+    for b in calibration(&model, &test) {
+        println!(
+            "{:<14} {:>5} {:>12.1}min {:>11.1}min {:>6.2}",
+            format!("{:.0}..{:.0}s", b.lo_ms / 1000.0, b.hi_ms / 1000.0),
+            b.count,
+            b.mean_actual_ms / 60_000.0,
+            b.mean_predicted_ms / 60_000.0,
+            b.mean_bias
+        );
+    }
+
+    // 3. Which inputs does the network actually use?
+    println!("\ntop-10 features by permutation importance:");
+    for f in permutation_importance(&model, &test, 1).iter().take(10) {
+        println!(
+            "  {:<10} {:<34} ΔMAE {:+.2} min",
+            format!("{:?}", f.kind),
+            f.label,
+            f.delta_mae_ms / 60_000.0
+        );
+    }
+}

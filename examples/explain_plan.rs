@@ -1,0 +1,56 @@
+//! Inspect what the model sees: EXPLAIN ANALYZE-style plan dumps, Table-2
+//! feature vectors, and per-operator latency predictions.
+//!
+//! ```text
+//! cargo run --release --example explain_plan
+//! ```
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn main() {
+    let ds = Dataset::generate(Workload::TpcH, 1.0, 120, 3);
+
+    // Train a small model so per-operator predictions mean something.
+    let train = ds.select(&(0..100).collect::<Vec<_>>());
+    let mut model = QppNet::new(
+        QppConfig { epochs: 60, batch_size: 32, ..QppConfig::default() },
+        &ds.catalog,
+    );
+    model.fit(&train);
+
+    // Pick a plan with a join for an interesting tree.
+    let plan = ds.plans[100..]
+        .iter()
+        .find(|p| p.node_count() >= 6)
+        .expect("a non-trivial plan");
+
+    println!("template: TPC-H q{} (query #{})", plan.template_id, plan.query_id);
+    println!("structure signature: {}\n", plan.signature());
+    println!("EXPLAIN ANALYZE (simulated):\n{}", plan.explain());
+
+    // Per-operator predictions vs. actuals, in post order.
+    let per_op = model.predict_operators(plan);
+    let nodes = plan.root.postorder();
+    println!("per-operator predictions (post order):");
+    println!("{:>4}  {:<22} {:>12} {:>12}", "#", "operator", "actual (ms)", "pred (ms)");
+    for (i, (node, pred)) in nodes.iter().zip(&per_op).enumerate() {
+        println!(
+            "{i:>4}  {:<22} {:>12.2} {:>12.2}",
+            node.op.display_name(),
+            node.actual.latency_ms,
+            pred
+        );
+    }
+
+    // Raw Table-2 features of the root.
+    let fz = Featurizer::new(&ds.catalog);
+    let feats = fz.featurize(&plan.root);
+    println!(
+        "\nroot operator ({}) feature vector ({} values, {} numeric):",
+        plan.root.op.display_name(),
+        feats.len(),
+        fz.numeric_mask(plan.root.op.kind()).iter().filter(|m| **m).count()
+    );
+    println!("{feats:.3?}");
+}

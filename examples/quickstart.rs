@@ -1,0 +1,72 @@
+//! Quickstart: generate a workload, train QPPNet, predict query latencies.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The pipeline mirrors the paper's experimental setup end to end:
+//! 1. execute a TPC-H-style workload (simulated; see `qpp-plansim`),
+//! 2. split train/test the way the paper does,
+//! 3. fit a plan-structured neural network,
+//! 4. predict latencies for unseen queries and report the paper's metrics.
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn main() {
+    // 1. "Execute" 300 TPC-H queries at scale factor 10 from a cold cache.
+    //    Every plan carries EXPLAIN-style estimates (model inputs) and
+    //    EXPLAIN ANALYZE-style actuals (training targets).
+    println!("generating workload...");
+    let ds = Dataset::generate(Workload::TpcH, 10.0, 300, 42);
+    println!(
+        "  {} queries, {} operators total, mean latency {:.1}s",
+        ds.len(),
+        ds.total_operators(),
+        ds.mean_latency_ms(&(0..ds.len()).collect::<Vec<_>>()) / 1000.0
+    );
+
+    // 2. The paper's TPC-H protocol: hold out 10% of queries.
+    let split = ds.paper_split(7);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+
+    // 3. Train a QPPNet. `QppConfig::default()` is the paper's
+    //    architecture (5 hidden layers x 128 neurons per neural unit,
+    //    d = 32, SGD lr 0.001 momentum 0.9) with a laptop-scale epoch
+    //    count; `QppConfig::paper()` uses the full 1000 epochs.
+    let config = QppConfig { epochs: 80, batch_size: 64, ..QppConfig::default() };
+    let mut model = QppNet::new(config, &ds.catalog);
+    println!("training on {} plans...", train.len());
+    let history = model.fit(&train);
+    println!(
+        "  {} epochs in {:.1}s; {} trainable parameters",
+        history.train_loss.len(),
+        history.total_seconds(),
+        model.num_params()
+    );
+
+    // 4. Predict latencies of unseen queries.
+    println!("\nsample predictions (test set):");
+    println!("{:>10} {:>12} {:>12} {:>8}", "query", "actual (s)", "predicted (s)", "R(q)");
+    for plan in test.iter().take(8) {
+        let predicted = model.predict(plan);
+        let actual = plan.latency_ms();
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>8.2}",
+            format!("q{}#{}", plan.template_id, plan.query_id),
+            actual / 1000.0,
+            predicted / 1000.0,
+            qpp::net::r_factor(actual, predicted),
+        );
+    }
+
+    let metrics = model.evaluate(&test);
+    println!("\ntest metrics over {} queries:", metrics.count);
+    println!("  relative error: {:.1}%", metrics.relative_error_pct());
+    println!("  mean absolute error: {:.2} min", metrics.mae_minutes());
+    println!(
+        "  within factor 1.5 of truth: {:.0}% of queries",
+        metrics.r_le_15 * 100.0
+    );
+}

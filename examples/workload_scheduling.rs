@@ -1,0 +1,75 @@
+//! Shortest-job-first scheduling with predicted latencies — the paper's
+//! resource-management motivation (§1: "resource management [48],
+//! maintaining SLAs [8, 31]").
+//!
+//! Mean *waiting time* on a single execution queue is minimized by running
+//! short queries first — but the scheduler only knows latencies *after*
+//! running the queries, unless it can predict them. This example compares
+//! total waiting time under four policies: arrival order (FIFO), random,
+//! QPPNet-predicted SJF, and oracle SJF.
+//!
+//! ```text
+//! cargo run --release --example workload_scheduling
+//! ```
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mean waiting time (seconds) if queries run in the given order.
+fn mean_wait_s(order: &[usize], latency_ms: &[f64]) -> f64 {
+    let mut clock = 0.0;
+    let mut total_wait = 0.0;
+    for &q in order {
+        total_wait += clock;
+        clock += latency_ms[q];
+    }
+    total_wait / order.len() as f64 / 1000.0
+}
+
+fn main() {
+    let ds = Dataset::generate(Workload::TpcH, 10.0, 400, 77);
+    let split = ds.split_random(0.2, 9);
+    let train = ds.select(&split.train);
+    let queue = ds.select(&split.test);
+    let latencies: Vec<f64> = queue.iter().map(|p| p.latency_ms()).collect();
+
+    println!("training latency predictor on {} historical queries...", train.len());
+    let mut model = QppNet::new(
+        QppConfig { epochs: 100, batch_size: 64, ..QppConfig::default() },
+        &ds.catalog,
+    );
+    model.fit(&train);
+    let predicted = model.predict_batch(&queue);
+
+    let n = queue.len();
+    let fifo: Vec<usize> = (0..n).collect();
+
+    let mut random = fifo.clone();
+    random.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
+
+    let mut sjf_predicted = fifo.clone();
+    sjf_predicted.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).unwrap());
+
+    let mut sjf_oracle = fifo.clone();
+    sjf_oracle.sort_by(|&a, &b| latencies[a].partial_cmp(&latencies[b]).unwrap());
+
+    let fifo_wait = mean_wait_s(&fifo, &latencies);
+    let random_wait = mean_wait_s(&random, &latencies);
+    let pred_wait = mean_wait_s(&sjf_predicted, &latencies);
+    let oracle_wait = mean_wait_s(&sjf_oracle, &latencies);
+
+    println!("\nmean waiting time over a queue of {n} queries:");
+    println!("  FIFO (arrival order):   {fifo_wait:>9.1}s");
+    println!("  random order:           {random_wait:>9.1}s");
+    println!("  SJF on QPPNet estimate: {pred_wait:>9.1}s");
+    println!("  SJF oracle (true time): {oracle_wait:>9.1}s");
+
+    let captured = (fifo_wait - pred_wait) / (fifo_wait - oracle_wait) * 100.0;
+    println!(
+        "\nQPPNet-driven scheduling captures {captured:.0}% of the oracle's\n\
+         improvement over FIFO without executing a single query in advance."
+    );
+    assert!(pred_wait <= fifo_wait, "predicted SJF should beat FIFO");
+}

@@ -1,0 +1,251 @@
+//! `qpp` — command-line interface to the QPPNet reproduction.
+//!
+//! Workflow:
+//!
+//! ```text
+//! qpp generate   --workload tpch --sf 10 --queries 500 --out dataset.json
+//! qpp train      --dataset dataset.json --epochs 100 --out model.json
+//! qpp evaluate   --dataset dataset.json --model model.json
+//! qpp predict    --dataset dataset.json --model model.json --query 3
+//! qpp explain    --dataset dataset.json --query 3
+//! qpp importance --dataset dataset.json --model model.json --top 15
+//! ```
+//!
+//! `generate` writes an executed workload (plans with EXPLAIN-style
+//! estimates and simulated EXPLAIN ANALYZE actuals); `train` fits a QPPNet
+//! on the paper split and snapshots the model; `evaluate`/`predict`/
+//! `importance` use the snapshot without retraining.
+//!
+//! Extensions: `generate --max-mpl 8` produces a concurrent workload
+//! (§8 future work), `train --load-aware true` exposes the system load as
+//! a feature, and `train --threads N` enables data-parallel gradients.
+
+use qpp::net::{permutation_importance, QppConfig, QppNet};
+use qpp::plansim::features::Featurizer;
+use qpp::plansim::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "predict" => cmd_predict(&flags),
+        "explain" => cmd_explain(&flags),
+        "importance" => cmd_importance(&flags),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => usage(&e),
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}\n");
+    eprintln!(
+        "usage:\n\
+         qpp generate   --workload tpch|tpcds --sf F --queries N --seed N --out FILE [--max-mpl N]\n\
+         qpp train      --dataset FILE --out FILE [--epochs N] [--batch N] [--seed N]\n\
+                        [--threads N] [--load-aware true]\n\
+         qpp evaluate   --dataset FILE --model FILE [--seed N]\n\
+         qpp predict    --dataset FILE --model FILE --query N\n\
+         qpp explain    --dataset FILE --query N\n\
+         qpp importance --dataset FILE --model FILE [--seed N] [--top N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn get_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = get(flags, "dataset")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<QppNet, String> {
+    let path = get(flags, "model")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    QppNet::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let workload = match get_or(flags, "workload", "tpch") {
+        "tpch" => Workload::TpcH,
+        "tpcds" => Workload::TpcDs,
+        other => return Err(format!("unknown workload `{other}` (tpch|tpcds)")),
+    };
+    let sf: f64 = parse(get_or(flags, "sf", "10"), "scale factor")?;
+    let queries: usize = parse(get_or(flags, "queries", "500"), "query count")?;
+    let seed: u64 = parse(get_or(flags, "seed", "42"), "seed")?;
+    let max_mpl: u32 = parse(get_or(flags, "max-mpl", "1"), "max multiprogramming level")?;
+    let out = get(flags, "out")?;
+
+    eprintln!(
+        "generating {queries} {} queries at sf {sf}{}...",
+        workload.name(),
+        if max_mpl > 1 { format!(" under MPL 1..={max_mpl}") } else { String::new() }
+    );
+    let ds = Dataset::generate_concurrent(workload, sf, queries, seed, max_mpl);
+    let json = serde_json::to_string(&ds).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} plans, {} operators, mean latency {:.1}s",
+        ds.len(),
+        ds.total_operators(),
+        ds.mean_latency_ms(&(0..ds.len()).collect::<Vec<_>>()) / 1000.0
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let out = get(flags, "out")?;
+    let seed: u64 = parse(get_or(flags, "seed", "42"), "seed")?;
+    let mut config = QppConfig { seed, ..QppConfig::default() };
+    config.epochs = parse(get_or(flags, "epochs", "100"), "epochs")?;
+    config.batch_size = parse(get_or(flags, "batch", "256"), "batch size")?;
+    config.threads = parse(get_or(flags, "threads", "1"), "thread count")?;
+    let load_aware: bool = parse(get_or(flags, "load-aware", "false"), "load-aware flag")?;
+
+    let split = ds.paper_split(seed);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+    eprintln!("training on {} plans ({} held out)...", train.len(), test.len());
+
+    let mut model = if load_aware {
+        QppNet::with_featurizer(config, Featurizer::with_system_load(&ds.catalog))
+    } else {
+        QppNet::new(config, &ds.catalog)
+    };
+    let history = model.fit(&train);
+    eprintln!(
+        "trained {} epochs in {:.1}s ({} parameters)",
+        history.train_loss.len(),
+        history.total_seconds(),
+        model.num_params()
+    );
+
+    if !test.is_empty() {
+        let m = model.evaluate(&test);
+        println!(
+            "test metrics: relative error {:.1}%, MAE {:.2} min, R<=1.5 {:.0}%",
+            m.relative_error_pct(),
+            m.mae_minutes(),
+            m.r_le_15 * 100.0
+        );
+    }
+
+    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote model snapshot to {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let seed: u64 = parse(get_or(flags, "seed", "42"), "seed")?;
+    let split = ds.paper_split(seed);
+    let test = ds.select(&split.test);
+    if test.is_empty() {
+        return Err("empty test split".into());
+    }
+    let m = model.evaluate(&test);
+    println!("queries evaluated:   {}", m.count);
+    println!("relative error:      {:.1}%", m.relative_error_pct());
+    println!("mean absolute error: {:.2} min", m.mae_minutes());
+    println!("RMSE:                {:.2} min", m.rmse_ms / 60_000.0);
+    println!("R <= 1.5:            {:.0}%", m.r_le_15 * 100.0);
+    println!("1.5 < R < 2:         {:.0}%", m.r_15_to_2 * 100.0);
+    println!("R >= 2:              {:.0}%", m.r_ge_2 * 100.0);
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let q: usize = parse(get(flags, "query")?, "query index")?;
+    let plan = ds.plans.get(q).ok_or_else(|| format!("query {q} out of range"))?;
+    let pred = model.predict(plan);
+    println!("template:  {} q{}", plan.workload.name(), plan.template_id);
+    println!("operators: {}", plan.node_count());
+    println!("predicted: {:.2}s", pred / 1000.0);
+    println!("actual:    {:.2}s", plan.latency_ms() / 1000.0);
+    println!("R(q):      {:.2}", qpp::net::r_factor(plan.latency_ms(), pred));
+
+    // Per-operator breakdown (post order, inclusive latencies).
+    println!("\nper-operator breakdown (predicted vs actual, inclusive ms):");
+    let per_op = model.predict_operators(plan);
+    let nodes = plan.root.postorder();
+    for (node, pred_ms) in nodes.iter().zip(&per_op) {
+        println!(
+            "  {:<24} {:>12.2} {:>12.2}",
+            node.op.display_name(),
+            pred_ms,
+            node.actual.latency_ms
+        );
+    }
+    Ok(())
+}
+
+fn cmd_importance(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let seed: u64 = parse(get_or(flags, "seed", "42"), "seed")?;
+    let top: usize = parse(get_or(flags, "top", "15"), "top count")?;
+    let split = ds.paper_split(seed);
+    let test = ds.select(&split.test);
+    if test.is_empty() {
+        return Err("empty test split".into());
+    }
+    let imp = permutation_importance(&model, &test, seed);
+    println!("{:<12} {:<36} {:>12}", "operator", "feature", "dMAE (ms)");
+    for f in imp.iter().take(top) {
+        println!("{:<12} {:<36} {:>12.2}", format!("{:?}", f.kind), f.label, f.delta_mae_ms);
+    }
+    Ok(())
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let q: usize = parse(get(flags, "query")?, "query index")?;
+    let plan = ds.plans.get(q).ok_or_else(|| format!("query {q} out of range"))?;
+    println!("template:  {} q{} (query #{})", plan.workload.name(), plan.template_id, plan.query_id);
+    println!("signature: {}", plan.signature());
+    println!("{}", plan.explain());
+    Ok(())
+}

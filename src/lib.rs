@@ -1,0 +1,21 @@
+//! # qpp — facade crate for the QPPNet reproduction
+//!
+//! Re-exports the public API of the workspace crates so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`nn`] — dense neural-network substrate ([`qpp_nn`]).
+//! * [`plansim`] — plan generator, optimizer-estimate model, latency
+//!   simulator and TPC-H / TPC-DS style workloads ([`qpp_plansim`]).
+//! * [`net`] — the paper's plan-structured neural network ([`qppnet`]).
+//! * [`baselines`] — TAM / SVM / RBF comparators ([`qpp_baselines`]).
+//! * [`ablation`] — the paper's §3 strawman architectures as working
+//!   models ([`qpp_ablation`]).
+//!
+//! See `examples/quickstart.rs` for a 60-second tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use qpp_ablation as ablation;
+pub use qpp_baselines as baselines;
+pub use qpp_nn as nn;
+pub use qpp_plansim as plansim;
+pub use qppnet as net;

@@ -1,0 +1,143 @@
+//! End-to-end integration tests spanning all workspace crates: workload
+//! generation → planning/simulation → featurization → all four models →
+//! metrics.
+
+use qpp::baselines::rbf::RbfModel;
+use qpp::baselines::svm::SvmModel;
+use qpp::baselines::tam::TamModel;
+use qpp::baselines::LatencyModel;
+use qpp::net::{evaluate, QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn workload(n: usize, seed: u64) -> Dataset {
+    Dataset::generate(Workload::TpcH, 1.0, n, seed)
+}
+
+#[test]
+fn full_pipeline_produces_sane_metrics_for_every_model() {
+    let ds = workload(120, 100);
+    let split = ds.paper_split(1);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+    let actual: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
+
+    let mut tam = TamModel::new();
+    tam.fit(&train);
+    let mut svm = SvmModel::new(1);
+    svm.fit(&train);
+    let mut rbf = RbfModel::new();
+    rbf.fit(&train);
+    let mut qpp = QppNet::new(QppConfig { epochs: 30, ..QppConfig::tiny() }, &ds.catalog);
+    qpp.fit(&train);
+
+    for preds in [
+        tam.predict_batch(&test),
+        svm.predict_batch(&test),
+        rbf.predict_batch(&test),
+        qpp.predict_batch(&test),
+    ] {
+        let m = evaluate(&actual, &preds);
+        assert!(m.relative_error.is_finite());
+        assert!(m.mae_ms.is_finite() && m.mae_ms >= 0.0);
+        assert!((m.r_le_15 + m.r_15_to_2 + m.r_ge_2 - 1.0).abs() < 1e-9);
+        assert!(preds.iter().all(|p| p.is_finite() && *p >= 0.0));
+    }
+}
+
+#[test]
+fn trained_qppnet_beats_trivial_predictors() {
+    let ds = workload(200, 7);
+    let split = ds.paper_split(2);
+    let train = ds.select(&split.train);
+    let test = ds.select(&split.test);
+    let actual: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
+
+    let mut qpp = QppNet::new(
+        QppConfig { epochs: 120, batch_size: 32, ..QppConfig::tiny() },
+        &ds.catalog,
+    );
+    qpp.fit(&train);
+    let qpp_m = qpp.evaluate(&test);
+
+    // Trivial baseline 1: always predict the training-set mean latency.
+    let train_mean: f64 =
+        train.iter().map(|p| p.latency_ms()).sum::<f64>() / train.len() as f64;
+    let mean_m = evaluate(&actual, &vec![train_mean; actual.len()]);
+
+    // Trivial baseline 2: always predict the training geometric mean
+    // (stronger under relative error, which is multiplicative).
+    let train_gm: f64 = (train.iter().map(|p| p.latency_ms().max(1e-9).ln()).sum::<f64>()
+        / train.len() as f64)
+        .exp();
+    let gm_m = evaluate(&actual, &vec![train_gm; actual.len()]);
+
+    assert!(
+        qpp_m.relative_error < mean_m.relative_error,
+        "QPPNet {:.3} vs train-mean {:.3}",
+        qpp_m.relative_error,
+        mean_m.relative_error
+    );
+    assert!(
+        qpp_m.relative_error < gm_m.relative_error,
+        "QPPNet {:.3} vs train-geomean {:.3}",
+        qpp_m.relative_error,
+        gm_m.relative_error
+    );
+}
+
+#[test]
+fn model_serialization_round_trips_across_process_boundaries() {
+    let ds = workload(60, 11);
+    let train = ds.select(&(0..40).collect::<Vec<_>>());
+    let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+    model.fit(&train);
+
+    let json = model.to_json();
+    let restored = QppNet::from_json(&json).expect("valid snapshot");
+    for p in &ds.plans[40..50] {
+        assert_eq!(model.predict(p), restored.predict(p));
+    }
+}
+
+#[test]
+fn everything_is_deterministic_under_a_fixed_seed() {
+    let run = || {
+        let ds = workload(80, 55);
+        let split = ds.paper_split(3);
+        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        model.fit(&ds.select(&split.train));
+        model.predict_batch(&ds.select(&split.test))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn predictions_do_not_depend_on_test_set_actuals() {
+    // The honesty rule: models must never read NodeActual at prediction
+    // time. Zeroing the actuals of a test plan must not change its
+    // prediction.
+    let ds = workload(80, 21);
+    let train = ds.select(&(0..60).collect::<Vec<_>>());
+    let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+    model.fit(&train);
+
+    let mut tam = TamModel::new();
+    tam.fit(&train);
+    let mut svm = SvmModel::new(2);
+    svm.fit(&train);
+    let mut rbf = RbfModel::new();
+    rbf.fit(&train);
+
+    let original = ds.plans[70].clone();
+    let mut scrubbed = original.clone();
+    scrubbed.root.visit_postorder_mut(&mut |n| {
+        n.actual.latency_ms = 0.0;
+        n.actual.self_latency_ms = 0.0;
+        n.actual.rows = 0.0;
+    });
+
+    assert_eq!(model.predict(&original), model.predict(&scrubbed));
+    assert_eq!(tam.predict(&original), tam.predict(&scrubbed));
+    assert_eq!(svm.predict(&original), svm.predict(&scrubbed));
+    assert_eq!(rbf.predict(&original), rbf.predict(&scrubbed));
+}

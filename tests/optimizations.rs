@@ -1,0 +1,77 @@
+//! Integration tests for the §5.1 training optimizations: all four modes
+//! must be *numerically equivalent* (same losses, same resulting models)
+//! and differ only in arrangement of computation.
+
+use qpp::net::{OptMode, QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+
+fn fit_with_mode(ds: &Dataset, mode: OptMode) -> (f64, Vec<f64>) {
+    let cfg = QppConfig {
+        epochs: 2,
+        batch_size: 16,
+        opt_mode: mode,
+        momentum: 0.0,
+        ..QppConfig::tiny()
+    };
+    let plans = ds.select(&(0..ds.len()).collect::<Vec<_>>());
+    let mut model = QppNet::new(cfg, &ds.catalog);
+    let history = model.fit(&plans);
+    (history.train_loss[0], model.predict_batch(&plans))
+}
+
+#[test]
+fn opt_modes_agree_on_tpcds() {
+    // TPC-DS has the most heterogeneous plan structures — the strongest
+    // test of equivalence-class handling.
+    let ds = Dataset::generate(Workload::TpcDs, 1.0, 24, 77);
+    let (base_loss, base_preds) = fit_with_mode(&ds, OptMode::None);
+    for mode in [OptMode::Batching, OptMode::InfoSharing, OptMode::Both] {
+        let (loss, preds) = fit_with_mode(&ds, mode);
+        let rel = (loss - base_loss).abs() / base_loss.max(1e-12);
+        assert!(rel < 1e-3, "{mode:?}: first-epoch loss {loss} vs {base_loss}");
+        for (a, b) in preds.iter().zip(&base_preds) {
+            let rel = (a - b).abs() / (1.0 + b.abs());
+            assert!(rel < 2e-2, "{mode:?}: prediction {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn vectorized_training_is_not_slower_per_epoch() {
+    // With repeated plan structures, Both should need at most as much time
+    // as None for the same work (usually far less). Use enough plans that
+    // equivalence classes actually repeat.
+    let ds = Dataset::generate(Workload::TpcH, 1.0, 120, 5);
+    let plans = ds.select(&(0..ds.len()).collect::<Vec<_>>());
+
+    let time_mode = |mode: OptMode| {
+        let cfg = QppConfig { epochs: 3, batch_size: 120, opt_mode: mode, ..QppConfig::tiny() };
+        let mut model = QppNet::new(cfg, &ds.catalog);
+        let h = model.fit(&plans);
+        h.total_seconds()
+    };
+
+    let slow = time_mode(OptMode::None);
+    let fast = time_mode(OptMode::Both);
+    assert!(
+        fast < slow,
+        "Both ({fast:.3}s) should be faster than None ({slow:.3}s)"
+    );
+}
+
+#[test]
+fn info_sharing_alone_beats_none_alone() {
+    let ds = Dataset::generate(Workload::TpcH, 1.0, 60, 6);
+    let plans = ds.select(&(0..ds.len()).collect::<Vec<_>>());
+    let time_mode = |mode: OptMode| {
+        let cfg = QppConfig { epochs: 3, batch_size: 60, opt_mode: mode, ..QppConfig::tiny() };
+        let mut model = QppNet::new(cfg, &ds.catalog);
+        model.fit(&plans).total_seconds()
+    };
+    let none = time_mode(OptMode::None);
+    let sharing = time_mode(OptMode::InfoSharing);
+    assert!(
+        sharing < none,
+        "InfoSharing ({sharing:.3}s) should beat None ({none:.3}s)"
+    );
+}

@@ -1,0 +1,134 @@
+//! Property-based tests on cross-crate invariants.
+//!
+//! Complements the per-module proptest suites (matrix kernels,
+//! activations) with workspace-level properties: simulator physics,
+//! metric axioms, codec round-trips and schedule bounds.
+
+use proptest::prelude::*;
+use qpp::net::config::{TargetCodec, TargetTransform};
+use qpp::net::LrSchedule;
+use qpp::plansim::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Inclusive latencies are monotone along every plan tree, for any
+    /// workload seed: a parent can never finish before its slowest child.
+    #[test]
+    fn latencies_are_inclusive_for_any_seed(seed in 0u64..500) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 4, seed);
+        for p in &ds.plans {
+            let mut violations = 0usize;
+            p.root.visit_postorder(&mut |n| {
+                let child_sum: f64 = n.children.iter().map(|c| c.actual.latency_ms).sum();
+                if n.actual.latency_ms < child_sum || n.actual.self_latency_ms < 0.0 {
+                    violations += 1;
+                }
+            });
+            prop_assert_eq!(violations, 0);
+        }
+    }
+
+    /// Higher multiprogramming levels never speed a query up
+    /// (interference factors are ≥ 1 and work_mem only shrinks).
+    #[test]
+    fn load_never_speeds_queries_up(seed in 0u64..200, mpl in 1.0f64..16.0) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 1, seed);
+        let cat = &ds.catalog;
+        let ex = qpp::plansim::executor::Executor::new(cat);
+        let mut isolated = ds.plans[0].root.clone();
+        let mut loaded = ds.plans[0].root.clone();
+        use rand::SeedableRng;
+        let t1 = ex.run_with_load(&mut isolated, 1.0, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let t2 = ex.run_with_load(&mut loaded, mpl, &mut rand::rngs::StdRng::seed_from_u64(9));
+        prop_assert!(t2 >= t1, "mpl {mpl}: {t2} < isolated {t1}");
+    }
+
+    /// Structural signatures depend only on structure: re-executing a plan
+    /// (fresh noise) never changes its signature or equivalence class.
+    #[test]
+    fn signatures_survive_re_execution(seed in 0u64..200) {
+        let ds = Dataset::generate(Workload::TpcDs, 1.0, 3, seed);
+        let cat = &ds.catalog;
+        let ex = qpp::plansim::executor::Executor::new(cat);
+        for p in &ds.plans {
+            let sig = p.signature();
+            let mut rerun = p.root.clone();
+            use rand::SeedableRng;
+            ex.run(&mut rerun, &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0xFF));
+            prop_assert_eq!(rerun.signature(), sig);
+        }
+    }
+
+    /// Target codecs round-trip any non-negative latency to within f32
+    /// precision, after fitting on arbitrary samples.
+    #[test]
+    fn codec_round_trips(
+        latencies in prop::collection::vec(0.0f64..1e8, 1..20),
+        probe in 0.0f64..1e8,
+    ) {
+        for transform in [TargetTransform::Log1p, TargetTransform::Raw] {
+            let codec = TargetCodec::fit(transform, latencies.iter().copied());
+            let back = codec.decode(codec.encode(probe));
+            // f32 precision: relative for Log1p, absolute-ish for Raw.
+            let tol = match transform {
+                TargetTransform::Log1p => 1e-4 * (1.0 + probe),
+                TargetTransform::Raw => 1e-2 * (1.0 + probe.abs()),
+            };
+            prop_assert!((back - probe).abs() <= tol,
+                "{transform:?}: {probe} -> {back}");
+        }
+    }
+
+    /// Metric axioms for arbitrary prediction vectors: R(q) ≥ 1, buckets
+    /// partition the set, MAE/RMSE non-negative with RMSE ≥ MAE.
+    #[test]
+    fn metric_axioms(
+        pairs in prop::collection::vec((1.0f64..1e7, 0.0f64..1e7), 1..40),
+    ) {
+        let actual: Vec<f64> = pairs.iter().map(|(a, _)| *a).collect();
+        let predicted: Vec<f64> = pairs.iter().map(|(_, p)| *p).collect();
+        let m = qpp::net::evaluate(&actual, &predicted);
+        prop_assert!(m.mean_r >= 1.0);
+        prop_assert!(m.median_r >= 1.0);
+        prop_assert!(m.max_r >= m.p99_r && m.p99_r >= m.p90_r && m.p90_r >= m.median_r);
+        prop_assert!((m.r_le_15 + m.r_15_to_2 + m.r_ge_2 - 1.0).abs() < 1e-9);
+        prop_assert!(m.mae_ms >= 0.0);
+        prop_assert!(m.rmse_ms >= m.mae_ms - 1e-9);
+    }
+
+    /// Learning-rate schedules stay within (0, base] for every epoch.
+    #[test]
+    fn schedules_stay_bounded(
+        base in 1e-5f32..1.0,
+        epochs in 1usize..500,
+        every in 1usize..100,
+        gamma in 0.1f32..1.0,
+        min_frac in 0.01f32..1.0,
+    ) {
+        for schedule in [
+            LrSchedule::Constant,
+            LrSchedule::StepDecay { every, gamma },
+            LrSchedule::Cosine { min_frac },
+        ] {
+            for epoch in [0, epochs / 2, epochs - 1] {
+                let lr = schedule.lr_at(base, epoch, epochs);
+                prop_assert!(lr > 0.0 && lr <= base * 1.0001,
+                    "{schedule:?} epoch {epoch}: {lr} vs base {base}");
+            }
+        }
+    }
+
+    /// The flat plan summary is a total function of the plan: finite for
+    /// every generated plan, with family counts matching the node count.
+    #[test]
+    fn flat_features_are_total(seed in 0u64..200) {
+        let ds = Dataset::generate(Workload::TpcDs, 1.0, 3, seed);
+        for p in &ds.plans {
+            let v = qpp::ablation::flat::flat_features(p);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+            let fam: f32 = v[..8].iter().sum();
+            prop_assert_eq!(fam as usize, p.node_count());
+        }
+    }
+}

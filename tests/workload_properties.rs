@@ -1,0 +1,132 @@
+//! Property-style integration tests over the simulated workloads: the
+//! invariants the paper's experimental setup depends on.
+
+use proptest::prelude::*;
+use qpp::plansim::prelude::*;
+
+#[test]
+fn both_benchmarks_cover_every_operator_family() {
+    for workload in [Workload::TpcH, Workload::TpcDs] {
+        let ds = Dataset::generate(workload, 1.0, 300, 1);
+        let mut seen = std::collections::HashSet::new();
+        for p in &ds.plans {
+            p.root.visit_postorder(&mut |n| {
+                seen.insert(n.op.kind());
+            });
+        }
+        for kind in OpKind::ALL {
+            assert!(seen.contains(&kind), "{:?} never appears in {}", kind, workload.name());
+        }
+    }
+}
+
+#[test]
+fn all_three_join_algorithms_appear() {
+    use qpp::plansim::operators::{JoinAlgorithm, Operator};
+    let mut seen = std::collections::HashSet::new();
+    for workload in [Workload::TpcH, Workload::TpcDs] {
+        let ds = Dataset::generate(workload, 1.0, 300, 8);
+        for p in &ds.plans {
+            p.root.visit_postorder(&mut |n| {
+                if let Operator::Join { algo, .. } = &n.op {
+                    seen.insert(*algo);
+                }
+            });
+        }
+    }
+    for algo in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::Merge] {
+        assert!(seen.contains(&algo), "{algo:?} never chosen by the optimizer");
+    }
+}
+
+#[test]
+fn latencies_are_inclusive_everywhere() {
+    let ds = Dataset::generate(Workload::TpcDs, 1.0, 100, 2);
+    for p in &ds.plans {
+        p.root.visit_postorder(&mut |n| {
+            let child_sum: f64 = n.children.iter().map(|c| c.actual.latency_ms).sum();
+            assert!(
+                n.actual.latency_ms >= child_sum - 1e-9,
+                "inclusive-latency violation in template {}",
+                p.template_id
+            );
+            assert!(n.actual.self_latency_ms >= 0.0);
+        });
+    }
+}
+
+#[test]
+fn structural_equivalence_classes_repeat_within_templates() {
+    // Plan-based batching only pays off if structures repeat; instances of
+    // one template usually (not always) share a structure.
+    let ds = Dataset::generate(Workload::TpcH, 1.0, 300, 3);
+    let mut sigs = std::collections::HashMap::<String, usize>::new();
+    for p in &ds.plans {
+        *sigs.entry(p.signature()).or_default() += 1;
+    }
+    let repeated: usize = sigs.values().filter(|&&c| c > 1).sum();
+    assert!(
+        repeated as f64 > ds.len() as f64 * 0.5,
+        "only {repeated}/{} plans share a structure",
+        ds.len()
+    );
+}
+
+#[test]
+fn estimates_differ_from_actuals_but_correlate() {
+    // The learning problem exists (estimates are wrong) and is solvable
+    // (they still carry signal).
+    let ds = Dataset::generate(Workload::TpcDs, 1.0, 200, 4);
+    let mut n_wrong = 0usize;
+    let mut n = 0usize;
+    let mut corr_num = 0.0f64;
+    let (mut sx, mut sy, mut sxx, mut syy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for p in &ds.plans {
+        p.root.visit_postorder(&mut |node| {
+            n += 1;
+            let e = node.est.rows.max(1.0).ln();
+            let a = node.actual.rows.max(1.0).ln();
+            if (e - a).abs() > 0.1 {
+                n_wrong += 1;
+            }
+            sx += e;
+            sy += a;
+            sxx += e * e;
+            syy += a * a;
+            corr_num += e * a;
+        });
+    }
+    let nf = n as f64;
+    let corr = (corr_num - sx * sy / nf)
+        / ((sxx - sx * sx / nf).sqrt() * (syy - sy * sy / nf).sqrt());
+    assert!(n_wrong as f64 / nf > 0.2, "estimates are suspiciously perfect");
+    assert!(corr > 0.8, "estimates carry too little signal: corr {corr}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a valid, simulatable workload with positive
+    /// latencies and consistent splits.
+    #[test]
+    fn random_seeds_generate_valid_workloads(seed in 0u64..10_000) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 30, seed);
+        prop_assert_eq!(ds.len(), 30);
+        for p in &ds.plans {
+            prop_assert!(p.latency_ms() > 0.0);
+            prop_assert!(p.node_count() >= 1);
+        }
+        let split = ds.paper_split(seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), 30);
+    }
+
+    /// Scale factor monotonicity: bigger databases are never faster on
+    /// average.
+    #[test]
+    fn scale_factor_monotonicity(seed in 0u64..500) {
+        let small = Dataset::generate(Workload::TpcH, 1.0, 20, seed);
+        let big = Dataset::generate(Workload::TpcH, 10.0, 20, seed);
+        let idx: Vec<usize> = (0..20).collect();
+        prop_assert!(big.mean_latency_ms(&idx) > small.mean_latency_ms(&idx));
+    }
+}
