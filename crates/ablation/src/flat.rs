@@ -171,7 +171,7 @@ impl LatencyModel for FlatDnn {
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let mut dims = vec![FLAT_FEATURES];
-        dims.extend(std::iter::repeat(cfg.hidden_units).take(cfg.hidden_layers));
+        dims.extend(std::iter::repeat_n(cfg.hidden_units, cfg.hidden_layers));
         dims.push(1);
         let mut mlp =
             Mlp::new(&dims, Activation::Relu, Activation::Identity, Init::He, &mut rng);

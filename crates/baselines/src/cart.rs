@@ -75,6 +75,8 @@ impl RegressionTree {
         let total_sse = total_sq - total_sum * total_sum / idx.len() as f64;
 
         let mut sorted = idx.clone();
+        // `f` indexes columns of the row-major `x`; no iterator form fits.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
             sorted.sort_by(|&a, &b| {
                 x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)

@@ -110,7 +110,7 @@ fn cholesky_solve(a: &mut [f64], b: &[f64], n: usize) -> Vec<f64> {
             return w;
         }
         // Boost the diagonal and retry.
-        let scale = 10f64.powi(boost as i32 - 3);
+        let scale = 10f64.powi(boost - 3);
         for i in 0..n {
             a[i * n + i] += scale.max(1e-6);
         }

@@ -103,7 +103,7 @@ pub fn permutation_importance(
             for (_, members) in &classes {
                 let roots: Vec<&qpp_plansim::plan::PlanNode> =
                     members.iter().map(|&i| &plans[i].root).collect();
-                let tb = TreeBatch::build_with(&features_of, codec, &roots);
+                let tb = TreeBatch::build_with(features_of, codec, &roots);
                 let class_preds = match caps {
                     Some(c) => tb.predict_roots_clamped(units, codec, c),
                     None => tb.predict_roots(units, codec),

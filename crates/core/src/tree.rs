@@ -224,6 +224,9 @@ impl TreeBatch {
     /// (see EXPERIMENTS.md, "Unseen-template guard"). The network's
     /// internal data flow is untouched — clamping is a post-hoc fold over
     /// decoded values.
+    // `b` indexes parallel inner vectors of `preds`; an iterator rewrite
+    // would obscure the cross-position reads.
+    #[allow(clippy::needless_range_loop)]
     pub fn predict_all_clamped(
         &self,
         units: &UnitSet,
@@ -541,6 +544,7 @@ mod tests {
         tb.backward(&mut units, &fwd, grads);
 
         let mut worst: f64 = 0.0;
+        let mut compared = 0usize;
         let h = 5e-3f32;
         for kind in [OpKind::Scan, OpKind::Join, OpKind::Aggregate] {
             let layer0_params = {
@@ -551,16 +555,32 @@ mod tests {
             for (r, c) in [(0, 0), (1, 2), (layer0_params.0 - 1, layer0_params.1 - 1)] {
                 let analytic = units.unit(kind).layers()[0].gw.get(r, c) as f64;
                 let orig = units.unit(kind).layers()[0].w.get(r, c);
-                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig + h);
-                let lp = loss_of(&units);
-                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig - h);
-                let lm = loss_of(&units);
-                units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig);
-                let numeric = (lp - lm) / (2.0 * h as f64);
+                let numeric_at = |units: &mut UnitSet, step: f32| -> f64 {
+                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig + step);
+                    let lp = loss_of(units);
+                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig - step);
+                    let lm = loss_of(units);
+                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig);
+                    (lp - lm) / (2.0 * step as f64)
+                };
+                let numeric = numeric_at(&mut units, h);
+                let numeric_half = numeric_at(&mut units, h / 2.0);
+                // A ReLU kink inside ±h makes the central difference itself
+                // step-size dependent; skip those points (an *analytically*
+                // wrong gradient disagrees at every step size, so the check
+                // keeps its power).
+                let stability_denom = numeric.abs().max(numeric_half.abs()).max(1e-2);
+                if (numeric - numeric_half).abs() / stability_denom > 0.01 {
+                    continue;
+                }
                 let denom = analytic.abs().max(numeric.abs()).max(1e-2);
                 worst = worst.max((analytic - numeric).abs() / denom);
+                compared += 1;
             }
         }
+        // Guard against a vacuous pass: the kink filter must not have
+        // discarded every sampled point.
+        assert!(compared >= 5, "only {compared} of 9 points were kink-stable");
         assert!(worst < 0.05, "worst relative gradient error {worst}");
     }
 

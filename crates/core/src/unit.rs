@@ -36,7 +36,7 @@ impl UnitSet {
                 let in_dim = featurizer.feature_size(kind) + kind.arity() * (d + 1);
                 let mut dims = Vec::with_capacity(config.hidden_layers + 2);
                 dims.push(in_dim);
-                dims.extend(std::iter::repeat(config.hidden_units).take(config.hidden_layers));
+                dims.extend(std::iter::repeat_n(config.hidden_units, config.hidden_layers));
                 dims.push(d + 1);
                 Mlp::new(&dims, Activation::Relu, Activation::Identity, Init::He, rng)
             })

@@ -51,8 +51,7 @@ pub fn check_mlp(
     let mut max_rel = 0.0f32;
     let mut checked = 0usize;
 
-    let num_layers = mlp.num_layers();
-    for li in 0..num_layers {
+    for (li, (gw, gb)) in analytic.iter().enumerate() {
         // Weights.
         let (rows, cols) = {
             let l = &mlp.layers()[li];
@@ -67,13 +66,12 @@ pub fn check_mlp(
                 let (lm, _) = loss_fn(&mlp.forward(x));
                 mlp.layers_mut()[li].w.set(r, c, orig);
                 let numeric = (lp - lm) / (2.0 * h);
-                max_rel = max_rel.max(rel_err(analytic[li].0.get(r, c), numeric));
+                max_rel = max_rel.max(rel_err(gw.get(r, c), numeric));
                 checked += 1;
             }
         }
         // Biases.
-        let blen = mlp.layers()[li].b.len();
-        for bi in 0..blen {
+        for (bi, &gb_bi) in gb.iter().enumerate() {
             let orig = mlp.layers()[li].b[bi];
             mlp.layers_mut()[li].b[bi] = orig + h;
             let (lp, _) = loss_fn(&mlp.forward(x));
@@ -81,7 +79,7 @@ pub fn check_mlp(
             let (lm, _) = loss_fn(&mlp.forward(x));
             mlp.layers_mut()[li].b[bi] = orig;
             let numeric = (lp - lm) / (2.0 * h);
-            max_rel = max_rel.max(rel_err(analytic[li].1[bi], numeric));
+            max_rel = max_rel.max(rel_err(gb_bi, numeric));
             checked += 1;
         }
     }

@@ -358,7 +358,7 @@ impl Featurizer {
             }
             OpKind::Hash => {
                 m.push(true); // buckets
-                m.extend(std::iter::repeat(false).take(2));
+                m.extend(std::iter::repeat_n(false, 2));
             }
             OpKind::Sort => {
                 m.extend(std::iter::repeat_n(false, MAX_SORT_KEYS + 3));

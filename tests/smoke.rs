@@ -1,0 +1,41 @@
+//! Fast smoke test: the cheapest end-to-end pipeline that still exercises
+//! generate → fit → predict. Runs in a couple of seconds so CI catches
+//! gross regressions (build breakage, divergence, non-determinism) without
+//! waiting for the full suites.
+
+use qpp::net::{QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+use std::time::Instant;
+
+#[test]
+fn generate_train_predict_round_trip_is_fast_and_deterministic() {
+    let start = Instant::now();
+
+    let run = || {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 40, 2024);
+        let split = ds.paper_split(0);
+        let mut model = QppNet::new(
+            QppConfig { epochs: 3, ..QppConfig::tiny() },
+            &ds.catalog,
+        );
+        model.fit(&ds.select(&split.train));
+        let test = ds.select(&split.test);
+        let preds: Vec<f64> = test.iter().map(|p| model.predict(p)).collect();
+        assert_eq!(preds.len(), split.test.len());
+        for &p in &preds {
+            assert!(p.is_finite() && p >= 0.0, "non-physical prediction {p}");
+        }
+        preds
+    };
+
+    // Same seed, same pipeline => bit-identical predictions.
+    assert_eq!(run(), run());
+
+    // Generous bound (debug builds on loaded CI); typical release runtime
+    // is well under a second.
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "smoke pipeline took {elapsed:?}; something regressed badly"
+    );
+}

@@ -1,0 +1,218 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the builder/macro surface the QPPNet benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — on top of a simple wall-clock measurement loop:
+//! a warm-up phase followed by timed batches, reporting the mean, best and
+//! worst per-iteration time to stdout. No statistical analysis, plots or
+//! baseline persistence; the numbers are honest wall-clock means over the
+//! sampled batches.
+
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("group {name}");
+        BenchmarkGroup { _parent: self, name, sample_size }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under this group's name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id distinguished by parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { function: Some(s.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { function: Some(s), parameter: None }
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sample>,
+}
+
+struct Sample {
+    mean: Duration,
+    best: Duration,
+    worst: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, called repeatedly in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever is later,
+        // and derive the batch size targeting ~25ms per sample.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 3 && warmup_start.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        let iters_per_sample = (Duration::from_millis(25).as_nanos()
+            / per_iter.as_nanos().max(1)) as u64;
+        let iters_per_sample = iters_per_sample.clamp(1, 1_000_000);
+
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed() / iters_per_sample as u32;
+            best = best.min(elapsed);
+            worst = worst.max(elapsed);
+            total += elapsed;
+        }
+        self.result = Some(Sample {
+            mean: total / self.sample_size as u32,
+            best,
+            worst,
+            iters_per_sample,
+        });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { sample_size, result: None };
+    f(&mut b);
+    match b.result {
+        Some(s) => println!(
+            "  {label}: mean {:?} (best {:?}, worst {:?}; {} samples x {} iters)",
+            s.mean, s.best, s.worst, sample_size, s.iters_per_sample
+        ),
+        None => println!("  {label}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+/// Aggregates benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,404 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a serialization framework with the same *surface* the code uses —
+//! `serde::{Serialize, Deserialize}` traits plus derive macros — but a much
+//! simpler core: every type converts to and from a JSON [`Value`] tree.
+//! `serde_json` (also vendored) renders and parses that tree.
+//!
+//! Differences from upstream serde, acceptable for this workspace:
+//!
+//! * numbers travel as `f64` (exact for integers up to 2^53 — every count,
+//!   seed and index this workspace serializes fits);
+//! * only JSON is supported as a format;
+//! * map keys must serialize to strings or numbers (string-keyed and
+//!   unit-enum-keyed maps work, like upstream serde_json).
+
+#![warn(clippy::all)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON object representation (ordered for deterministic output).
+pub type Map = BTreeMap<String, Value>;
+
+/// A parsed/serializable JSON tree — the data model of this vendored serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Returns the backing object map, if this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the backing object map mutably, if this value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the f64 payload, if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn ser_value(&self) -> Value;
+
+    /// Converts `self` into a JSON object key.
+    ///
+    /// Works for types whose value form is a string or number (strings,
+    /// integers, unit-variant enums) — the same set upstream serde_json
+    /// accepts as map keys.
+    fn ser_map_key(&self) -> Result<String, Error> {
+        match self.ser_value() {
+            Value::String(s) => Ok(s),
+            Value::Number(n) => Ok(fmt_number(n)),
+            Value::Bool(b) => Ok(b.to_string()),
+            other => Err(Error::custom(format!(
+                "map key must serialize to a string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Types reconstructible from the JSON [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn de_value(v: &Value) -> Result<Self, Error>;
+
+    /// Rebuilds `Self` from a JSON object key.
+    fn de_map_key(key: &str) -> Result<Self, Error> {
+        Self::de_value(&Value::String(key.to_string()))
+    }
+}
+
+/// Formats an `f64` the way JSON expects (integral values without `.0`).
+pub fn fmt_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn ser_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn de_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+            fn de_map_key(key: &str) -> Result<$t, Error> {
+                key.parse::<f64>()
+                    .map(|n| n as $t)
+                    .map_err(|e| Error::custom(format!("bad numeric key `{key}`: {e}")))
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn ser_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de_value(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_value(&self) -> Value {
+        match self {
+            Some(x) => x.ser_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::de_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn de_value(v: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::de_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|got| Error::custom(format!("expected array of {N}, got {}", got.len())))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de_value(v: &Value) -> Result<Box<T>, Error> {
+        T::de_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn ser_value(&self) -> Value {
+        Value::Array(vec![self.0.ser_value(), self.1.ser_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn de_value(v: &Value) -> Result<(A, B), Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::de_value(&items[0])?, B::de_value(&items[1])?))
+            }
+            _ => Err(Error::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn ser_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.ser_value(),
+            self.1.ser_value(),
+            self.2.ser_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn de_value(v: &Value) -> Result<(A, B, C), Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::de_value(&items[0])?,
+                B::de_value(&items[1])?,
+                C::de_value(&items[2])?,
+            )),
+            _ => Err(Error::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser_value(&self) -> Value {
+        let mut out = Map::new();
+        for (k, v) in self {
+            match k.ser_map_key() {
+                Ok(key) => {
+                    out.insert(key, v.ser_value());
+                }
+                Err(_) => return Value::Null,
+            }
+        }
+        Value::Object(out)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn de_value(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        match v {
+            Value::Object(m) => {
+                let mut out = BTreeMap::new();
+                for (k, val) in m {
+                    out.insert(K::de_map_key(k)?, V::de_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn ser_value(&self) -> Value {
+        let mut out = Map::new();
+        for (k, v) in self {
+            match k.ser_map_key() {
+                Ok(key) => {
+                    out.insert(key, v.ser_value());
+                }
+                Err(_) => return Value::Null,
+            }
+        }
+        Value::Object(out)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn de_value(v: &Value) -> Result<HashMap<K, V, S>, Error> {
+        match v {
+            Value::Object(m) => {
+                let mut out = HashMap::with_capacity_and_hasher(m.len(), S::default());
+                for (k, val) in m {
+                    out.insert(K::de_map_key(k)?, V::de_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn ser_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}

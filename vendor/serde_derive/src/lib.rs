@@ -1,0 +1,499 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored offline serde (see `vendor/serde`).
+//!
+//! No `syn`/`quote` are available offline, so this parses the derive input
+//! token stream directly. Supported item shapes — exactly what the QPPNet
+//! workspace uses:
+//!
+//! * structs with named fields, with optional field-level
+//!   `#[serde(default)]` and `#[serde(default = "path")]`;
+//! * enums with unit, newtype/tuple and struct variants (externally tagged,
+//!   like upstream serde's default representation).
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Debug, Clone)]
+enum FieldDefault {
+    /// No `#[serde(default)]`: missing field is an error.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// --- parsing ---------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes a run of `#[...]` attributes, returning the field default
+    /// policy found in any `#[serde(...)]` among them.
+    fn skip_attrs(&mut self) -> Result<FieldDefault, String> {
+        let mut default = FieldDefault::Required;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            if let Some(d) = parse_serde_attr(g.stream())? {
+                                default = d;
+                            }
+                        }
+                        _ => return Err("expected [...] after #".into()),
+                    }
+                }
+                _ => return Ok(default),
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected {what}, got {other:?}")),
+        }
+    }
+
+    /// Consumes tokens of a type expression up to a top-level `,` (or end),
+    /// tracking `<`/`>` nesting. The `,` itself is consumed.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the inside of a `#[serde(...)]` bracket group; returns the field
+/// default policy if this is a serde attribute, `None` otherwise (doc
+/// comments etc.).
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<FieldDefault>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let group = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("malformed #[serde] attribute".into()),
+    };
+    let inner: Vec<TokenTree> = group.into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+            if inner.len() == 1 {
+                Ok(Some(FieldDefault::Std))
+            } else {
+                // default = "path"
+                match (&inner[1], &inner[2]) {
+                    (TokenTree::Punct(eq), TokenTree::Literal(lit)) if eq.as_char() == '=' => {
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"').to_string();
+                        Ok(Some(FieldDefault::Path(path)))
+                    }
+                    _ => Err("malformed #[serde(default = ...)]".into()),
+                }
+            }
+        }
+        Some(other) => Err(format!(
+            "unsupported #[serde(...)] attribute `{other}` (vendored serde supports only `default`)"
+        )),
+        None => Err("empty #[serde()] attribute".into()),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs()?;
+    cur.skip_visibility();
+    let kw = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("item name")?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics (deriving on `{name}`)"
+            ));
+        }
+    }
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "vendored serde_derive does not support tuple structs (deriving on `{name}`)"
+            ));
+        }
+        other => return Err(format!("expected item body for `{name}`, got {other:?}")),
+    };
+    match kw.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("cannot derive serde impls for `{other} {name}`")),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let default = cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name")?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        cur.skip_type();
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name")?;
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_top_level_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant (`= expr`) would appear here; unit-only
+        // enums with explicit discriminants are not used in this workspace.
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated entries at angle-depth 0 in a tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn default_expr(field: &Field, ty_name: &str) -> String {
+    match &field.default {
+        FieldDefault::Required => format!(
+            "return ::core::result::Result::Err(::serde::Error::custom(\"missing field `{}` in `{}`\"))",
+            field.name, ty_name
+        ),
+        FieldDefault::Std => "::core::default::Default::default()".to_string(),
+        FieldDefault::Path(path) => format!("{path}()"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert(::std::string::String::from({n:?}), ::serde::Serialize::ser_value(&self.{n}));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n{inserts}\
+                 ::serde::Value::Object(m)\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), ::serde::Serialize::ser_value(x0));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from({vn:?}), ::serde::Value::Array(vec![{elems}]));\n\
+                                 ::serde::Value::Object(m)\n}}\n",
+                                binds = binders.join(", "),
+                                elems = elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let inserts: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.insert(::std::string::String::from({n:?}), ::serde::Serialize::ser_value({n}));\n",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut inner = ::serde::Map::new();\n{inserts}\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(::std::string::String::from({vn:?}), ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(m)\n}}\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn ser_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: match m.get({n:?}) {{\n\
+                         ::core::option::Option::Some(x) => ::serde::Deserialize::de_value(x)?,\n\
+                         ::core::option::Option::None => {{ {default} }}\n}},\n",
+                        n = f.name,
+                        default = default_expr(f, name)
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn de_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let m = match v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 _ => return ::core::result::Result::Err(::serde::Error::custom(\"expected object for `{name}`\")),\n}};\n\
+                 ::core::result::Result::Ok({name} {{\n{field_inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::de_value(payload)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::de_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let arr = match payload {{\n\
+                                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                                 _ => return ::core::result::Result::Err(::serde::Error::custom(\"expected {n}-element array for `{name}::{vn}`\")),\n}};\n\
+                                 ::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let field_inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{n}: match inner.get({n:?}) {{\n\
+                                         ::core::option::Option::Some(x) => ::serde::Deserialize::de_value(x)?,\n\
+                                         ::core::option::Option::None => {{ {default} }}\n}},\n",
+                                        n = f.name,
+                                        default = default_expr(f, name)
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let inner = match payload {{\n\
+                                 ::serde::Value::Object(inner) => inner,\n\
+                                 _ => return ::core::result::Result::Err(::serde::Error::custom(\"expected object payload for `{name}::{vn}`\")),\n}};\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{\n{field_inits}}})\n}}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn de_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, payload) = m.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{payload_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\"bad enum representation for `{name}`\")),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
