@@ -255,7 +255,7 @@ mod tests {
             let actual: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
             qppnet::evaluate(&actual, &preds).mae_ms
         };
-        let mut long = FlatDnn::new(AblationConfig { epochs: 60, ..AblationConfig::tiny() });
+        let mut long = FlatDnn::new(AblationConfig { epochs: 30, ..AblationConfig::tiny() });
         long.fit(&train);
         let mut short = FlatDnn::new(AblationConfig { epochs: 1, ..AblationConfig::tiny() });
         short.fit(&train);

@@ -264,7 +264,7 @@ mod tests {
         // leaf positions, which is exactly the pathology the paper
         // predicts; asserting on it made the test flaky.)
         let mut long =
-            SparseUnitDnn::new(AblationConfig { epochs: 50, ..AblationConfig::tiny() }, &ds.catalog);
+            SparseUnitDnn::new(AblationConfig { epochs: 25, ..AblationConfig::tiny() }, &ds.catalog);
         long.fit(&train);
         let mut short =
             SparseUnitDnn::new(AblationConfig { epochs: 1, ..AblationConfig::tiny() }, &ds.catalog);

@@ -241,7 +241,7 @@ mod tests {
             let actual: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
             qppnet::evaluate(&actual, &preds).mae_ms
         };
-        let mut long = TreeLstm::new(AblationConfig { epochs: 40, ..tiny() }, &ds.catalog);
+        let mut long = TreeLstm::new(AblationConfig { epochs: 25, ..tiny() }, &ds.catalog);
         long.fit(&train);
         let mut short = TreeLstm::new(AblationConfig { epochs: 1, ..tiny() }, &ds.catalog);
         short.fit(&train);

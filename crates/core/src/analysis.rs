@@ -144,7 +144,7 @@ mod tests {
 
     fn fitted() -> (Dataset, QppNet) {
         let ds = Dataset::generate(Workload::TpcH, 1.0, 70, 33);
-        let mut model = QppNet::new(QppConfig { epochs: 40, ..QppConfig::tiny() }, &ds.catalog);
+        let mut model = QppNet::new(QppConfig { epochs: 15, ..QppConfig::tiny() }, &ds.catalog);
         model.fit(&ds.plans.iter().collect::<Vec<_>>());
         (ds, model)
     }

@@ -51,7 +51,13 @@ pub fn permutation_importance(
     assert!(!plans.is_empty(), "cannot compute importance on zero plans");
     let (featurizer, whitener, units, codec, caps) = model.fitted_parts();
     let actual: Vec<f64> = plans.iter().map(|p| p.latency_ms()).collect();
-    let baseline = crate::metrics::evaluate(&actual, &model.predict_batch(plans)).mae_ms;
+    // The baseline must come from the same engine as the permuted
+    // predictions below (per-class TreeBatch): the serving engine's SIMD
+    // gemm differs by FMA rounding, which would otherwise inject a
+    // systematic bias into every delta.
+    let baseline_preds =
+        model.predict_batch_with(plans, crate::infer::InferEngine::Classes);
+    let baseline = crate::metrics::evaluate(&actual, &baseline_preds).mae_ms;
 
     // Pool of whitened feature vectors per family, drawn from every node
     // of every evaluation plan.
@@ -136,7 +142,7 @@ mod tests {
 
     fn fitted_model() -> (Dataset, QppNet) {
         let ds = Dataset::generate(Workload::TpcH, 1.0, 60, 17);
-        let mut model = QppNet::new(QppConfig { epochs: 40, ..QppConfig::tiny() }, &ds.catalog);
+        let mut model = QppNet::new(QppConfig { epochs: 15, ..QppConfig::tiny() }, &ds.catalog);
         model.fit(&ds.plans.iter().collect::<Vec<_>>());
         (ds, model)
     }

@@ -1,0 +1,515 @@
+//! The serving engine: compiled, wavefront-batched inference over
+//! heterogeneous plan batches.
+//!
+//! Training-time evaluation ([`crate::tree::TreeBatch`]) can only batch
+//! *structurally identical* plans (§5.1.1's equivalence classes), which is
+//! the right granularity for unbiased gradients but degenerates on a
+//! realistic serving mix: most classes are singletons, so every operator of
+//! every plan costs one tiny gemm plus an [`qpp_nn::MlpCache`] allocation
+//! it never uses. A [`PlanProgram`] instead *compiles* an arbitrary batch
+//! of plans into **wavefronts**: all nodes of all plans are keyed by
+//! `(height-from-leaf, OpKind)` and each key becomes one step executing a
+//! single gemm per operator family over every plan in the batch,
+//! regardless of tree shape. Child outputs
+//! are routed between wavefronts with row gather/scatter into preallocated
+//! buffers, and layer activations come from a [`qpp_nn::BufferPool`] — the
+//! hot path performs no per-node allocation.
+//!
+//! Scheduling by height from the leaves is sound because a node at height
+//! `h` is `1 + max(child heights)`, so every child sits at a strictly
+//! smaller height and its output row is written before the parent's
+//! wavefront runs. The arithmetic per node is *identical* to the
+//! equivalence-class path — same whitened features, same unit weights, same
+//! row-major kernels — only the grouping of rows into gemm calls changes,
+//! and a row of `X·W` depends on no other row. The differential suite
+//! (`tests/infer_differential.rs`) holds the two engines to within `1e-5`
+//! relative on every plan, clamped and unclamped.
+
+use crate::config::TargetCodec;
+use crate::tree::RatioCaps;
+use crate::unit::UnitSet;
+use qpp_nn::{BufferPool, Matrix};
+use qpp_plansim::features::{Featurizer, Whitener};
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::{Plan, PlanNode};
+use std::collections::BTreeMap;
+
+/// Which inference engine answers a prediction request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferEngine {
+    /// Per-equivalence-class [`crate::tree::TreeBatch`] evaluation (the
+    /// training-time data layout; §5.1.1 batching only).
+    Classes,
+    /// Compiled wavefront [`PlanProgram`] evaluation (the serving layout).
+    Program,
+}
+
+impl InferEngine {
+    /// Parses the CLI spelling (`classes` | `program`).
+    pub fn parse(s: &str) -> Option<InferEngine> {
+        match s {
+            "classes" => Some(InferEngine::Classes),
+            "program" => Some(InferEngine::Program),
+            _ => None,
+        }
+    }
+
+    /// Display name (the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            InferEngine::Classes => "classes",
+            InferEngine::Program => "program",
+        }
+    }
+}
+
+/// Maximum rows per compiled step. Wavefronts larger than this are split
+/// into row chunks so each gemm's working set (input chunk, activation
+/// buffers, one unit's weights) stays cache-resident — measured on the
+/// `infer_throughput` bench, monolithic several-hundred-row gemms run up
+/// to ~2x slower per row than cache-sized ones on the same kernel.
+const STEP_CHUNK_ROWS: usize = 32;
+
+/// One wavefront step: every node (across all plans) at one
+/// `(height, OpKind)` key, executed as a single gemm (large wavefronts
+/// are split into [`STEP_CHUNK_ROWS`]-row chunks).
+struct Step {
+    kind: OpKind,
+    /// Global output-buffer row of each member node.
+    rows: Vec<usize>,
+    /// Global rows of each member's children, node-major
+    /// (`child_rows[i * arity + j]` is member `i`'s `j`-th child).
+    child_rows: Vec<usize>,
+    arity: usize,
+    /// Width of the feature prefix of `input`.
+    feat_width: usize,
+    /// Preallocated input, `members × in_dim`. Feature columns are filled
+    /// at compile time (features are batch-invariant); child columns are
+    /// overwritten by the gather on every run.
+    input: Matrix,
+}
+
+/// Per-plan bookkeeping for reading results back out of the flat output
+/// buffer (and for the clamped envelope walk).
+struct PlanSlot {
+    /// First global output row of this plan; post-order position `k` lives
+    /// at row `base + k` and the root at `base + len - 1`.
+    base: usize,
+    /// Number of positions (nodes) in the plan.
+    len: usize,
+    /// Flat post-order lowering (plan-local child lists, heights).
+    lowering: crate::lower::Lowering,
+    /// Operator family per position (for envelope cap lookups).
+    kinds: Vec<OpKind>,
+}
+
+/// A compiled inference program over a heterogeneous batch of plans.
+///
+/// Compile once per batch with [`PlanProgram::compile`], then run any
+/// number of times against unit sets of the same shape; all buffers are
+/// preallocated at compile time and reused across runs.
+pub struct PlanProgram {
+    steps: Vec<Step>,
+    plans: Vec<PlanSlot>,
+    /// `total_nodes × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
+    outputs: Matrix,
+    pool: BufferPool,
+    out_w: usize,
+    /// Fingerprint of the fitted state this program was compiled against
+    /// (`None` for programs compiled directly via [`PlanProgram::compile`];
+    /// stamped by [`crate::QppNet::compile_program`] so a refit — or a
+    /// different model — invalidates the program instead of silently
+    /// serving stale features).
+    fingerprint: Option<u64>,
+}
+
+impl PlanProgram {
+    /// Compiles `roots` into a wavefront schedule against the fitted
+    /// model's shape (`units` sizes the routing buffers; `featurizer` and
+    /// `whitener` produce the same whitened features the training path
+    /// uses).
+    ///
+    /// # Panics
+    /// Panics if a node's feature size disagrees with its unit's input
+    /// dimension (a featurizer/model mismatch).
+    pub fn compile(
+        featurizer: &Featurizer,
+        whitener: &Whitener,
+        units: &UnitSet,
+        roots: &[&PlanNode],
+    ) -> PlanProgram {
+        let out_w = units.out_size();
+
+        struct Draft {
+            kind: OpKind,
+            rows: Vec<usize>,
+            child_rows: Vec<usize>,
+            /// Whitened features of all members, one `feat_width` run per
+            /// member (flat: one allocation per draft, not per node).
+            feat_data: Vec<f32>,
+            feat_width: usize,
+        }
+        // BTreeMap keyed by (height, family index): iteration order IS the
+        // execution order — heights ascending, families in stable order.
+        let mut drafts: BTreeMap<(usize, usize), Draft> = BTreeMap::new();
+        let mut plans = Vec::with_capacity(roots.len());
+        let mut total_nodes = 0usize;
+        let mut scratch = Vec::new();
+
+        for root in roots {
+            let nodes = root.postorder();
+            let lowering = crate::lower::lower(root);
+            let base = total_nodes;
+            total_nodes += nodes.len();
+
+            for (k, node) in nodes.iter().enumerate() {
+                let kind = node.op.kind();
+                // Hard assert: plans can arrive from unvalidated JSON (the
+                // CLI's `predict --input`), and a wrong arity here would
+                // shift every later member's child rows. Compilation runs
+                // once per batch, so the check costs nothing that matters.
+                assert_eq!(
+                    lowering.children_of(k).len(),
+                    kind.arity(),
+                    "malformed plan: {kind:?} node with {} children (arity {})",
+                    lowering.children_of(k).len(),
+                    kind.arity()
+                );
+                whitener.features_into(featurizer, node, &mut scratch);
+                let draft =
+                    drafts.entry((lowering.height_of(k), kind.index())).or_insert_with(|| Draft {
+                        kind,
+                        rows: Vec::new(),
+                        child_rows: Vec::new(),
+                        feat_data: Vec::new(),
+                        feat_width: scratch.len(),
+                    });
+                assert_eq!(scratch.len(), draft.feat_width, "inconsistent feature size for {kind:?}");
+                draft.rows.push(base + k);
+                draft.child_rows.extend(lowering.children_of(k).iter().map(|&c| base + c));
+                draft.feat_data.extend_from_slice(&scratch);
+            }
+
+            plans.push(PlanSlot {
+                base,
+                len: nodes.len(),
+                kinds: nodes.iter().map(|n| n.op.kind()).collect(),
+                lowering,
+            });
+        }
+
+        let mut steps = Vec::new();
+        for draft in drafts.into_values() {
+            let arity = draft.kind.arity();
+            let feat_width = draft.feat_width;
+            let in_dim = feat_width + arity * out_w;
+            assert_eq!(
+                in_dim,
+                units.unit(draft.kind).in_dim(),
+                "feature/model shape mismatch for {:?}",
+                draft.kind
+            );
+            // Split oversized wavefronts into cache-sized row chunks: the
+            // row-major gemm kernel is fastest when one chunk's input,
+            // output and the unit's layer weights stay cache-resident, and
+            // chunking changes nothing semantically (each output row of
+            // `X·W` depends only on its own input row).
+            for (c, rows) in draft.rows.chunks(STEP_CHUNK_ROWS).enumerate() {
+                let members = rows.len();
+                let base = c * STEP_CHUNK_ROWS;
+                let mut input = Matrix::zeros(members, in_dim);
+                for i in 0..members {
+                    let f = &draft.feat_data[(base + i) * feat_width..(base + i + 1) * feat_width];
+                    input.row_mut(i)[..feat_width].copy_from_slice(f);
+                }
+                steps.push(Step {
+                    kind: draft.kind,
+                    rows: rows.to_vec(),
+                    child_rows: draft.child_rows[base * arity..(base + members) * arity].to_vec(),
+                    arity,
+                    feat_width,
+                    input,
+                });
+            }
+        }
+
+        PlanProgram {
+            steps,
+            plans,
+            outputs: Matrix::zeros(total_nodes, out_w),
+            pool: BufferPool::new(),
+            out_w,
+            fingerprint: None,
+        }
+    }
+
+    /// Stamps the fitted-state fingerprint this program was compiled
+    /// against (see [`PlanProgram::fingerprint`]).
+    pub(crate) fn stamp_fingerprint(&mut self, fingerprint: u64) {
+        self.fingerprint = Some(fingerprint);
+    }
+
+    /// The fitted-state fingerprint stamped at compile time, if any.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Number of plans in the compiled batch.
+    pub fn num_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Total operator nodes across all plans.
+    pub fn num_nodes(&self) -> usize {
+        self.outputs.rows()
+    }
+
+    /// Number of wavefront steps — i.e. gemm calls per unit-layer — the
+    /// schedule executes. The per-class path would execute one gemm per
+    /// (equivalence class, position) instead.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Executes the schedule bottom-up, filling the output buffer.
+    fn run(&mut self, units: &UnitSet) {
+        assert_eq!(
+            units.out_size(),
+            self.out_w,
+            "unit set output width {} does not match compiled width {}",
+            units.out_size(),
+            self.out_w
+        );
+        let out_w = self.out_w;
+        let (steps, outputs, pool) = (&mut self.steps, &mut self.outputs, &mut self.pool);
+        for step in steps.iter_mut() {
+            // Route child outputs (written by earlier wavefronts) into the
+            // child columns of this step's input.
+            if step.arity > 0 {
+                let fw = step.feat_width;
+                for i in 0..step.rows.len() {
+                    for j in 0..step.arity {
+                        let src = step.child_rows[i * step.arity + j];
+                        let start = fw + j * out_w;
+                        step.input.row_mut(i)[start..start + out_w]
+                            .copy_from_slice(outputs.row(src));
+                    }
+                }
+            }
+            let out = units.unit(step.kind).forward_pooled(&step.input, pool);
+            out.scatter_rows_into(&step.rows, outputs);
+            pool.give(out);
+        }
+    }
+
+    /// Decoded root-latency predictions (milliseconds), one per plan, in
+    /// the order the plans were compiled.
+    pub fn predict_roots(&mut self, units: &UnitSet, codec: &TargetCodec) -> Vec<f64> {
+        self.run(units);
+        self.plans
+            .iter()
+            .map(|p| codec.decode(self.outputs.get(p.base + p.len - 1, 0)))
+            .collect()
+    }
+
+    /// Decoded latency predictions for every position of every plan
+    /// (`result[plan][position]`, post order, milliseconds).
+    ///
+    /// Note the index order differs from
+    /// [`crate::tree::TreeBatch::predict_all`] (`[position][plan]`): a
+    /// heterogeneous batch has no shared position axis.
+    pub fn predict_all(&mut self, units: &UnitSet, codec: &TargetCodec) -> Vec<Vec<f64>> {
+        self.run(units);
+        self.plans
+            .iter()
+            .map(|p| {
+                (p.base..p.base + p.len).map(|r| codec.decode(self.outputs.get(r, 0))).collect()
+            })
+            .collect()
+    }
+
+    /// Like [`PlanProgram::predict_all`], projected onto the structural
+    /// envelope of inclusive latencies — the same monotonicity +
+    /// bounded-amplification fold as
+    /// [`crate::tree::TreeBatch::predict_all_clamped`].
+    pub fn predict_all_clamped(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+    ) -> Vec<Vec<f64>> {
+        let mut all = self.predict_all(units, codec);
+        for (slot, preds) in self.plans.iter().zip(&mut all) {
+            // Post order puts children before parents, so clamped child
+            // values feed the parent's envelope exactly as in TreeBatch.
+            for k in 0..slot.len {
+                let kids = slot.lowering.children_of(k);
+                if kids.is_empty() {
+                    continue;
+                }
+                let max_child = kids.iter().map(|&c| preds[c]).fold(0.0f64, f64::max);
+                let cap = caps.cap(slot.kinds[k], max_child);
+                let (lo, hi) = (max_child, max_child * cap.max(1.0));
+                preds[k] = preds[k].clamp(lo, hi.max(lo));
+            }
+        }
+        all
+    }
+
+    /// Root predictions under the structural envelope (see
+    /// [`PlanProgram::predict_all_clamped`]).
+    pub fn predict_roots_clamped(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+    ) -> Vec<f64> {
+        self.predict_all_clamped(units, codec, caps)
+            .into_iter()
+            .map(|per_plan| *per_plan.last().expect("non-empty plan"))
+            .collect()
+    }
+}
+
+/// Predicts root latencies (milliseconds) for `plans` through the chosen
+/// engine — the single dispatch point behind [`crate::QppNet`]'s
+/// prediction API and the `qpp predict` CLI.
+pub fn predict_plans_with(
+    engine: InferEngine,
+    units: &UnitSet,
+    featurizer: &Featurizer,
+    whitener: &Whitener,
+    codec: &TargetCodec,
+    ratio_caps: Option<&RatioCaps>,
+    plans: &[&Plan],
+) -> Vec<f64> {
+    match engine {
+        InferEngine::Classes => {
+            crate::train::predict_plans(units, featurizer, whitener, codec, ratio_caps, plans)
+        }
+        InferEngine::Program => {
+            let roots: Vec<&PlanNode> = plans.iter().map(|p| &p.root).collect();
+            let mut program = PlanProgram::compile(featurizer, whitener, units, &roots);
+            match ratio_caps {
+                Some(caps) => program.predict_roots_clamped(units, codec, caps),
+                None => program.predict_roots(units, codec),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QppConfig, TargetTransform};
+    use crate::tree::TreeBatch;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Featurizer, Whitener, UnitSet, TargetCodec) {
+        let ds = Dataset::generate(Workload::TpcH, 1.0, 32, 17);
+        let fz = Featurizer::new(&ds.catalog);
+        let wh = Whitener::fit(&fz, ds.plans.iter());
+        let cfg = QppConfig::tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let units = UnitSet::new(&cfg, &fz, &mut rng);
+        let codec = TargetCodec::fit(TargetTransform::Log1p, ds.plans.iter().map(|p| p.latency_ms()));
+        (ds, fz, wh, units, codec)
+    }
+
+    #[test]
+    fn heterogeneous_batch_matches_per_plan_tree_batches() {
+        let (ds, fz, wh, units, codec) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        assert_eq!(program.num_plans(), ds.plans.len());
+        let program_preds = program.predict_roots(&units, &codec);
+
+        for (i, plan) in ds.plans.iter().enumerate() {
+            let tb = TreeBatch::build(&fz, &wh, &codec, &[&plan.root]);
+            let single = tb.predict_roots(&units, &codec)[0];
+            let rel = (single - program_preds[i]).abs() / (1.0 + single.abs());
+            assert!(rel < 1e-5, "plan {i}: tree {single} vs program {}", program_preds[i]);
+        }
+    }
+
+    #[test]
+    fn per_operator_predictions_match_tree_batch() {
+        let (ds, fz, wh, units, codec) = setup();
+        let plan = ds.plans.iter().max_by_key(|p| p.node_count()).unwrap();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &[&plan.root]);
+        let program_all = program.predict_all(&units, &codec);
+        let tb = TreeBatch::build(&fz, &wh, &codec, &[&plan.root]);
+        let tree_all = tb.predict_all(&units, &codec);
+        assert_eq!(program_all[0].len(), tree_all.len());
+        for (k, per_pos) in tree_all.iter().enumerate() {
+            let rel = (per_pos[0] - program_all[0][k]).abs() / (1.0 + per_pos[0].abs());
+            assert!(rel < 1e-5, "position {k}");
+        }
+    }
+
+    #[test]
+    fn clamped_predictions_match_tree_batch() {
+        let (ds, fz, wh, units, codec) = setup();
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        let program_preds = program.predict_roots_clamped(&units, &codec, &caps);
+        for (i, plan) in ds.plans.iter().enumerate() {
+            let tb = TreeBatch::build(&fz, &wh, &codec, &[&plan.root]);
+            let single = tb.predict_roots_clamped(&units, &codec, &caps)[0];
+            let rel = (single - program_preds[i]).abs() / (1.0 + single.abs());
+            assert!(rel < 1e-5, "plan {i}: tree {single} vs program {}", program_preds[i]);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_stable_and_allocation_reusing() {
+        let (ds, fz, wh, units, codec) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().take(8).map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        let first = program.predict_roots(&units, &codec);
+        let second = program.predict_roots(&units, &codec);
+        assert_eq!(first, second, "stale child routing between runs");
+    }
+
+    #[test]
+    fn wavefronts_batch_across_plans() {
+        let (ds, fz, wh, units, _) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        let total_nodes: usize = ds.plans.iter().map(|p| p.node_count()).sum();
+        assert_eq!(program.num_nodes(), total_nodes);
+        // The whole point: far fewer gemm groups than nodes.
+        assert!(
+            program.num_steps() * 4 < total_nodes,
+            "{} steps for {} nodes — wavefronts are not batching",
+            program.num_steps(),
+            total_nodes
+        );
+    }
+
+    #[test]
+    fn empty_batch_compiles_and_predicts_nothing() {
+        let (_, fz, wh, units, codec) = setup();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &[]);
+        assert_eq!(program.num_plans(), 0);
+        assert!(program.predict_roots(&units, &codec).is_empty());
+    }
+
+    #[test]
+    fn engine_dispatch_agrees_between_paths() {
+        let (ds, fz, wh, units, codec) = setup();
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        for caps in [None, Some(&caps)] {
+            let a = predict_plans_with(InferEngine::Classes, &units, &fz, &wh, &codec, caps, &plans);
+            let b = predict_plans_with(InferEngine::Program, &units, &fz, &wh, &codec, caps, &plans);
+            for (x, y) in a.iter().zip(&b) {
+                let rel = (x - y).abs() / (1.0 + x.abs());
+                assert!(rel < 1e-5, "classes {x} vs program {y}");
+            }
+        }
+    }
+}

@@ -20,6 +20,15 @@
 //! * **information sharing in subtrees** — bottom-up evaluation computes
 //!   each operator's output exactly once.
 //!
+//! Serving goes through a separate engine: [`infer::PlanProgram`] compiles
+//! an arbitrary *heterogeneous* batch of plans into wavefronts keyed by
+//! `(height-from-leaf, operator family)` — one gemm per family per
+//! wavefront across every plan, with child outputs routed by row
+//! gather/scatter through preallocated buffers. [`QppNet::predict_batch`]
+//! uses it by default; the per-class path remains available as
+//! [`infer::InferEngine::Classes`] for differential testing and
+//! benchmarking.
+//!
 //! Quick start (see `examples/quickstart.rs` for a narrated version):
 //!
 //! ```
@@ -40,6 +49,8 @@
 pub mod analysis;
 pub mod config;
 pub mod importance;
+pub mod infer;
+pub mod lower;
 pub mod metrics;
 pub mod model;
 pub mod train;
@@ -49,6 +60,7 @@ pub mod unit;
 pub use analysis::{calibration, error_by_family, CalibrationBucket, FamilyErrors};
 pub use config::{LrSchedule, OptMode, OptimizerKind, QppConfig, TargetTransform};
 pub use importance::{permutation_importance, FeatureImportance};
+pub use infer::{predict_plans_with, InferEngine, PlanProgram};
 pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
 pub use model::QppNet;
 pub use train::{predict_plans, TrainHistory, Trainer};

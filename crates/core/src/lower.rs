@@ -1,0 +1,167 @@
+//! Shared plan-tree lowering: post-order indexing used by both the
+//! training path ([`crate::tree::TreeBatch`]) and the serving path
+//! ([`crate::infer::PlanProgram`]).
+//!
+//! Both engines flatten a [`PlanNode`] tree into its post-order position
+//! list and need, for every position, the positions of its children; the
+//! serving engine additionally schedules positions by *height from the
+//! leaves* so that all nodes whose children are already computed can share
+//! one gemm per operator family. Keeping the lowering here guarantees the
+//! two engines agree on position numbering — the differential tests compare
+//! their outputs position by position.
+
+use qpp_plansim::plan::PlanNode;
+
+/// A plan tree lowered to flat post-order form: per-position child lists
+/// in CSR layout plus heights from the leaves.
+///
+/// The CSR layout (one flat index array + offsets instead of one `Vec`
+/// per position) keeps lowering allocation-light — the serving compiler
+/// lowers thousands of nodes per batch on its hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Lowering {
+    /// `children[child_offsets[k]..child_offsets[k + 1]]` are the
+    /// post-order positions of position `k`'s children.
+    child_offsets: Vec<usize>,
+    children: Vec<usize>,
+    /// Height from the leaves per position (leaves are 0, internal nodes
+    /// `1 + max(child heights)`).
+    heights: Vec<usize>,
+}
+
+impl Lowering {
+    /// Number of positions (nodes) in the lowered tree.
+    pub fn len(&self) -> usize {
+        self.heights.len()
+    }
+
+    /// True for an empty lowering (never produced by [`lower`], which
+    /// always emits at least the root).
+    pub fn is_empty(&self) -> bool {
+        self.heights.is_empty()
+    }
+
+    /// Child positions of post-order position `k`.
+    pub fn children_of(&self, k: usize) -> &[usize] {
+        &self.children[self.child_offsets[k]..self.child_offsets[k + 1]]
+    }
+
+    /// Height from the leaves of position `k`.
+    pub fn height_of(&self, k: usize) -> usize {
+        self.heights[k]
+    }
+}
+
+/// Lowers `root`'s subtree to flat post-order form.
+///
+/// Position numbering matches [`PlanNode::postorder`]: children before
+/// parents, the root last. Heights are the wavefront key of the serving
+/// engine: a node at height `h` only consumes outputs of nodes at heights
+/// `< h`, so evaluating heights in ascending order satisfies every data
+/// dependency regardless of tree shape.
+pub fn lower(root: &PlanNode) -> Lowering {
+    fn rec(node: &PlanNode, lw: &mut Lowering, stack: &mut Vec<usize>) -> usize {
+        let mark = stack.len();
+        for c in &node.children {
+            let ci = rec(c, lw, stack);
+            stack.push(ci);
+        }
+        let my = lw.heights.len();
+        let kids = &stack[mark..];
+        let h = kids.iter().map(|&c| lw.heights[c] + 1).max().unwrap_or(0);
+        lw.child_offsets.push(lw.children.len());
+        lw.children.extend_from_slice(kids);
+        lw.heights.push(h);
+        stack.truncate(mark);
+        my
+    }
+    let n = root.node_count();
+    let mut lw = Lowering {
+        child_offsets: Vec::with_capacity(n + 1),
+        children: Vec::with_capacity(n.saturating_sub(1)),
+        heights: Vec::with_capacity(n),
+    };
+    let mut stack = Vec::new();
+    rec(root, &mut lw, &mut stack);
+    lw.child_offsets.push(lw.children.len());
+    debug_assert_eq!(lw.heights.len(), n);
+    lw
+}
+
+/// For every post-order position of `root`'s subtree, the post-order
+/// positions of its children (empty for leaves) — the owned-`Vec` view of
+/// [`lower`], used where per-position ownership is convenient (e.g.
+/// [`crate::tree::TreeBatch`] moves each child list into its positions).
+pub fn postorder_children(root: &PlanNode) -> Vec<Vec<usize>> {
+    let lw = lower(root);
+    (0..lw.len()).map(|k| lw.children_of(k).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpp_plansim::operators::{JoinAlgorithm, JoinType, Operator, ParentRel, ScanMethod};
+
+    fn scan() -> PlanNode {
+        PlanNode::new(
+            Operator::Scan { table: 0, method: ScanMethod::Seq, predicate_col: None },
+            vec![],
+        )
+    }
+
+    fn join(l: PlanNode, r: PlanNode) -> PlanNode {
+        PlanNode::new(
+            Operator::Join {
+                algo: JoinAlgorithm::Hash,
+                jtype: JoinType::Inner,
+                parent_rel: ParentRel::None,
+            },
+            vec![l, r],
+        )
+    }
+
+    #[test]
+    fn children_follow_postorder_numbering() {
+        // Post order of join(scan, join(scan, scan)):
+        //   0: scan, 1: scan, 2: scan, 3: join(1,2), 4: root join(0,3)
+        let tree = join(scan(), join(scan(), scan()));
+        let children = postorder_children(&tree);
+        assert_eq!(children, vec![vec![], vec![], vec![], vec![1, 2], vec![0, 3]]);
+    }
+
+    #[test]
+    fn heights_respect_dependencies() {
+        let tree = join(scan(), join(scan(), scan()));
+        let lw = lower(&tree);
+        let h: Vec<usize> = (0..lw.len()).map(|k| lw.height_of(k)).collect();
+        assert_eq!(h, vec![0, 0, 0, 1, 2]);
+        // Every parent is strictly above all of its children.
+        for k in 0..lw.len() {
+            for &c in lw.children_of(k) {
+                assert!(h[c] < h[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree_lowering() {
+        let tree = scan();
+        assert_eq!(postorder_children(&tree), vec![Vec::<usize>::new()]);
+        let lw = lower(&tree);
+        assert_eq!(lw.len(), 1);
+        assert!(!lw.is_empty());
+        assert_eq!(lw.children_of(0), &[] as &[usize]);
+        assert_eq!(lw.height_of(0), 0);
+    }
+
+    #[test]
+    fn csr_lowering_agrees_with_owned_view() {
+        let tree = join(join(scan(), scan()), join(scan(), join(scan(), scan())));
+        let lw = lower(&tree);
+        let children = postorder_children(&tree);
+        assert_eq!(lw.len(), children.len());
+        for (k, kids) in children.iter().enumerate() {
+            assert_eq!(lw.children_of(k), kids.as_slice(), "position {k}");
+        }
+    }
+}

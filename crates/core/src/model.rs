@@ -1,9 +1,10 @@
 //! The `QppNet` model facade: fit / predict / evaluate / save / load.
 
 use crate::config::{QppConfig, TargetCodec};
+use crate::infer::{predict_plans_with, InferEngine, PlanProgram};
 use crate::metrics::{evaluate, Metrics};
-use crate::train::{predict_plans, TrainHistory, Trainer};
-use crate::tree::{RatioCaps, TreeBatch};
+use crate::train::{TrainHistory, Trainer};
+use crate::tree::RatioCaps;
 use crate::unit::UnitSet;
 use qpp_plansim::catalog::Catalog;
 use qpp_plansim::features::{Featurizer, Whitener};
@@ -164,6 +165,35 @@ impl QppNet {
         self.fitted.as_ref().expect("model must be fitted before prediction")
     }
 
+    /// Deterministic fingerprint of everything a compiled program bakes
+    /// in: the featurizer (catalog statistics), the whitener, the codec
+    /// and sampled unit weights. Any refit perturbs essentially every
+    /// weight (gradients plus weight decay touch all parameters), and
+    /// independently initialized models differ everywhere, so a small
+    /// deterministic weight sample suffices to tell fitted states apart;
+    /// the featurizer/whitener digests catch cross-model mismatches whose
+    /// weights agree (e.g. a warm start onto a different catalog). Used
+    /// to stamp compiled programs — see [`QppNet::predict_compiled`].
+    fn fitted_fingerprint(&self) -> u64 {
+        let f = self.fitted();
+        let mut h = qpp_plansim::util::Fnv1a::new();
+        h.mix(self.featurizer.digest());
+        h.mix(f.whitener.digest());
+        h.mix(f.units.num_params() as u64);
+        h.mix(f.codec.mean.to_bits() as u64);
+        h.mix(f.codec.std.to_bits() as u64);
+        for kind in qpp_plansim::operators::OpKind::ALL {
+            for layer in f.units.unit(kind).layers() {
+                let (r, c) = (layer.w.rows(), layer.w.cols());
+                h.mix(layer.w.get(0, 0).to_bits() as u64);
+                h.mix(layer.w.get(r / 2, c / 2).to_bits() as u64);
+                h.mix(layer.w.get(r - 1, c - 1).to_bits() as u64);
+                h.mix(layer.b[layer.b.len() / 2].to_bits() as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// Crate-internal view of the fitted state (featurizer, whitener,
     /// units, codec, active ratio caps) for analyses that drive the
     /// network directly, e.g. [`crate::importance`].
@@ -183,25 +213,71 @@ impl QppNet {
         self.predict_batch(&[plan])[0]
     }
 
-    /// Predicts latencies (milliseconds) for many plans, vectorizing over
-    /// structural equivalence classes.
+    /// Predicts latencies (milliseconds) for many plans through the
+    /// compiled wavefront engine ([`crate::infer::PlanProgram`]) — the
+    /// batch may mix arbitrary plan shapes freely.
     pub fn predict_batch(&self, plans: &[&Plan]) -> Vec<f64> {
+        self.predict_batch_with(plans, InferEngine::Program)
+    }
+
+    /// Like [`QppNet::predict_batch`] with an explicit engine choice; the
+    /// per-equivalence-class path ([`InferEngine::Classes`]) is kept for
+    /// differential testing and benchmarking against the serving engine.
+    pub fn predict_batch_with(&self, plans: &[&Plan], engine: InferEngine) -> Vec<f64> {
         let f = self.fitted();
         let caps = self.config.monotone_clamp.then_some(&f.ratio_caps);
-        predict_plans(&f.units, &self.featurizer, &f.whitener, &f.codec, caps, plans)
+        predict_plans_with(engine, &f.units, &self.featurizer, &f.whitener, &f.codec, caps, plans)
+    }
+
+    /// Compiles `plans` into a reusable inference program against this
+    /// fitted model (see [`PlanProgram`]): the schedule and buffers are
+    /// built once, so a serving loop that re-scores the same plan set
+    /// (e.g. under admission control) pays compilation once.
+    pub fn compile_program(&self, plans: &[&Plan]) -> PlanProgram {
+        let f = self.fitted();
+        let roots: Vec<&qpp_plansim::plan::PlanNode> = plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&self.featurizer, &f.whitener, &f.units, &roots);
+        program.stamp_fingerprint(self.fitted_fingerprint());
+        program
+    }
+
+    /// Runs a program from [`QppNet::compile_program`], returning decoded
+    /// root predictions (clamped onto the structural envelope when the
+    /// config enables it, exactly like [`QppNet::predict_batch`]).
+    ///
+    /// # Panics
+    /// Panics if this model's fitted parameters differ from those the
+    /// program was compiled against — a refit (or warm start) since
+    /// `compile_program`, or a program compiled by a *different* model:
+    /// either way the program's baked-in whitened features would silently
+    /// mismatch the weights.
+    pub fn predict_compiled(&self, program: &mut PlanProgram) -> Vec<f64> {
+        assert_eq!(
+            program.fingerprint(),
+            Some(self.fitted_fingerprint()),
+            "compiled program is stale: the model was refit (or is not the model \
+             that compiled it) — recompile the program against the current fit"
+        );
+        let f = self.fitted();
+        if self.config.monotone_clamp {
+            program.predict_roots_clamped(&f.units, &f.codec, &f.ratio_caps)
+        } else {
+            program.predict_roots(&f.units, &f.codec)
+        }
     }
 
     /// Per-operator latency predictions for one plan, in post order
     /// (milliseconds). The last entry is the root/query prediction.
     pub fn predict_operators(&self, plan: &Plan) -> Vec<f64> {
         let f = self.fitted();
-        let tb = TreeBatch::build(&self.featurizer, &f.whitener, &f.codec, &[&plan.root]);
-        let all = if self.config.monotone_clamp {
-            tb.predict_all_clamped(&f.units, &f.codec, &f.ratio_caps)
+        let mut program =
+            PlanProgram::compile(&self.featurizer, &f.whitener, &f.units, &[&plan.root]);
+        let mut all = if self.config.monotone_clamp {
+            program.predict_all_clamped(&f.units, &f.codec, &f.ratio_caps)
         } else {
-            tb.predict_all(&f.units, &f.codec)
+            program.predict_all(&f.units, &f.codec)
         };
-        all.into_iter().map(|per_plan| per_plan[0]).collect()
+        all.pop().expect("one plan compiled")
     }
 
     /// Evaluates prediction quality on `plans`.
@@ -233,11 +309,19 @@ mod tests {
         Dataset::generate(Workload::TpcH, 1.0, 80, 31)
     }
 
+    /// `tiny()` with a test-sized epoch count: most tests here assert
+    /// structural properties (finiteness, round-trips, determinism,
+    /// engine agreement), which a handful of epochs exercises just as
+    /// well as thirty — and the suite's wall clock is dominated by `fit`.
+    fn fast(epochs: usize) -> QppConfig {
+        QppConfig { epochs, ..QppConfig::tiny() }
+    }
+
     #[test]
     fn fit_then_predict_produces_finite_latencies() {
         let ds = dataset();
         let split = ds.paper_split(1);
-        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut model = QppNet::new(fast(6), &ds.catalog);
         model.fit(&ds.select(&split.train));
         assert!(model.is_fitted());
         assert!(model.num_params() > 0);
@@ -266,7 +350,7 @@ mod tests {
         // contributes (the structural envelope already helps untrained
         // models).
         let cfg = QppConfig { monotone_clamp: false, ..QppConfig::tiny() };
-        let mut trained = QppNet::new(QppConfig { epochs: 60, ..cfg.clone() }, &ds.catalog);
+        let mut trained = QppNet::new(QppConfig { epochs: 30, ..cfg.clone() }, &ds.catalog);
         trained.fit(&train);
         let trained_m = trained.evaluate(&test);
 
@@ -285,7 +369,7 @@ mod tests {
     #[test]
     fn per_operator_predictions_align_with_postorder() {
         let ds = dataset();
-        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut model = QppNet::new(fast(5), &ds.catalog);
         model.fit(&ds.plans.iter().take(30).collect::<Vec<_>>());
         let plan = &ds.plans[0];
         let per_op = model.predict_operators(plan);
@@ -296,9 +380,44 @@ mod tests {
     }
 
     #[test]
+    fn both_engines_agree_through_the_facade() {
+        let ds = dataset();
+        let mut model = QppNet::new(fast(5), &ds.catalog);
+        model.fit(&ds.plans.iter().take(40).collect::<Vec<_>>());
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let program = model.predict_batch_with(&plans, crate::infer::InferEngine::Program);
+        let classes = model.predict_batch_with(&plans, crate::infer::InferEngine::Classes);
+        for (a, b) in program.iter().zip(&classes) {
+            // 1e-5: the serving gemm may use FMA; rounding differs from the
+            // scalar per-class path by a few ULP per accumulation chain.
+            let rel = (a - b).abs() / (1.0 + b.abs());
+            assert!(rel < 1e-5, "program {a} vs classes {b}");
+        }
+        // Compile-once/run-many serving matches one-shot prediction.
+        let mut compiled = model.compile_program(&plans);
+        assert_eq!(model.predict_compiled(&mut compiled), program);
+        assert_eq!(model.predict_compiled(&mut compiled), program);
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled program is stale")]
+    fn refit_invalidates_compiled_programs() {
+        let ds = dataset();
+        let mut model = QppNet::new(fast(2), &ds.catalog);
+        let train: Vec<&Plan> = ds.plans.iter().take(20).collect();
+        model.fit(&train);
+        let plans: Vec<&Plan> = ds.plans.iter().take(10).collect();
+        let mut program = model.compile_program(&plans);
+        // A refit changes the units (and on cold fits the whitener) while
+        // keeping all shapes — the program's baked features are stale.
+        model.fit(&train);
+        let _ = model.predict_compiled(&mut program);
+    }
+
+    #[test]
     fn serde_round_trip_preserves_predictions() {
         let ds = dataset();
-        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut model = QppNet::new(fast(5), &ds.catalog);
         model.fit(&ds.plans.iter().take(20).collect::<Vec<_>>());
         let json = model.to_json();
         let back = QppNet::from_json(&json).unwrap();
@@ -311,7 +430,7 @@ mod tests {
     fn warm_start_transfers_behaviour_and_allows_fine_tuning() {
         let ds = dataset();
         let train: Vec<&Plan> = ds.plans.iter().take(30).collect();
-        let mut src = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut src = QppNet::new(fast(8), &ds.catalog);
         src.fit(&train);
 
         let mut dst = QppNet::new(QppConfig { epochs: 3, ..QppConfig::tiny() }, &ds.catalog);
@@ -327,8 +446,8 @@ mod tests {
     fn deterministic_given_seed() {
         let ds = dataset();
         let train: Vec<&Plan> = ds.plans.iter().take(25).collect();
-        let mut a = QppNet::new(QppConfig::tiny(), &ds.catalog);
-        let mut b = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut a = QppNet::new(fast(6), &ds.catalog);
+        let mut b = QppNet::new(fast(6), &ds.catalog);
         a.fit(&train);
         b.fit(&train);
         assert_eq!(a.predict(&ds.plans[0]), b.predict(&ds.plans[0]));

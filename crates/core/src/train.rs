@@ -305,12 +305,12 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (ds, fz, wh, codec) = setup(40);
-        let cfg = QppConfig { epochs: 25, ..QppConfig::tiny() };
+        let cfg = QppConfig { epochs: 15, ..QppConfig::tiny() };
         let mut units = fresh_units(&cfg, &fz);
         let plans: Vec<&Plan> = ds.plans.iter().collect();
         let trainer = Trainer { config: &cfg, featurizer: &fz, whitener: &wh, codec: &codec, ratio_caps: None };
         let hist = trainer.train(&mut units, &plans, None);
-        assert_eq!(hist.train_loss.len(), 25);
+        assert_eq!(hist.train_loss.len(), 15);
         let first = hist.train_loss[0];
         let last = *hist.train_loss.last().unwrap();
         assert!(last < first * 0.8, "loss {first} -> {last}");
@@ -480,7 +480,7 @@ mod tests {
     fn adam_optimizer_also_trains() {
         let (ds, fz, wh, codec) = setup(30);
         let cfg = QppConfig {
-            epochs: 15,
+            epochs: 10,
             optimizer: OptimizerKind::Adam,
             learning_rate: 1e-3,
             ..QppConfig::tiny()

@@ -19,6 +19,11 @@
 //!   `TreeBatch` per subtree and supervises only its root
 //!   ([`Supervision::RootOnly`]), recomputing descendants once per ancestor
 //!   exactly as the naive Equation-7 evaluation would.
+//!
+//! This is the **training** engine; serving heterogeneous batches goes
+//! through the compiled wavefront engine ([`crate::infer::PlanProgram`]),
+//! which shares this module's position numbering via [`crate::lower`] and
+//! is differentially tested against it (see DESIGN.md §6).
 
 use crate::config::TargetCodec;
 use crate::unit::UnitSet;
@@ -105,19 +110,11 @@ impl TreeBatch {
             assert_eq!(l.len(), n, "tree batch requires identical structures");
         }
 
-        // Child indices derived from the first plan's recursive structure.
-        fn index_children(node: &PlanNode, next: &mut usize, out: &mut Vec<Vec<usize>>) -> usize {
-            let kids: Vec<usize> =
-                node.children.iter().map(|c| index_children(c, next, out)).collect();
-            let my = *next;
-            *next += 1;
-            out[my] = kids;
-            my
-        }
-        let mut children = vec![Vec::new(); n];
-        let mut counter = 0usize;
-        index_children(roots[0], &mut counter, &mut children);
-        debug_assert_eq!(counter, n);
+        // Child indices derived from the first plan's recursive structure
+        // (shared with the serving engine via `lower` so position numbering
+        // can never drift between the two).
+        let mut children = crate::lower::postorder_children(roots[0]);
+        debug_assert_eq!(children.len(), n);
 
         let positions = (0..n)
             .map(|k| {
@@ -551,28 +548,24 @@ mod tests {
                 let u = units.unit(kind);
                 (u.layers()[0].w.rows(), u.layers()[0].w.cols())
             };
-            // Check a handful of weights in layer 0.
+            // Check a handful of weights in layer 0. Points where a ReLU
+            // kink inside ±h makes the central difference step-size
+            // dependent are skipped by the shared stability filter
+            // (`qpp_nn::gradcheck::stable_central_diff`).
             for (r, c) in [(0, 0), (1, 2), (layer0_params.0 - 1, layer0_params.1 - 1)] {
                 let analytic = units.unit(kind).layers()[0].gw.get(r, c) as f64;
                 let orig = units.unit(kind).layers()[0].w.get(r, c);
-                let numeric_at = |units: &mut UnitSet, step: f32| -> f64 {
-                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig + step);
-                    let lp = loss_of(units);
-                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig - step);
-                    let lm = loss_of(units);
-                    units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig);
-                    (lp - lm) / (2.0 * step as f64)
-                };
-                let numeric = numeric_at(&mut units, h);
-                let numeric_half = numeric_at(&mut units, h / 2.0);
-                // A ReLU kink inside ±h makes the central difference itself
-                // step-size dependent; skip those points (an *analytically*
-                // wrong gradient disagrees at every step size, so the check
-                // keeps its power).
-                let stability_denom = numeric.abs().max(numeric_half.abs()).max(1e-2);
-                if (numeric - numeric_half).abs() / stability_denom > 0.01 {
-                    continue;
-                }
+                let numeric = qpp_nn::gradcheck::stable_central_diff(
+                    |offset| {
+                        units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig + offset);
+                        let l = loss_of(&units);
+                        units.unit_mut(kind).layers_mut()[0].w.set(r, c, orig);
+                        l
+                    },
+                    h,
+                    0.01,
+                );
+                let Some(numeric) = numeric else { continue };
                 let denom = analytic.abs().max(numeric.abs()).max(1e-2);
                 worst = worst.max((analytic - numeric).abs() / denom);
                 compared += 1;
@@ -594,28 +587,7 @@ mod tests {
             let preds = tb.predict_all_clamped(&units, &codec, &caps);
             // Walk positions: every parent within [max child, max child*cap].
             let nodes = plan.root.postorder();
-            // Rebuild child indices the same way TreeBatch does.
-            fn children_of(plan: &qpp_plansim::plan::PlanNode) -> Vec<Vec<usize>> {
-                fn rec(
-                    n: &qpp_plansim::plan::PlanNode,
-                    next: &mut usize,
-                    out: &mut Vec<Vec<usize>>,
-                ) -> usize {
-                    let kids: Vec<usize> = n.children.iter().map(|c| rec(c, next, out)).collect();
-                    let me = *next;
-                    *next += 1;
-                    out[me] = kids;
-                    me
-                }
-                let mut out = vec![Vec::new(); n_count(plan)];
-                let mut c = 0;
-                rec(plan, &mut c, &mut out);
-                out
-            }
-            fn n_count(n: &qpp_plansim::plan::PlanNode) -> usize {
-                n.node_count()
-            }
-            let children = children_of(&plan.root);
+            let children = crate::lower::postorder_children(&plan.root);
             for (k, kids) in children.iter().enumerate() {
                 if kids.is_empty() {
                     continue;

@@ -25,6 +25,37 @@ pub fn rel_err(analytic: f32, numeric: f32) -> f32 {
     (analytic - numeric).abs() / denom
 }
 
+/// Central-difference derivative estimate with a step-halving stability
+/// filter for ReLU kinks.
+///
+/// `loss_at` evaluates the scalar loss with the parameter under test
+/// perturbed by the given offset (`loss_at(0.0)` is the unperturbed loss;
+/// implementations must restore the parameter before returning). The
+/// estimate `(f(+h) − f(−h)) / 2h` is computed at step sizes `h` and `h/2`;
+/// when the two disagree by more than `tol` (relative, floored at `1e-2`
+/// absolute), a non-differentiable kink lies inside `±h` and `None` is
+/// returned — the point cannot distinguish a correct gradient from a wrong
+/// one at any tolerance. An *analytically* wrong gradient disagrees at
+/// every step size, so skipping unstable points keeps the check's power.
+///
+/// Shared by the `qpp_nn` and `qppnet` gradient-check suites (both train
+/// ReLU networks, where kink crossings are routine at usable step sizes).
+pub fn stable_central_diff(
+    mut loss_at: impl FnMut(f32) -> f64,
+    h: f32,
+    tol: f64,
+) -> Option<f64> {
+    let mut estimate = |h: f32| (loss_at(h) - loss_at(-h)) / (2.0 * h as f64);
+    let full = estimate(h);
+    let half = estimate(h / 2.0);
+    let denom = full.abs().max(half.abs()).max(1e-2);
+    if (full - half).abs() / denom > tol {
+        None
+    } else {
+        Some(full)
+    }
+}
+
 /// Checks every parameter gradient of `mlp` for the scalar loss
 /// `loss_fn(output)` on input `x` via central differences.
 ///
@@ -148,6 +179,67 @@ mod tests {
         let t = Matrix::from_fn(4, 2, |i, _| i as f32 * 0.3);
         let res = check_mlp(&mut mlp, &x, &|o| loss::mse(o, &t), 1e-3);
         assert!(res.max_rel_err < 5e-2, "max rel err {}", res.max_rel_err);
+    }
+
+    /// The stability filter at work: at points where ReLU kinks make the
+    /// central difference step-size dependent, `stable_central_diff`
+    /// abstains instead of producing a bogus estimate, and the surviving
+    /// points certify the analytic gradients without any kink-induced
+    /// false alarms.
+    #[test]
+    fn stable_central_diff_filters_kinks_and_passes_elsewhere() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut mlp = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Identity, Init::He, &mut rng);
+        let x = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) as f32 * 0.9).sin());
+        let t = Matrix::from_fn(4, 2, |i, _| i as f32 * 0.3);
+
+        mlp.zero_grad();
+        let cache = mlp.forward_cached(&x);
+        let (_, dout) = loss::mse(cache.output(), &t);
+        let _ = mlp.backward(&cache, &dout);
+        let analytic = mlp.layers()[0].gw.clone();
+
+        let (rows, cols) = (analytic.rows(), analytic.cols());
+        let mut compared = 0usize;
+        let mut worst = 0.0f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = mlp.layers()[0].w.get(r, c);
+                let numeric = stable_central_diff(
+                    |offset| {
+                        mlp.layers_mut()[0].w.set(r, c, orig + offset);
+                        let (l, _) = loss::mse(&mlp.forward(&x), &t);
+                        mlp.layers_mut()[0].w.set(r, c, orig);
+                        l as f64
+                    },
+                    5e-3,
+                    0.01,
+                );
+                if let Some(numeric) = numeric {
+                    worst = worst.max(rel_err(analytic.get(r, c), numeric as f32));
+                    compared += 1;
+                }
+            }
+        }
+        assert!(compared > rows * cols / 2, "filter discarded too many points ({compared})");
+        assert!(worst < 5e-2, "worst stable relative error {worst}");
+    }
+
+    /// A hard kink straddling zero: the estimate at `h` and `h/2` disagree,
+    /// so the filter must abstain.
+    #[test]
+    fn stable_central_diff_rejects_a_kink_at_the_origin() {
+        // f(x) = |x| has central difference 0 at every h — stable but wrong
+        // for either one-sided derivative; f(x) = relu(x) has central
+        // difference 0.5 at every h. Both are *stable*; the genuinely
+        // unstable case is a kink strictly inside (0, h): f(x) = relu(x - h/4).
+        let kink = 5e-3f32 / 4.0;
+        let est = stable_central_diff(|o| f32::max(o - kink, 0.0) as f64, 5e-3, 0.01);
+        assert_eq!(est, None, "kink inside ±h must be filtered");
+        // Away from the kink the same function is perfectly linear.
+        let est = stable_central_diff(|o| f32::max(o + 1.0, 0.0) as f64, 5e-3, 0.01);
+        let d = est.expect("smooth point must survive");
+        assert!((d - 1.0).abs() < 1e-3);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!
 //! * [`Matrix`] — row-major `f32` matrices with the handful of fused kernels
 //!   backpropagation needs (`X·W`, `A·Bᵀ`, `Aᵀ·B`, horizontal concatenation,
-//!   column slicing).
+//!   column slicing) plus the row-routing kernels batched inference needs
+//!   (`gather_rows_into` / `scatter_rows_into`, allocation-free `matmul_into`).
+//! * [`BufferPool`] — reusable matrix buffers and an inference-only
+//!   [`Mlp::forward_pooled`] pass, so serving hot paths allocate nothing in
+//!   steady state.
 //! * [`Dense`] / [`Mlp`] — affine layers with configurable [`Activation`]s,
 //!   batched forward passes, cached activations, and exact reverse-mode
 //!   gradients (including the *input* gradient, which plan-structured
@@ -56,6 +60,7 @@ pub mod lstm;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod pool;
 
 pub use activation::Activation;
 pub use init::Init;
@@ -64,3 +69,4 @@ pub use lstm::{LstmNodeCache, TreeLstmCell};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpCache};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use pool::BufferPool;

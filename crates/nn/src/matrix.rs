@@ -13,6 +13,19 @@ use serde::{Deserialize, Serialize};
 ///
 /// Rows are samples (batch dimension) and columns are features throughout
 /// this workspace.
+///
+/// # Bounds-checking contract
+///
+/// Every method checks its preconditions, in one of two tiers:
+///
+/// * **element/row accessors** (`get`, `set`, `row`, `row_mut`) are on the
+///   innermost hot path and `debug_assert!` their bounds with messages that
+///   name the offending index and dimension; release builds fall back to
+///   the underlying slice's bounds check (still a panic, never UB);
+/// * **shape-checked kernels** (`matmul*`, `hcat`, `slice_cols`,
+///   `gather_rows*`, `scatter_rows_into`, `add_scaled`, …) `assert!` their
+///   shape preconditions unconditionally, with messages that name both
+///   operand shapes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
@@ -96,28 +109,56 @@ impl Matrix {
     }
 
     /// Reads element `(i, j)`.
+    ///
+    /// # Panics
+    /// Debug-asserted bounds (hot path); release builds panic via the slice
+    /// index without the named message.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
-        debug_assert!(i < self.rows && j < self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "element ({i}, {j}) out of range for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j]
     }
 
     /// Writes element `(i, j)`.
+    ///
+    /// # Panics
+    /// Debug-asserted bounds (hot path); release builds panic via the slice
+    /// index without the named message.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
-        debug_assert!(i < self.rows && j < self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "element ({i}, {j}) out of range for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j] = v;
     }
 
     /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    /// Debug-asserted bounds (hot path); release builds panic via the range
+    /// slice without the named message.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} matrix", self.rows, self.cols);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    /// Debug-asserted bounds (hot path); release builds panic via the range
+    /// slice without the named message.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} matrix", self.rows, self.cols);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -145,8 +186,48 @@ impl Matrix {
     /// traversed sequentially; zero left-operands (common after ReLU) are
     /// skipped.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        self.assert_matmul_shapes(other);
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_accumulate(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self · other`, written into `out` (overwritten, not
+    /// accumulated). The allocation-free twin of [`Matrix::matmul`] for
+    /// callers that reuse buffers (the serving forward uses the fused
+    /// [`Matrix::matmul_bias_act_into`] instead, which also folds in bias
+    /// and activation).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows × other.cols`, naming the offending shapes.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_matmul_shapes(other);
+        assert!(
+            out.rows == self.rows && out.cols == other.cols,
+            "matmul output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            other.cols
+        );
+        out.fill_zero();
+        self.matmul_accumulate(other, out);
+    }
+
+    #[inline]
+    fn assert_matmul_shapes(&self, other: &Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+    }
+
+    /// The shared `ikj` accumulation core: `out += self · other`, assuming
+    /// shapes already checked and `out` already initialized (zeros for a
+    /// plain product). Skips zero left-operands (common after ReLU).
+    fn matmul_accumulate(&self, other: &Matrix, out: &mut Matrix) {
         let oc = other.cols;
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -161,7 +242,97 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Fused dense-layer forward: `out = act(self · w + bias)`, written
+    /// into `out` (overwritten). Each output row is *initialized with the
+    /// bias* instead of zero, accumulated, then activated in place — one
+    /// pass fewer over `out` than `matmul_into` + broadcast + map.
+    ///
+    /// This is the serving-engine gemm: when the CPU supports AVX2+FMA
+    /// (checked once at runtime; the build stays portable baseline
+    /// x86-64) and the batch has ≥ 4 rows, a register-blocked 4-row
+    /// microkernel is used — the wavefront scheduler exists precisely to
+    /// assemble such multi-row batches, which the per-class path's tiny
+    /// per-position gemms cannot exploit. Results may differ from the
+    /// scalar path by FMA rounding (≤ a few ULP per accumulation chain);
+    /// the differential suite bounds the end-to-end effect at `1e-5`
+    /// relative.
+    ///
+    /// `act` is applied per element; pass the identity closure for linear
+    /// output layers.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch, naming the offending shapes.
+    pub fn matmul_bias_act_into(
+        &self,
+        w: &Matrix,
+        bias: &[f32],
+        act: impl Fn(f32) -> f32,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, w.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, w.rows, w.cols
+        );
+        assert!(
+            out.rows == self.rows && out.cols == w.cols,
+            "matmul output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            w.cols
+        );
+        assert_eq!(
+            bias.len(),
+            w.cols,
+            "bias length mismatch: {} for {}x{} weights",
+            bias.len(),
+            w.rows,
+            w.cols
+        );
+        #[cfg(target_arch = "x86_64")]
+        if self.rows >= 4 && simd::avx2_fma_available() {
+            // SAFETY: feature availability checked at runtime.
+            unsafe { simd::matmul_bias_avx2(self, w, bias, out) };
+            for i in 0..out.rows {
+                for o in out.row_mut(i).iter_mut() {
+                    *o = act(*o);
+                }
+            }
+            return;
+        }
+        self.matmul_bias_act_scalar(w, bias, act, out);
+    }
+
+    /// Portable scalar implementation of [`Matrix::matmul_bias_act_into`]
+    /// (also the row/column remainder kernel of the SIMD path).
+    fn matmul_bias_act_scalar(
+        &self,
+        w: &Matrix,
+        bias: &[f32],
+        act: impl Fn(f32) -> f32,
+        out: &mut Matrix,
+    ) {
+        let oc = w.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * oc..(i + 1) * oc];
+            orow.copy_from_slice(bias);
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &w.data[k * oc..(k + 1) * oc];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+            for o in orow.iter_mut() {
+                *o = act(*o);
+            }
+        }
     }
 
     /// `self · otherᵀ` (`n×k · m×k = n×m`) without materializing a transpose.
@@ -169,7 +340,11 @@ impl Matrix {
     /// Used for the input gradient `dX = dZ · Wᵀ` when weights are stored
     /// `in×out`.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_a_bt dimension mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -191,9 +366,19 @@ impl Matrix {
     ///
     /// Used for the weight gradient `dW += Xᵀ · dZ`.
     pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
-        assert_eq!(self.rows, other.rows, "matmul_at_b row mismatch");
-        assert_eq!(out.rows, self.cols, "matmul_at_b out rows mismatch");
-        assert_eq!(out.cols, other.cols, "matmul_at_b out cols mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b row mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(
+            out.rows == self.cols && out.cols == other.cols,
+            "matmul_at_b output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.cols,
+            other.cols
+        );
         let oc = other.cols;
         for n in 0..self.rows {
             let arow = self.row(n);
@@ -230,7 +415,14 @@ impl Matrix {
 
     /// Adds `row` to every row in place (bias broadcast).
     pub fn add_row_inplace(&mut self, row: &[f32]) {
-        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "broadcast row length mismatch: row has {} elements, matrix is {}x{}",
+            row.len(),
+            self.rows,
+            self.cols
+        );
         for i in 0..self.rows {
             for (o, &b) in self.row_mut(i).iter_mut().zip(row) {
                 *o += b;
@@ -240,7 +432,14 @@ impl Matrix {
 
     /// Column sums (used for bias gradients), accumulated into `out`.
     pub fn col_sum_into(&self, out: &mut [f32]) {
-        assert_eq!(out.len(), self.cols, "col_sum output length mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "col_sum output length mismatch: output has {} slots, matrix is {}x{}",
+            out.len(),
+            self.rows,
+            self.cols
+        );
         for i in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(i)) {
                 *o += v;
@@ -250,8 +449,14 @@ impl Matrix {
 
     /// `self += scale * other`.
     pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
-        assert_eq!(self.rows, other.rows, "add_scaled shape mismatch");
-        assert_eq!(self.cols, other.cols, "add_scaled shape mismatch");
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "add_scaled shape mismatch: {}x{} += {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (o, &v) in self.data.iter_mut().zip(&other.data) {
             *o += scale * v;
         }
@@ -262,8 +467,14 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn mul_elem(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "mul_elem shape mismatch");
-        assert_eq!(self.cols, other.cols, "mul_elem shape mismatch");
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "mul_elem shape mismatch: {}x{} ⊙ {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
@@ -273,8 +484,14 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn mul_elem_inplace(&mut self, other: &Matrix) {
-        assert_eq!(self.rows, other.rows, "mul_elem shape mismatch");
-        assert_eq!(self.cols, other.cols, "mul_elem shape mismatch");
+        assert!(
+            self.rows == other.rows && self.cols == other.cols,
+            "mul_elem shape mismatch: {}x{} ⊙ {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a *= b;
         }
@@ -312,7 +529,11 @@ impl Matrix {
             let orow = out.row_mut(i);
             let mut off = 0;
             for p in parts {
-                assert_eq!(p.rows, rows, "hcat row count mismatch");
+                assert_eq!(
+                    p.rows, rows,
+                    "hcat row count mismatch: part is {}x{}, expected {rows} rows",
+                    p.rows, p.cols
+                );
                 orow[off..off + p.cols].copy_from_slice(p.row(i));
                 off += p.cols;
             }
@@ -321,8 +542,17 @@ impl Matrix {
     }
 
     /// Copies columns `[start, start+width)` into a new matrix.
+    ///
+    /// # Panics
+    /// Panics if the slice exceeds the column count, naming the range.
     pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
-        assert!(start + width <= self.cols, "column slice out of range");
+        assert!(
+            start + width <= self.cols,
+            "column slice [{start}, {}) out of range for {}x{} matrix",
+            start + width,
+            self.rows,
+            self.cols
+        );
         let mut out = Matrix::zeros(self.rows, width);
         for i in 0..self.rows {
             let src = &self.row(i)[start..start + width];
@@ -335,11 +565,100 @@ impl Matrix {
     /// row `indices[k]` of `self`).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into `out` (row `k` of `out` becomes row
+    /// `indices[k]` of `self`). The allocation-free twin of
+    /// [`Matrix::gather_rows`]; the inverse routing of
+    /// [`Matrix::scatter_rows_into`], which the inference engine uses to
+    /// write wavefront results (child-column gathers copy sub-row slices,
+    /// so they use `row`/`row_mut` directly).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `indices.len() × self.cols` or an index is out
+    /// of range, naming the offending shapes/index.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert!(
+            out.rows == indices.len() && out.cols == self.cols,
+            "gather_rows output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            indices.len(),
+            self.cols
+        );
         for (k, &i) in indices.iter().enumerate() {
-            assert!(i < self.rows, "gather_rows index out of range");
+            assert!(
+                i < self.rows,
+                "gather_rows index {i} out of range for {}x{} matrix",
+                self.rows,
+                self.cols
+            );
             out.row_mut(k).copy_from_slice(self.row(i));
         }
-        out
+    }
+
+    /// Scatters this matrix's rows into `out`: row `k` of `self` overwrites
+    /// row `indices[k]` of `out`. The inverse routing of
+    /// [`Matrix::gather_rows_into`]; later duplicates win.
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != self.rows`, the column counts differ, or
+    /// an index is out of range, naming the offending shapes/index.
+    pub fn scatter_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            indices.len(),
+            self.rows,
+            "scatter_rows index count mismatch: {} indices for {}x{} matrix",
+            indices.len(),
+            self.rows,
+            self.cols
+        );
+        assert_eq!(
+            self.cols, out.cols,
+            "scatter_rows column mismatch: source is {}x{}, target is {}x{}",
+            self.rows, self.cols, out.rows, out.cols
+        );
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(
+                i < out.rows,
+                "scatter_rows index {i} out of range for {}x{} target",
+                out.rows,
+                out.cols
+            );
+            out.row_mut(i).copy_from_slice(self.row(k));
+        }
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when it is large enough. Contents are reset to zero.
+    /// See [`Matrix::resize_for_overwrite`] for the memset-free variant
+    /// the buffer pool uses.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Like [`Matrix::resize_zeroed`] but leaves existing element values
+    /// **unspecified** (only newly grown elements are zeroed) — for
+    /// callers that overwrite every element anyway, skipping the memset.
+    ///
+    /// This is the resize primitive behind [`crate::pool::BufferPool`]:
+    /// repeated inference passes with varying batch sizes never reallocate
+    /// (or redundantly zero) once a buffer has grown to its high-water
+    /// mark.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        if self.data.len() > n {
+            self.data.truncate(n);
+        } else {
+            self.data.resize(n, 0.0);
+        }
     }
 
     /// Frobenius norm.
@@ -350,6 +669,141 @@ impl Matrix {
     /// Maximum absolute element, or 0 for an empty matrix.
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+/// Runtime-dispatched AVX2+FMA microkernel for the serving-path fused
+/// forward. The build stays portable (baseline x86-64); the wide path is
+/// selected per process via `is_x86_feature_detected!`.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::Matrix;
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// One-time CPUID check for AVX2 + FMA.
+    pub fn avx2_fma_available() -> bool {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+
+    /// `out = a · w + bias` with a 4-row × 16-column register-blocked
+    /// FMA kernel (accumulators live in YMM registers; `w`'s row chunk is
+    /// loaded once per 4 input rows instead of once per row). Remainder
+    /// rows/columns fall back to scalar. No activation — the caller
+    /// applies it in a separate (cache-hot) pass.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available (see
+    /// [`avx2_fma_available`]) and that the shapes agree:
+    /// `a: n×k`, `w: k×m`, `bias: m`, `out: n×m`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_bias_avx2(a: &Matrix, w: &Matrix, bias: &[f32], out: &mut Matrix) {
+        let (n, kd, m) = (a.rows, a.cols, w.cols);
+        let ad = a.data.as_ptr();
+        let wd = w.data.as_ptr();
+        let od = out.data.as_mut_ptr();
+        let bp = bias.as_ptr();
+
+        let mut ib = 0usize;
+        while ib + 4 <= n {
+            let a0p = ad.add(ib * kd);
+            let a1p = ad.add((ib + 1) * kd);
+            let a2p = ad.add((ib + 2) * kd);
+            let a3p = ad.add((ib + 3) * kd);
+
+            let mut jb = 0usize;
+            // 16-column tiles: 8 YMM accumulators (4 rows × 2 vectors).
+            while jb + 16 <= m {
+                let binit0 = _mm256_loadu_ps(bp.add(jb));
+                let binit1 = _mm256_loadu_ps(bp.add(jb + 8));
+                let mut acc = [[binit0, binit1]; 4];
+                for k in 0..kd {
+                    let (x0, x1, x2, x3) =
+                        (*a0p.add(k), *a1p.add(k), *a2p.add(k), *a3p.add(k));
+                    // ReLU activations and one-hot features are mostly
+                    // zero; skipping a fully-zero column of the row block
+                    // skips two W loads and eight FMAs.
+                    if x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0 {
+                        continue;
+                    }
+                    let w0 = _mm256_loadu_ps(wd.add(k * m + jb));
+                    let w1 = _mm256_loadu_ps(wd.add(k * m + jb + 8));
+                    let v0 = _mm256_set1_ps(x0);
+                    acc[0][0] = _mm256_fmadd_ps(v0, w0, acc[0][0]);
+                    acc[0][1] = _mm256_fmadd_ps(v0, w1, acc[0][1]);
+                    let v1 = _mm256_set1_ps(x1);
+                    acc[1][0] = _mm256_fmadd_ps(v1, w0, acc[1][0]);
+                    acc[1][1] = _mm256_fmadd_ps(v1, w1, acc[1][1]);
+                    let v2 = _mm256_set1_ps(x2);
+                    acc[2][0] = _mm256_fmadd_ps(v2, w0, acc[2][0]);
+                    acc[2][1] = _mm256_fmadd_ps(v2, w1, acc[2][1]);
+                    let v3 = _mm256_set1_ps(x3);
+                    acc[3][0] = _mm256_fmadd_ps(v3, w0, acc[3][0]);
+                    acc[3][1] = _mm256_fmadd_ps(v3, w1, acc[3][1]);
+                }
+                for (r, row_acc) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(od.add((ib + r) * m + jb), row_acc[0]);
+                    _mm256_storeu_ps(od.add((ib + r) * m + jb + 8), row_acc[1]);
+                }
+                jb += 16;
+            }
+            // 8-column tile (narrow output layers, e.g. `d + 1`).
+            while jb + 8 <= m {
+                let binit = _mm256_loadu_ps(bp.add(jb));
+                let mut acc = [binit; 4];
+                for k in 0..kd {
+                    let (x0, x1, x2, x3) =
+                        (*a0p.add(k), *a1p.add(k), *a2p.add(k), *a3p.add(k));
+                    if x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0 {
+                        continue;
+                    }
+                    let w0 = _mm256_loadu_ps(wd.add(k * m + jb));
+                    acc[0] = _mm256_fmadd_ps(_mm256_set1_ps(x0), w0, acc[0]);
+                    acc[1] = _mm256_fmadd_ps(_mm256_set1_ps(x1), w0, acc[1]);
+                    acc[2] = _mm256_fmadd_ps(_mm256_set1_ps(x2), w0, acc[2]);
+                    acc[3] = _mm256_fmadd_ps(_mm256_set1_ps(x3), w0, acc[3]);
+                }
+                for (r, row_acc) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(od.add((ib + r) * m + jb), *row_acc);
+                }
+                jb += 8;
+            }
+            // Column remainder: scalar over the 4 rows.
+            if jb < m {
+                for r in 0..4 {
+                    let arow = ad.add((ib + r) * kd);
+                    for j in jb..m {
+                        let mut s = *bp.add(j);
+                        for k in 0..kd {
+                            let x = *arow.add(k);
+                            if x != 0.0 {
+                                s += x * *wd.add(k * m + j);
+                            }
+                        }
+                        *od.add((ib + r) * m + j) = s;
+                    }
+                }
+            }
+            ib += 4;
+        }
+        // Row remainder: scalar ikj with bias init.
+        for i in ib..n {
+            let arow = ad.add(i * kd);
+            let orow = std::slice::from_raw_parts_mut(od.add(i * m), m);
+            orow.copy_from_slice(bias);
+            for k in 0..kd {
+                let x = *arow.add(k);
+                if x == 0.0 {
+                    continue;
+                }
+                let brow = std::slice::from_raw_parts(wd.add(k * m), m);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += x * b;
+                }
+            }
+        }
     }
 }
 
@@ -451,6 +905,69 @@ mod tests {
     }
 
     #[test]
+    fn scatter_inverts_gather() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let idx = [2usize, 0];
+        let g = a.gather_rows(&idx);
+        let mut back = Matrix::zeros(3, 2);
+        g.scatter_rows_into(&idx, &mut back);
+        assert_eq!(back.row(0), a.row(0));
+        assert_eq!(back.row(2), a.row(2));
+        assert_eq!(back.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_rows index 5 out of range")]
+    fn scatter_rejects_out_of_range_index() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let mut out = Matrix::zeros(2, 1);
+        a.scatter_rows_into(&[5], &mut out);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_overwrites() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::from_fn(2, 2, |_, _| 99.0); // stale contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn fused_layer_kernel_matches_unfused_pipeline() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 0.25, -1.0]]);
+        let w = Matrix::from_fn(3, 4, |i, j| (i as f32 - j as f32) * 0.3);
+        let bias = [0.1, -0.2, 0.3, -0.4];
+        let relu = |v: f32| v.max(0.0);
+
+        let mut unfused = x.matmul(&w);
+        unfused.add_row_inplace(&bias);
+        unfused.map_inplace(relu);
+
+        let mut fused = Matrix::from_fn(2, 4, |_, _| 77.0); // stale contents
+        x.matmul_bias_act_into(&w, &bias, relu, &mut fused);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch: 2x2 · 3x1")]
+    fn matmul_names_shapes_on_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 1);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity_and_clears() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let cap = m.data.capacity();
+        m.resize_zeroed(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data.capacity(), cap, "shrinking must not reallocate");
+    }
+
+    #[test]
     fn add_row_broadcasts_bias() {
         let mut a = Matrix::zeros(2, 3);
         a.add_row_inplace(&[1.0, 2.0, 3.0]);
@@ -501,6 +1018,30 @@ mod tests {
             let a = Matrix::from_fn(n, r, |_, _| rng.gen_range(-2.0..2.0));
             let b = Matrix::from_fn(n, c, |_, _| rng.gen_range(-2.0..2.0));
             prop_assert!(approx_eq(&a.matmul_at_b(&b), &a.transpose().matmul(&b), 1e-4));
+        }
+
+        /// The fused serving kernel must agree with the scalar reference
+        /// across every row/column remainder combination (the SIMD path
+        /// tiles 4 rows × 16/8 columns with scalar tails) and under
+        /// realistic sparsity, to FMA-rounding tolerance.
+        #[test]
+        fn fused_kernel_dispatch_matches_scalar_reference(
+            n in 1usize..14, k in 1usize..40, m in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(n, k, |_, _| {
+                if rng.gen_range(0.0..1.0) < 0.4 { 0.0 } else { rng.gen_range(-2.0..2.0) }
+            });
+            let w = Matrix::from_fn(k, m, |_, _| rng.gen_range(-1.0..1.0));
+            let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            let relu = |v: f32| v.max(0.0);
+            let mut dispatched = Matrix::zeros(n, m);
+            a.matmul_bias_act_into(&w, &bias, relu, &mut dispatched);
+            let mut scalar = Matrix::zeros(n, m);
+            a.matmul_bias_act_scalar(&w, &bias, relu, &mut scalar);
+            prop_assert!(approx_eq(&dispatched, &scalar, 1e-5));
         }
 
         #[test]

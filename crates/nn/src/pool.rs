@@ -1,0 +1,87 @@
+//! A tiny buffer pool for allocation-free inference hot paths.
+//!
+//! The wavefront inference engine (`qppnet::infer`) evaluates hundreds of
+//! small matmuls per batch; allocating every layer activation would put the
+//! allocator on the critical path (exactly what profiling shows for the
+//! training-time [`crate::MlpCache`] when it is reused for serving). A
+//! [`BufferPool`] keeps returned [`Matrix`] buffers and hands them back
+//! resized, so steady-state serving performs zero heap allocation once
+//! every buffer has grown to its high-water mark.
+
+use crate::matrix::Matrix;
+
+/// A last-in-first-out pool of reusable [`Matrix`] buffers.
+///
+/// `take` pops the most recently returned buffer (warm in cache) and
+/// [`Matrix::resize_for_overwrite`]s it to the requested shape, growing
+/// its allocation only when the new shape exceeds the high-water mark;
+/// `give` returns a buffer for reuse. Buffers are plain `Matrix` values —
+/// leaking one (by never calling `give`) is safe, just a lost reuse
+/// opportunity.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Matrix>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool { free: Vec::new() }
+    }
+
+    /// Takes a `rows × cols` buffer with **unspecified contents** (the
+    /// caller must overwrite every element it reads back — every write
+    /// kernel in this crate's forward paths does). Reuses a pooled
+    /// allocation when one is available; a fresh buffer is zeroed by
+    /// construction.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.free.pop() {
+            Some(mut m) => {
+                m.resize_for_overwrite(rows, cols);
+                m
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn give(&mut self, m: Matrix) {
+        self.free.push(m);
+    }
+
+    /// Number of buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(4, 8);
+        assert_eq!((a.rows(), a.cols()), (4, 8));
+        pool.give(a);
+        assert_eq!(pool.available(), 1);
+        let b = pool.take(2, 3);
+        assert_eq!((b.rows(), b.cols()), (2, 3));
+        assert_eq!(b.len(), 6, "length must track the requested shape");
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn fresh_buffers_are_zeroed_and_growth_is_zero_filled() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(2, 2);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0), "fresh buffer");
+        pool.give(a);
+        // Growing past the high-water mark zero-fills the new tail; the
+        // reused prefix is unspecified (and must not be read unwritten).
+        let b = pool.take(3, 3);
+        assert_eq!(b.len(), 9);
+        assert!(b.as_slice()[4..].iter().all(|&v| v == 0.0), "grown tail is zeroed");
+    }
+}

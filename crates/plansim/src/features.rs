@@ -137,6 +137,29 @@ impl Featurizer {
         f
     }
 
+    /// Deterministic digest of everything that shapes this featurizer's
+    /// output: catalog statistics, one-hot widths and the extension flags.
+    /// Two featurizers with equal digests produce identical feature
+    /// vectors for any node; consumers that bake features (e.g. the
+    /// serving compiler's program fingerprint) use this to detect
+    /// catalog/featurizer mismatches.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::util::Fnv1a::new();
+        h.mix(self.num_tables as u64);
+        h.mix(self.num_indexes as u64);
+        h.mix(self.learned_cardinalities as u64);
+        h.mix(self.system_load as u64);
+        for stats in &self.table_stats {
+            for &v in stats {
+                h.mix(v.to_bits() as u64);
+            }
+        }
+        for &size in &self.sizes {
+            h.mix(size as u64);
+        }
+        h.finish()
+    }
+
     /// Size of the feature vector for `kind`.
     pub fn feature_size(&self, kind: OpKind) -> usize {
         self.sizes[kind.index()]
@@ -168,16 +191,27 @@ impl Featurizer {
     /// Reads only the operator, its estimates and catalog statistics —
     /// never `NodeActual`.
     pub fn featurize(&self, node: &PlanNode) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.feature_size(node.op.kind()));
+        self.featurize_into(node, &mut out);
+        out
+    }
+
+    /// Like [`Featurizer::featurize`], appending into a caller-provided
+    /// buffer (cleared first) so batch featurization can reuse one
+    /// allocation across nodes — the serving compiler
+    /// (`qppnet::infer::PlanProgram`) featurizes thousands of nodes per
+    /// batch on its hot path.
+    pub fn featurize_into(&self, node: &PlanNode, out: &mut Vec<f32>) {
+        out.clear();
         let kind = node.op.kind();
-        let mut out = Vec::with_capacity(self.feature_size(kind));
-        Self::push_common(&mut out, node);
+        Self::push_common(out, node);
         match &node.op {
             Operator::Scan { table, method, predicate_col: _ } => {
                 // Scan method one-hot: [seq, index].
                 let is_index = matches!(method, ScanMethod::Index { .. });
-                Self::push_onehot(&mut out, is_index as usize, 2);
+                Self::push_onehot(out, is_index as usize, 2);
                 // Relation name one-hot.
-                Self::push_onehot(&mut out, *table, self.num_tables);
+                Self::push_onehot(out, *table, self.num_tables);
                 // Attribute min/median/max stats.
                 out.extend_from_slice(&self.table_stats[*table]);
                 // Index name one-hot (+1 slot for "no index") and direction.
@@ -185,7 +219,7 @@ impl Featurizer {
                     ScanMethod::Index { index, forward } => (*index + 1, *forward),
                     ScanMethod::Seq => (0, true),
                 };
-                Self::push_onehot(&mut out, ix_hot, self.num_indexes + 1);
+                Self::push_onehot(out, ix_hot, self.num_indexes + 1);
                 out.push(forward as u8 as f32);
             }
             Operator::Filter { parallel } => {
@@ -198,34 +232,34 @@ impl Featurizer {
                     JoinAlgorithm::Hash => 1,
                     JoinAlgorithm::Merge => 2,
                 };
-                Self::push_onehot(&mut out, a, 3);
+                Self::push_onehot(out, a, 3);
                 let t = match jtype {
                     JoinType::Semi => 0,
                     JoinType::Inner => 1,
                     JoinType::Anti => 2,
                     JoinType::Full => 3,
                 };
-                Self::push_onehot(&mut out, t, 4);
+                Self::push_onehot(out, t, 4);
                 let p = match parent_rel {
                     ParentRel::None => 0,
                     ParentRel::Inner => 1,
                     ParentRel::Outer => 2,
                     ParentRel::Subquery => 3,
                 };
-                Self::push_onehot(&mut out, p, 4);
+                Self::push_onehot(out, p, 4);
             }
             Operator::Hash { buckets, algo } => {
                 out.push(signed_log1p(*buckets));
-                Self::push_onehot(&mut out, matches!(algo, HashAlgorithm::Chained) as usize, 2);
+                Self::push_onehot(out, matches!(algo, HashAlgorithm::Chained) as usize, 2);
             }
             Operator::Sort { key, method } => {
-                Self::push_onehot(&mut out, (*key).min(MAX_SORT_KEYS - 1), MAX_SORT_KEYS);
+                Self::push_onehot(out, (*key).min(MAX_SORT_KEYS - 1), MAX_SORT_KEYS);
                 let m = match method {
                     SortMethod::Quicksort => 0,
                     SortMethod::TopN => 1,
                     SortMethod::External => 2,
                 };
-                Self::push_onehot(&mut out, m, 3);
+                Self::push_onehot(out, m, 3);
             }
             Operator::Aggregate { strategy, partial, op } => {
                 let s = match strategy {
@@ -233,7 +267,7 @@ impl Featurizer {
                     AggStrategy::Sorted => 1,
                     AggStrategy::Hashed => 2,
                 };
-                Self::push_onehot(&mut out, s, 3);
+                Self::push_onehot(out, s, 3);
                 out.push(*partial as u8 as f32);
                 let o = match op {
                     AggOp::Count => 0,
@@ -242,7 +276,7 @@ impl Featurizer {
                     AggOp::Min => 3,
                     AggOp::Max => 4,
                 };
-                Self::push_onehot(&mut out, o, 5);
+                Self::push_onehot(out, o, 5);
             }
             Operator::Materialize => {}
             Operator::Limit { count } => {
@@ -256,7 +290,6 @@ impl Featurizer {
             out.push(node.concurrency as f32);
         }
         debug_assert_eq!(out.len(), self.feature_size(kind));
-        out
     }
 
     /// Human-readable labels for every feature position of `kind`, aligned
@@ -434,6 +467,20 @@ impl Whitener {
         Whitener { stats }
     }
 
+    /// Deterministic digest of the whitening statistics (see
+    /// [`Featurizer::digest`] for the intended use).
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::util::Fnv1a::new();
+        for per_kind in &self.stats {
+            h.mix(per_kind.len() as u64);
+            for &(mean, std) in per_kind {
+                h.mix(mean.to_bits() as u64);
+                h.mix(std.to_bits() as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// Identity whitener (for tests and untrained pipelines).
     pub fn identity(featurizer: &Featurizer) -> Whitener {
         Whitener {
@@ -458,6 +505,13 @@ impl Whitener {
         let mut v = featurizer.featurize(node);
         self.apply(kind, &mut v);
         v
+    }
+
+    /// Featurize + whiten one node into a reused buffer (see
+    /// [`Featurizer::featurize_into`]).
+    pub fn features_into(&self, featurizer: &Featurizer, node: &PlanNode, out: &mut Vec<f32>) {
+        featurizer.featurize_into(node, out);
+        self.apply(node.op.kind(), out);
     }
 }
 

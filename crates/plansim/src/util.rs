@@ -1,6 +1,33 @@
-//! Sampling utilities shared by the executor and the workload generators.
+//! Sampling utilities shared by the executor and the workload generators,
+//! plus a tiny deterministic hasher for content digests.
 
 use rand::Rng;
+
+/// Minimal FNV-1a accumulator for deterministic content digests (e.g.
+/// [`crate::features::Featurizer::digest`] /
+/// [`crate::features::Whitener::digest`]). Not a general-purpose hasher —
+/// just a stable, dependency-free way to fingerprint numeric state.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one value into the digest.
+    pub fn mix(&mut self, bits: u64) {
+        self.0 ^= bits;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Samples `exp(N(0, sigma))` — multiplicative lognormal noise.
 pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {

@@ -7,6 +7,7 @@
 //! qpp train      --dataset dataset.json --epochs 100 --out model.json
 //! qpp evaluate   --dataset dataset.json --model model.json
 //! qpp predict    --dataset dataset.json --model model.json --query 3
+//! qpp predict    --input plans.json --model model.json --engine program
 //! qpp explain    --dataset dataset.json --query 3
 //! qpp importance --dataset dataset.json --model model.json --top 15
 //! ```
@@ -16,11 +17,19 @@
 //! on the paper split and snapshots the model; `evaluate`/`predict`/
 //! `importance` use the snapshot without retraining.
 //!
+//! `predict` has two modes: `--query N` scores one plan with a
+//! per-operator breakdown, while `--input plans.json` scores *every* plan
+//! of a (possibly heterogeneous) batch through the chosen inference
+//! engine — `program` (default) compiles the wavefront-batched
+//! [`qpp::net::PlanProgram`], `classes` uses per-equivalence-class
+//! evaluation — and reports throughput, so the two serving paths can be
+//! compared end to end (`--repeat N` averages the timing).
+//!
 //! Extensions: `generate --max-mpl 8` produces a concurrent workload
 //! (§8 future work), `train --load-aware true` exposes the system load as
 //! a feature, and `train --threads N` enables data-parallel gradients.
 
-use qpp::net::{permutation_importance, QppConfig, QppNet};
+use qpp::net::{permutation_importance, InferEngine, QppConfig, QppNet};
 use qpp::plansim::features::Featurizer;
 use qpp::plansim::prelude::*;
 use std::collections::HashMap;
@@ -59,6 +68,7 @@ fn usage(error: &str) -> ExitCode {
                         [--threads N] [--load-aware true]\n\
          qpp evaluate   --dataset FILE --model FILE [--seed N]\n\
          qpp predict    --dataset FILE --model FILE --query N\n\
+         qpp predict    --input FILE --model FILE [--engine classes|program] [--repeat N]\n\
          qpp explain    --dataset FILE --query N\n\
          qpp importance --dataset FILE --model FILE [--seed N] [--top N]"
     );
@@ -196,6 +206,9 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("input") {
+        return cmd_predict_batch(flags);
+    }
     let ds = load_dataset(flags)?;
     let model = load_model(flags)?;
     let q: usize = parse(get(flags, "query")?, "query index")?;
@@ -219,6 +232,72 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
             node.actual.latency_ms
         );
     }
+    Ok(())
+}
+
+/// `predict --input plans.json`: score a whole (heterogeneous) plan batch
+/// through the chosen inference engine and report throughput.
+fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "input")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let ds: Dataset = serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    if ds.plans.is_empty() {
+        return Err(format!("{path} contains no plans"));
+    }
+    let model = load_model(flags)?;
+    let engine = InferEngine::parse(get_or(flags, "engine", "program"))
+        .ok_or_else(|| "invalid --engine (classes|program)".to_string())?;
+    let repeat: usize = parse(get_or(flags, "repeat", "1"), "repeat count")?;
+    let repeat = repeat.max(1);
+
+    // Structural validation up front: the input is user-supplied JSON, and
+    // a malformed tree (wrong child count for an operator family) should
+    // be a clean CLI error, not a library panic mid-compile.
+    for plan in &ds.plans {
+        let mut bad = None;
+        plan.root.visit_postorder(&mut |n| {
+            if n.children.len() != n.op.kind().arity() && bad.is_none() {
+                bad = Some(format!(
+                    "{:?} node with {} children (expected {})",
+                    n.op.kind(),
+                    n.children.len(),
+                    n.op.kind().arity()
+                ));
+            }
+        });
+        if let Some(why) = bad {
+            return Err(format!("{path}: malformed plan #{}: {why}", plan.query_id));
+        }
+    }
+
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+    let start = std::time::Instant::now();
+    let mut preds = Vec::new();
+    for _ in 0..repeat {
+        preds = model.predict_batch_with(&plans, engine);
+    }
+    let elapsed = start.elapsed().as_secs_f64() / repeat as f64;
+
+    for (plan, pred) in plans.iter().zip(&preds) {
+        println!(
+            "{} q{} #{}: predicted {:.2}s actual {:.2}s",
+            plan.workload.name(),
+            plan.template_id,
+            plan.query_id,
+            pred / 1000.0,
+            plan.latency_ms() / 1000.0
+        );
+    }
+    let shapes: std::collections::HashSet<String> =
+        plans.iter().map(|p| p.signature()).collect();
+    eprintln!(
+        "engine {}: {} plans ({} distinct shapes) in {:.2} ms -> {:.0} plans/s",
+        engine.name(),
+        plans.len(),
+        shapes.len(),
+        elapsed * 1e3,
+        plans.len() as f64 / elapsed
+    );
     Ok(())
 }
 

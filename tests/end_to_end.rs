@@ -27,7 +27,7 @@ fn full_pipeline_produces_sane_metrics_for_every_model() {
     svm.fit(&train);
     let mut rbf = RbfModel::new();
     rbf.fit(&train);
-    let mut qpp = QppNet::new(QppConfig { epochs: 30, ..QppConfig::tiny() }, &ds.catalog);
+    let mut qpp = QppNet::new(QppConfig { epochs: 12, ..QppConfig::tiny() }, &ds.catalog);
     qpp.fit(&train);
 
     for preds in [
@@ -53,7 +53,7 @@ fn trained_qppnet_beats_trivial_predictors() {
     let actual: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
 
     let mut qpp = QppNet::new(
-        QppConfig { epochs: 120, batch_size: 32, ..QppConfig::tiny() },
+        QppConfig { epochs: 60, batch_size: 32, ..QppConfig::tiny() },
         &ds.catalog,
     );
     qpp.fit(&train);
@@ -89,7 +89,7 @@ fn trained_qppnet_beats_trivial_predictors() {
 fn model_serialization_round_trips_across_process_boundaries() {
     let ds = workload(60, 11);
     let train = ds.select(&(0..40).collect::<Vec<_>>());
-    let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+    let mut model = QppNet::new(QppConfig { epochs: 4, ..QppConfig::tiny() }, &ds.catalog);
     model.fit(&train);
 
     let json = model.to_json();
@@ -104,7 +104,7 @@ fn everything_is_deterministic_under_a_fixed_seed() {
     let run = || {
         let ds = workload(80, 55);
         let split = ds.paper_split(3);
-        let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+        let mut model = QppNet::new(QppConfig { epochs: 5, ..QppConfig::tiny() }, &ds.catalog);
         model.fit(&ds.select(&split.train));
         model.predict_batch(&ds.select(&split.test))
     };
@@ -118,7 +118,7 @@ fn predictions_do_not_depend_on_test_set_actuals() {
     // prediction.
     let ds = workload(80, 21);
     let train = ds.select(&(0..60).collect::<Vec<_>>());
-    let mut model = QppNet::new(QppConfig::tiny(), &ds.catalog);
+    let mut model = QppNet::new(QppConfig { epochs: 4, ..QppConfig::tiny() }, &ds.catalog);
     model.fit(&train);
 
     let mut tam = TamModel::new();

@@ -26,9 +26,9 @@ fn ablation_models_run_end_to_end() {
     let train = ds.select(&split.train);
     let test = ds.select(&split.test);
 
-    let mut flat = FlatDnn::new(tiny_ablation(15));
-    let mut sparse = SparseUnitDnn::new(tiny_ablation(15), &ds.catalog);
-    let mut lstm = TreeLstm::new(tiny_ablation(10), &ds.catalog);
+    let mut flat = FlatDnn::new(tiny_ablation(8));
+    let mut sparse = SparseUnitDnn::new(tiny_ablation(8), &ds.catalog);
+    let mut lstm = TreeLstm::new(tiny_ablation(6), &ds.catalog);
     let models: Vec<&mut dyn LatencyModel> = vec![&mut flat, &mut sparse, &mut lstm];
     for model in models {
         model.fit(&train);
@@ -51,7 +51,7 @@ fn qppnet_predicts_per_operator_where_flat_cannot() {
     let train = ds.select(&split.train);
     let test = ds.select(&split.test);
 
-    let mut qpp = QppNet::new(tiny_qpp(40), &ds.catalog);
+    let mut qpp = QppNet::new(tiny_qpp(12), &ds.catalog);
     qpp.fit(&train);
 
     for plan in test.iter().take(10) {
@@ -71,7 +71,7 @@ fn qppnet_predicts_per_operator_where_flat_cannot() {
     // ordering claims are bench-scale; this guards against regressions
     // that send either model off to infinity).
     let actuals: Vec<f64> = test.iter().map(|p| p.latency_ms()).collect();
-    let mut flat = FlatDnn::new(tiny_ablation(40));
+    let mut flat = FlatDnn::new(tiny_ablation(15));
     flat.fit(&train);
     for preds in [qpp.predict_batch(&test), flat.predict_batch(&test)] {
         let m = qpp::net::evaluate(&actuals, &preds);
@@ -136,7 +136,7 @@ fn importance_pipeline_end_to_end() {
     let split = ds.paper_split(5);
     let train = ds.select(&split.train);
     let test = ds.select(&split.test);
-    let mut model = QppNet::new(tiny_qpp(40), &ds.catalog);
+    let mut model = QppNet::new(tiny_qpp(20), &ds.catalog);
     model.fit(&train);
 
     let imp = permutation_importance(&model, &test, 7);

@@ -1,0 +1,93 @@
+//! Differential tests: the compiled wavefront serving engine
+//! (`PlanProgram`) against per-equivalence-class `TreeBatch` evaluation.
+//!
+//! The two engines share whitened features, unit weights and row-major
+//! kernels; they differ only in how node rows are grouped into gemm calls.
+//! Since each output row of `X·W` depends on no other row, the grouping
+//! must not change any prediction: every property here holds the engines
+//! to within `1e-5` relative error on every plan — unclamped and under the
+//! structural envelope (`predict_roots_clamped`) — across random plan
+//! forests of mixed shapes, all operator kinds (TPC-DS plans exercise the
+//! full vocabulary) and batch sizes 1..64.
+//!
+//! CI runs this suite in release mode as well (optimized gemm paths hit
+//! different code than debug: LTO-inlined kernels, no debug asserts).
+
+use proptest::prelude::*;
+use qpp::net::config::{TargetCodec, TargetTransform};
+use qpp::net::tree::fit_ratio_caps;
+use qpp::net::{predict_plans_with, InferEngine, QppConfig, QppNet, UnitSet};
+use qpp::plansim::features::{Featurizer, Whitener};
+use qpp::plansim::prelude::*;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-5;
+
+fn assert_engines_agree(workload: Workload, seed: u64, batch: usize) {
+    let ds = Dataset::generate(workload, 1.0, batch, seed);
+    let fz = Featurizer::new(&ds.catalog);
+    let wh = Whitener::fit(&fz, ds.plans.iter());
+    let codec = TargetCodec::fit(TargetTransform::Log1p, ds.plans.iter().map(|p| p.latency_ms()));
+    let caps = fit_ratio_caps(ds.plans.iter(), 2.0);
+    // Untrained (randomly initialized) units exercise the full numeric
+    // range; training only moves weights, never the data flow.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let units = UnitSet::new(&QppConfig::tiny(), &fz, &mut rng);
+
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+    for caps in [None, Some(&caps)] {
+        let classes =
+            predict_plans_with(InferEngine::Classes, &units, &fz, &wh, &codec, caps, &plans);
+        let program =
+            predict_plans_with(InferEngine::Program, &units, &fz, &wh, &codec, caps, &plans);
+        assert_eq!(classes.len(), plans.len());
+        for (i, (c, p)) in classes.iter().zip(&program).enumerate() {
+            let rel = (c - p).abs() / (1.0 + c.abs());
+            assert!(
+                rel < TOL,
+                "plan {i} (clamped={}): classes {c} vs program {p} (rel {rel})",
+                caps.is_some()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random TPC-H forests: mixed shapes, batch sizes 1..64.
+    #[test]
+    fn tpch_forests_agree_across_engines(seed in 0u64..10_000, batch in 1usize..64) {
+        assert_engines_agree(Workload::TpcH, seed, batch);
+    }
+
+    /// Random TPC-DS forests: the full operator vocabulary (sorts,
+    /// aggregates, materialize, limits, filters) at mixed shapes.
+    #[test]
+    fn tpcds_forests_agree_across_engines(seed in 0u64..10_000, batch in 1usize..64) {
+        assert_engines_agree(Workload::TpcDs, seed, batch);
+    }
+}
+
+/// The facade path: a *fitted* model (envelope clamping on, as deployed)
+/// answers identically through both engines, and single-plan prediction
+/// agrees with the batch it is part of.
+#[test]
+fn fitted_model_agrees_across_engines() {
+    let ds = Dataset::generate(Workload::TpcDs, 1.0, 60, 77);
+    let mut model = QppNet::new(QppConfig { epochs: 5, ..QppConfig::tiny() }, &ds.catalog);
+    model.fit(&ds.plans.iter().take(40).collect::<Vec<_>>());
+
+    let plans: Vec<&Plan> = ds.plans.iter().collect();
+    let program = model.predict_batch_with(&plans, InferEngine::Program);
+    let classes = model.predict_batch_with(&plans, InferEngine::Classes);
+    for (i, (p, c)) in program.iter().zip(&classes).enumerate() {
+        let rel = (p - c).abs() / (1.0 + c.abs());
+        assert!(rel < TOL, "plan {i}: program {p} vs classes {c}");
+    }
+    for (i, plan) in ds.plans.iter().enumerate().take(10) {
+        let single = model.predict(plan);
+        let rel = (single - program[i]).abs() / (1.0 + single.abs());
+        assert!(rel < TOL, "plan {i}: single {single} vs batched {}", program[i]);
+    }
+}
