@@ -18,7 +18,7 @@
 //!   consuming the sparse concatenation — keeping QPPNet's tree wiring and
 //!   per-operator supervision but giving up per-family weights.
 //! * [`TreeLstm`] — the tree-structured recurrent architecture of the NLP
-//!   literature the paper cites as ill-suited ([49], Tai et al.): a
+//!   literature the paper cites as ill-suited (\[49\], Tai et al.): a
 //!   child-sum Tree-LSTM over the same sparse featurization, with a shared
 //!   linear latency readout at every node.
 //!

@@ -1,12 +1,12 @@
 //! The tree-structured recurrent baseline the paper's §3 argues against.
 //!
 //! > "while previous work in the field of machine learning has examined
-//! > applying deep neural networks to sequential [14] or tree-structured
+//! > applying deep neural networks to sequential \[14\] or tree-structured
 //! > [43, 49] data, none of these approaches are ideal for query
 //! > performance prediction."
 //!
 //! [`TreeLstm`] is the strongest member of that family: a child-sum
-//! Tree-LSTM ([49], Tai et al.) over the sparse concatenated featurization,
+//! Tree-LSTM (\[49\], Tai et al.) over the sparse concatenated featurization,
 //! with a shared linear readout predicting each node's latency from its
 //! hidden state. It is trained with the same per-operator supervision as
 //! QPPNet. The architectural differences under test:

@@ -1,7 +1,7 @@
 //! CART regression trees and MART (gradient-boosted) ensembles.
 //!
 //! MART — Multiple Additive Regression Trees — is the learner Li et
-//! al. [25] use for resource estimation; the paper's RBF baseline adapts it
+//! al. \[25\] use for resource estimation; the paper's RBF baseline adapts it
 //! to latency prediction. Trees are grown greedily with exact
 //! least-squares splits; boosting fits each tree to the residuals of the
 //! ensemble so far.

@@ -12,7 +12,7 @@ use qpp_plansim::plan::{Plan, PlanNode};
 /// Number of per-operator resource features.
 pub const OP_FEATURES: usize = 10;
 
-/// Hand-picked per-operator resource features ([25]-style).
+/// Hand-picked per-operator resource features (\[25\]-style).
 ///
 /// `[log rows, log width, log buffers, log ios, log cost, selectivity,
 ///   log child₁ rows, log child₂ rows, #children, kind ordinal]`
@@ -34,7 +34,7 @@ pub fn op_features(node: &PlanNode) -> Vec<f32> {
 /// Number of plan-level summary features.
 pub const PLAN_FEATURES: usize = OpKind::ALL.len() + 5;
 
-/// Plan-level summary features ([4]-style plan models).
+/// Plan-level summary features (\[4\]-style plan models).
 ///
 /// Per-family operator counts plus root cost/rows, node count, depth and
 /// total estimated I/Os.

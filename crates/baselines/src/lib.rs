@@ -6,15 +6,15 @@
 //! vectors):
 //!
 //! * [`tam::TamModel`] — **TAM**, the tuned analytic/optimizer cost model
-//!   of Wu et al. [13]: per-cost-unit coefficients calibrated by least
+//!   of Wu et al. \[13\]: per-cost-unit coefficients calibrated by least
 //!   squares, then latency predicted as a linear combination of the
 //!   optimizer's cost components.
 //! * [`svm::SvmModel`] — **SVM**, the operator-level ε-SVR models of
-//!   Akdere et al. [4] with their plan-level fallback heuristic. Operator
+//!   Akdere et al. \[4\] with their plan-level fallback heuristic. Operator
 //!   models see hand-picked per-operator features plus their children's
 //!   *predicted latencies* (a scalar — not QPPNet's learned data vectors).
 //! * [`rbf::RbfModel`] — **RBF**, resource-based features fed to MART
-//!   (gradient-boosted regression trees), after Li et al. [25], with the
+//!   (gradient-boosted regression trees), after Li et al. \[25\], with the
 //!   human-derived combination rule "query latency = Σ operator self
 //!   times".
 //!

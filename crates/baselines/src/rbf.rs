@@ -1,4 +1,4 @@
-//! RBF — Resource-Based Features with MART (Li et al. [25]).
+//! RBF — Resource-Based Features with MART (Li et al. \[25\]).
 //!
 //! One gradient-boosted forest per operator family predicts the operator's
 //! *self* (exclusive) latency from hand-picked resource features; the

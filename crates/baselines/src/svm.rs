@@ -1,5 +1,5 @@
 //! SVM — operator-level SVR models with a plan-level fallback
-//! (Akdere et al. [4]).
+//! (Akdere et al. \[4\]).
 //!
 //! One ε-SVR per operator family predicts the operator's (inclusive)
 //! latency from hand-picked features plus its children's *predicted
@@ -7,7 +7,7 @@
 //! `d`-dimensional data vectors. Prediction composes the models bottom-up;
 //! the root's prediction is the query latency.
 //!
-//! Following [4], a plan-level SVR over coarse whole-plan features is
+//! Following \[4\], a plan-level SVR over coarse whole-plan features is
 //! trained alongside, and used instead of the composed operator models for
 //! plans containing operator families whose operator-level models proved
 //! unreliable on a validation split ("selective applications of plan-level

@@ -2,7 +2,7 @@
 //! stochastic subgradient descent (Pegasos-style), with optional random
 //! Fourier features approximating an RBF kernel.
 //!
-//! This is the regression machinery behind the Akdere et al. [4] baseline.
+//! This is the regression machinery behind the Akdere et al. \[4\] baseline.
 //! Inputs and targets are standardized internally; with `rff_dims > 0`,
 //! inputs are lifted through `z(x) = √(2/D)·cos(Ωx + β)` (Rahimi & Recht),
 //! giving the model RBF-kernel expressiveness at linear cost.

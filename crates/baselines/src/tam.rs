@@ -1,4 +1,4 @@
-//! TAM — the Tuned Analytic Model (Wu et al. [13]).
+//! TAM — the Tuned Analytic Model (Wu et al. \[13\]).
 //!
 //! The optimizer already decomposes its cost estimate into units (pages
 //! read sequentially, pages read randomly, tuples processed, operator

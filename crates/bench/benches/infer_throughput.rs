@@ -19,13 +19,22 @@
 //! Per tier, `classes` and `program` time the full request path
 //! (featurize + schedule + evaluate a fresh batch); `program_precompiled`
 //! times the steady-state compile-once/run-many loop (e.g. an admission
-//! controller re-scoring a queue).
+//! controller re-scoring a queue), with a thread-count axis (t1/t2/t4)
+//! over `PlanProgram::run_parallel` — the multicore scaling table in the
+//! README is generated from these rows. `compile` and `featurize` isolate
+//! the one-shot path's fixed costs (schedule construction and Table-2
+//! featurization respectively); their ratio is the number behind the
+//! ROADMAP's incremental-compile lead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qpp_plansim::catalog::Workload;
 use qpp_plansim::dataset::Dataset;
+use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::plan::Plan;
 use qppnet::{InferEngine, QppConfig, QppNet};
+
+/// Thread counts for the `run_parallel` scaling axis.
+const THREADS: [usize; 3] = [1, 2, 4];
 
 fn fitted_model(ds: &Dataset, cfg: &QppConfig) -> QppNet {
     // Two epochs: learned weights don't matter for timing, the unit
@@ -56,7 +65,7 @@ fn bench_mixed_stream(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(format!("infer_throughput/{tier}"));
         group.sample_size(20);
-        for engine in [InferEngine::Classes, InferEngine::Program] {
+        for engine in [InferEngine::Classes, InferEngine::Program { threads: 1 }] {
             group.bench_function(BenchmarkId::new(engine.name(), total), |b| {
                 b.iter(|| {
                     let mut out = model_h.predict_batch_with(&plans_h, engine);
@@ -66,19 +75,63 @@ fn bench_mixed_stream(c: &mut Criterion) {
             });
         }
 
-        // Steady-state serving: the schedule and buffers are compiled once
-        // and re-run per request.
-        let mut prog_h = model_h.compile_program(&plans_h);
-        let mut prog_ds = model_ds.compile_program(&plans_ds);
-        group.bench_function(BenchmarkId::new("program_precompiled", total), |b| {
+        // One-shot fixed cost: compiling the wavefront schedule (includes
+        // featurizing every node — compare against the `featurize` bench
+        // below for the featurization share).
+        group.bench_function(BenchmarkId::new("compile", total), |b| {
             b.iter(|| {
-                let mut out = model_h.predict_compiled(&mut prog_h);
-                out.extend(model_ds.predict_compiled(&mut prog_ds));
-                out
+                (model_h.compile_program(&plans_h).num_steps(),
+                 model_ds.compile_program(&plans_ds).num_steps())
             })
         });
+
+        // Steady-state serving: the schedule and buffers are compiled once
+        // and re-run per request, on 1/2/4 worker threads (results are
+        // bit-identical across the axis; only wall clock moves).
+        let mut prog_h = model_h.compile_program(&plans_h);
+        let mut prog_ds = model_ds.compile_program(&plans_ds);
+        for t in THREADS {
+            group.bench_function(
+                BenchmarkId::new(format!("program_precompiled_t{t}"), total),
+                |b| {
+                    b.iter(|| {
+                        let mut out = model_h.predict_compiled_with(&mut prog_h, t);
+                        out.extend(model_ds.predict_compiled_with(&mut prog_ds, t));
+                        out
+                    })
+                },
+            );
+        }
         group.finish();
     }
+
+    // Featurization alone (tier-independent): walk every node of the
+    // stream through the whitened Table-2 featurizer, allocation-free —
+    // exactly the per-node work `PlanProgram::compile` performs before
+    // scheduling. `featurize / compile` is the featurization share of
+    // one-shot latency (ROADMAP: ~40%, the incremental-compile lead).
+    let mut group = c.benchmark_group("infer_throughput/oneshot");
+    group.sample_size(20);
+    let fz_h = Featurizer::new(&tpch.catalog);
+    let wh_h = Whitener::fit(&fz_h, tpch.plans.iter());
+    let fz_ds = Featurizer::new(&tpcds.catalog);
+    let wh_ds = Whitener::fit(&fz_ds, tpcds.plans.iter());
+    group.bench_function(BenchmarkId::new("featurize", total), |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for (plans, fz, wh) in [(&plans_h, &fz_h, &wh_h), (&plans_ds, &fz_ds, &wh_ds)] {
+                for plan in plans.iter() {
+                    plan.root.visit_postorder(&mut |n| {
+                        wh.features_into(fz, n, &mut scratch);
+                        nodes += 1;
+                    });
+                }
+            }
+            nodes
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_mixed_stream);

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 /// Which gradient-descent rule to use.
 ///
-/// The paper uses SGD and names Adam [16] as future work (§8); both are
+/// The paper uses SGD and names Adam \[16\] as future work (§8); both are
 /// implemented, and the optimizer ablation bench compares them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OptimizerKind {

@@ -24,6 +24,37 @@
 //! and a row of `X·W` depends on no other row. The differential suite
 //! (`tests/infer_differential.rs`) holds the two engines to within `1e-5`
 //! relative on every plan, clamped and unclamped.
+//!
+//! ## Multicore execution
+//!
+//! Wavefront rows are embarrassingly parallel: the steps of one height
+//! level read only rows written at strictly lower heights and write
+//! disjoint row ranges of the shared output buffer, so
+//! [`PlanProgram::run_parallel`] distributes each level's cache-sized
+//! 32-row steps across a scoped worker pool (std threads only). Every worker owns its own [`qpp_nn::BufferPool`] and gather
+//! scratch, so the hot path stays lock-free and allocation-free in steady
+//! state, and a level barrier is the only synchronization. Results are
+//! **bit-identical at any thread count** (see `DESIGN.md` §7 for the
+//! determinism contract): the partition grain is the compile-time step, so
+//! every node is computed by the same kernel on the same input rows no
+//! matter which worker runs it. Compile once, then serve:
+//!
+//! ```
+//! use qppnet::{QppConfig, QppNet};
+//! use qpp_plansim::prelude::*;
+//!
+//! let ds = Dataset::generate(Workload::TpcH, 1.0, 24, 3);
+//! let mut model = QppNet::new(QppConfig { epochs: 1, ..QppConfig::tiny() }, &ds.catalog);
+//! model.fit(&ds.plans.iter().take(16).collect::<Vec<_>>());
+//!
+//! // Compile the serving batch once; run it on as many cores as the host
+//! // offers. Thread count never changes the answer.
+//! let plans: Vec<&Plan> = ds.plans.iter().collect();
+//! let mut program = model.compile_program(&plans);
+//! let serial = model.predict_compiled(&mut program);
+//! let threaded = model.predict_compiled_with(&mut program, 4);
+//! assert_eq!(serial, threaded);
+//! ```
 
 use crate::config::TargetCodec;
 use crate::tree::RatioCaps;
@@ -33,6 +64,7 @@ use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::{Plan, PlanNode};
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 /// Which inference engine answers a prediction request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,16 +72,23 @@ pub enum InferEngine {
     /// Per-equivalence-class [`crate::tree::TreeBatch`] evaluation (the
     /// training-time data layout; §5.1.1 batching only).
     Classes,
-    /// Compiled wavefront [`PlanProgram`] evaluation (the serving layout).
-    Program,
+    /// Compiled wavefront [`PlanProgram`] evaluation (the serving layout),
+    /// executed on `threads` worker threads (`1` = the sequential path;
+    /// results are bit-identical at any thread count).
+    Program {
+        /// Worker threads for [`PlanProgram::run_parallel`].
+        threads: usize,
+    },
 }
 
 impl InferEngine {
-    /// Parses the CLI spelling (`classes` | `program`).
+    /// Parses the CLI spelling (`classes` | `program`); `program` defaults
+    /// to single-threaded execution (compose with
+    /// [`InferEngine::with_threads`] for the CLI's `--threads` flag).
     pub fn parse(s: &str) -> Option<InferEngine> {
         match s {
             "classes" => Some(InferEngine::Classes),
-            "program" => Some(InferEngine::Program),
+            "program" => Some(InferEngine::Program { threads: 1 }),
             _ => None,
         }
     }
@@ -58,8 +97,33 @@ impl InferEngine {
     pub fn name(self) -> &'static str {
         match self {
             InferEngine::Classes => "classes",
-            InferEngine::Program => "program",
+            InferEngine::Program { .. } => "program",
         }
+    }
+
+    /// Worker threads this engine evaluates with (always 1 for the
+    /// per-class path, which has no parallel mode).
+    pub fn threads(self) -> usize {
+        match self {
+            InferEngine::Classes => 1,
+            InferEngine::Program { threads } => threads.max(1),
+        }
+    }
+
+    /// This engine with its thread count replaced (no-op for
+    /// [`InferEngine::Classes`]).
+    pub fn with_threads(self, threads: usize) -> InferEngine {
+        match self {
+            InferEngine::Classes => InferEngine::Classes,
+            InferEngine::Program { .. } => InferEngine::Program { threads: threads.max(1) },
+        }
+    }
+}
+
+impl Default for InferEngine {
+    /// The serving default: the compiled wavefront engine on one thread.
+    fn default() -> InferEngine {
+        InferEngine::Program { threads: 1 }
     }
 }
 
@@ -107,13 +171,24 @@ struct PlanSlot {
 ///
 /// Compile once per batch with [`PlanProgram::compile`], then run any
 /// number of times against unit sets of the same shape; all buffers are
-/// preallocated at compile time and reused across runs.
+/// preallocated at compile time and reused across runs. Execution is
+/// single-threaded through [`PlanProgram::predict_roots`] and friends, or
+/// multicore through [`PlanProgram::run_parallel`] and the `_threaded`
+/// prediction variants — thread count never changes the results.
 pub struct PlanProgram {
     steps: Vec<Step>,
+    /// Ranges into `steps` grouping one height level each, ascending: all
+    /// steps of `levels[l]` read only output rows written by levels `< l`,
+    /// which is what makes a level's steps safe to run concurrently.
+    levels: Vec<Range<usize>>,
     plans: Vec<PlanSlot>,
     /// `total_nodes × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
     outputs: Matrix,
     pool: BufferPool,
+    /// One pool per worker for [`PlanProgram::run_parallel`], grown lazily
+    /// to the requested thread count and kept warm across runs so
+    /// steady-state parallel serving allocates nothing per worker.
+    worker_pools: Vec<BufferPool>,
     out_w: usize,
     /// Fingerprint of the fitted state this program was compiled against
     /// (`None` for programs compiled directly via [`PlanProgram::compile`];
@@ -199,7 +274,14 @@ impl PlanProgram {
         }
 
         let mut steps = Vec::new();
-        for draft in drafts.into_values() {
+        let mut levels: Vec<Range<usize>> = Vec::new();
+        let mut cur_height = usize::MAX;
+        for ((height, _), draft) in drafts {
+            if height != cur_height {
+                let start = steps.len();
+                levels.push(start..start);
+                cur_height = height;
+            }
             let arity = draft.kind.arity();
             let feat_width = draft.feat_width;
             let in_dim = feat_width + arity * out_w;
@@ -231,13 +313,16 @@ impl PlanProgram {
                     input,
                 });
             }
+            levels.last_mut().expect("level opened above").end = steps.len();
         }
 
         PlanProgram {
             steps,
+            levels,
             plans,
             outputs: Matrix::zeros(total_nodes, out_w),
             pool: BufferPool::new(),
+            worker_pools: Vec::new(),
             out_w,
             fingerprint: None,
         }
@@ -271,8 +356,15 @@ impl PlanProgram {
         self.steps.len()
     }
 
-    /// Executes the schedule bottom-up, filling the output buffer.
-    fn run(&mut self, units: &UnitSet) {
+    /// Number of height levels in the schedule. Steps within one level are
+    /// mutually independent — this is the parallelism axis of
+    /// [`PlanProgram::run_parallel`] (and a barrier count: one
+    /// synchronization per level).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn check_units_width(&self, units: &UnitSet) {
         assert_eq!(
             units.out_size(),
             self.out_w,
@@ -280,6 +372,12 @@ impl PlanProgram {
             units.out_size(),
             self.out_w
         );
+    }
+
+    /// Executes the schedule bottom-up on the calling thread, filling the
+    /// output buffer.
+    fn run(&mut self, units: &UnitSet) {
+        self.check_units_width(units);
         let out_w = self.out_w;
         let (steps, outputs, pool) = (&mut self.steps, &mut self.outputs, &mut self.pool);
         for step in steps.iter_mut() {
@@ -302,14 +400,109 @@ impl PlanProgram {
         }
     }
 
-    /// Decoded root-latency predictions (milliseconds), one per plan, in
-    /// the order the plans were compiled.
-    pub fn predict_roots(&mut self, units: &UnitSet, codec: &TargetCodec) -> Vec<f64> {
-        self.run(units);
+    /// Executes the schedule bottom-up across `threads` worker threads,
+    /// filling the output buffer read by the `predict_*` methods.
+    ///
+    /// Each height level's steps (already split into cache-sized 32-row
+    /// chunks at compile time — that chunking is the partition grain) are
+    /// dealt round-robin to a scoped worker pool; a barrier separates
+    /// levels. Workers are lock-free on the hot path: every step writes a
+    /// disjoint set of output rows and reads only rows written at strictly
+    /// lower levels, and each worker gathers into scratch taken from its
+    /// own persistent [`BufferPool`], so steady-state parallel serving
+    /// performs zero allocation per worker.
+    ///
+    /// **Determinism:** results are bit-identical for every `threads`
+    /// value (the differential suite asserts exact equality at 1/2/4/8) —
+    /// each node is computed by the same fused kernel on the same input
+    /// rows regardless of which worker runs its step; only the assignment
+    /// of steps to workers changes. See `DESIGN.md` §7.
+    ///
+    /// The effective thread count is capped at the widest level's step
+    /// count, so small programs (or programs whose wavefronts all fit one
+    /// 32-row chunk) fall back to the sequential path instead of paying
+    /// thread-spawn and barrier overhead for no available parallelism.
+    pub fn run_parallel(&mut self, units: &UnitSet, threads: usize) {
+        let max_level_width = self.levels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let threads = threads.min(max_level_width);
+        if threads <= 1 {
+            self.run(units);
+            return;
+        }
+        self.check_units_width(units);
+        if self.worker_pools.len() < threads {
+            self.worker_pools.resize_with(threads, BufferPool::new);
+        }
+        let out_w = self.out_w;
+        let steps: &[Step] = &self.steps;
+        let levels: &[Range<usize>] = &self.levels;
+        let outputs = SharedRows::new(&mut self.outputs);
+        let barrier = std::sync::Barrier::new(threads);
+        let poisoned = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut pools = self.worker_pools[..threads].iter_mut();
+            let main_pool = pools.next().expect("threads >= 2");
+            for (t, pool) in pools.enumerate() {
+                let (outputs, barrier, poisoned) = (&outputs, &barrier, &poisoned);
+                scope.spawn(move || {
+                    worker_loop(
+                        t + 1, threads, steps, levels, units, outputs, barrier, poisoned, pool,
+                        out_w,
+                    )
+                });
+            }
+            // The caller participates as worker 0 — `threads` means total
+            // active workers, not extra threads.
+            worker_loop(
+                0, threads, steps, levels, units, &outputs, &barrier, &poisoned, main_pool, out_w,
+            );
+        });
+    }
+
+    fn decode_roots(&self, codec: &TargetCodec) -> Vec<f64> {
         self.plans
             .iter()
             .map(|p| codec.decode(self.outputs.get(p.base + p.len - 1, 0)))
             .collect()
+    }
+
+    /// Folds the structural envelope over decoded per-position latencies,
+    /// in place — the same monotonicity + bounded-amplification walk as
+    /// [`crate::tree::TreeBatch::predict_all_clamped`]. Post order puts
+    /// children before parents, so clamped child values feed the parent's
+    /// envelope exactly as in `TreeBatch`.
+    fn clamp_envelope(&self, all: &mut [Vec<f64>], caps: &RatioCaps) {
+        for (slot, preds) in self.plans.iter().zip(all.iter_mut()) {
+            for k in 0..slot.len {
+                let kids = slot.lowering.children_of(k);
+                if kids.is_empty() {
+                    continue;
+                }
+                let max_child = kids.iter().map(|&c| preds[c]).fold(0.0f64, f64::max);
+                let cap = caps.cap(slot.kinds[k], max_child);
+                let (lo, hi) = (max_child, max_child * cap.max(1.0));
+                preds[k] = preds[k].clamp(lo, hi.max(lo));
+            }
+        }
+    }
+
+    /// Decoded root-latency predictions (milliseconds), one per plan, in
+    /// the order the plans were compiled.
+    pub fn predict_roots(&mut self, units: &UnitSet, codec: &TargetCodec) -> Vec<f64> {
+        self.predict_roots_threaded(units, codec, 1)
+    }
+
+    /// [`PlanProgram::predict_roots`] on `threads` workers (see
+    /// [`PlanProgram::run_parallel`]; results are identical at any thread
+    /// count).
+    pub fn predict_roots_threaded(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        threads: usize,
+    ) -> Vec<f64> {
+        self.run_parallel(units, threads);
+        self.decode_roots(codec)
     }
 
     /// Decoded latency predictions for every position of every plan
@@ -319,7 +512,17 @@ impl PlanProgram {
     /// [`crate::tree::TreeBatch::predict_all`] (`[position][plan]`): a
     /// heterogeneous batch has no shared position axis.
     pub fn predict_all(&mut self, units: &UnitSet, codec: &TargetCodec) -> Vec<Vec<f64>> {
-        self.run(units);
+        self.predict_all_threaded(units, codec, 1)
+    }
+
+    /// [`PlanProgram::predict_all`] on `threads` workers.
+    pub fn predict_all_threaded(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        self.run_parallel(units, threads);
         self.plans
             .iter()
             .map(|p| {
@@ -338,21 +541,21 @@ impl PlanProgram {
         codec: &TargetCodec,
         caps: &RatioCaps,
     ) -> Vec<Vec<f64>> {
-        let mut all = self.predict_all(units, codec);
-        for (slot, preds) in self.plans.iter().zip(&mut all) {
-            // Post order puts children before parents, so clamped child
-            // values feed the parent's envelope exactly as in TreeBatch.
-            for k in 0..slot.len {
-                let kids = slot.lowering.children_of(k);
-                if kids.is_empty() {
-                    continue;
-                }
-                let max_child = kids.iter().map(|&c| preds[c]).fold(0.0f64, f64::max);
-                let cap = caps.cap(slot.kinds[k], max_child);
-                let (lo, hi) = (max_child, max_child * cap.max(1.0));
-                preds[k] = preds[k].clamp(lo, hi.max(lo));
-            }
-        }
+        self.predict_all_clamped_threaded(units, codec, caps, 1)
+    }
+
+    /// [`PlanProgram::predict_all_clamped`] on `threads` workers (the
+    /// envelope fold itself runs on the calling thread — it is a cheap
+    /// sequential walk over decoded scalars).
+    pub fn predict_all_clamped_threaded(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let mut all = self.predict_all_threaded(units, codec, threads);
+        self.clamp_envelope(&mut all, caps);
         all
     }
 
@@ -364,10 +567,161 @@ impl PlanProgram {
         codec: &TargetCodec,
         caps: &RatioCaps,
     ) -> Vec<f64> {
-        self.predict_all_clamped(units, codec, caps)
+        self.predict_roots_clamped_threaded(units, codec, caps, 1)
+    }
+
+    /// [`PlanProgram::predict_roots_clamped`] on `threads` workers.
+    pub fn predict_roots_clamped_threaded(
+        &mut self,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        caps: &RatioCaps,
+        threads: usize,
+    ) -> Vec<f64> {
+        self.predict_all_clamped_threaded(units, codec, caps, threads)
             .into_iter()
             .map(|per_plan| *per_plan.last().expect("non-empty plan"))
             .collect()
+    }
+}
+
+/// A raw-pointer view of the shared output matrix that lets worker threads
+/// write disjoint rows without locks.
+///
+/// Safe Rust cannot express "N threads each mutate a different subset of
+/// rows of one matrix", so this view carries the proof obligation instead:
+///
+/// * every output row belongs to exactly **one** step (compile assigns
+///   each node one global row, and a node joins one draft chunk), so two
+///   workers never write the same row within a level;
+/// * a step only **reads** rows of its members' children, which sit at
+///   strictly lower height — written in an earlier level, sequenced by the
+///   inter-level barrier (`Barrier::wait` is an acquire/release point);
+/// * the view lives only inside [`PlanProgram::run_parallel`]'s scope,
+///   which holds the `&mut Matrix` borrow for the view's whole lifetime.
+struct SharedRows<'a> {
+    ptr: *mut f32,
+    rows: usize,
+    cols: usize,
+    _borrow: std::marker::PhantomData<&'a mut Matrix>,
+}
+
+/// SAFETY: see the type-level contract — all row accesses are disjoint or
+/// barrier-ordered, so handing the view to multiple threads is sound.
+unsafe impl Send for SharedRows<'_> {}
+/// SAFETY: as for [`Send`].
+unsafe impl Sync for SharedRows<'_> {}
+
+impl<'a> SharedRows<'a> {
+    fn new(m: &'a mut Matrix) -> SharedRows<'a> {
+        let (rows, cols) = (m.rows(), m.cols());
+        SharedRows { ptr: m.as_mut_slice().as_mut_ptr(), rows, cols, _borrow: std::marker::PhantomData }
+    }
+
+    /// Reads row `i`.
+    ///
+    /// # Safety
+    /// `i` must have been fully written in an earlier level (a strictly
+    /// lower height) and no thread may be writing it concurrently.
+    #[inline]
+    unsafe fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} shared view", self.rows, self.cols);
+        std::slice::from_raw_parts(self.ptr.add(i * self.cols), self.cols)
+    }
+
+    /// Overwrites row `i` with `src`.
+    ///
+    /// # Safety
+    /// The caller must be the only thread accessing row `i` in the current
+    /// level (each row belongs to exactly one step).
+    #[inline]
+    unsafe fn write_row(&self, i: usize, src: &[f32]) {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} shared view", self.rows, self.cols);
+        debug_assert_eq!(src.len(), self.cols, "row width mismatch in shared write");
+        std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(i * self.cols), self.cols);
+    }
+}
+
+/// One worker of [`PlanProgram::run_parallel`]: executes its round-robin
+/// share (`worker`, `worker + workers`, …) of each level's steps, then
+/// waits at the level barrier. Unlike the sequential path — which gathers
+/// child rows into the step's own input matrix — workers assemble each
+/// step's input in scratch taken from their private pool, so the compiled
+/// steps stay shared and immutable across threads. The gemm consumes the
+/// exact same input values either way, and scratch has the same shape as
+/// the baked input, so the kernel (and its result, bit for bit) is
+/// identical to the sequential path's.
+///
+/// A panic inside a step (e.g. a shape assert against a mismatched unit
+/// set) must not strand the other workers at the barrier: each level's
+/// work is caught, a shared poison flag is raised, the barrier is still
+/// reached, and every worker exits after the wait — the catching worker
+/// resumes its unwind so the caller observes the original panic (same
+/// message as the sequential path) instead of a deadlocked process.
+#[allow(clippy::too_many_arguments)] // one call site; a worker context struct would just rename these
+fn worker_loop(
+    worker: usize,
+    workers: usize,
+    steps: &[Step],
+    levels: &[Range<usize>],
+    units: &UnitSet,
+    outputs: &SharedRows<'_>,
+    barrier: &std::sync::Barrier,
+    poisoned: &std::sync::atomic::AtomicBool,
+    pool: &mut BufferPool,
+    out_w: usize,
+) {
+    use std::sync::atomic::Ordering;
+    for level in levels {
+        let my_steps = steps[level.clone()].iter().skip(worker).step_by(workers);
+        // AssertUnwindSafe: on panic the pool may keep un-given buffers
+        // and the output rows of this level may be partially written —
+        // the same states a sequential-path panic leaves behind; the
+        // unwind is re-raised below, so no caller observes them.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for step in my_steps {
+                let out = if step.arity == 0 {
+                    // Leaves: the baked feature matrix IS the full input.
+                    units.unit(step.kind).forward_pooled(&step.input, pool)
+                } else {
+                    let members = step.rows.len();
+                    let fw = step.feat_width;
+                    let mut scratch = pool.take(members, step.input.cols());
+                    for i in 0..members {
+                        let dst = scratch.row_mut(i);
+                        dst[..fw].copy_from_slice(&step.input.row(i)[..fw]);
+                        for j in 0..step.arity {
+                            let src = step.child_rows[i * step.arity + j];
+                            // SAFETY: `src` is a child row — strictly lower
+                            // height, fully written in an earlier level and
+                            // barrier-sequenced with this read.
+                            let child = unsafe { outputs.row(src) };
+                            dst[fw + j * out_w..fw + (j + 1) * out_w].copy_from_slice(child);
+                        }
+                    }
+                    let out = units.unit(step.kind).forward_pooled(&scratch, pool);
+                    pool.give(scratch);
+                    out
+                };
+                for (k, &r) in step.rows.iter().enumerate() {
+                    // SAFETY: each output row belongs to exactly one step,
+                    // and this worker owns this step within the current
+                    // level.
+                    unsafe { outputs.write_row(r, out.row(k)) };
+                }
+                pool.give(out);
+            }
+        }));
+        if result.is_err() {
+            poisoned.store(true, Ordering::Release);
+        }
+        barrier.wait();
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+        if poisoned.load(Ordering::Acquire) {
+            return;
+        }
     }
 }
 
@@ -387,12 +741,12 @@ pub fn predict_plans_with(
         InferEngine::Classes => {
             crate::train::predict_plans(units, featurizer, whitener, codec, ratio_caps, plans)
         }
-        InferEngine::Program => {
+        InferEngine::Program { threads } => {
             let roots: Vec<&PlanNode> = plans.iter().map(|p| &p.root).collect();
             let mut program = PlanProgram::compile(featurizer, whitener, units, &roots);
             match ratio_caps {
-                Some(caps) => program.predict_roots_clamped(units, codec, caps),
-                None => program.predict_roots(units, codec),
+                Some(caps) => program.predict_roots_clamped_threaded(units, codec, caps, threads),
+                None => program.predict_roots_threaded(units, codec, threads),
             }
         }
     }
@@ -505,11 +859,155 @@ mod tests {
         let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
         for caps in [None, Some(&caps)] {
             let a = predict_plans_with(InferEngine::Classes, &units, &fz, &wh, &codec, caps, &plans);
-            let b = predict_plans_with(InferEngine::Program, &units, &fz, &wh, &codec, caps, &plans);
+            let b = predict_plans_with(
+                InferEngine::Program { threads: 1 },
+                &units,
+                &fz,
+                &wh,
+                &codec,
+                caps,
+                &plans,
+            );
             for (x, y) in a.iter().zip(&b) {
                 let rel = (x - y).abs() / (1.0 + x.abs());
                 assert!(rel < 1e-5, "classes {x} vs program {y}");
             }
         }
+    }
+
+    #[test]
+    fn levels_partition_steps_in_dependency_order() {
+        let (ds, fz, wh, units, _) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        // Levels tile the step list exactly, in order.
+        let mut next = 0;
+        for level in &program.levels {
+            assert_eq!(level.start, next, "levels must tile the step list");
+            assert!(level.end > level.start, "empty level");
+            next = level.end;
+        }
+        assert_eq!(next, program.num_steps());
+        assert!(program.num_levels() >= 2, "multi-operator plans need >= 2 levels");
+        // Every child row referenced by a level's steps is produced by a
+        // step of an earlier level — the property run_parallel's safety
+        // argument rests on.
+        let mut produced_before: Vec<std::collections::HashSet<usize>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for level in &program.levels {
+            produced_before.push(seen.clone());
+            for step in &program.steps[level.clone()] {
+                seen.extend(step.rows.iter().copied());
+            }
+        }
+        for (l, level) in program.levels.iter().enumerate() {
+            for step in &program.steps[level.clone()] {
+                for &c in &step.child_rows {
+                    assert!(
+                        produced_before[l].contains(&c),
+                        "level {l} reads row {c} not produced by an earlier level"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_across_thread_counts() {
+        let (ds, fz, wh, units, codec) = setup();
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        let base_roots = program.predict_roots(&units, &codec);
+        let base_all = program.predict_all(&units, &codec);
+        let base_clamped = program.predict_roots_clamped(&units, &codec, &caps);
+        for threads in [2, 3, 4, 8, 64] {
+            assert_eq!(
+                program.predict_roots_threaded(&units, &codec, threads),
+                base_roots,
+                "{threads} threads: roots differ"
+            );
+            assert_eq!(
+                program.predict_all_threaded(&units, &codec, threads),
+                base_all,
+                "{threads} threads: per-operator predictions differ"
+            );
+            assert_eq!(
+                program.predict_roots_clamped_threaded(&units, &codec, &caps, threads),
+                base_clamped,
+                "{threads} threads: clamped roots differ"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_workers_reach_zero_steady_state_allocation() {
+        let (ds, fz, wh, units, codec) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        // Warm-up run grows every worker's pool to its high-water mark.
+        let first = program.predict_roots_threaded(&units, &codec, 4);
+        let pooled: Vec<usize> = program.worker_pools.iter().map(|p| p.available()).collect();
+        assert!(!pooled.is_empty() && pooled.iter().all(|&n| n > 0), "workers must pool buffers");
+        // Steady state: repeated runs neither grow nor leak any pool, and
+        // reuse is exact (every take is matched by a give).
+        for _ in 0..3 {
+            let again = program.predict_roots_threaded(&units, &codec, 4);
+            assert_eq!(again, first, "stale routing between parallel runs");
+            let now: Vec<usize> = program.worker_pools.iter().map(|p| p.available()).collect();
+            assert_eq!(now, pooled, "worker pools changed in steady state");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_threads_fall_back_cleanly() {
+        let (ds, fz, wh, units, codec) = setup();
+        // A plan whose levels are all single steps (e.g. a linear chain):
+        // any thread count degrades to the sequential path (no spawn, no
+        // barrier, no worker pools).
+        let mut program = ds
+            .plans
+            .iter()
+            .map(|p| PlanProgram::compile(&fz, &wh, &units, &[&p.root]))
+            .find(|prog| prog.levels.iter().all(|l| l.len() == 1))
+            .expect("some plan compiles to single-step levels");
+        let one = program.predict_roots(&units, &codec);
+        let many = program.predict_roots_threaded(&units, &codec, 8);
+        assert_eq!(one, many);
+        assert!(program.worker_pools.is_empty(), "fallback must not build worker pools");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn mismatched_units_panic_instead_of_deadlocking_workers() {
+        let (ds, fz, wh, units, codec) = setup();
+        let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        // A unit set with the same output width (so the cheap width check
+        // passes) but different per-family input dims: the shape assert
+        // fires *inside worker threads*. The poison protocol must convert
+        // that into this panic on the caller, not a barrier deadlock.
+        let other = Dataset::generate(Workload::TpcDs, 1.0, 8, 3);
+        let fz2 = Featurizer::new(&other.catalog);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let units2 = UnitSet::new(&QppConfig::tiny(), &fz2, &mut rng);
+        assert_eq!(units2.out_size(), units.out_size(), "width check must pass");
+        let _ = program.predict_roots_threaded(&units2, &codec, 4);
+    }
+
+    #[test]
+    fn engine_thread_accessors() {
+        assert_eq!(InferEngine::parse("program"), Some(InferEngine::Program { threads: 1 }));
+        assert_eq!(InferEngine::parse("classes"), Some(InferEngine::Classes));
+        assert_eq!(InferEngine::parse("wavefront"), None);
+        assert_eq!(InferEngine::default(), InferEngine::Program { threads: 1 });
+        assert_eq!(InferEngine::Classes.threads(), 1);
+        assert_eq!(InferEngine::Program { threads: 0 }.threads(), 1);
+        assert_eq!(
+            InferEngine::Program { threads: 1 }.with_threads(4),
+            InferEngine::Program { threads: 4 }
+        );
+        assert_eq!(InferEngine::Classes.with_threads(4), InferEngine::Classes);
+        assert_eq!(InferEngine::Program { threads: 4 }.name(), "program");
     }
 }

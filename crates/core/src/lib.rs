@@ -24,8 +24,12 @@
 //! an arbitrary *heterogeneous* batch of plans into wavefronts keyed by
 //! `(height-from-leaf, operator family)` — one gemm per family per
 //! wavefront across every plan, with child outputs routed by row
-//! gather/scatter through preallocated buffers. [`QppNet::predict_batch`]
-//! uses it by default; the per-class path remains available as
+//! gather/scatter through preallocated buffers. On multicore hosts the
+//! compiled schedule runs across a worker-thread pool
+//! ([`infer::PlanProgram::run_parallel`],
+//! [`QppNet::predict_compiled_with`]) with bit-identical results at any
+//! thread count. [`QppNet::predict_batch`] uses the wavefront engine by
+//! default; the per-class path remains available as
 //! [`infer::InferEngine::Classes`] for differential testing and
 //! benchmarking.
 //!

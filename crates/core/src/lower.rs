@@ -58,7 +58,26 @@ impl Lowering {
 /// parents, the root last. Heights are the wavefront key of the serving
 /// engine: a node at height `h` only consumes outputs of nodes at heights
 /// `< h`, so evaluating heights in ascending order satisfies every data
-/// dependency regardless of tree shape.
+/// dependency regardless of tree shape — and heights also bound the
+/// parallel engine's level barriers (`DESIGN.md` §7).
+///
+/// ```
+/// use qppnet::lower::lower;
+/// use qpp_plansim::operators::{JoinAlgorithm, JoinType, Operator, ParentRel, ScanMethod};
+/// use qpp_plansim::plan::PlanNode;
+///
+/// let scan = |t| PlanNode::new(
+///     Operator::Scan { table: t, method: ScanMethod::Seq, predicate_col: None }, vec![]);
+/// let join = PlanNode::new(
+///     Operator::Join { algo: JoinAlgorithm::Hash, jtype: JoinType::Inner,
+///                      parent_rel: ParentRel::None },
+///     vec![scan(0), scan(1)]);
+///
+/// let lw = lower(&join);
+/// assert_eq!(lw.len(), 3);                   // post order: scan, scan, join
+/// assert_eq!(lw.children_of(2), &[0, 1]);    // the root joins positions 0 and 1
+/// assert_eq!((lw.height_of(0), lw.height_of(2)), (0, 1));
+/// ```
 pub fn lower(root: &PlanNode) -> Lowering {
     fn rec(node: &PlanNode, lw: &mut Lowering, stack: &mut Vec<usize>) -> usize {
         let mark = stack.len();

@@ -217,12 +217,15 @@ impl QppNet {
     /// compiled wavefront engine ([`crate::infer::PlanProgram`]) — the
     /// batch may mix arbitrary plan shapes freely.
     pub fn predict_batch(&self, plans: &[&Plan]) -> Vec<f64> {
-        self.predict_batch_with(plans, InferEngine::Program)
+        self.predict_batch_with(plans, InferEngine::default())
     }
 
     /// Like [`QppNet::predict_batch`] with an explicit engine choice; the
     /// per-equivalence-class path ([`InferEngine::Classes`]) is kept for
-    /// differential testing and benchmarking against the serving engine.
+    /// differential testing and benchmarking against the serving engine,
+    /// and [`InferEngine::Program`]`{ threads }` runs the wavefront
+    /// schedule on a worker pool (identical results at any thread count —
+    /// see `DESIGN.md` §7).
     pub fn predict_batch_with(&self, plans: &[&Plan], engine: InferEngine) -> Vec<f64> {
         let f = self.fitted();
         let caps = self.config.monotone_clamp.then_some(&f.ratio_caps);
@@ -252,6 +255,17 @@ impl QppNet {
     /// either way the program's baked-in whitened features would silently
     /// mismatch the weights.
     pub fn predict_compiled(&self, program: &mut PlanProgram) -> Vec<f64> {
+        self.predict_compiled_with(program, 1)
+    }
+
+    /// [`QppNet::predict_compiled`] on `threads` worker threads
+    /// ([`PlanProgram::run_parallel`]): the serving configuration for
+    /// multicore hosts. Thread count never changes the predictions — only
+    /// how the wavefront steps are distributed across cores.
+    ///
+    /// # Panics
+    /// As [`QppNet::predict_compiled`].
+    pub fn predict_compiled_with(&self, program: &mut PlanProgram, threads: usize) -> Vec<f64> {
         assert_eq!(
             program.fingerprint(),
             Some(self.fitted_fingerprint()),
@@ -260,9 +274,9 @@ impl QppNet {
         );
         let f = self.fitted();
         if self.config.monotone_clamp {
-            program.predict_roots_clamped(&f.units, &f.codec, &f.ratio_caps)
+            program.predict_roots_clamped_threaded(&f.units, &f.codec, &f.ratio_caps, threads)
         } else {
-            program.predict_roots(&f.units, &f.codec)
+            program.predict_roots_threaded(&f.units, &f.codec, threads)
         }
     }
 
@@ -385,7 +399,7 @@ mod tests {
         let mut model = QppNet::new(fast(5), &ds.catalog);
         model.fit(&ds.plans.iter().take(40).collect::<Vec<_>>());
         let plans: Vec<&Plan> = ds.plans.iter().collect();
-        let program = model.predict_batch_with(&plans, crate::infer::InferEngine::Program);
+        let program = model.predict_batch_with(&plans, crate::infer::InferEngine::default());
         let classes = model.predict_batch_with(&plans, crate::infer::InferEngine::Classes);
         for (a, b) in program.iter().zip(&classes) {
             // 1e-5: the serving gemm may use FMA; rounding differs from the
@@ -393,10 +407,15 @@ mod tests {
             let rel = (a - b).abs() / (1.0 + b.abs());
             assert!(rel < 1e-5, "program {a} vs classes {b}");
         }
-        // Compile-once/run-many serving matches one-shot prediction.
+        // Compile-once/run-many serving matches one-shot prediction, at
+        // any thread count (bit-identical; DESIGN.md §7).
         let mut compiled = model.compile_program(&plans);
         assert_eq!(model.predict_compiled(&mut compiled), program);
         assert_eq!(model.predict_compiled(&mut compiled), program);
+        assert_eq!(model.predict_compiled_with(&mut compiled, 4), program);
+        let threaded =
+            model.predict_batch_with(&plans, crate::infer::InferEngine::Program { threads: 4 });
+        assert_eq!(threaded, program);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Training loop (paper §5) with the two §5.1 optimizations.
 //!
 //! Every epoch shuffles the training plans, draws large random batches, and
-//! processes each batch according to the configured [`OptMode`]:
+//! processes each batch according to the configured [`OptMode`](crate::config::OptMode):
 //!
 //! * **vectorization** (§5.1.1): the batch is partitioned into structural
 //!   equivalence classes; each class is evaluated as one [`TreeBatch`]

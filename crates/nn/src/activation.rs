@@ -1,6 +1,6 @@
 //! Activation functions and their derivatives.
 //!
-//! The paper uses rectified linear units (ReLU, Glorot et al. [12]) inside
+//! The paper uses rectified linear units (ReLU, Glorot et al. \[12\]) inside
 //! every neural unit. The other activations are provided for ablations and
 //! for the baselines' internals.
 

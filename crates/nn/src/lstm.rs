@@ -1,4 +1,4 @@
-//! Child-sum Tree-LSTM cell (Tai et al. [49]).
+//! Child-sum Tree-LSTM cell (Tai et al. \[49\]).
 //!
 //! The paper's §3 argues that tree-structured recurrent networks from the
 //! NLP literature are *ill-suited* to query performance prediction: they

@@ -3,7 +3,7 @@
 //! The paper trains with plain stochastic gradient descent, learning rate
 //! `0.001` and momentum `0.9` (§6, "Neural networks"); [`Sgd`] reproduces
 //! that. [`Adam`] implements the §8 future-work suggestion ("using a
-//! different optimizer [16] may prove fruitful") and is exercised by the
+//! different optimizer \[16\] may prove fruitful") and is exercised by the
 //! training-optimizer ablation bench.
 //!
 //! Optimizer state (velocities / moments) is keyed by an opaque `usize` so a
@@ -93,7 +93,7 @@ impl Optimizer for Sgd {
     }
 }
 
-/// Adam (Kingma & Ba [16]) with bias-corrected first/second moments.
+/// Adam (Kingma & Ba \[16\]) with bias-corrected first/second moments.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,

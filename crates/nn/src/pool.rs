@@ -7,6 +7,25 @@
 //! [`BufferPool`] keeps returned [`Matrix`] buffers and hands them back
 //! resized, so steady-state serving performs zero heap allocation once
 //! every buffer has grown to its high-water mark.
+//!
+//! ```
+//! use qpp_nn::{BufferPool, Matrix};
+//!
+//! let mut pool = BufferPool::new();
+//! let a = pool.take(4, 8);          // fresh allocation (pool is empty)
+//! pool.give(a);                     // return it for reuse
+//! let b = pool.take(2, 16);         // same allocation, reshaped — no malloc
+//! assert_eq!((b.rows(), b.cols()), (2, 16));
+//! ```
+//!
+//! # Threading
+//!
+//! A pool is deliberately **not** shared between threads — no locks, no
+//! atomics. Multicore serving gives each worker thread its *own* pool
+//! (`BufferPool` is [`Send`], as the compile-time assertion below pins
+//! down), which keeps the hot path lock-free and each worker's buffers
+//! warm in its core's cache. Sharing one pool behind a mutex would
+//! serialize exactly the allocations the pool exists to avoid.
 
 use crate::matrix::Matrix;
 
@@ -22,6 +41,19 @@ use crate::matrix::Matrix;
 pub struct BufferPool {
     free: Vec<Matrix>,
 }
+
+// The multicore serving engine moves pools (and the matrices inside them)
+// into scoped worker threads, and shares `&Mlp`/`&Matrix` across workers.
+// Pin those auto-trait facts at compile time so a future field addition
+// (e.g. an Rc-cached statistic) cannot silently break `Send`-cleanliness.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<BufferPool>();
+    assert_send::<Matrix>();
+    assert_sync::<Matrix>();
+    assert_sync::<crate::mlp::Mlp>();
+};
 
 impl BufferPool {
     /// An empty pool.

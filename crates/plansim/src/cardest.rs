@@ -1,7 +1,7 @@
 //! Simulated *learned cardinality estimators* (paper §7 integration).
 //!
 //! The paper's related-work section observes that learned cardinality
-//! estimation (Kipf et al. [17], Liu et al. [27]) "could be easily
+//! estimation (Kipf et al. \[17\], Liu et al. \[27\]) "could be easily
 //! integrated into our deep neural network by inserting the cardinality
 //! estimate of each operator into its neural unit's input vector", letting
 //! the network "learn the relationship between these estimates and the

@@ -4,7 +4,7 @@
 //! modification; the template ids here match the x-axis of the paper's
 //! Figure 8 (3, 6, 7, …, 97) plus template 98.
 //!
-//! Templates are data-driven: each [`DsDef`] captures the plan-shaping
+//! Templates are data-driven: each `DsDef` captures the plan-shaping
 //! skeleton of its TPC-DS counterpart — the driving fact table, the
 //! dimensions it joins (with filter selectivities reflecting the predicate:
 //! a year ≈ 0.2 of the sales history, a month ≈ 0.017, a brand ≈ 0.0015 of

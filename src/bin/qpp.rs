@@ -22,8 +22,12 @@
 //! of a (possibly heterogeneous) batch through the chosen inference
 //! engine — `program` (default) compiles the wavefront-batched
 //! [`qpp::net::PlanProgram`], `classes` uses per-equivalence-class
-//! evaluation — and reports throughput, so the two serving paths can be
-//! compared end to end (`--repeat N` averages the timing).
+//! evaluation — and reports throughput. `--threads` takes a comma list of
+//! worker counts (e.g. `--threads 1,2,4`; predictions use the first
+//! entry — thread count never changes them), and `--repeat N` (N > 1)
+//! prints one throughput table covering every engine × thread-count
+//! combination, including precompiled steady-state serving, so the
+//! README's scaling numbers reproduce with a single command.
 //!
 //! Extensions: `generate --max-mpl 8` produces a concurrent workload
 //! (§8 future work), `train --load-aware true` exposes the system load as
@@ -68,7 +72,8 @@ fn usage(error: &str) -> ExitCode {
                         [--threads N] [--load-aware true]\n\
          qpp evaluate   --dataset FILE --model FILE [--seed N]\n\
          qpp predict    --dataset FILE --model FILE --query N\n\
-         qpp predict    --input FILE --model FILE [--engine classes|program] [--repeat N]\n\
+         qpp predict    --input FILE --model FILE [--engine classes|program]\n\
+                        [--threads N[,N...]] [--repeat N]\n\
          qpp explain    --dataset FILE --query N\n\
          qpp importance --dataset FILE --model FILE [--seed N] [--top N]"
     );
@@ -245,10 +250,21 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{path} contains no plans"));
     }
     let model = load_model(flags)?;
-    let engine = InferEngine::parse(get_or(flags, "engine", "program"))
+    let engine_flag = flags.get("engine").map(String::as_str);
+    let engine = InferEngine::parse(engine_flag.unwrap_or("program"))
         .ok_or_else(|| "invalid --engine (classes|program)".to_string())?;
+    let threads: Vec<usize> = get_or(flags, "threads", "1")
+        .split(',')
+        .map(|t| parse::<usize>(t, "thread count").and_then(|n| {
+            if n == 0 { Err("invalid thread count: `0`".into()) } else { Ok(n) }
+        }))
+        .collect::<Result<_, _>>()?;
     let repeat: usize = parse(get_or(flags, "repeat", "1"), "repeat count")?;
     let repeat = repeat.max(1);
+    // Predictions are printed once, from the requested engine at the first
+    // thread count — by the engine's determinism contract every other row
+    // of the throughput table produces the same numbers.
+    let engine = engine.with_threads(threads[0]);
 
     // Structural validation up front: the input is user-supplied JSON, and
     // a malformed tree (wrong child count for an operator family) should
@@ -272,12 +288,8 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let plans: Vec<&Plan> = ds.plans.iter().collect();
     let start = std::time::Instant::now();
-    let mut preds = Vec::new();
-    for _ in 0..repeat {
-        preds = model.predict_batch_with(&plans, engine);
-    }
-    let elapsed = start.elapsed().as_secs_f64() / repeat as f64;
-
+    let preds = model.predict_batch_with(&plans, engine);
+    let first_run = start.elapsed().as_secs_f64();
     for (plan, pred) in plans.iter().zip(&preds) {
         println!(
             "{} q{} #{}: predicted {:.2}s actual {:.2}s",
@@ -290,14 +302,77 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let shapes: std::collections::HashSet<String> =
         plans.iter().map(|p| p.signature()).collect();
+
+    // Mean seconds per run of `f`, over `repeat` runs.
+    let time = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        for _ in 0..repeat {
+            f();
+        }
+        start.elapsed().as_secs_f64() / repeat as f64
+    };
+
+    if repeat == 1 {
+        // One-shot mode: report the timing of the run already printed
+        // above — no extra pipeline pass just to hold a stopwatch.
+        let elapsed = first_run;
+        eprintln!(
+            "engine {} ({} thread{}): {} plans ({} distinct shapes) in {:.2} ms -> {:.0} plans/s",
+            engine.name(),
+            engine.threads(),
+            if engine.threads() == 1 { "" } else { "s" },
+            plans.len(),
+            shapes.len(),
+            elapsed * 1e3,
+            plans.len() as f64 / elapsed
+        );
+        return Ok(());
+    }
+
+    // `--repeat N` (N > 1): one table covering every engine × thread-count
+    // combination (plus precompiled steady-state serving), so scaling
+    // numbers reproduce with a single command. An explicit --engine flag
+    // restricts the table to that engine.
     eprintln!(
-        "engine {}: {} plans ({} distinct shapes) in {:.2} ms -> {:.0} plans/s",
-        engine.name(),
+        "\nthroughput, mean over {repeat} runs ({} plans, {} distinct shapes):",
         plans.len(),
-        shapes.len(),
-        elapsed * 1e3,
-        plans.len() as f64 / elapsed
+        shapes.len()
     );
+    eprintln!("{:<22} {:>7} {:>12} {:>10} {:>8}", "engine", "threads", "ms/batch", "plans/s", "vs 1st");
+    let mut baseline = None;
+    let mut report = |label: &str, t: usize, secs: f64| {
+        let base = *baseline.get_or_insert(secs);
+        eprintln!(
+            "{:<22} {:>7} {:>12.2} {:>10.0} {:>7.2}x",
+            label,
+            t,
+            secs * 1e3,
+            plans.len() as f64 / secs,
+            base / secs
+        );
+    };
+    let only = engine_flag.map(|_| engine.name());
+    if only.is_none() || only == Some("classes") {
+        let secs = time(&mut || {
+            let _ = model.predict_batch_with(&plans, InferEngine::Classes);
+        });
+        report("classes", 1, secs);
+    }
+    if only.is_none() || only == Some("program") {
+        for &t in &threads {
+            let secs = time(&mut || {
+                let _ = model.predict_batch_with(&plans, InferEngine::Program { threads: t });
+            });
+            report("program", t, secs);
+        }
+        let mut compiled = model.compile_program(&plans);
+        for &t in &threads {
+            let secs = time(&mut || {
+                let _ = model.predict_compiled_with(&mut compiled, t);
+            });
+            report("program precompiled", t, secs);
+        }
+    }
     Ok(())
 }
 

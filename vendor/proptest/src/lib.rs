@@ -149,7 +149,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
