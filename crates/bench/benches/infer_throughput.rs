@@ -25,6 +25,19 @@
 //! the one-shot path's fixed costs (schedule construction and Table-2
 //! featurization respectively); their ratio is the number behind the
 //! ROADMAP's incremental-compile lead.
+//!
+//! The streaming-admission rows measure the incremental engine
+//! (`ProgramBuilder`) against the recompile-the-world status quo:
+//!
+//! * `admit_one` — with the full mixed stream resident, admit **one**
+//!   newly-arrived plan (and retire it again, keeping the state
+//!   steady): the per-arrival schedule-maintenance cost;
+//! * `recompile_one` — the status quo for the same arrival: a fresh
+//!   `PlanProgram::compile` over resident + 1 plans (the acceptance bar
+//!   is `admit_one` ≥ 5x faster);
+//! * `stream` — end-to-end admission-control churn: every plan of the
+//!   mixed stream is admitted, scored (full resident run) and retired
+//!   past a 32-plan sliding window, against warm caches.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qpp_plansim::catalog::Workload;
@@ -102,6 +115,70 @@ fn bench_mixed_stream(c: &mut Criterion) {
                 },
             );
         }
+
+        // Incremental admission: the full stream is resident; one new
+        // plan arrives (one per workload — the stream is served by two
+        // models) and is retired again, leaving state steady across
+        // iterations. This is the cost `recompile_one` pays ~everything
+        // else for.
+        let (held_h, resident_h) = plans_h.split_last().unwrap();
+        let (held_ds, resident_ds) = plans_ds.split_last().unwrap();
+        let mut stream_h = model_h.serve_stream();
+        let mut stream_ds = model_ds.serve_stream();
+        for p in resident_h {
+            stream_h.admit(&p.root);
+        }
+        for p in resident_ds {
+            stream_ds.admit(&p.root);
+        }
+        group.bench_function(BenchmarkId::new("admit_one", total), |b| {
+            b.iter(|| {
+                let a = stream_h.admit(&held_h.root);
+                stream_h.retire(a);
+                let c = stream_ds.admit(&held_ds.root);
+                stream_ds.retire(c);
+                (a, c)
+            })
+        });
+
+        // Status quo for the same arrival: recompile the whole resident
+        // batch plus the new plan from scratch.
+        group.bench_function(BenchmarkId::new("recompile_one", total), |b| {
+            b.iter(|| {
+                (model_h.compile_program(&plans_h).num_steps(),
+                 model_ds.compile_program(&plans_ds).num_steps())
+            })
+        });
+        drop(stream_h);
+        drop(stream_ds);
+
+        // End-to-end admission-control churn over the whole mixed stream:
+        // admit, score (a full resident-program run — the admission
+        // decision), retire past a 32-plan sliding window. Caches stay
+        // warm across iterations, as across a live stream.
+        let mut churn_h = model_h.serve_stream();
+        let mut churn_ds = model_ds.serve_stream();
+        let mut window = std::collections::VecDeque::new();
+        group.bench_function(BenchmarkId::new("stream", total), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (plan, which) in plans_h
+                    .iter()
+                    .map(|p| (*p, true))
+                    .chain(plans_ds.iter().map(|p| (*p, false)))
+                {
+                    let stream = if which { &mut churn_h } else { &mut churn_ds };
+                    let id = stream.admit(&plan.root);
+                    acc += stream.predict_root(id);
+                    window.push_back((which, id));
+                    if window.len() > 32 {
+                        let (w, old) = window.pop_front().unwrap();
+                        if w { &mut churn_h } else { &mut churn_ds }.retire(old);
+                    }
+                }
+                acc
+            })
+        });
         group.finish();
     }
 

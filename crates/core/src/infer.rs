@@ -64,7 +64,6 @@ use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::{Plan, PlanNode};
 use std::collections::BTreeMap;
-use std::ops::Range;
 
 /// Which inference engine answers a prediction request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,25 +131,30 @@ impl Default for InferEngine {
 /// buffers, one unit's weights) stays cache-resident — measured on the
 /// `infer_throughput` bench, monolithic several-hundred-row gemms run up
 /// to ~2x slower per row than cache-sized ones on the same kernel.
-const STEP_CHUNK_ROWS: usize = 32;
+pub(crate) const STEP_CHUNK_ROWS: usize = 32;
 
 /// One wavefront step: every node (across all plans) at one
 /// `(height, OpKind)` key, executed as a single gemm (large wavefronts
 /// are split into [`STEP_CHUNK_ROWS`]-row chunks).
-struct Step {
-    kind: OpKind,
+///
+/// Shared between the batch-compiled [`PlanProgram`] and the incremental
+/// [`crate::stream::ProgramBuilder`] (which additionally grows/shrinks a
+/// step's member set in place — `input` is then allocated with
+/// [`Matrix::with_row_capacity`] so membership churn stays allocation-free).
+pub(crate) struct Step {
+    pub(crate) kind: OpKind,
     /// Global output-buffer row of each member node.
-    rows: Vec<usize>,
+    pub(crate) rows: Vec<usize>,
     /// Global rows of each member's children, node-major
     /// (`child_rows[i * arity + j]` is member `i`'s `j`-th child).
-    child_rows: Vec<usize>,
-    arity: usize,
+    pub(crate) child_rows: Vec<usize>,
+    pub(crate) arity: usize,
     /// Width of the feature prefix of `input`.
-    feat_width: usize,
+    pub(crate) feat_width: usize,
     /// Preallocated input, `members × in_dim`. Feature columns are filled
-    /// at compile time (features are batch-invariant); child columns are
-    /// overwritten by the gather on every run.
-    input: Matrix,
+    /// at compile/admit time (features are batch-invariant); child columns
+    /// are overwritten by the gather on every run.
+    pub(crate) input: Matrix,
 }
 
 /// Per-plan bookkeeping for reading results back out of the flat output
@@ -177,10 +181,12 @@ struct PlanSlot {
 /// prediction variants — thread count never changes the results.
 pub struct PlanProgram {
     steps: Vec<Step>,
-    /// Ranges into `steps` grouping one height level each, ascending: all
-    /// steps of `levels[l]` read only output rows written by levels `< l`,
-    /// which is what makes a level's steps safe to run concurrently.
-    levels: Vec<Range<usize>>,
+    /// Step ids grouped into one height level each, ascending: all steps
+    /// of `levels[l]` read only output rows written by levels `< l`, which
+    /// is what makes a level's steps safe to run concurrently. Id lists
+    /// (rather than ranges) so the same executors serve the incremental
+    /// engine, whose step slab is not level-contiguous.
+    levels: Vec<Vec<u32>>,
     plans: Vec<PlanSlot>,
     /// `total_nodes × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
     outputs: Matrix,
@@ -274,12 +280,11 @@ impl PlanProgram {
         }
 
         let mut steps = Vec::new();
-        let mut levels: Vec<Range<usize>> = Vec::new();
+        let mut levels: Vec<Vec<u32>> = Vec::new();
         let mut cur_height = usize::MAX;
         for ((height, _), draft) in drafts {
             if height != cur_height {
-                let start = steps.len();
-                levels.push(start..start);
+                levels.push(Vec::new());
                 cur_height = height;
             }
             let arity = draft.kind.arity();
@@ -312,8 +317,8 @@ impl PlanProgram {
                     feat_width,
                     input,
                 });
+                levels.last_mut().expect("level opened above").push((steps.len() - 1) as u32);
             }
-            levels.last_mut().expect("level opened above").end = steps.len();
         }
 
         PlanProgram {
@@ -374,32 +379,6 @@ impl PlanProgram {
         );
     }
 
-    /// Executes the schedule bottom-up on the calling thread, filling the
-    /// output buffer.
-    fn run(&mut self, units: &UnitSet) {
-        self.check_units_width(units);
-        let out_w = self.out_w;
-        let (steps, outputs, pool) = (&mut self.steps, &mut self.outputs, &mut self.pool);
-        for step in steps.iter_mut() {
-            // Route child outputs (written by earlier wavefronts) into the
-            // child columns of this step's input.
-            if step.arity > 0 {
-                let fw = step.feat_width;
-                for i in 0..step.rows.len() {
-                    for j in 0..step.arity {
-                        let src = step.child_rows[i * step.arity + j];
-                        let start = fw + j * out_w;
-                        step.input.row_mut(i)[start..start + out_w]
-                            .copy_from_slice(outputs.row(src));
-                    }
-                }
-            }
-            let out = units.unit(step.kind).forward_pooled(&step.input, pool);
-            out.scatter_rows_into(&step.rows, outputs);
-            pool.give(out);
-        }
-    }
-
     /// Executes the schedule bottom-up across `threads` worker threads,
     /// filling the output buffer read by the `predict_*` methods.
     ///
@@ -423,40 +402,17 @@ impl PlanProgram {
     /// 32-row chunk) fall back to the sequential path instead of paying
     /// thread-spawn and barrier overhead for no available parallelism.
     pub fn run_parallel(&mut self, units: &UnitSet, threads: usize) {
-        let max_level_width = self.levels.iter().map(|l| l.len()).max().unwrap_or(0);
-        let threads = threads.min(max_level_width);
-        if threads <= 1 {
-            self.run(units);
-            return;
-        }
         self.check_units_width(units);
-        if self.worker_pools.len() < threads {
-            self.worker_pools.resize_with(threads, BufferPool::new);
-        }
-        let out_w = self.out_w;
-        let steps: &[Step] = &self.steps;
-        let levels: &[Range<usize>] = &self.levels;
-        let outputs = SharedRows::new(&mut self.outputs);
-        let barrier = std::sync::Barrier::new(threads);
-        let poisoned = std::sync::atomic::AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            let mut pools = self.worker_pools[..threads].iter_mut();
-            let main_pool = pools.next().expect("threads >= 2");
-            for (t, pool) in pools.enumerate() {
-                let (outputs, barrier, poisoned) = (&outputs, &barrier, &poisoned);
-                scope.spawn(move || {
-                    worker_loop(
-                        t + 1, threads, steps, levels, units, outputs, barrier, poisoned, pool,
-                        out_w,
-                    )
-                });
-            }
-            // The caller participates as worker 0 — `threads` means total
-            // active workers, not extra threads.
-            worker_loop(
-                0, threads, steps, levels, units, &outputs, &barrier, &poisoned, main_pool, out_w,
-            );
-        });
+        run_schedule(
+            &mut self.steps,
+            &self.levels,
+            units,
+            &mut self.outputs,
+            &mut self.pool,
+            &mut self.worker_pools,
+            self.out_w,
+            threads,
+        );
     }
 
     fn decode_roots(&self, codec: &TargetCodec) -> Vec<f64> {
@@ -473,16 +429,7 @@ impl PlanProgram {
     /// envelope exactly as in `TreeBatch`.
     fn clamp_envelope(&self, all: &mut [Vec<f64>], caps: &RatioCaps) {
         for (slot, preds) in self.plans.iter().zip(all.iter_mut()) {
-            for k in 0..slot.len {
-                let kids = slot.lowering.children_of(k);
-                if kids.is_empty() {
-                    continue;
-                }
-                let max_child = kids.iter().map(|&c| preds[c]).fold(0.0f64, f64::max);
-                let cap = caps.cap(slot.kinds[k], max_child);
-                let (lo, hi) = (max_child, max_child * cap.max(1.0));
-                preds[k] = preds[k].clamp(lo, hi.max(lo));
-            }
+            clamp_plan_envelope(preds, &slot.lowering, &slot.kinds, caps);
         }
     }
 
@@ -585,6 +532,138 @@ impl PlanProgram {
     }
 }
 
+/// The widest level's step count — the effective parallelism bound of a
+/// wavefront schedule (the executors cap worker counts here so schedules
+/// with no available parallelism fall back to the sequential path).
+pub(crate) fn max_level_width(levels: &[Vec<u32>]) -> usize {
+    levels.iter().map(|l| l.len()).max().unwrap_or(0)
+}
+
+/// Folds the structural envelope over one plan's decoded per-position
+/// latencies, in place — the same monotonicity + bounded-amplification
+/// walk as [`crate::tree::TreeBatch::predict_all_clamped`]. Post order
+/// puts children before parents, so clamped child values feed the parent's
+/// envelope. Shared by [`PlanProgram`] and the incremental builder.
+pub(crate) fn clamp_plan_envelope(
+    preds: &mut [f64],
+    lowering: &crate::lower::Lowering,
+    kinds: &[OpKind],
+    caps: &RatioCaps,
+) {
+    for k in 0..preds.len() {
+        let kids = lowering.children_of(k);
+        if kids.is_empty() {
+            continue;
+        }
+        let max_child = kids.iter().map(|&c| preds[c]).fold(0.0f64, f64::max);
+        let cap = caps.cap(kinds[k], max_child);
+        let (lo, hi) = (max_child, max_child * cap.max(1.0));
+        preds[k] = preds[k].clamp(lo, hi.max(lo));
+    }
+}
+
+/// Executes a wavefront schedule bottom-up on the calling thread: for each
+/// step (levels ascending, in level order) routes child outputs into the
+/// step's baked input and runs the unit forward through `pool`. Steps are
+/// visited via the level id lists, so the step slab may contain retired
+/// (unlisted) entries — the incremental engine relies on this.
+pub(crate) fn run_levels_seq(
+    steps: &mut [Step],
+    levels: &[Vec<u32>],
+    units: &UnitSet,
+    outputs: &mut Matrix,
+    pool: &mut BufferPool,
+    out_w: usize,
+) {
+    for level in levels {
+        for &id in level {
+            let step = &mut steps[id as usize];
+            // Route child outputs (written by earlier wavefronts) into the
+            // child columns of this step's input.
+            if step.arity > 0 {
+                let fw = step.feat_width;
+                for i in 0..step.rows.len() {
+                    for j in 0..step.arity {
+                        let src = step.child_rows[i * step.arity + j];
+                        let start = fw + j * out_w;
+                        step.input.row_mut(i)[start..start + out_w]
+                            .copy_from_slice(outputs.row(src));
+                    }
+                }
+            }
+            let out = units.unit(step.kind).forward_pooled(&step.input, pool);
+            out.scatter_rows_into(&step.rows, outputs);
+            pool.give(out);
+        }
+    }
+}
+
+/// Dispatches a wavefront schedule onto the right executor — the single
+/// decision point shared by [`PlanProgram`] and the incremental builder:
+/// the thread count is capped at the widest level (no parallelism worth
+/// spawning for → the sequential in-place path, touching no worker
+/// pools), otherwise `worker_pools` is grown to the effective count and
+/// the scoped worker pool runs the levels.
+#[allow(clippy::too_many_arguments)] // two call sites; a context struct would just rename these
+pub(crate) fn run_schedule(
+    steps: &mut [Step],
+    levels: &[Vec<u32>],
+    units: &UnitSet,
+    outputs: &mut Matrix,
+    pool: &mut BufferPool,
+    worker_pools: &mut Vec<BufferPool>,
+    out_w: usize,
+    threads: usize,
+) {
+    let threads = threads.min(max_level_width(levels));
+    if threads <= 1 {
+        run_levels_seq(steps, levels, units, outputs, pool, out_w);
+    } else {
+        if worker_pools.len() < threads {
+            worker_pools.resize_with(threads, BufferPool::new);
+        }
+        run_levels_parallel(steps, levels, units, outputs, &mut worker_pools[..threads], out_w);
+    }
+}
+
+/// Executes a wavefront schedule across one worker per pool in
+/// `worker_pools` (the caller participates as worker 0; callers must pass
+/// at least two pools and have already handled the `threads <= 1`
+/// fallback). Each height level's steps are dealt round-robin; a barrier
+/// separates levels. See [`PlanProgram::run_parallel`] for the
+/// determinism and poisoning contracts.
+pub(crate) fn run_levels_parallel(
+    steps: &[Step],
+    levels: &[Vec<u32>],
+    units: &UnitSet,
+    outputs: &mut Matrix,
+    worker_pools: &mut [BufferPool],
+    out_w: usize,
+) {
+    let threads = worker_pools.len();
+    debug_assert!(threads >= 2, "parallel executor needs >= 2 workers");
+    let outputs = SharedRows::new(outputs);
+    let barrier = std::sync::Barrier::new(threads);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut pools = worker_pools.iter_mut();
+        let main_pool = pools.next().expect("threads >= 2");
+        for (t, pool) in pools.enumerate() {
+            let (outputs, barrier, poisoned) = (&outputs, &barrier, &poisoned);
+            scope.spawn(move || {
+                worker_loop(
+                    t + 1, threads, steps, levels, units, outputs, barrier, poisoned, pool, out_w,
+                )
+            });
+        }
+        // The caller participates as worker 0 — `threads` means total
+        // active workers, not extra threads.
+        worker_loop(
+            0, threads, steps, levels, units, &outputs, &barrier, &poisoned, main_pool, out_w,
+        );
+    });
+}
+
 /// A raw-pointer view of the shared output matrix that lets worker threads
 /// write disjoint rows without locks.
 ///
@@ -663,7 +742,7 @@ fn worker_loop(
     worker: usize,
     workers: usize,
     steps: &[Step],
-    levels: &[Range<usize>],
+    levels: &[Vec<u32>],
     units: &UnitSet,
     outputs: &SharedRows<'_>,
     barrier: &std::sync::Barrier,
@@ -673,7 +752,7 @@ fn worker_loop(
 ) {
     use std::sync::atomic::Ordering;
     for level in levels {
-        let my_steps = steps[level.clone()].iter().skip(worker).step_by(workers);
+        let my_steps = level.iter().skip(worker).step_by(workers).map(|&id| &steps[id as usize]);
         // AssertUnwindSafe: on panic the pool may keep un-given buffers
         // and the output rows of this level may be partially written —
         // the same states a sequential-path panic leaves behind; the
@@ -880,14 +959,11 @@ mod tests {
         let (ds, fz, wh, units, _) = setup();
         let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
         let program = PlanProgram::compile(&fz, &wh, &units, &roots);
-        // Levels tile the step list exactly, in order.
-        let mut next = 0;
-        for level in &program.levels {
-            assert_eq!(level.start, next, "levels must tile the step list");
-            assert!(level.end > level.start, "empty level");
-            next = level.end;
-        }
-        assert_eq!(next, program.num_steps());
+        // Levels tile the step list exactly, in order (compile emits step
+        // ids sequentially).
+        let flat: Vec<u32> = program.levels.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..program.num_steps() as u32).collect::<Vec<_>>());
+        assert!(program.levels.iter().all(|l| !l.is_empty()), "empty level");
         assert!(program.num_levels() >= 2, "multi-operator plans need >= 2 levels");
         // Every child row referenced by a level's steps is produced by a
         // step of an earlier level — the property run_parallel's safety
@@ -896,13 +972,13 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for level in &program.levels {
             produced_before.push(seen.clone());
-            for step in &program.steps[level.clone()] {
-                seen.extend(step.rows.iter().copied());
+            for &id in level {
+                seen.extend(program.steps[id as usize].rows.iter().copied());
             }
         }
         for (l, level) in program.levels.iter().enumerate() {
-            for step in &program.steps[level.clone()] {
-                for &c in &step.child_rows {
+            for &id in level {
+                for &c in &program.steps[id as usize].child_rows {
                     assert!(
                         produced_before[l].contains(&c),
                         "level {l} reads row {c} not produced by an earlier level"

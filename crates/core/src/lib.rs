@@ -31,7 +31,11 @@
 //! thread count. [`QppNet::predict_batch`] uses the wavefront engine by
 //! default; the per-class path remains available as
 //! [`infer::InferEngine::Classes`] for differential testing and
-//! benchmarking.
+//! benchmarking. For live query streams, [`QppNet::serve_stream`] opens
+//! an *incremental* session ([`stream::ProgramBuilder`]): plans are
+//! admitted and retired one at a time against the resident wavefront
+//! program — feature rows cached, identical subtrees shared — with
+//! predictions bit-identical to recompiling the batch from scratch.
 //!
 //! Quick start (see `examples/quickstart.rs` for a narrated version):
 //!
@@ -57,6 +61,7 @@ pub mod infer;
 pub mod lower;
 pub mod metrics;
 pub mod model;
+pub mod stream;
 pub mod train;
 pub mod tree;
 pub mod unit;
@@ -67,6 +72,7 @@ pub use importance::{permutation_importance, FeatureImportance};
 pub use infer::{predict_plans_with, InferEngine, PlanProgram};
 pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
 pub use model::QppNet;
+pub use stream::{PlanId, ProgramBuilder, ProgramStats};
 pub use train::{predict_plans, TrainHistory, Trainer};
 pub use tree::{equivalence_classes, Supervision, TreeBatch};
 pub use unit::UnitSet;

@@ -10,7 +10,114 @@
 //! two engines agree on position numbering — the differential tests compare
 //! their outputs position by position.
 
+use qpp_plansim::operators::{
+    AggStrategy, HashAlgorithm, JoinAlgorithm, JoinType, Operator, ParentRel, ScanMethod,
+    SortMethod,
+};
 use qpp_plansim::plan::PlanNode;
+
+/// An **exact** content key of everything featurization reads from one
+/// plan node: the operator variant with all its parameters, the full
+/// `EXPLAIN` estimate block, the learned-cardinality attachment and the
+/// multiprogramming level. Two nodes with equal keys featurize to
+/// bit-identical vectors under any one featurizer/whitener pair — which is
+/// why the serving engines may key feature-row caches and subtree sharing
+/// on it without ever re-verifying: this is a lossless encoding (a
+/// conservative superset of the featurized fields), not a hash, so there
+/// are no collisions to defend against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeContentKey([u64; 12]);
+
+impl NodeContentKey {
+    /// Encodes `node`'s feature-determining content.
+    pub fn of(node: &PlanNode) -> NodeContentKey {
+        // Layout: [tag | learned-flag << 8, op0, op1, op2,
+        //          width, rows, buffers, ios, total_cost, selectivity,
+        //          learned_rows, concurrency].
+        let mut k = [0u64; 12];
+        let (tag, op0, op1, op2): (u64, u64, u64, u64) = match &node.op {
+            Operator::Scan { table, method, predicate_col } => {
+                let m = match method {
+                    ScanMethod::Seq => 0,
+                    ScanMethod::Index { index, forward } => {
+                        1 | ((*index as u64) << 8) | ((*forward as u64) << 1)
+                    }
+                };
+                (0, *table as u64, m, predicate_col.map_or(0, |c| c as u64 + 1))
+            }
+            Operator::Filter { parallel } => (1, *parallel as u64, 0, 0),
+            Operator::Join { algo, jtype, parent_rel } => {
+                let a = match algo {
+                    JoinAlgorithm::NestedLoop => 0,
+                    JoinAlgorithm::Hash => 1,
+                    JoinAlgorithm::Merge => 2,
+                };
+                let t = match jtype {
+                    JoinType::Inner => 0,
+                    JoinType::Semi => 1,
+                    JoinType::Anti => 2,
+                    JoinType::Full => 3,
+                };
+                let p = match parent_rel {
+                    ParentRel::None => 0,
+                    ParentRel::Inner => 1,
+                    ParentRel::Outer => 2,
+                    ParentRel::Subquery => 3,
+                };
+                (2, a, t, p)
+            }
+            Operator::Hash { buckets, algo } => {
+                (3, buckets.to_bits(), matches!(algo, HashAlgorithm::Chained) as u64, 0)
+            }
+            Operator::Sort { key, method } => {
+                let m = match method {
+                    SortMethod::Quicksort => 0,
+                    SortMethod::TopN => 1,
+                    SortMethod::External => 2,
+                };
+                (4, *key as u64, m, 0)
+            }
+            Operator::Aggregate { strategy, partial, op } => {
+                let s = match strategy {
+                    AggStrategy::Plain => 0,
+                    AggStrategy::Sorted => 1,
+                    AggStrategy::Hashed => 2,
+                };
+                (5, s, *partial as u64, *op as u64)
+            }
+            Operator::Materialize => (6, 0, 0, 0),
+            Operator::Limit { count } => (7, count.to_bits(), 0, 0),
+        };
+        k[0] = tag | (node.learned_rows.is_some() as u64) << 8;
+        k[1] = op0;
+        k[2] = op1;
+        k[3] = op2;
+        k[4] = node.est.width.to_bits();
+        k[5] = node.est.rows.to_bits();
+        k[6] = node.est.buffers.to_bits();
+        k[7] = node.est.ios.to_bits();
+        k[8] = node.est.total_cost.to_bits();
+        k[9] = node.est.selectivity.to_bits();
+        k[10] = node.learned_rows.map_or(0, f64::to_bits);
+        k[11] = node.concurrency.to_bits();
+        NodeContentKey(k)
+    }
+}
+
+/// The structural fingerprint of one *resident subtree* in the incremental
+/// serving engine: the root node's exact content plus the identities of
+/// its (already-deduplicated) children. Because children are resolved
+/// bottom-up, two subtrees receive equal keys **iff** they are
+/// node-for-node identical in every featurized field — the common-
+/// subexpression-elimination map (`qppnet::stream`) keys shared wavefront
+/// rows on this, so sharing is exact (same bits), never heuristic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SubtreeKey {
+    /// Content key of the subtree's root node.
+    pub content: NodeContentKey,
+    /// Shared-node ids of the root's children, left to right.
+    pub children: Vec<u32>,
+}
 
 /// A plan tree lowered to flat post-order form: per-position child lists
 /// in CSR layout plus heights from the leaves.
@@ -171,6 +278,49 @@ mod tests {
         assert!(!lw.is_empty());
         assert_eq!(lw.children_of(0), &[] as &[usize]);
         assert_eq!(lw.height_of(0), 0);
+    }
+
+    #[test]
+    fn content_keys_track_features_not_actuals() {
+        let mut a = scan();
+        a.est.rows = 123.0;
+        let mut b = a.clone();
+        // Actuals are never featurized — keys must ignore them.
+        b.actual.latency_ms = 1e9;
+        b.actual.rows = 7.0;
+        assert_eq!(NodeContentKey::of(&a), NodeContentKey::of(&b));
+        // Any featurized field difference must split the key.
+        let mut c = a.clone();
+        c.est.rows = 124.0;
+        assert_ne!(NodeContentKey::of(&a), NodeContentKey::of(&c));
+        let mut d = a.clone();
+        d.concurrency = 2.0;
+        assert_ne!(NodeContentKey::of(&a), NodeContentKey::of(&d));
+        let mut e = a.clone();
+        e.learned_rows = Some(123.0);
+        assert_ne!(NodeContentKey::of(&a), NodeContentKey::of(&e));
+        // learned_rows = Some(0.0) must differ from None (flag bit).
+        let mut f = a.clone();
+        f.learned_rows = Some(0.0);
+        assert_ne!(NodeContentKey::of(&a), NodeContentKey::of(&f));
+        // A different operator family always differs.
+        assert_ne!(
+            NodeContentKey::of(&scan()),
+            NodeContentKey::of(&PlanNode::new(Operator::Materialize, vec![scan()]))
+        );
+    }
+
+    #[test]
+    fn subtree_keys_separate_structure_and_content() {
+        let key = |node: &PlanNode, children: Vec<u32>| SubtreeKey {
+            content: NodeContentKey::of(node),
+            children,
+        };
+        let a = scan();
+        assert_eq!(key(&a, vec![]), key(&a, vec![]));
+        // Same content, different (shared) children → different subtree.
+        assert_ne!(key(&a, vec![0]), key(&a, vec![1]));
+        assert_ne!(key(&a, vec![0, 1]), key(&a, vec![1, 0]), "child order matters");
     }
 
     #[test]

@@ -244,6 +244,24 @@ impl QppNet {
         program
     }
 
+    /// Opens a streaming-admission session: an incremental
+    /// [`crate::stream::ProgramBuilder`] over this fitted model, with the
+    /// configured clamping policy. Admit plans as they arrive, predict, retire them
+    /// when they finish — no per-arrival recompilation of the resident
+    /// batch (see [`crate::stream`] for the execution model and the
+    /// bit-identity contract against [`QppNet::compile_program`]).
+    ///
+    /// The builder borrows the fitted state, so refitting while a
+    /// session is live is rejected at compile time — the static analogue
+    /// of [`QppNet::predict_compiled`]'s fingerprint check.
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted.
+    pub fn serve_stream(&self) -> crate::stream::ProgramBuilder<'_> {
+        let (fz, wh, units, codec, caps) = self.fitted_parts();
+        crate::stream::ProgramBuilder::new(fz, wh, units, codec, caps)
+    }
+
     /// Runs a program from [`QppNet::compile_program`], returning decoded
     /// root predictions (clamped onto the structural envelope when the
     /// config enables it, exactly like [`QppNet::predict_batch`]).
@@ -416,6 +434,29 @@ mod tests {
         let threaded =
             model.predict_batch_with(&plans, crate::infer::InferEngine::Program { threads: 4 });
         assert_eq!(threaded, program);
+    }
+
+    #[test]
+    fn serve_stream_matches_compiled_batch_bitwise() {
+        let ds = dataset();
+        let mut model = QppNet::new(fast(4), &ds.catalog);
+        model.fit(&ds.plans.iter().take(30).collect::<Vec<_>>());
+        let plans: Vec<&Plan> = ds.plans.iter().take(20).collect();
+        // Admit the same set a compiled batch would hold; the streaming
+        // session applies the model's configured clamping automatically.
+        let mut stream = model.serve_stream();
+        for p in &plans {
+            stream.admit(&p.root);
+        }
+        let streamed = stream.predict_roots();
+        drop(stream);
+        let mut program = model.compile_program(&plans);
+        let compiled = model.predict_compiled(&mut program);
+        assert_eq!(
+            streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            compiled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "streaming admission must be bit-identical to a fresh compiled batch"
+        );
     }
 
     #[test]

@@ -1,0 +1,926 @@
+//! Incremental plan programs: streaming admission with feature-row
+//! caching and common-subexpression elimination.
+//!
+//! The batch engine ([`crate::infer::PlanProgram`]) makes steady-state
+//! serving fast, but a *one-shot* request is compile-bound: on the mixed
+//! 320-plan bench stream, compilation is ~36 % of the request, and Table-2
+//! featurization alone is ~36 % of compilation. The paper's headline use
+//! case — admission control over a live query stream (§1) — admits and
+//! retires **one plan at a time**; recompiling the whole resident batch
+//! per arrival is the wrong asymptotic. A [`ProgramBuilder`] maintains a
+//! resident wavefront program *mutably*:
+//!
+//! * [`ProgramBuilder::admit`] lowers one plan and appends its nodes into
+//!   the existing `(height, OpKind)` wavefront chunks (a new chunk is
+//!   opened only when every open chunk of that wavefront is at the
+//!   32-row cache-sized limit), touching nothing else in the program;
+//! * [`ProgramBuilder::retire`] releases a plan's nodes — chunk slots are
+//!   compacted by swap-remove and output rows return to a free-list for
+//!   the next admission;
+//! * a **feature-row cache** ([`qpp_plansim::features::FeatureCache`])
+//!   keyed by the exact per-node content key
+//!   ([`crate::lower::NodeContentKey`]) skips Table-2 featurization for
+//!   every node shape seen before;
+//! * **common-subexpression elimination**: subtrees that are
+//!   node-for-node identical ([`crate::lower::SubtreeKey`]) map to *one*
+//!   set of wavefront rows, reference-counted across plans — template-
+//!   heavy workloads (TPC-DS) share scans and whole join arms, shrinking
+//!   every gemm.
+//!
+//! # Determinism
+//!
+//! Predictions are **bit-identical** to a fresh
+//! [`crate::infer::PlanProgram::compile`] of the same resident set, at any
+//! thread count. Three facts compose into that guarantee:
+//!
+//! 1. the fused gemm kernel is *row-invariant* — a row's output bits
+//!    depend only on its own input, the weights and the bias, never on
+//!    which chunk (or slot) the row occupies
+//!    ([`qpp_nn::Matrix::matmul_bias_act_into`], property-tested);
+//! 2. the feature cache and CSE map are keyed by **lossless content
+//!    keys**, not hashes — a hit is bit-identical to recomputation by
+//!    construction;
+//! 3. scheduling still runs heights strictly ascending, so every child
+//!    row is written before any parent reads it, exactly as in the batch
+//!    engine.
+//!
+//! The differential suite (`tests/stream_differential.rs`) holds random
+//! admit/retire/predict interleavings to exact equality against fresh
+//! compiles, on 1 and 4 threads, in debug and release.
+
+use crate::config::TargetCodec;
+use crate::infer::{clamp_plan_envelope, run_schedule, Step, STEP_CHUNK_ROWS};
+use crate::lower::{lower, Lowering, NodeContentKey, SubtreeKey};
+use crate::tree::RatioCaps;
+use crate::unit::UnitSet;
+use qpp_nn::{BufferPool, Matrix};
+use qpp_plansim::features::{FeatureCache, Featurizer, Whitener};
+use qpp_plansim::operators::OpKind;
+use qpp_plansim::plan::PlanNode;
+use std::collections::{BTreeMap, HashMap};
+
+/// Handle to one resident plan of a [`ProgramBuilder`]; returned by
+/// [`ProgramBuilder::admit`] and consumed by [`ProgramBuilder::retire`]
+/// and the per-plan predictors. Ids are never reused within a builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(u64);
+
+/// One unique (shared) subtree resident in the program: the physical
+/// wavefront row it owns plus where that row's gemm slot lives.
+#[derive(Debug, Default)]
+struct SharedNode {
+    /// Global output-buffer row (stable for the node's lifetime).
+    row: usize,
+    /// Number of (plan, position) references — CSE sharing across *and
+    /// within* plans both count here; the node is released at zero.
+    refs: u32,
+    /// Wavefront chunk holding this node's gemm slot.
+    step: u32,
+    /// Member index within that chunk (maintained under swap-remove).
+    slot: u32,
+    /// Height from the leaves (the wavefront level key).
+    height: u32,
+    /// The CSE map key, kept for removal on release.
+    key: SubtreeKey,
+}
+
+/// Per-plan bookkeeping: position-indexed maps into the shared-node slab
+/// (a plan's rows are **not** contiguous — they interleave with other
+/// plans' and may be shared with them).
+struct Resident {
+    lowering: Lowering,
+    kinds: Vec<OpKind>,
+    /// Shared-node id per post-order position.
+    node_ids: Vec<u32>,
+    /// Output row per post-order position (denormalized from `node_ids`
+    /// for decode speed).
+    rows: Vec<usize>,
+}
+
+/// Aggregate statistics of a [`ProgramBuilder`]'s resident program —
+/// the observability surface for streaming serving (`qpp predict
+/// --stream` prints this).
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramStats {
+    /// Plans currently resident.
+    pub resident_plans: usize,
+    /// Logical operator nodes across all resident plans (what a fresh
+    /// batch compile would lay out as gemm rows).
+    pub logical_nodes: usize,
+    /// Physical wavefront gemm rows after CSE sharing.
+    pub shared_rows: usize,
+    /// Live wavefront chunks (gemm calls per unit layer per run).
+    pub steps: usize,
+    /// Height levels (barrier count of a parallel run).
+    pub levels: usize,
+    /// Distinct node shapes memoized by the feature-row cache.
+    pub feat_cache_entries: usize,
+    /// Feature lookups served from the cache.
+    pub feat_cache_hits: u64,
+    /// Feature lookups that had to featurize.
+    pub feat_cache_misses: u64,
+    /// Cumulative admissions that mapped a subtree onto existing rows.
+    pub cse_hits: u64,
+}
+
+impl ProgramStats {
+    /// Logical-to-physical row ratio of the resident set: `> 1.0` means
+    /// CSE is actively shrinking the gemms (1.0 = no sharing).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.shared_rows == 0 {
+            1.0
+        } else {
+            self.logical_nodes as f64 / self.shared_rows as f64
+        }
+    }
+
+    /// Fraction of feature lookups served from the cache.
+    pub fn feat_hit_rate(&self) -> f64 {
+        let total = self.feat_cache_hits + self.feat_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.feat_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} resident plans, {} nodes -> {} gemm rows (dedup {:.2}x), \
+             {} steps / {} levels, feature cache {} shapes ({:.0}% hit)",
+            self.resident_plans,
+            self.logical_nodes,
+            self.shared_rows,
+            self.dedup_ratio(),
+            self.steps,
+            self.levels,
+            self.feat_cache_entries,
+            self.feat_hit_rate() * 100.0,
+        )
+    }
+}
+
+/// A mutable, incrementally-maintained wavefront program over a resident
+/// plan set: the streaming counterpart of [`crate::infer::PlanProgram`].
+///
+/// Obtain one from [`crate::QppNet::serve_stream`] (the builder borrows
+/// the fitted model, so a refit while a builder is live is a *compile
+/// error* rather than a stale-program panic), then drive the admission
+/// loop:
+///
+/// ```
+/// use qppnet::{QppConfig, QppNet};
+/// use qpp_plansim::prelude::*;
+///
+/// let ds = Dataset::generate(Workload::TpcH, 1.0, 24, 3);
+/// let mut model = QppNet::new(QppConfig { epochs: 1, ..QppConfig::tiny() }, &ds.catalog);
+/// model.fit(&ds.plans.iter().take(16).collect::<Vec<_>>());
+///
+/// let mut stream = model.serve_stream();
+/// let mut window = std::collections::VecDeque::new();
+/// for plan in &ds.plans {
+///     let id = stream.admit(&plan.root);
+///     window.push_back(id);
+///     let _latency_ms = stream.predict_root(id); // admission decision
+///     if window.len() > 8 {
+///         stream.retire(window.pop_front().unwrap()); // query finished
+///     }
+/// }
+/// assert_eq!(stream.len(), 8);
+/// println!("{}", stream.stats());
+/// ```
+///
+/// Predictions equal a fresh [`crate::infer::PlanProgram::compile`] of
+/// the resident set bit for bit (see the module docs for why), so the
+/// builder is purely an asymptotic win: admission costs O(plan) instead
+/// of O(resident batch).
+pub struct ProgramBuilder<'m> {
+    featurizer: &'m Featurizer,
+    whitener: &'m Whitener,
+    units: &'m UnitSet,
+    codec: &'m TargetCodec,
+    caps: Option<&'m RatioCaps>,
+    out_w: usize,
+
+    /// Wavefront chunk slab; entries listed in no `wavefronts` value are
+    /// retired and await reuse via `step_free`.
+    steps: Vec<Step>,
+    /// Member slot → shared-node id, parallel to `steps` (back-pointers
+    /// for the swap-remove compaction on retire).
+    step_nodes: Vec<Vec<u32>>,
+    step_free: Vec<u32>,
+    /// Live chunk ids per `(height, family)` wavefront; BTreeMap order is
+    /// the execution order (heights ascending, families stable).
+    wavefronts: BTreeMap<(u32, u8), Vec<u32>>,
+    /// Cached schedule (step ids per height level), rebuilt lazily after
+    /// topology changes.
+    levels: Vec<Vec<u32>>,
+    schedule_dirty: bool,
+
+    /// Unique-subtree slab + free list.
+    nodes: Vec<SharedNode>,
+    node_free: Vec<u32>,
+    live_nodes: usize,
+    /// Exact subtree key → shared-node id (the CSE map).
+    cse: HashMap<SubtreeKey, u32>,
+    cse_hits: u64,
+
+    feat_cache: FeatureCache<NodeContentKey>,
+    feat_scratch: Vec<f32>,
+    child_scratch: Vec<usize>,
+
+    /// `shared rows × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
+    /// Retired rows are recycled through `row_free` before the matrix
+    /// grows.
+    outputs: Matrix,
+    row_free: Vec<usize>,
+
+    pool: BufferPool,
+    worker_pools: Vec<BufferPool>,
+
+    plans: BTreeMap<u64, Resident>,
+    next_id: u64,
+    logical_nodes: usize,
+}
+
+impl<'m> ProgramBuilder<'m> {
+    /// Creates an empty resident program against a fitted model's parts.
+    /// Most callers want [`crate::QppNet::serve_stream`], which wires the
+    /// fitted state (and the configured clamping policy) automatically.
+    pub fn new(
+        featurizer: &'m Featurizer,
+        whitener: &'m Whitener,
+        units: &'m UnitSet,
+        codec: &'m TargetCodec,
+        caps: Option<&'m RatioCaps>,
+    ) -> ProgramBuilder<'m> {
+        let out_w = units.out_size();
+        ProgramBuilder {
+            featurizer,
+            whitener,
+            units,
+            codec,
+            caps,
+            out_w,
+            steps: Vec::new(),
+            step_nodes: Vec::new(),
+            step_free: Vec::new(),
+            wavefronts: BTreeMap::new(),
+            levels: Vec::new(),
+            schedule_dirty: false,
+            nodes: Vec::new(),
+            node_free: Vec::new(),
+            live_nodes: 0,
+            cse: HashMap::new(),
+            cse_hits: 0,
+            feat_cache: FeatureCache::new(),
+            feat_scratch: Vec::new(),
+            child_scratch: Vec::new(),
+            outputs: Matrix::zeros(0, out_w),
+            row_free: Vec::new(),
+            pool: BufferPool::new(),
+            worker_pools: Vec::new(),
+            plans: BTreeMap::new(),
+            next_id: 0,
+            logical_nodes: 0,
+        }
+    }
+
+    /// Admits one plan into the resident program without touching the
+    /// rest of the batch: every node either maps onto an existing shared
+    /// subtree (CSE hit — no new rows at all) or is appended into the
+    /// open chunk of its `(height, family)` wavefront, featurizing only
+    /// shapes the cache has never seen.
+    ///
+    /// # Panics
+    /// Panics if a node's child count does not match its family's arity
+    /// (a malformed plan), or if feature sizes disagree with the fitted
+    /// model (a featurizer/model mismatch).
+    pub fn admit(&mut self, root: &PlanNode) -> PlanId {
+        let nodes_po = root.postorder();
+        let lowering = lower(root);
+        let n = nodes_po.len();
+        // Validate the whole plan BEFORE touching any builder state, so a
+        // rejection is atomic — a caller that catches the panic keeps a
+        // consistent resident program with no orphaned rows. Two checks,
+        // both hard asserts exactly as in `PlanProgram::compile`: arity
+        // (plans can arrive from unvalidated JSON) and the
+        // featurizer-vs-model shape agreement (a miswired builder).
+        for (k, node) in nodes_po.iter().enumerate() {
+            let kind = node.op.kind();
+            assert_eq!(
+                lowering.children_of(k).len(),
+                kind.arity(),
+                "malformed plan: {kind:?} node with {} children (arity {})",
+                lowering.children_of(k).len(),
+                kind.arity()
+            );
+            assert_eq!(
+                self.featurizer.feature_size(kind) + kind.arity() * self.out_w,
+                self.units.unit(kind).in_dim(),
+                "feature/model shape mismatch for {kind:?}"
+            );
+        }
+        let mut node_ids: Vec<u32> = Vec::with_capacity(n);
+        let mut rows: Vec<usize> = Vec::with_capacity(n);
+        let mut kinds: Vec<OpKind> = Vec::with_capacity(n);
+        let mut feat = std::mem::take(&mut self.feat_scratch);
+        let mut child_rows = std::mem::take(&mut self.child_scratch);
+
+        for (k, node) in nodes_po.iter().enumerate() {
+            let kind = node.op.kind();
+            kinds.push(kind);
+            let content = NodeContentKey::of(node);
+            let children: Vec<u32> =
+                lowering.children_of(k).iter().map(|&c| node_ids[c]).collect();
+            let key = SubtreeKey { content, children };
+            if let Some(&id) = self.cse.get(&key) {
+                // An identical subtree is already resident: share its rows.
+                self.nodes[id as usize].refs += 1;
+                self.cse_hits += 1;
+                rows.push(self.nodes[id as usize].row);
+                node_ids.push(id);
+                continue;
+            }
+            self.feat_cache.features_into(self.featurizer, self.whitener, node, content, &mut feat);
+            // Shape agreement was pre-validated above; this only guards
+            // the featurizer returning a row of its own declared size.
+            debug_assert_eq!(
+                feat.len() + kind.arity() * self.out_w,
+                self.units.unit(kind).in_dim(),
+                "feature/model shape mismatch for {kind:?}"
+            );
+            let height = lowering.height_of(k) as u32;
+            let row = self.alloc_row();
+            child_rows.clear();
+            child_rows.extend(key.children.iter().map(|&c| self.nodes[c as usize].row));
+            let nid = self.alloc_node();
+            let (step, slot) = self.place(height, kind, &feat, &child_rows, nid, row);
+            self.nodes[nid as usize] =
+                SharedNode { row, refs: 1, step, slot, height, key: key.clone() };
+            self.cse.insert(key, nid);
+            self.live_nodes += 1;
+            rows.push(row);
+            node_ids.push(nid);
+        }
+
+        self.feat_scratch = feat;
+        self.child_scratch = child_rows;
+        self.logical_nodes += n;
+        self.schedule_dirty = true;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.plans.insert(id, Resident { lowering, kinds, node_ids, rows });
+        PlanId(id)
+    }
+
+    /// Retires a resident plan: every position drops one reference on its
+    /// shared subtree, and subtrees reaching zero are released — their
+    /// chunk slots compacted by swap-remove and their output rows pushed
+    /// onto the free-list for the next admission. Other plans' rows (and
+    /// predictions, bit for bit) are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or already retired.
+    pub fn retire(&mut self, id: PlanId) {
+        let plan = self
+            .plans
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("plan {id:?} is not resident (already retired?)"));
+        self.logical_nodes -= plan.node_ids.len();
+        for &nid in &plan.node_ids {
+            let node = &mut self.nodes[nid as usize];
+            node.refs -= 1;
+            if node.refs == 0 {
+                self.release_node(nid);
+            }
+        }
+        self.schedule_dirty = true;
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Whether `id` is currently resident.
+    pub fn contains(&self, id: PlanId) -> bool {
+        self.plans.contains_key(&id.0)
+    }
+
+    /// Ids of all resident plans, in admission order.
+    pub fn resident(&self) -> Vec<PlanId> {
+        self.plans.keys().map(|&k| PlanId(k)).collect()
+    }
+
+    /// Aggregate statistics of the resident program (see
+    /// [`ProgramStats`]).
+    pub fn stats(&self) -> ProgramStats {
+        let mut levels = 0;
+        let mut cur = None;
+        for &(h, _) in self.wavefronts.keys() {
+            if cur != Some(h) {
+                levels += 1;
+                cur = Some(h);
+            }
+        }
+        ProgramStats {
+            resident_plans: self.plans.len(),
+            logical_nodes: self.logical_nodes,
+            shared_rows: self.live_nodes,
+            steps: self.steps.len() - self.step_free.len(),
+            levels,
+            feat_cache_entries: self.feat_cache.len(),
+            feat_cache_hits: self.feat_cache.hits(),
+            feat_cache_misses: self.feat_cache.misses(),
+            cse_hits: self.cse_hits,
+        }
+    }
+
+    /// Decoded root-latency prediction (milliseconds) for one resident
+    /// plan, running the whole resident program once on the calling
+    /// thread. Clamped onto the structural envelope when the builder was
+    /// created with ratio caps (i.e. the model's configured policy).
+    pub fn predict_root(&mut self, id: PlanId) -> f64 {
+        self.predict_root_threaded(id, 1)
+    }
+
+    /// [`ProgramBuilder::predict_root`] on `threads` workers (results are
+    /// bit-identical at any thread count).
+    pub fn predict_root_threaded(&mut self, id: PlanId, threads: usize) -> f64 {
+        self.run(threads);
+        let preds = self.decode_plan(id);
+        *preds.last().expect("plans are non-empty")
+    }
+
+    /// Root predictions for every resident plan, in admission order.
+    pub fn predict_roots(&mut self) -> Vec<f64> {
+        self.predict_roots_threaded(1)
+    }
+
+    /// [`ProgramBuilder::predict_roots`] on `threads` workers.
+    pub fn predict_roots_threaded(&mut self, threads: usize) -> Vec<f64> {
+        self.run(threads);
+        let ids: Vec<u64> = self.plans.keys().copied().collect();
+        ids.into_iter()
+            .map(|id| *self.decode_plan(PlanId(id)).last().expect("plans are non-empty"))
+            .collect()
+    }
+
+    /// Per-operator latency predictions (post order, milliseconds) for
+    /// one resident plan.
+    pub fn predict_all(&mut self, id: PlanId) -> Vec<f64> {
+        self.predict_all_threaded(id, 1)
+    }
+
+    /// [`ProgramBuilder::predict_all`] on `threads` workers.
+    pub fn predict_all_threaded(&mut self, id: PlanId, threads: usize) -> Vec<f64> {
+        self.run(threads);
+        self.decode_plan(id)
+    }
+
+    /// Executes the resident program (rebuilding the level schedule if
+    /// admissions/retirements dirtied it), leaving every live output row
+    /// fresh for decoding.
+    fn run(&mut self, threads: usize) {
+        self.ensure_schedule();
+        run_schedule(
+            &mut self.steps,
+            &self.levels,
+            self.units,
+            &mut self.outputs,
+            &mut self.pool,
+            &mut self.worker_pools,
+            self.out_w,
+            threads,
+        );
+    }
+
+    /// Decodes (and, under caps, envelope-clamps) one resident plan's
+    /// per-position predictions from the freshly-run output buffer.
+    fn decode_plan(&self, id: PlanId) -> Vec<f64> {
+        let plan = self
+            .plans
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("plan {id:?} is not resident (already retired?)"));
+        let mut preds: Vec<f64> =
+            plan.rows.iter().map(|&r| self.codec.decode(self.outputs.get(r, 0))).collect();
+        if let Some(caps) = self.caps {
+            clamp_plan_envelope(&mut preds, &plan.lowering, &plan.kinds, caps);
+        }
+        preds
+    }
+
+    /// Rebuilds the cached level schedule from the wavefront map (heights
+    /// ascending, families in stable order, chunks in insertion order).
+    fn ensure_schedule(&mut self) {
+        if !self.schedule_dirty {
+            return;
+        }
+        self.levels.clear();
+        let mut cur = None;
+        for (&(h, _), ids) in &self.wavefronts {
+            if cur != Some(h) {
+                self.levels.push(Vec::new());
+                cur = Some(h);
+            }
+            self.levels.last_mut().expect("level opened above").extend_from_slice(ids);
+        }
+        self.schedule_dirty = false;
+    }
+
+    /// Takes a free output row, growing the buffer only when the
+    /// free-list is dry.
+    fn alloc_row(&mut self) -> usize {
+        match self.row_free.pop() {
+            Some(r) => r,
+            None => {
+                let r = self.outputs.rows();
+                self.outputs.resize_for_overwrite(r + 1, self.out_w);
+                r
+            }
+        }
+    }
+
+    /// Takes a free shared-node slot (contents are overwritten by the
+    /// caller).
+    fn alloc_node(&mut self) -> u32 {
+        match self.node_free.pop() {
+            Some(n) => n,
+            None => {
+                self.nodes.push(SharedNode::default());
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Appends one node into its `(height, family)` wavefront: the first
+    /// open chunk takes it; a fresh chunk (possibly recycled from the
+    /// step free-list) is opened only when all are at the cache-sized
+    /// member limit. Returns `(step id, slot)`.
+    fn place(
+        &mut self,
+        height: u32,
+        kind: OpKind,
+        feat: &[f32],
+        child_rows: &[usize],
+        nid: u32,
+        row: usize,
+    ) -> (u32, u32) {
+        let arity = kind.arity();
+        let in_dim = feat.len() + arity * self.out_w;
+        let wf = self.wavefronts.entry((height, kind.index() as u8)).or_default();
+        let open =
+            wf.iter().copied().find(|&s| self.steps[s as usize].rows.len() < STEP_CHUNK_ROWS);
+        let sid = match open {
+            Some(s) => s,
+            None => {
+                let s = match self.step_free.pop() {
+                    Some(s) => {
+                        let step = &mut self.steps[s as usize];
+                        step.kind = kind;
+                        step.arity = arity;
+                        step.feat_width = feat.len();
+                        step.rows.clear();
+                        step.child_rows.clear();
+                        // The chunk may be recycled across families with a
+                        // larger shape (e.g. Scan -> Join): re-reserve to
+                        // full chunk capacity now so the per-admission hot
+                        // path below never reallocates.
+                        step.child_rows.reserve(STEP_CHUNK_ROWS * arity);
+                        step.input.resize_for_overwrite(0, in_dim);
+                        step.input.reserve_row_capacity(STEP_CHUNK_ROWS);
+                        self.step_nodes[s as usize].clear();
+                        s
+                    }
+                    None => {
+                        self.steps.push(Step {
+                            kind,
+                            rows: Vec::with_capacity(STEP_CHUNK_ROWS),
+                            child_rows: Vec::with_capacity(STEP_CHUNK_ROWS * arity),
+                            arity,
+                            feat_width: feat.len(),
+                            input: Matrix::with_row_capacity(STEP_CHUNK_ROWS, in_dim),
+                        });
+                        self.step_nodes.push(Vec::with_capacity(STEP_CHUNK_ROWS));
+                        (self.steps.len() - 1) as u32
+                    }
+                };
+                wf.push(s);
+                s
+            }
+        };
+        let step = &mut self.steps[sid as usize];
+        debug_assert_eq!(step.feat_width, feat.len(), "inconsistent feature size for {kind:?}");
+        let slot = step.input.push_zero_row();
+        step.input.row_mut(slot)[..feat.len()].copy_from_slice(feat);
+        step.rows.push(row);
+        step.child_rows.extend_from_slice(child_rows);
+        self.step_nodes[sid as usize].push(nid);
+        (sid, slot as u32)
+    }
+
+    /// Releases a zero-reference shared node: removes its CSE entry,
+    /// compacts its chunk (swap-remove, fixing the moved member's
+    /// back-pointer), drops the chunk entirely when it empties, and
+    /// recycles the output row.
+    fn release_node(&mut self, nid: u32) {
+        let (key, sid, slot, height, row) = {
+            let node = &self.nodes[nid as usize];
+            (node.key.clone(), node.step as usize, node.slot as usize, node.height, node.row)
+        };
+        let removed = self.cse.remove(&key);
+        debug_assert_eq!(removed, Some(nid), "CSE map out of sync with node slab");
+
+        let step = &mut self.steps[sid];
+        let last = step.rows.len() - 1;
+        step.rows.swap_remove(slot);
+        step.input.swap_remove_row(slot);
+        if step.arity > 0 {
+            let a = step.arity;
+            for j in 0..a {
+                step.child_rows[slot * a + j] = step.child_rows[last * a + j];
+            }
+            step.child_rows.truncate(last * a);
+        }
+        let members = &mut self.step_nodes[sid];
+        members.swap_remove(slot);
+        if slot < members.len() {
+            let moved = members[slot] as usize;
+            self.nodes[moved].slot = slot as u32;
+        }
+        if step.rows.is_empty() {
+            let kind_idx = step.kind.index() as u8;
+            let wf = self.wavefronts.get_mut(&(height, kind_idx)).expect("wavefront exists");
+            let pos = wf.iter().position(|&s| s == sid as u32).expect("chunk in wavefront");
+            wf.swap_remove(pos);
+            if wf.is_empty() {
+                self.wavefronts.remove(&(height, kind_idx));
+            }
+            self.step_free.push(sid as u32);
+        }
+        self.row_free.push(row);
+        self.node_free.push(nid);
+        self.live_nodes -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QppConfig, TargetTransform};
+    use crate::infer::PlanProgram;
+    use qpp_plansim::catalog::Workload;
+    use qpp_plansim::dataset::Dataset;
+    use qpp_plansim::plan::Plan;
+    use rand::SeedableRng;
+
+    fn setup(workload: Workload) -> (Dataset, Featurizer, Whitener, UnitSet, TargetCodec) {
+        let ds = Dataset::generate(workload, 1.0, 32, 21);
+        let fz = Featurizer::new(&ds.catalog);
+        let wh = Whitener::fit(&fz, ds.plans.iter());
+        let cfg = QppConfig::tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let units = UnitSet::new(&cfg, &fz, &mut rng);
+        let codec =
+            TargetCodec::fit(TargetTransform::Log1p, ds.plans.iter().map(|p| p.latency_ms()));
+        (ds, fz, wh, units, codec)
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn fresh_compile_roots(
+        fz: &Featurizer,
+        wh: &Whitener,
+        units: &UnitSet,
+        codec: &TargetCodec,
+        plans: &[&Plan],
+    ) -> Vec<f64> {
+        let roots: Vec<&PlanNode> = plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(fz, wh, units, &roots);
+        program.predict_roots(units, codec)
+    }
+
+    #[test]
+    fn incremental_admission_matches_fresh_compile_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let mut resident: Vec<&Plan> = Vec::new();
+        for plan in ds.plans.iter().take(12) {
+            builder.admit(&plan.root);
+            resident.push(plan);
+            let incremental = builder.predict_roots();
+            let fresh = fresh_compile_roots(&fz, &wh, &units, &codec, &resident);
+            assert_eq!(bits(&incremental), bits(&fresh), "after admitting {}", resident.len());
+        }
+    }
+
+    #[test]
+    fn retirement_leaves_survivors_bit_identical() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let ids: Vec<PlanId> =
+            ds.plans.iter().take(10).map(|p| builder.admit(&p.root)).collect();
+        // Retire every even admission.
+        for id in ids.iter().step_by(2) {
+            builder.retire(*id);
+        }
+        let survivors: Vec<&Plan> = ds.plans.iter().take(10).skip(1).step_by(2).collect();
+        let incremental = builder.predict_roots();
+        let fresh = fresh_compile_roots(&fz, &wh, &units, &codec, &survivors);
+        assert_eq!(bits(&incremental), bits(&fresh));
+        assert_eq!(builder.len(), survivors.len());
+        // Admitting after churn reuses freed rows and still matches.
+        builder.admit(&ds.plans[0].root);
+        let mut with_new: Vec<&Plan> = survivors.clone();
+        with_new.push(&ds.plans[0]);
+        assert_eq!(
+            bits(&builder.predict_roots()),
+            bits(&fresh_compile_roots(&fz, &wh, &units, &codec, &with_new))
+        );
+    }
+
+    #[test]
+    fn clamped_predictions_match_fresh_compile() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, Some(&caps));
+        let plans: Vec<&Plan> = ds.plans.iter().take(8).collect();
+        let ids: Vec<PlanId> = plans.iter().map(|p| builder.admit(&p.root)).collect();
+        let roots: Vec<&PlanNode> = plans.iter().map(|p| &p.root).collect();
+        let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
+        let fresh = program.predict_roots_clamped(&units, &codec, &caps);
+        assert_eq!(bits(&builder.predict_roots()), bits(&fresh));
+        // Per-plan predictors agree with the batch view.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(builder.predict_root(*id).to_bits(), fresh[i].to_bits());
+        }
+        let all = program.predict_all_clamped(&units, &codec, &caps);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(bits(&builder.predict_all(*id)), bits(&all[i]));
+        }
+    }
+
+    #[test]
+    fn cse_dedups_repeated_subplans() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        // A batch containing the same plan four times — the template-heavy
+        // stream in miniature. All copies must share one set of rows.
+        let plan = ds.plans.iter().max_by_key(|p| p.node_count()).unwrap();
+        let ids: Vec<PlanId> = (0..4).map(|_| builder.admit(&plan.root)).collect();
+        let stats = builder.stats();
+        assert_eq!(stats.resident_plans, 4);
+        assert_eq!(stats.logical_nodes, 4 * plan.node_count());
+        assert_eq!(stats.shared_rows, plan.node_count(), "duplicates must share all rows");
+        assert!(stats.dedup_ratio() > 1.0, "dedup ratio {}", stats.dedup_ratio());
+        assert_eq!(stats.cse_hits, 3 * plan.node_count() as u64);
+        // Every copy predicts the same value, equal to a fresh single-plan
+        // compile (which computes each copy separately).
+        let fresh = fresh_compile_roots(&fz, &wh, &units, &codec, &[plan]);
+        for id in &ids {
+            assert_eq!(builder.predict_root(*id).to_bits(), fresh[0].to_bits());
+        }
+        // Retiring three copies keeps the shared rows alive for the last.
+        for id in &ids[..3] {
+            builder.retire(*id);
+        }
+        assert_eq!(builder.stats().shared_rows, plan.node_count());
+        assert_eq!(builder.predict_root(ids[3]).to_bits(), fresh[0].to_bits());
+        // Retiring the last releases everything.
+        builder.retire(ids[3]);
+        let empty = builder.stats();
+        assert_eq!((empty.shared_rows, empty.steps, empty.resident_plans), (0, 0, 0));
+    }
+
+    #[test]
+    fn feature_cache_skips_featurization_on_repeats() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let plan = &ds.plans[0];
+        let a = builder.admit(&plan.root);
+        let misses_after_first = builder.stats().feat_cache_misses;
+        builder.retire(a);
+        // Re-admitting the same plan after full retirement is all cache
+        // hits (CSE entries are gone, but feature rows are memoized).
+        builder.admit(&plan.root);
+        let stats = builder.stats();
+        assert_eq!(stats.feat_cache_misses, misses_after_first, "no new featurization");
+        assert!(stats.feat_cache_hits >= plan.node_count() as u64);
+        assert!(stats.feat_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn rows_are_recycled_after_retirement() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let ids: Vec<PlanId> = ds.plans.iter().take(8).map(|p| builder.admit(&p.root)).collect();
+        let high_water = builder.outputs.rows();
+        for id in ids {
+            builder.retire(id);
+        }
+        // Admitting the same work again must not grow the output buffer.
+        for p in ds.plans.iter().take(8) {
+            builder.admit(&p.root);
+        }
+        assert_eq!(builder.outputs.rows(), high_water, "rows must be recycled");
+    }
+
+    #[test]
+    fn chunks_split_only_on_overflow() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        for p in &ds.plans {
+            builder.admit(&p.root);
+        }
+        // No two chunks of one wavefront may both be under the limit
+        // minus a single admission's worth of slack: specifically, at most
+        // one open (non-full) chunk per wavefront.
+        for ids in builder.wavefronts.values() {
+            let open =
+                ids.iter().filter(|&&s| builder.steps[s as usize].rows.len() < STEP_CHUNK_ROWS);
+            assert!(open.count() <= 1, "more than one open chunk in a wavefront");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn retiring_twice_panics() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let id = builder.admit(&ds.plans[0].root);
+        builder.retire(id);
+        builder.retire(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed plan")]
+    fn malformed_arity_is_rejected_at_admission() {
+        let (_, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        use qpp_plansim::operators::Operator;
+        // A Materialize (arity 1) with no children.
+        let bad = PlanNode::new(Operator::Materialize, vec![]);
+        let _ = builder.admit(&bad);
+    }
+
+    #[test]
+    fn malformed_admission_is_atomic() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        builder.admit(&ds.plans[0].root);
+        let before = builder.predict_roots();
+        let before_stats = builder.stats();
+        use qpp_plansim::operators::{JoinAlgorithm, JoinType, Operator, ParentRel};
+        // The malformed node is the ROOT (last in post order) above a
+        // perfectly valid subtree — the worst case for a non-atomic
+        // admit, which would have placed every child before panicking.
+        let bad = PlanNode::new(
+            Operator::Join {
+                algo: JoinAlgorithm::Hash,
+                jtype: JoinType::Inner,
+                parent_rel: ParentRel::None,
+            },
+            vec![ds.plans[1].root.clone()],
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| builder.admit(&bad)));
+        assert!(r.is_err(), "malformed plan must still be rejected");
+        let after = builder.stats();
+        assert_eq!(after.shared_rows, before_stats.shared_rows, "rejected admit leaked rows");
+        assert_eq!(after.steps, before_stats.steps, "rejected admit leaked chunks");
+        assert_eq!(builder.len(), 1);
+        assert_eq!(bits(&builder.predict_roots()), bits(&before));
+    }
+
+    #[test]
+    fn empty_builder_predicts_nothing() {
+        let (_, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        assert!(builder.is_empty());
+        assert!(builder.predict_roots().is_empty());
+        assert!(builder.stats().to_string().contains("0 resident plans"));
+    }
+
+    #[test]
+    fn threaded_predictions_are_bit_identical() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        for p in &ds.plans {
+            builder.admit(&p.root);
+        }
+        let base = builder.predict_roots();
+        for threads in [2, 4, 8] {
+            assert_eq!(bits(&builder.predict_roots_threaded(threads)), bits(&base));
+        }
+    }
+}

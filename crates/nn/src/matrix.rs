@@ -251,13 +251,28 @@ impl Matrix {
     ///
     /// This is the serving-engine gemm: when the CPU supports AVX2+FMA
     /// (checked once at runtime; the build stays portable baseline
-    /// x86-64) and the batch has ≥ 4 rows, a register-blocked 4-row
-    /// microkernel is used — the wavefront scheduler exists precisely to
-    /// assemble such multi-row batches, which the per-class path's tiny
-    /// per-position gemms cannot exploit. Results may differ from the
-    /// scalar path by FMA rounding (≤ a few ULP per accumulation chain);
-    /// the differential suite bounds the end-to-end effect at `1e-5`
-    /// relative.
+    /// x86-64) a register-blocked 4-row microkernel is used — the
+    /// wavefront scheduler exists precisely to assemble such multi-row
+    /// batches, which the per-class path's tiny per-position gemms cannot
+    /// exploit. Results may differ from the scalar path by FMA rounding
+    /// (≤ a few ULP per accumulation chain); the differential suite bounds
+    /// the end-to-end effect at `1e-5` relative.
+    ///
+    /// **Row invariance:** within one process, a given input row produces
+    /// bit-identical output no matter how many other rows share the batch
+    /// or where in the batch it sits. The 4-row block and the single-row
+    /// remainder kernel execute the *same per-row operation sequence*
+    /// (same column tiling, same ascending-`k` FMA chain), so splitting,
+    /// merging or reordering batch rows never changes any row's bits. The
+    /// incremental serving engine (`qppnet::stream`) relies on this to
+    /// keep admit/retire re-chunking bit-identical to a fresh compile; a
+    /// property test below pins it down. Two caveats, both unreachable
+    /// with healthy models: a bias lane of literal `-0.0` could flip to
+    /// `+0.0` on an all-zero input row in the blocked path (initializers
+    /// and optimizer steps only ever produce `+0.0`), and weights must be
+    /// finite — the block skips a `k` only when all four lanes are zero,
+    /// so a zero input against an `Inf`/`NaN` weight would contribute
+    /// `NaN` in a block but be skipped alone.
     ///
     /// `act` is applied per element; pass the identity closure for linear
     /// output layers.
@@ -293,7 +308,7 @@ impl Matrix {
             w.cols
         );
         #[cfg(target_arch = "x86_64")]
-        if self.rows >= 4 && simd::avx2_fma_available() {
+        if simd::avx2_fma_available() {
             // SAFETY: feature availability checked at runtime.
             unsafe { simd::matmul_bias_avx2(self, w, bias, out) };
             for i in 0..out.rows {
@@ -661,6 +676,52 @@ impl Matrix {
         }
     }
 
+    /// An empty (`0 × cols`) matrix whose buffer is pre-reserved for
+    /// `row_capacity` rows, so up to that many [`Matrix::push_zero_row`]s
+    /// never reallocate. The incremental serving engine sizes each
+    /// wavefront chunk's input this way (capacity = chunk size) so
+    /// admitting a plan touches no allocator in steady state.
+    pub fn with_row_capacity(row_capacity: usize, cols: usize) -> Matrix {
+        Matrix { rows: 0, cols, data: Vec::with_capacity(row_capacity * cols) }
+    }
+
+    /// Ensures the buffer can hold at least `rows` total rows at the
+    /// current column width without reallocating — the in-place analogue
+    /// of [`Matrix::with_row_capacity`] for recycled buffers whose shape
+    /// changed.
+    pub fn reserve_row_capacity(&mut self, rows: usize) {
+        let want = rows * self.cols;
+        if want > self.data.len() {
+            self.data.reserve(want - self.data.len());
+        }
+    }
+
+    /// Appends one zeroed row, returning its index.
+    pub fn push_zero_row(&mut self) -> usize {
+        self.data.resize(self.data.len() + self.cols, 0.0);
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// Removes row `i` by moving the last row into its place (order is not
+    /// preserved), shrinking the matrix by one row. The serving engine's
+    /// retire path compacts wavefront chunks with this — O(cols), no
+    /// reallocation.
+    ///
+    /// # Panics
+    /// Panics (debug-asserted, like the row accessors) if `i` is out of
+    /// range.
+    pub fn swap_remove_row(&mut self, i: usize) {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} matrix", self.rows, self.cols);
+        let last = self.rows - 1;
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.cols);
+            head[i * self.cols..(i + 1) * self.cols].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.cols);
+        self.rows = last;
+    }
+
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
@@ -691,8 +752,14 @@ mod simd {
     /// `out = a · w + bias` with a 4-row × 16-column register-blocked
     /// FMA kernel (accumulators live in YMM registers; `w`'s row chunk is
     /// loaded once per 4 input rows instead of once per row). Remainder
-    /// rows/columns fall back to scalar. No activation — the caller
-    /// applies it in a separate (cache-hot) pass.
+    /// rows run through [`row_kernel_avx2`], which executes the **same
+    /// per-row operation sequence** as the block (same column tiling, same
+    /// ascending-`k` FMA chain), so a row's output bits never depend on
+    /// its position in the batch or on the batch size — the row-invariance
+    /// contract the incremental serving engine rests on. Columns past the
+    /// widest vector tile fall back to scalar identically in both paths.
+    /// No activation — the caller applies it in a separate (cache-hot)
+    /// pass.
     ///
     /// # Safety
     /// Caller must ensure AVX2 and FMA are available (see
@@ -788,21 +855,72 @@ mod simd {
             }
             ib += 4;
         }
-        // Row remainder: scalar ikj with bias init.
+        // Row remainder: the single-row kernel (identical per-row op
+        // sequence to the 4-row block — see the row-invariance contract).
         for i in ib..n {
-            let arow = ad.add(i * kd);
-            let orow = std::slice::from_raw_parts_mut(od.add(i * m), m);
-            orow.copy_from_slice(bias);
+            row_kernel_avx2(ad.add(i * kd), kd, wd, m, bp, od.add(i * m));
+        }
+    }
+
+    /// One row of the fused forward, with exactly the per-row operation
+    /// sequence of the 4-row block in [`matmul_bias_avx2`]: 16-column FMA
+    /// tiles, then an 8-column tile, then scalar mul-add columns, always
+    /// accumulating over `k` ascending. Skipping `x == 0` matches the
+    /// block's all-zero skip bit for bit: an FMA with a `±0` multiplicand
+    /// leaves any `+0`-or-nonzero accumulator unchanged, and accumulators
+    /// start from the bias, which is never `-0.0` (see the caveat on
+    /// [`Matrix::matmul_bias_act_into`]).
+    ///
+    /// # Safety
+    /// As [`matmul_bias_avx2`]; `arow` must point at `k` readable floats
+    /// and `orow` at `m` writable floats.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_kernel_avx2(
+        arow: *const f32,
+        kd: usize,
+        wd: *const f32,
+        m: usize,
+        bp: *const f32,
+        orow: *mut f32,
+    ) {
+        let mut jb = 0usize;
+        while jb + 16 <= m {
+            let mut acc0 = _mm256_loadu_ps(bp.add(jb));
+            let mut acc1 = _mm256_loadu_ps(bp.add(jb + 8));
             for k in 0..kd {
                 let x = *arow.add(k);
                 if x == 0.0 {
                     continue;
                 }
-                let brow = std::slice::from_raw_parts(wd.add(k * m), m);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += x * b;
+                let v = _mm256_set1_ps(x);
+                acc0 = _mm256_fmadd_ps(v, _mm256_loadu_ps(wd.add(k * m + jb)), acc0);
+                acc1 = _mm256_fmadd_ps(v, _mm256_loadu_ps(wd.add(k * m + jb + 8)), acc1);
+            }
+            _mm256_storeu_ps(orow.add(jb), acc0);
+            _mm256_storeu_ps(orow.add(jb + 8), acc1);
+            jb += 16;
+        }
+        while jb + 8 <= m {
+            let mut acc = _mm256_loadu_ps(bp.add(jb));
+            for k in 0..kd {
+                let x = *arow.add(k);
+                if x == 0.0 {
+                    continue;
+                }
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(x), _mm256_loadu_ps(wd.add(k * m + jb)), acc);
+            }
+            _mm256_storeu_ps(orow.add(jb), acc);
+            jb += 8;
+        }
+        for j in jb..m {
+            let mut s = *bp.add(j);
+            for k in 0..kd {
+                let x = *arow.add(k);
+                if x != 0.0 {
+                    s += x * *wd.add(k * m + j);
                 }
             }
+            *orow.add(j) = s;
         }
     }
 }
@@ -968,6 +1086,33 @@ mod tests {
     }
 
     #[test]
+    fn row_capacity_push_and_swap_remove() {
+        let mut m = Matrix::with_row_capacity(4, 3);
+        assert_eq!((m.rows(), m.cols()), (0, 3));
+        let cap = m.data.capacity();
+        for v in 0..4 {
+            let i = m.push_zero_row();
+            assert_eq!(i, v);
+            m.row_mut(i).fill(v as f32);
+        }
+        assert_eq!(m.data.capacity(), cap, "pushes within capacity must not reallocate");
+        // Remove row 1: row 3 moves into its slot.
+        m.swap_remove_row(1);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(0), &[0.0; 3]);
+        assert_eq!(m.row(1), &[3.0; 3]);
+        assert_eq!(m.row(2), &[2.0; 3]);
+        // Removing the last row is a plain truncate.
+        m.swap_remove_row(2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0; 3]);
+        // Freed capacity is reusable without reallocation.
+        m.push_zero_row();
+        m.push_zero_row();
+        assert_eq!(m.data.capacity(), cap);
+    }
+
+    #[test]
     fn add_row_broadcasts_bias() {
         let mut a = Matrix::zeros(2, 3);
         a.add_row_inplace(&[1.0, 2.0, 3.0]);
@@ -1042,6 +1187,51 @@ mod tests {
             let mut scalar = Matrix::zeros(n, m);
             a.matmul_bias_act_scalar(&w, &bias, relu, &mut scalar);
             prop_assert!(approx_eq(&dispatched, &scalar, 1e-5));
+        }
+
+        /// The row-invariance contract of the fused kernel: a row's output
+        /// bits depend only on that row's input (and `w`/`bias`), never on
+        /// the batch size or the row's position in it. The incremental
+        /// serving engine re-chunks wavefront rows on admit/retire and
+        /// promises predictions bit-identical to a fresh compile — which
+        /// is exactly this property, batched. Exercised across block/
+        /// remainder row positions (n up to 14) and all column-tile
+        /// remainders, with realistic sparsity.
+        #[test]
+        fn fused_kernel_rows_are_bitwise_position_invariant(
+            n in 1usize..14, k in 1usize..40, m in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_fn(n, k, |_, _| {
+                if rng.gen_range(0.0..1.0) < 0.4 { 0.0 } else { rng.gen_range(-2.0..2.0) }
+            });
+            let w = Matrix::from_fn(k, m, |_, _| rng.gen_range(-1.0..1.0));
+            let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            let relu = |v: f32| v.max(0.0);
+            let mut full = Matrix::zeros(n, m);
+            a.matmul_bias_act_into(&w, &bias, relu, &mut full);
+            // Each row alone must reproduce its slice of the batch, bit
+            // for bit.
+            for i in 0..n {
+                let single = Matrix::from_row(a.row(i));
+                let mut out = Matrix::zeros(1, m);
+                single.matmul_bias_act_into(&w, &bias, relu, &mut out);
+                let got: Vec<u32> = out.row(0).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = full.row(i).iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "row {} diverges from its batched bits", i);
+            }
+            // And any prefix/suffix re-chunking reproduces the same bits.
+            let split = n / 2;
+            if split > 0 {
+                let lo = Matrix::from_fn(split, k, |i, j| a.get(i, j));
+                let mut lo_out = Matrix::zeros(split, m);
+                lo.matmul_bias_act_into(&w, &bias, relu, &mut lo_out);
+                for i in 0..split {
+                    prop_assert_eq!(lo_out.row(i), full.row(i), "re-chunked row {} diverges", i);
+                }
+            }
         }
 
         #[test]

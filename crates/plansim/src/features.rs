@@ -515,6 +515,127 @@ impl Whitener {
     }
 }
 
+/// A memo of whitened per-node feature rows for cache-aware featurization.
+///
+/// Table-2 featurization is the single largest fixed cost of compiling a
+/// serving program (≈ 36 % of compile on the mixed 320-plan bench stream),
+/// and live query streams are highly repetitive — the same templates
+/// produce nodes with identical operator parameters and estimates over and
+/// over. A `FeatureCache` maps an **exact content key** of a node (the
+/// caller supplies it — e.g. `qppnet::lower::NodeContentKey`, which
+/// encodes every field `featurize` reads) to its whitened feature row, so
+/// featurization runs only for never-before-seen node shapes.
+///
+/// Exactness matters: because the key captures all feature inputs, a hit
+/// returns *bit-identical* values to recomputing — the incremental serving
+/// engine's determinism contract depends on this, so the cache never uses
+/// lossy hashes as keys. A cache is only meaningful for one
+/// (featurizer, whitener) pair; callers must not share one across models.
+///
+/// Memory is **bounded**: a long-lived streaming server sees estimates
+/// that may never repeat exactly (each entry would live forever), so once
+/// the memo reaches its entry limit it is cleared and re-warmed — a
+/// generational reset, amortized O(1), with no effect on results (a cold
+/// lookup recomputes the same bits a hit would have copied).
+#[derive(Debug)]
+pub struct FeatureCache<K> {
+    map: std::collections::HashMap<K, Vec<f32>>,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K> Default for FeatureCache<K> {
+    fn default() -> FeatureCache<K> {
+        FeatureCache {
+            map: std::collections::HashMap::new(),
+            max_entries: Self::DEFAULT_MAX_ENTRIES,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<K> FeatureCache<K> {
+    /// Default entry limit: at ~50 f32s plus key/bucket overhead per
+    /// entry, this bounds a session's memo around tens of megabytes —
+    /// far above any template working set, far below an OOM concern.
+    pub const DEFAULT_MAX_ENTRIES: usize = 1 << 16;
+
+    /// An empty cache with the default entry limit.
+    pub fn new() -> FeatureCache<K> {
+        FeatureCache::default()
+    }
+
+    /// An empty cache holding at most `max_entries` memoized rows
+    /// (clamped to ≥ 1) before a generational reset.
+    pub fn with_max_entries(max_entries: usize) -> FeatureCache<K> {
+        FeatureCache { max_entries: max_entries.max(1), ..FeatureCache::default() }
+    }
+}
+
+impl<K: std::hash::Hash + Eq> FeatureCache<K> {
+    /// Writes `node`'s whitened features into `out` (cleared first),
+    /// computing and memoizing them under `key` on first sight. A hit
+    /// copies the memoized row and never touches the featurizer.
+    pub fn features_into(
+        &mut self,
+        featurizer: &Featurizer,
+        whitener: &Whitener,
+        node: &PlanNode,
+        key: K,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        // The steady-state hit path hashes the key exactly once; only a
+        // miss (which pays a featurization anyway) hashes again to insert.
+        if let Some(row) = self.map.get(&key) {
+            self.hits += 1;
+            out.extend_from_slice(row);
+            return;
+        }
+        self.misses += 1;
+        let row = whitener.features(featurizer, node);
+        out.extend_from_slice(&row);
+        if self.map.len() >= self.max_entries {
+            // Generational reset: bounded memory beats a perfect memo —
+            // repeating shapes re-warm within one plan's worth of misses.
+            self.map.clear();
+        }
+        self.map.insert(key, row);
+    }
+
+    /// Number of distinct node shapes memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to featurize.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups served from the memo (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +841,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn feature_cache_hits_return_identical_rows() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let plans: Vec<Plan> =
+            ["lineitem", "orders"].iter().map(|t| scan_plan(&cat, t, None)).collect();
+        let w = Whitener::fit(&f, plans.iter());
+        let mut cache: FeatureCache<u32> = FeatureCache::new();
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        cache.features_into(&f, &w, &plans[0].root, 0, &mut a);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.features_into(&f, &w, &plans[0].root, 0, &mut b);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "cache hit must be bit-identical to the computed row"
+        );
+        assert_eq!(b, w.features(&f, &plans[0].root));
+        cache.features_into(&f, &w, &plans[1].root, 1, &mut c);
+        assert_eq!(cache.len(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_cache_memory_is_bounded() {
+        let cat = Catalog::tpch(1.0);
+        let f = Featurizer::new(&cat);
+        let plan = scan_plan(&cat, "lineitem", None);
+        let w = Whitener::fit(&f, std::iter::once(&plan));
+        let mut cache: FeatureCache<u64> = FeatureCache::with_max_entries(4);
+        let mut out = Vec::new();
+        for key in 0..100u64 {
+            cache.features_into(&f, &w, &plan.root, key, &mut out);
+            assert!(cache.len() <= 4, "cache exceeded its bound at key {key}");
+            assert_eq!(out, w.features(&f, &plan.root), "reset must not change values");
+        }
+        assert_eq!(cache.misses(), 100, "distinct keys all miss");
+        // A repeating key still hits within a generation.
+        cache.features_into(&f, &w, &plan.root, 99, &mut out);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]
