@@ -144,6 +144,48 @@ impl OptMode {
     }
 }
 
+/// Which engine computes training gradients.
+///
+/// Both engines implement the same mathematics — Equation 7's
+/// all-operator supervision with §5.1.1's unbiased recombination — and
+/// are held to agreement by `tests/train_differential.rs`; they differ
+/// only in how operator rows are grouped into gemm calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainEngine {
+    /// Per-equivalence-class [`crate::tree::TreeBatch`] evaluation: one
+    /// forward/backward per structural class per position. The §5.1
+    /// ablation layout (and the differential oracle for the wavefront
+    /// engine); also forced automatically whenever
+    /// [`QppConfig::opt_mode`] is not [`OptMode::Both`], since the
+    /// ablation modes are *defined* by the per-class arrangement.
+    Classes,
+    /// The differentiable wavefront program
+    /// ([`crate::train_program::ProgramTape`], default): the whole
+    /// heterogeneous batch compiled onto the serving engine's
+    /// `(height, OpKind)` wavefront layout, one gemm per operator family
+    /// per wavefront in each direction.
+    Program,
+}
+
+impl TrainEngine {
+    /// Parses the CLI spelling (`classes` | `program`).
+    pub fn parse(s: &str) -> Option<TrainEngine> {
+        match s {
+            "classes" => Some(TrainEngine::Classes),
+            "program" => Some(TrainEngine::Program),
+            _ => None,
+        }
+    }
+
+    /// Display name (the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainEngine::Classes => "classes",
+            TrainEngine::Program => "program",
+        }
+    }
+}
+
 /// Learning-rate schedule applied across epochs.
 ///
 /// The paper trains with a constant learning rate; decay schedules are a
@@ -222,12 +264,19 @@ pub struct QppConfig {
     pub weight_decay: f32,
     /// Seed for weight initialization and batch shuffling.
     pub seed: u64,
-    /// Worker threads for gradient computation (1 = serial). Equivalence
-    /// classes within a batch are distributed across threads and their
-    /// gradients summed, so the result is numerically equivalent to serial
-    /// training up to f32 summation order.
+    /// Worker threads for gradient computation (1 = serial). The
+    /// wavefront engine deals each height level's steps across a worker
+    /// pool in both sweeps (the forward is bit-identical at any thread
+    /// count; gradient sums differ only by f32 summation order); the
+    /// per-class engine distributes equivalence classes across threads
+    /// and sums their gradients, with the same up-to-summation-order
+    /// contract.
     #[serde(default = "default_threads")]
     pub threads: usize,
+    /// Gradient engine (see [`TrainEngine`]; default: the wavefront
+    /// program).
+    #[serde(default = "default_train_engine")]
+    pub train_engine: TrainEngine,
     /// Learning-rate schedule (paper: constant).
     #[serde(default = "default_schedule")]
     pub lr_schedule: LrSchedule,
@@ -241,6 +290,10 @@ pub struct QppConfig {
 
 fn default_threads() -> usize {
     1
+}
+
+fn default_train_engine() -> TrainEngine {
+    TrainEngine::Program
 }
 
 fn default_schedule() -> LrSchedule {
@@ -264,6 +317,7 @@ impl Default for QppConfig {
             weight_decay: 1e-4,
             seed: 0xC0FFEE,
             threads: 1,
+            train_engine: TrainEngine::Program,
             lr_schedule: LrSchedule::Constant,
             early_stop_patience: None,
         }
@@ -355,10 +409,21 @@ mod tests {
         obj.remove("threads");
         obj.remove("lr_schedule");
         obj.remove("early_stop_patience");
+        obj.remove("train_engine");
         let cfg: QppConfig = serde_json::from_value(v).unwrap();
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.lr_schedule, LrSchedule::Constant);
         assert_eq!(cfg.early_stop_patience, None);
+        assert_eq!(cfg.train_engine, TrainEngine::Program);
+    }
+
+    #[test]
+    fn train_engine_parses_cli_spellings() {
+        assert_eq!(TrainEngine::parse("classes"), Some(TrainEngine::Classes));
+        assert_eq!(TrainEngine::parse("program"), Some(TrainEngine::Program));
+        assert_eq!(TrainEngine::parse("wavefront"), None);
+        assert_eq!(TrainEngine::Program.name(), "program");
+        assert_eq!(TrainEngine::Classes.name(), "classes");
     }
 
     #[test]

@@ -157,6 +157,133 @@ pub(crate) struct Step {
     pub(crate) input: Matrix,
 }
 
+/// Accumulates per-node records into `(height, OpKind)` wavefront drafts
+/// and chunks them into executable [`Step`]s — the one place the wavefront
+/// grouping/chunking policy lives, shared by the serving compiler
+/// ([`PlanProgram::compile`]) and the differentiable training compiler
+/// ([`crate::train_program::ProgramTape`]), so the two engines can never
+/// disagree about how nodes map onto gemm rows.
+pub(crate) struct WavefrontBuilder {
+    /// BTreeMap keyed by (height, family index): iteration order IS the
+    /// execution order — heights ascending, families in stable order.
+    drafts: BTreeMap<(usize, usize), WavefrontDraft>,
+}
+
+struct WavefrontDraft {
+    kind: OpKind,
+    rows: Vec<usize>,
+    child_rows: Vec<usize>,
+    /// Whitened features of all members, one `feat_width` run per member
+    /// (flat: one allocation per draft, not per node).
+    feat_data: Vec<f32>,
+    feat_width: usize,
+}
+
+impl WavefrontBuilder {
+    pub(crate) fn new() -> WavefrontBuilder {
+        WavefrontBuilder { drafts: BTreeMap::new() }
+    }
+
+    /// Records one node: its global output row, its children's global rows
+    /// (left to right, `kind.arity()` of them) and its whitened feature
+    /// row.
+    ///
+    /// # Panics
+    /// Panics if `feat`'s length disagrees with earlier members of the
+    /// same wavefront (an inconsistent featurizer).
+    pub(crate) fn push(
+        &mut self,
+        height: usize,
+        kind: OpKind,
+        row: usize,
+        feat: &[f32],
+        child_rows: &[usize],
+    ) {
+        debug_assert_eq!(child_rows.len(), kind.arity(), "arity checked by callers");
+        let draft =
+            self.drafts.entry((height, kind.index())).or_insert_with(|| WavefrontDraft {
+                kind,
+                rows: Vec::new(),
+                child_rows: Vec::new(),
+                feat_data: Vec::new(),
+                feat_width: feat.len(),
+            });
+        assert_eq!(feat.len(), draft.feat_width, "inconsistent feature size for {kind:?}");
+        draft.rows.push(row);
+        draft.child_rows.extend_from_slice(child_rows);
+        draft.feat_data.extend_from_slice(feat);
+    }
+
+    /// Chunks the accumulated drafts into [`Step`]s plus the height-level
+    /// schedule. Step input matrices come from `alloc` (pass
+    /// `Matrix::zeros` for fresh programs, a pool-backed closure to
+    /// recycle a retired program's buffers); only the feature prefix of
+    /// each row is written — child columns are overwritten by the gather
+    /// on every run.
+    ///
+    /// Oversized wavefronts are split into `chunk_rows`-row chunks;
+    /// chunking changes nothing semantically (each output row of `X·W`
+    /// depends only on its own input row), so the size is purely a
+    /// throughput/parallelism knob: the serving engine passes the
+    /// cache-sized [`STEP_CHUNK_ROWS`] (one chunk's input, output and the
+    /// unit's weights stay cache-resident, and chunks are the parallel
+    /// partition grain), the training tape a larger
+    /// [`crate::train_program::TRAIN_CHUNK_ROWS`] (three gemms per layer
+    /// per step make per-call overhead — gathers, pool traffic, loop
+    /// prologues — worth amortizing over more rows).
+    ///
+    /// # Panics
+    /// Panics if a wavefront's input width disagrees with its unit's input
+    /// dimension (a featurizer/model mismatch), or if `chunk_rows` is 0.
+    pub(crate) fn finish(
+        self,
+        units: &UnitSet,
+        chunk_rows: usize,
+        alloc: &mut dyn FnMut(usize, usize) -> Matrix,
+    ) -> (Vec<Step>, Vec<Vec<u32>>) {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let out_w = units.out_size();
+        let mut steps = Vec::new();
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        let mut cur_height = usize::MAX;
+        for ((height, _), draft) in self.drafts {
+            if height != cur_height {
+                levels.push(Vec::new());
+                cur_height = height;
+            }
+            let arity = draft.kind.arity();
+            let feat_width = draft.feat_width;
+            let in_dim = feat_width + arity * out_w;
+            assert_eq!(
+                in_dim,
+                units.unit(draft.kind).in_dim(),
+                "feature/model shape mismatch for {:?}",
+                draft.kind
+            );
+            for (c, rows) in draft.rows.chunks(chunk_rows).enumerate() {
+                let members = rows.len();
+                let base = c * chunk_rows;
+                let mut input = alloc(members, in_dim);
+                debug_assert_eq!((input.rows(), input.cols()), (members, in_dim));
+                for i in 0..members {
+                    let f = &draft.feat_data[(base + i) * feat_width..(base + i + 1) * feat_width];
+                    input.row_mut(i)[..feat_width].copy_from_slice(f);
+                }
+                steps.push(Step {
+                    kind: draft.kind,
+                    rows: rows.to_vec(),
+                    child_rows: draft.child_rows[base * arity..(base + members) * arity].to_vec(),
+                    arity,
+                    feat_width,
+                    input,
+                });
+                levels.last_mut().expect("level opened above").push((steps.len() - 1) as u32);
+            }
+        }
+        (steps, levels)
+    }
+}
+
 /// Per-plan bookkeeping for reading results back out of the flat output
 /// buffer (and for the clamped envelope walk).
 struct PlanSlot {
@@ -221,21 +348,11 @@ impl PlanProgram {
     ) -> PlanProgram {
         let out_w = units.out_size();
 
-        struct Draft {
-            kind: OpKind,
-            rows: Vec<usize>,
-            child_rows: Vec<usize>,
-            /// Whitened features of all members, one `feat_width` run per
-            /// member (flat: one allocation per draft, not per node).
-            feat_data: Vec<f32>,
-            feat_width: usize,
-        }
-        // BTreeMap keyed by (height, family index): iteration order IS the
-        // execution order — heights ascending, families in stable order.
-        let mut drafts: BTreeMap<(usize, usize), Draft> = BTreeMap::new();
+        let mut builder = WavefrontBuilder::new();
         let mut plans = Vec::with_capacity(roots.len());
         let mut total_nodes = 0usize;
         let mut scratch = Vec::new();
+        let mut child_scratch = Vec::new();
 
         for root in roots {
             let nodes = root.postorder();
@@ -257,18 +374,9 @@ impl PlanProgram {
                     kind.arity()
                 );
                 whitener.features_into(featurizer, node, &mut scratch);
-                let draft =
-                    drafts.entry((lowering.height_of(k), kind.index())).or_insert_with(|| Draft {
-                        kind,
-                        rows: Vec::new(),
-                        child_rows: Vec::new(),
-                        feat_data: Vec::new(),
-                        feat_width: scratch.len(),
-                    });
-                assert_eq!(scratch.len(), draft.feat_width, "inconsistent feature size for {kind:?}");
-                draft.rows.push(base + k);
-                draft.child_rows.extend(lowering.children_of(k).iter().map(|&c| base + c));
-                draft.feat_data.extend_from_slice(&scratch);
+                child_scratch.clear();
+                child_scratch.extend(lowering.children_of(k).iter().map(|&c| base + c));
+                builder.push(lowering.height_of(k), kind, base + k, &scratch, &child_scratch);
             }
 
             plans.push(PlanSlot {
@@ -279,47 +387,8 @@ impl PlanProgram {
             });
         }
 
-        let mut steps = Vec::new();
-        let mut levels: Vec<Vec<u32>> = Vec::new();
-        let mut cur_height = usize::MAX;
-        for ((height, _), draft) in drafts {
-            if height != cur_height {
-                levels.push(Vec::new());
-                cur_height = height;
-            }
-            let arity = draft.kind.arity();
-            let feat_width = draft.feat_width;
-            let in_dim = feat_width + arity * out_w;
-            assert_eq!(
-                in_dim,
-                units.unit(draft.kind).in_dim(),
-                "feature/model shape mismatch for {:?}",
-                draft.kind
-            );
-            // Split oversized wavefronts into cache-sized row chunks: the
-            // row-major gemm kernel is fastest when one chunk's input,
-            // output and the unit's layer weights stay cache-resident, and
-            // chunking changes nothing semantically (each output row of
-            // `X·W` depends only on its own input row).
-            for (c, rows) in draft.rows.chunks(STEP_CHUNK_ROWS).enumerate() {
-                let members = rows.len();
-                let base = c * STEP_CHUNK_ROWS;
-                let mut input = Matrix::zeros(members, in_dim);
-                for i in 0..members {
-                    let f = &draft.feat_data[(base + i) * feat_width..(base + i + 1) * feat_width];
-                    input.row_mut(i)[..feat_width].copy_from_slice(f);
-                }
-                steps.push(Step {
-                    kind: draft.kind,
-                    rows: rows.to_vec(),
-                    child_rows: draft.child_rows[base * arity..(base + members) * arity].to_vec(),
-                    arity,
-                    feat_width,
-                    input,
-                });
-                levels.last_mut().expect("level opened above").push((steps.len() - 1) as u32);
-            }
-        }
+        let (steps, levels) =
+            builder.finish(units, STEP_CHUNK_ROWS, &mut |rows, cols| Matrix::zeros(rows, cols));
 
         PlanProgram {
             steps,
@@ -331,6 +400,13 @@ impl PlanProgram {
             out_w,
             fingerprint: None,
         }
+    }
+
+    /// The raw output buffer, for differential tests against the training
+    /// tape (which promises bit-identical forward rows).
+    #[cfg(test)]
+    pub(crate) fn outputs_for_tests(&self) -> &Matrix {
+        &self.outputs
     }
 
     /// Stamps the fitted-state fingerprint this program was compiled
@@ -562,6 +638,38 @@ pub(crate) fn clamp_plan_envelope(
     }
 }
 
+/// Copies each member's child output rows into the child column blocks of
+/// `dst` (`dst[i, feat_width + j·out_w ..]` ← row `child_rows[i·arity + j]`
+/// of the source). This is **the** row-routing loop every engine leans on
+/// — the sequential and parallel serving executors and both training-tape
+/// sweeps share it, so the `(feat prefix ⌢ child₁ ⌢ … ⌢ childₖ)` input
+/// layout (and the bit-identity contracts built on it) cannot drift
+/// between copies. `row_of` abstracts the source: plain matrix rows on
+/// single-threaded paths, a [`SharedRows`] view under workers.
+///
+/// `dst` is either the step's own baked input (its feature prefix is
+/// already resident) or a scratch clone of it; `dst.rows()` is the member
+/// count.
+pub(crate) fn gather_child_columns<'a>(
+    child_rows: &[usize],
+    arity: usize,
+    feat_width: usize,
+    out_w: usize,
+    dst: &mut Matrix,
+    row_of: impl Fn(usize) -> &'a [f32],
+) {
+    if arity == 0 {
+        return;
+    }
+    for i in 0..dst.rows() {
+        for j in 0..arity {
+            let src = child_rows[i * arity + j];
+            let start = feat_width + j * out_w;
+            dst.row_mut(i)[start..start + out_w].copy_from_slice(row_of(src));
+        }
+    }
+}
+
 /// Executes a wavefront schedule bottom-up on the calling thread: for each
 /// step (levels ascending, in level order) routes child outputs into the
 /// step's baked input and runs the unit forward through `pool`. Steps are
@@ -580,17 +688,14 @@ pub(crate) fn run_levels_seq(
             let step = &mut steps[id as usize];
             // Route child outputs (written by earlier wavefronts) into the
             // child columns of this step's input.
-            if step.arity > 0 {
-                let fw = step.feat_width;
-                for i in 0..step.rows.len() {
-                    for j in 0..step.arity {
-                        let src = step.child_rows[i * step.arity + j];
-                        let start = fw + j * out_w;
-                        step.input.row_mut(i)[start..start + out_w]
-                            .copy_from_slice(outputs.row(src));
-                    }
-                }
-            }
+            gather_child_columns(
+                &step.child_rows,
+                step.arity,
+                step.feat_width,
+                out_w,
+                &mut step.input,
+                |r| outputs.row(r),
+            );
             let out = units.unit(step.kind).forward_pooled(&step.input, pool);
             out.scatter_rows_into(&step.rows, outputs);
             pool.give(out);
@@ -640,45 +745,165 @@ pub(crate) fn run_levels_parallel(
     worker_pools: &mut [BufferPool],
     out_w: usize,
 ) {
-    let threads = worker_pools.len();
-    debug_assert!(threads >= 2, "parallel executor needs >= 2 workers");
     let outputs = SharedRows::new(outputs);
-    let barrier = std::sync::Barrier::new(threads);
-    let poisoned = std::sync::atomic::AtomicBool::new(false);
-    std::thread::scope(|scope| {
-        let mut pools = worker_pools.iter_mut();
-        let main_pool = pools.next().expect("threads >= 2");
-        for (t, pool) in pools.enumerate() {
-            let (outputs, barrier, poisoned) = (&outputs, &barrier, &poisoned);
-            scope.spawn(move || {
-                worker_loop(
-                    t + 1, threads, steps, levels, units, outputs, barrier, poisoned, pool, out_w,
-                )
+    run_levels_parallel_with(levels, false, worker_pools, &|pool: &mut BufferPool, id| {
+        let step = &steps[id as usize];
+        let out = if step.arity == 0 {
+            // Leaves: the baked feature matrix IS the full input.
+            units.unit(step.kind).forward_pooled(&step.input, pool)
+        } else {
+            // Unlike the sequential path — which gathers child rows into
+            // the step's own input matrix — workers assemble each step's
+            // input in scratch taken from their private pool, so the
+            // compiled steps stay shared and immutable across threads. The
+            // gemm consumes the exact same input values either way, and
+            // scratch has the same shape as the baked input, so the kernel
+            // (and its result, bit for bit) is identical to the sequential
+            // path's.
+            let members = step.rows.len();
+            let fw = step.feat_width;
+            let mut scratch = pool.take(members, step.input.cols());
+            for i in 0..members {
+                scratch.row_mut(i)[..fw].copy_from_slice(&step.input.row(i)[..fw]);
+            }
+            // SAFETY (row reads): child rows live at strictly lower
+            // heights — fully written in an earlier level and
+            // barrier-sequenced with these reads.
+            gather_child_columns(&step.child_rows, step.arity, fw, out_w, &mut scratch, |r| {
+                unsafe { outputs.row(r) }
             });
+            let out = units.unit(step.kind).forward_pooled(&scratch, pool);
+            pool.give(scratch);
+            out
+        };
+        for (k, &r) in step.rows.iter().enumerate() {
+            // SAFETY: each output row belongs to exactly one step, and
+            // this worker owns this step within the current level.
+            unsafe { outputs.write_row(r, out.row(k)) };
         }
-        // The caller participates as worker 0 — `threads` means total
-        // active workers, not extra threads.
-        worker_loop(
-            0, threads, steps, levels, units, &outputs, &barrier, &poisoned, main_pool, out_w,
-        );
+        pool.give(out);
     });
 }
 
-/// A raw-pointer view of the shared output matrix that lets worker threads
-/// write disjoint rows without locks.
+/// The generic scoped level-barrier executor behind every multicore
+/// wavefront pass — serving forward ([`run_levels_parallel`]) and the
+/// training tape's forward *and* backward
+/// ([`crate::train_program::ProgramTape`]). Deals each level's step ids
+/// round-robin across `workers.len()` workers (the **caller participates
+/// as worker 0**; callers pass at least two worker states and handle the
+/// single-threaded fallback themselves), with one [`std::sync::Barrier`]
+/// per level. `reverse` iterates the levels top-down — the backward pass's
+/// order, where a parent's gradient must be fully routed before its
+/// children's level reads it.
+///
+/// `run_step` receives the worker's private mutable state (`W`: a
+/// [`BufferPool`], gradient accumulators, …) and a step id; everything
+/// shared (steps, units, raw output views) is captured by the closure.
+/// The round-robin deal is position-based, so which worker runs a step is
+/// deterministic given the level lists and worker count — but `run_step`
+/// must not rely on *cross-step* ordering within a level.
+///
+/// A panic inside a step (e.g. a shape assert against a mismatched unit
+/// set) must not strand the other workers at the barrier: each level's
+/// work is caught, a shared poison flag is raised, the barrier is still
+/// reached, and every worker exits cleanly after the wait. The caught
+/// payload itself is parked in a shared slot (first panicking worker
+/// wins) and **re-raised on the calling thread after the scope joins** —
+/// so the caller observes the original panic (same message as the
+/// sequential path) no matter which worker's share the failing step
+/// landed in; unwinding inside a spawned scoped thread instead would
+/// surface only `std::thread::scope`'s generic "a scoped thread
+/// panicked" message.
+pub(crate) fn run_levels_parallel_with<W: Send>(
+    levels: &[Vec<u32>],
+    reverse: bool,
+    workers: &mut [W],
+    run_step: &(impl Fn(&mut W, u32) + Sync),
+) {
+    use std::sync::atomic::Ordering;
+    let threads = workers.len();
+    debug_assert!(threads >= 2, "parallel executor needs >= 2 workers");
+    let barrier = std::sync::Barrier::new(threads);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    let panic_slot: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+
+    // One worker's whole pass: its round-robin share of every level, in
+    // schedule order, poison-checked at each barrier.
+    let worker_loop = |worker: usize, state: &mut W| {
+        let mut level_pass = |level: &Vec<u32>| {
+            // AssertUnwindSafe: on panic the worker state may hold
+            // un-given buffers and this level's outputs may be partially
+            // written — the same states a sequential-path panic leaves
+            // behind; the payload is re-raised on the caller after the
+            // scope, so no caller observes them.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for &id in level.iter().skip(worker).step_by(threads) {
+                    run_step(state, id);
+                }
+            }));
+            if let Err(payload) = result {
+                poisoned.store(true, Ordering::Release);
+                // The lock guard must drop before the barrier: another
+                // worker panicking at this same level contends for the
+                // slot on its own way to the barrier.
+                panic_slot.lock().expect("panic slot lock").get_or_insert(payload);
+                barrier.wait();
+                return false;
+            }
+            barrier.wait();
+            !poisoned.load(Ordering::Acquire)
+        };
+        if reverse {
+            for level in levels.iter().rev() {
+                if !level_pass(level) {
+                    return;
+                }
+            }
+        } else {
+            for level in levels {
+                if !level_pass(level) {
+                    return;
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let mut states = workers.iter_mut();
+        let main_state = states.next().expect("threads >= 2");
+        for (t, state) in states.enumerate() {
+            let worker_loop = &worker_loop;
+            scope.spawn(move || worker_loop(t + 1, state));
+        }
+        // The caller participates as worker 0 — `threads` means total
+        // active workers, not extra threads.
+        worker_loop(0, main_state);
+    });
+    if let Some(payload) = panic_slot.into_inner().expect("panic slot lock") {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// A raw-pointer view of a shared row-major matrix that lets worker
+/// threads access disjoint rows without locks.
 ///
 /// Safe Rust cannot express "N threads each mutate a different subset of
 /// rows of one matrix", so this view carries the proof obligation instead:
 ///
 /// * every output row belongs to exactly **one** step (compile assigns
 ///   each node one global row, and a node joins one draft chunk), so two
-///   workers never write the same row within a level;
-/// * a step only **reads** rows of its members' children, which sit at
-///   strictly lower height — written in an earlier level, sequenced by the
-///   inter-level barrier (`Barrier::wait` is an acquire/release point);
-/// * the view lives only inside [`PlanProgram::run_parallel`]'s scope,
-///   which holds the `&mut Matrix` borrow for the view's whole lifetime.
-struct SharedRows<'a> {
+///   workers never write the same row within a level — and in the training
+///   backward, every *gradient* row is written by exactly one step too
+///   (each node has at most one parent, and the loss seed is written
+///   before the sweep starts);
+/// * a step only **reads** rows sequenced by the inter-level barrier
+///   (`Barrier::wait` is an acquire/release point): child outputs written
+///   at strictly lower heights in the forward, parent-routed gradients
+///   written at strictly higher heights in the backward;
+/// * the view lives only inside one executor invocation's scope, which
+///   holds the `&mut Matrix` borrow for the view's whole lifetime.
+pub(crate) struct SharedRows<'a> {
     ptr: *mut f32,
     rows: usize,
     cols: usize,
@@ -692,7 +917,7 @@ unsafe impl Send for SharedRows<'_> {}
 unsafe impl Sync for SharedRows<'_> {}
 
 impl<'a> SharedRows<'a> {
-    fn new(m: &'a mut Matrix) -> SharedRows<'a> {
+    pub(crate) fn new(m: &'a mut Matrix) -> SharedRows<'a> {
         let (rows, cols) = (m.rows(), m.cols());
         SharedRows { ptr: m.as_mut_slice().as_mut_ptr(), rows, cols, _borrow: std::marker::PhantomData }
     }
@@ -700,10 +925,10 @@ impl<'a> SharedRows<'a> {
     /// Reads row `i`.
     ///
     /// # Safety
-    /// `i` must have been fully written in an earlier level (a strictly
-    /// lower height) and no thread may be writing it concurrently.
+    /// `i` must have been fully written in an earlier level and no thread
+    /// may be writing it concurrently.
     #[inline]
-    unsafe fn row(&self, i: usize) -> &[f32] {
+    pub(crate) unsafe fn row(&self, i: usize) -> &[f32] {
         debug_assert!(i < self.rows, "row {i} out of range for {}x{} shared view", self.rows, self.cols);
         std::slice::from_raw_parts(self.ptr.add(i * self.cols), self.cols)
     }
@@ -714,92 +939,28 @@ impl<'a> SharedRows<'a> {
     /// The caller must be the only thread accessing row `i` in the current
     /// level (each row belongs to exactly one step).
     #[inline]
-    unsafe fn write_row(&self, i: usize, src: &[f32]) {
+    pub(crate) unsafe fn write_row(&self, i: usize, src: &[f32]) {
         debug_assert!(i < self.rows, "row {i} out of range for {}x{} shared view", self.rows, self.cols);
         debug_assert_eq!(src.len(), self.cols, "row width mismatch in shared write");
         std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(i * self.cols), self.cols);
     }
-}
 
-/// One worker of [`PlanProgram::run_parallel`]: executes its round-robin
-/// share (`worker`, `worker + workers`, …) of each level's steps, then
-/// waits at the level barrier. Unlike the sequential path — which gathers
-/// child rows into the step's own input matrix — workers assemble each
-/// step's input in scratch taken from their private pool, so the compiled
-/// steps stay shared and immutable across threads. The gemm consumes the
-/// exact same input values either way, and scratch has the same shape as
-/// the baked input, so the kernel (and its result, bit for bit) is
-/// identical to the sequential path's.
-///
-/// A panic inside a step (e.g. a shape assert against a mismatched unit
-/// set) must not strand the other workers at the barrier: each level's
-/// work is caught, a shared poison flag is raised, the barrier is still
-/// reached, and every worker exits after the wait — the catching worker
-/// resumes its unwind so the caller observes the original panic (same
-/// message as the sequential path) instead of a deadlocked process.
-#[allow(clippy::too_many_arguments)] // one call site; a worker context struct would just rename these
-fn worker_loop(
-    worker: usize,
-    workers: usize,
-    steps: &[Step],
-    levels: &[Vec<u32>],
-    units: &UnitSet,
-    outputs: &SharedRows<'_>,
-    barrier: &std::sync::Barrier,
-    poisoned: &std::sync::atomic::AtomicBool,
-    pool: &mut BufferPool,
-    out_w: usize,
-) {
-    use std::sync::atomic::Ordering;
-    for level in levels {
-        let my_steps = level.iter().skip(worker).step_by(workers).map(|&id| &steps[id as usize]);
-        // AssertUnwindSafe: on panic the pool may keep un-given buffers
-        // and the output rows of this level may be partially written —
-        // the same states a sequential-path panic leaves behind; the
-        // unwind is re-raised below, so no caller observes them.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            for step in my_steps {
-                let out = if step.arity == 0 {
-                    // Leaves: the baked feature matrix IS the full input.
-                    units.unit(step.kind).forward_pooled(&step.input, pool)
-                } else {
-                    let members = step.rows.len();
-                    let fw = step.feat_width;
-                    let mut scratch = pool.take(members, step.input.cols());
-                    for i in 0..members {
-                        let dst = scratch.row_mut(i);
-                        dst[..fw].copy_from_slice(&step.input.row(i)[..fw]);
-                        for j in 0..step.arity {
-                            let src = step.child_rows[i * step.arity + j];
-                            // SAFETY: `src` is a child row — strictly lower
-                            // height, fully written in an earlier level and
-                            // barrier-sequenced with this read.
-                            let child = unsafe { outputs.row(src) };
-                            dst[fw + j * out_w..fw + (j + 1) * out_w].copy_from_slice(child);
-                        }
-                    }
-                    let out = units.unit(step.kind).forward_pooled(&scratch, pool);
-                    pool.give(scratch);
-                    out
-                };
-                for (k, &r) in step.rows.iter().enumerate() {
-                    // SAFETY: each output row belongs to exactly one step,
-                    // and this worker owns this step within the current
-                    // level.
-                    unsafe { outputs.write_row(r, out.row(k)) };
-                }
-                pool.give(out);
-            }
-        }));
-        if result.is_err() {
-            poisoned.store(true, Ordering::Release);
-        }
-        barrier.wait();
-        if let Err(payload) = result {
-            std::panic::resume_unwind(payload);
-        }
-        if poisoned.load(Ordering::Acquire) {
-            return;
+    /// Accumulates `src` into row `i` (`row += src`) — the scatter-add the
+    /// training backward routes child gradients with (the row already
+    /// holds the loss seed, so this must add, not overwrite).
+    ///
+    /// # Safety
+    /// As [`SharedRows::write_row`]: the caller must be the only thread
+    /// accessing row `i` in the current level. In the backward sweep each
+    /// gradient row is touched by exactly one step — a node has at most
+    /// one parent.
+    #[inline]
+    pub(crate) unsafe fn add_to_row(&self, i: usize, src: &[f32]) {
+        debug_assert!(i < self.rows, "row {i} out of range for {}x{} shared view", self.rows, self.cols);
+        debug_assert_eq!(src.len(), self.cols, "row width mismatch in shared add");
+        let dst = std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
         }
     }
 }
@@ -1069,6 +1230,31 @@ mod tests {
         let units2 = UnitSet::new(&QppConfig::tiny(), &fz2, &mut rng);
         assert_eq!(units2.out_size(), units.out_size(), "width check must pass");
         let _ = program.predict_roots_threaded(&units2, &codec, 4);
+    }
+
+    /// The executor's panic contract: a panic whose step lands only in a
+    /// *spawned* worker's round-robin share (never the caller's) must
+    /// still reach the caller with its original payload — not
+    /// `std::thread::scope`'s generic "a scoped thread panicked".
+    #[test]
+    fn worker_only_panic_preserves_its_payload() {
+        // Two workers, one level of two steps: the caller (worker 0)
+        // takes id 0, the spawned worker takes id 1 — which panics.
+        let levels = vec![vec![0u32, 1u32]];
+        let mut workers = [(), ()];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_levels_parallel_with(&levels, false, &mut workers, &|(), id| {
+                if id == 1 {
+                    panic!("step {id} exploded with a diagnostic message");
+                }
+            });
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("panic carries its message");
+        assert!(
+            msg.contains("step 1 exploded with a diagnostic message"),
+            "caller observed `{msg}` instead of the original payload"
+        );
     }
 
     #[test]

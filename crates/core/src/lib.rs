@@ -8,15 +8,22 @@
 //! own small MLP — a **neural unit** ([`unit::UnitSet`]) — which maps the
 //! operator's `EXPLAIN` features plus its children's outputs to a
 //! `(latency, data-vector)` pair. Units are assembled into a network
-//! **isomorphic to the query plan** ([`tree::TreeBatch`]); the root's
-//! latency output is the query's predicted latency. Training (§5,
-//! [`train::Trainer`]) supervises the latency output of *every* operator
-//! while leaving the `d`-dimensional data vectors free ("opaque" learned
-//! features), and implements both §5.1 optimizations:
+//! **isomorphic to the query plan**; the root's latency output is the
+//! query's predicted latency. Training (§5, [`train::Trainer`])
+//! supervises the latency output of *every* operator while leaving the
+//! `d`-dimensional data vectors free ("opaque" learned features), and
+//! implements both §5.1 optimizations — by default *generalized onto the
+//! serving engine's wavefront layout*
+//! ([`train_program::ProgramTape`], DESIGN.md §9): the whole shuffled
+//! batch, mixed shapes and all, runs as one gemm per operator family per
+//! wavefront in each direction, with per-class
+//! [`tree::TreeBatch`] evaluation kept as the differential oracle and the
+//! §5.1 ablation layout:
 //!
-//! * **plan-based batch training** — structurally identical plans are
-//!   vectorized; per-class gradients are recombined weighted by class size
-//!   so the estimate stays unbiased;
+//! * **plan-based batch training** — vectorization across plans;
+//!   per-batch gradients are normalized by total operator count so the
+//!   estimate stays unbiased (the tape batches across *all* shapes at
+//!   once, subsuming the per-class grouping);
 //! * **information sharing in subtrees** — bottom-up evaluation computes
 //!   each operator's output exactly once.
 //!
@@ -63,6 +70,7 @@ pub mod metrics;
 pub mod model;
 pub mod stream;
 pub mod train;
+pub mod train_program;
 pub mod tree;
 pub mod unit;
 
@@ -73,6 +81,7 @@ pub use infer::{predict_plans_with, InferEngine, PlanProgram};
 pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
 pub use model::QppNet;
 pub use stream::{PlanId, ProgramBuilder, ProgramStats};
-pub use train::{predict_plans, TrainHistory, Trainer};
+pub use train::{predict_plans, TrainHistory, TrainStats, Trainer};
+pub use train_program::ProgramTape;
 pub use tree::{equivalence_classes, Supervision, TreeBatch};
 pub use unit::UnitSet;

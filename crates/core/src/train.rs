@@ -1,21 +1,37 @@
-//! Training loop (paper §5) with the two §5.1 optimizations.
+//! Training loop (paper §5) with the two §5.1 optimizations — run, by
+//! default, **on the serving engine's wavefront layout**.
 //!
-//! Every epoch shuffles the training plans, draws large random batches, and
-//! processes each batch according to the configured [`OptMode`](crate::config::OptMode):
+//! Every epoch shuffles the training plans, draws large random batches,
+//! and computes one gradient step per batch. Two engines can do the math
+//! (see [`TrainEngine`]); both supervise every operator (Equation 7) and
+//! recombine per-batch SSE gradients normalized by the batch's total
+//! operator count — the paper's size-weighted, unbiased recombination:
 //!
-//! * **vectorization** (§5.1.1): the batch is partitioned into structural
-//!   equivalence classes; each class is evaluated as one [`TreeBatch`]
-//!   (matrix ops over all members at once). Per-class gradients are
-//!   *summed* and normalized once by the batch's total operator count —
-//!   the paper's size-weighted, unbiased gradient recombination.
-//! * **information sharing** (§5.1.2): each plan (or class) is evaluated
-//!   bottom-up exactly once with every operator supervised. The unshared
-//!   baseline instead re-evaluates the subtree under every operator with
-//!   only its root supervised — mathematically identical gradients (a test
-//!   asserts this), but `O(n · depth)` unit evaluations instead of `O(n)`.
+//! * **wavefront** (default, [`crate::train_program::ProgramTape`]): the
+//!   whole heterogeneous batch is compiled onto the `(height-from-leaf,
+//!   OpKind)` wavefront layout the serving engine uses — one gemm per
+//!   operator family per wavefront in each direction, regardless of how
+//!   many structural shapes the batch mixes. Features are lowered and
+//!   whitened **once per run** (not once per epoch), full-batch
+//!   configurations compile one tape and reuse it every epoch, and
+//!   `threads > 1` deals each level's steps across a worker pool in both
+//!   sweeps.
+//! * **per-class** ([`TrainEngine::Classes`], the §5.1.1 arrangement):
+//!   the batch is partitioned into structural equivalence classes; each
+//!   class is evaluated as one [`TreeBatch`] (matrix ops over all members
+//!   at once). This is the layout the paper describes, the differential
+//!   oracle the wavefront engine is tested against, and the only
+//!   arrangement that can express the §5.1 ablations — turning either
+//!   optimization *off* ([`crate::config::OptMode`]) forces it:
+//!   **vectorization** off evaluates singletons, **information sharing**
+//!   off re-evaluates the subtree under every operator with only its root
+//!   supervised — mathematically identical gradients (a test asserts
+//!   this), but `O(n · depth)` unit evaluations instead of `O(n)`.
 
-use crate::config::{OptimizerKind, QppConfig, TargetCodec};
+use crate::config::{OptMode, OptimizerKind, QppConfig, TargetCodec, TrainEngine};
+use crate::infer::{predict_plans_with, InferEngine};
 use crate::metrics::Metrics;
+use crate::train_program::ProgramSession;
 use crate::tree::{equivalence_classes, RatioCaps, Supervision, TreeBatch};
 use crate::unit::UnitSet;
 use qpp_nn::{Adam, Optimizer, Sgd};
@@ -25,6 +41,49 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Computation-shape statistics of one training run — the observability
+/// surface of the trainer (`qpp train` prints this; the
+/// `train_throughput` bench explains its numbers with it).
+///
+/// "Gemm" counts are *forward* matrix products (one per unit layer per
+/// group/step); the backward executes two more per layer (weight and
+/// input gradients) in either engine, so ratios between engines are
+/// preserved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// True when the wavefront tape computed the gradients
+    /// ([`TrainEngine::Program`] with both §5.1 optimizations on).
+    pub program_engine: bool,
+    /// Distinct structural equivalence classes in the training set — the
+    /// granularity the per-class engine fragments a full batch into.
+    pub classes: usize,
+    /// Wavefront steps executed per epoch (0 under the per-class engine).
+    pub steps_per_epoch: usize,
+    /// Forward gemm calls per epoch (mean across epochs).
+    pub gemms_per_epoch: usize,
+    /// Supervised operator rows per epoch.
+    pub rows_per_epoch: usize,
+    /// Supervised operator rows processed per wall-clock second over the
+    /// whole run (forward + backward + optimizer).
+    pub rows_per_sec: f64,
+}
+
+impl std::fmt::Display for TrainStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} engine: {} classes -> {} wavefront steps/epoch, \
+             {} forward gemms/epoch over {} rows ({:.0} rows/s)",
+            if self.program_engine { "wavefront" } else { "per-class" },
+            self.classes,
+            self.steps_per_epoch,
+            self.gemms_per_epoch,
+            self.rows_per_epoch,
+            self.rows_per_sec,
+        )
+    }
+}
 
 /// Per-epoch training trace.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
@@ -38,6 +97,9 @@ pub struct TrainHistory {
     /// Epoch at which patience-based early stopping fired, if it did.
     #[serde(default)]
     pub stopped_at: Option<usize>,
+    /// Computation-shape statistics of the run (see [`TrainStats`]).
+    #[serde(default)]
+    pub stats: TrainStats,
 }
 
 impl TrainHistory {
@@ -45,6 +107,19 @@ impl TrainHistory {
     pub fn total_seconds(&self) -> f64 {
         self.epoch_seconds.iter().sum()
     }
+}
+
+/// What one gradient step reported back to the epoch loop.
+struct BatchOutcome {
+    /// Summed squared error over the batch's supervised operators.
+    sse: f64,
+    /// Supervised operator count (the gradient normalizer).
+    ops: usize,
+    /// Neural-unit forward evaluations (gemm groups × 1; per-class
+    /// engine only — the tape reports steps instead).
+    unit_evals: usize,
+    /// Wavefront steps executed (tape engine only).
+    steps: usize,
 }
 
 /// Trains [`UnitSet`]s over executed plans.
@@ -66,7 +141,7 @@ impl Trainer<'_> {
     ///
     /// When `eval` is `Some((plans, every))`, the model is evaluated on
     /// `plans` after every `every`-th epoch (Figure 9b/9c convergence
-    /// traces). Pass an `on_epoch` callback to observe progress.
+    /// traces) through the serving engine.
     pub fn train(
         &self,
         units: &mut UnitSet,
@@ -81,10 +156,25 @@ impl Trainer<'_> {
             OptimizerKind::Adam => Box::new(Adam::new(cfg.learning_rate)),
         };
 
+        // The wavefront tape expresses exactly the both-optimizations
+        // configuration (whole-batch vectorization + one shared bottom-up
+        // pass); the §5.1 ablation modes are defined by the per-class
+        // arrangement, so they force the oracle engine.
+        let mut session = (cfg.train_engine == TrainEngine::Program
+            && cfg.opt_mode == OptMode::Both)
+            .then(|| {
+                let roots: Vec<&qpp_plansim::plan::PlanNode> =
+                    plans.iter().map(|p| &p.root).collect();
+                ProgramSession::prepare(self.featurizer, self.whitener, self.codec, &roots)
+            });
+
         let mut history = TrainHistory::default();
         let mut order: Vec<usize> = (0..plans.len()).collect();
         let mut best_mae = f64::INFINITY;
         let mut evals_since_best = 0usize;
+        let mut total_rows = 0usize;
+        let mut total_evals = 0usize;
+        let mut total_steps = 0usize;
 
         for epoch in 0..cfg.epochs {
             let start = Instant::now();
@@ -94,17 +184,24 @@ impl Trainer<'_> {
             let mut epoch_ops = 0usize;
 
             for chunk in order.chunks(cfg.batch_size.max(1)) {
-                let (sse, ops) = self.train_batch(units, opt.as_mut(), plans, chunk);
-                epoch_sse += sse;
-                epoch_ops += ops;
+                let out = match &mut session {
+                    Some(session) => self.train_batch_program(units, opt.as_mut(), session, chunk),
+                    None => self.train_batch(units, opt.as_mut(), plans, chunk),
+                };
+                epoch_sse += out.sse;
+                epoch_ops += out.ops;
+                total_evals += out.unit_evals;
+                total_steps += out.steps;
             }
+            total_rows += epoch_ops;
 
             history.train_loss.push(epoch_sse / epoch_ops.max(1) as f64);
             history.epoch_seconds.push(start.elapsed().as_secs_f64());
 
             if let Some((eval_plans, every)) = eval {
                 if every > 0 && (epoch % every == 0 || epoch + 1 == cfg.epochs) {
-                    let preds = predict_plans(
+                    let preds = predict_plans_with(
+                        InferEngine::default().with_threads(cfg.threads),
                         units,
                         self.featurizer,
                         self.whitener,
@@ -132,21 +229,64 @@ impl Trainer<'_> {
                 }
             }
         }
+
+        let epochs_run = history.train_loss.len().max(1);
+        let layers = units.unit(qpp_plansim::operators::OpKind::ALL[0]).num_layers();
+        let (evals, steps) = (total_evals / epochs_run, total_steps / epochs_run);
+        history.stats = TrainStats {
+            program_engine: session.is_some(),
+            classes: equivalence_classes(plans.iter().enumerate().map(|(i, p)| (i, &p.root)))
+                .len(),
+            steps_per_epoch: steps,
+            gemms_per_epoch: (evals + steps) * layers,
+            rows_per_epoch: total_rows / epochs_run,
+            rows_per_sec: total_rows as f64 / history.total_seconds().max(1e-12),
+        };
         history
     }
 
-    /// One gradient step over one large batch. Returns `(sse, op_count)`.
+    /// One gradient step over one batch through the wavefront tape: one
+    /// recording forward, the all-operator loss, one reverse sweep —
+    /// each gemm spanning every plan of the batch in its wavefront.
+    fn train_batch_program(
+        &self,
+        units: &mut UnitSet,
+        opt: &mut dyn Optimizer,
+        session: &mut ProgramSession,
+        chunk: &[usize],
+    ) -> BatchOutcome {
+        let cfg = self.config;
+        units.zero_grad();
+        let tape = session.tape_for(chunk, units);
+        tape.forward_threaded(units, cfg.threads);
+        let (sse, ops) = tape.loss();
+        tape.backward_threaded(units, cfg.threads);
+        let steps = tape.num_steps();
+
+        // Unbiased recombination (§5.1.1): normalize the summed SSE
+        // gradients by the batch's supervised operator count, then weight
+        // decay (which also pulls never-activated one-hot columns toward
+        // zero — essential for unseen-template generalization).
+        units.scale_grad(1.0 / ops.max(1) as f32);
+        units.add_weight_decay(cfg.weight_decay);
+        units.apply_grads(opt);
+        BatchOutcome { sse, ops, unit_evals: 0, steps }
+    }
+
+    /// One gradient step over one batch through the per-class oracle
+    /// engine. Returns the batch outcome.
     fn train_batch(
         &self,
         units: &mut UnitSet,
         opt: &mut dyn Optimizer,
         plans: &[&Plan],
         chunk: &[usize],
-    ) -> (f64, usize) {
+    ) -> BatchOutcome {
         let cfg = self.config;
         units.zero_grad();
         let mut total_sse = 0.0f64;
         let mut total_ops = 0usize;
+        let mut total_evals = 0usize;
 
         // Partition the chunk into structural equivalence classes (or
         // singletons when vectorization is off).
@@ -167,7 +307,7 @@ impl Trainer<'_> {
             // equivalent to the serial path up to f32 summation order.
             let n_threads = cfg.threads.min(groups.len().max(1));
             let units_ro: &UnitSet = units;
-            let results: Vec<(f64, usize, UnitSet)> = std::thread::scope(|scope| {
+            let results: Vec<(f64, usize, usize, UnitSet)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n_threads)
                     .map(|t| {
                         let my_groups: Vec<&Vec<usize>> =
@@ -177,27 +317,31 @@ impl Trainer<'_> {
                             local.zero_grad();
                             let mut sse = 0.0f64;
                             let mut ops = 0usize;
+                            let mut evals = 0usize;
                             for members in my_groups {
-                                let (s, o) = self.process_group(&mut local, plans, members);
+                                let (s, o, e) = self.process_group(&mut local, plans, members);
                                 sse += s;
                                 ops += o;
+                                evals += e;
                             }
-                            (sse, ops, local)
+                            (sse, ops, evals, local)
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             });
-            for (sse, ops, local) in results {
+            for (sse, ops, evals, local) in results {
                 units.add_grads_from(&local);
                 total_sse += sse;
                 total_ops += ops;
+                total_evals += evals;
             }
         } else {
             for members in &groups {
-                let (sse, ops) = self.process_group(units, plans, members);
+                let (sse, ops, evals) = self.process_group(units, plans, members);
                 total_sse += sse;
                 total_ops += ops;
+                total_evals += evals;
             }
         }
 
@@ -208,17 +352,18 @@ impl Trainer<'_> {
         units.scale_grad(1.0 / total_ops.max(1) as f32);
         units.add_weight_decay(cfg.weight_decay);
         units.apply_grads(opt);
-        (total_sse, total_ops)
+        BatchOutcome { sse: total_sse, ops: total_ops, unit_evals: total_evals, steps: 0 }
     }
 
     /// Forward + backward over one equivalence class (or singleton),
-    /// accumulating gradients into `units`. Returns `(sse, op_count)`.
+    /// accumulating gradients into `units`. Returns
+    /// `(sse, op_count, unit_evals)`.
     fn process_group(
         &self,
         units: &mut UnitSet,
         plans: &[&Plan],
         members: &[usize],
-    ) -> (f64, usize) {
+    ) -> (f64, usize, usize) {
         let roots: Vec<&qpp_plansim::plan::PlanNode> =
             members.iter().map(|&i| &plans[i].root).collect();
 
@@ -228,12 +373,13 @@ impl Trainer<'_> {
             let fwd = tb.forward(units);
             let (sse, grads) = tb.loss(&fwd, Supervision::AllOperators);
             tb.backward(units, &fwd, grads);
-            (sse, tb.supervised_count(Supervision::AllOperators))
+            (sse, tb.supervised_count(Supervision::AllOperators), tb.num_positions())
         } else {
             // Naive Equation-7 evaluation: one subtree pass per operator,
             // only its root supervised.
             let mut total_sse = 0.0f64;
             let mut total_ops = 0usize;
+            let mut total_evals = 0usize;
             let node_lists: Vec<Vec<&qpp_plansim::plan::PlanNode>> =
                 roots.iter().map(|r| r.postorder()).collect();
             let n = node_lists[0].len();
@@ -247,14 +393,17 @@ impl Trainer<'_> {
                 tb.backward(units, &fwd, grads);
                 total_sse += sse;
                 total_ops += tb.supervised_count(Supervision::RootOnly);
+                total_evals += tb.num_positions();
             }
-            (total_sse, total_ops)
+            (total_sse, total_ops, total_evals)
         }
     }
 }
 
 /// Predicts root latencies (milliseconds) for `plans`, vectorizing over
-/// structural equivalence classes.
+/// structural equivalence classes — the per-class serving path behind
+/// [`InferEngine::Classes`] (the wavefront engine serves the default
+/// path; see [`crate::infer::predict_plans_with`]).
 pub fn predict_plans(
     units: &UnitSet,
     featurizer: &Featurizer,
@@ -317,7 +466,10 @@ mod tests {
     }
 
     /// The four §5.1 optimization modes must compute identical gradients —
-    /// they differ only in how the computation is arranged.
+    /// they differ only in how the computation is arranged. With the
+    /// default engine, `Both` runs on the wavefront tape while the other
+    /// three run per-class, so this doubles as a cross-engine first-step
+    /// agreement check.
     #[test]
     fn all_opt_modes_produce_equivalent_first_steps() {
         let (ds, fz, wh, codec) = setup(12);
@@ -350,6 +502,83 @@ mod tests {
         }
     }
 
+    /// Both gradient engines, same RNG stream, same config: mini-batched
+    /// training must land on models that agree closely after several
+    /// optimizer steps (the full differential suite lives in
+    /// `tests/train_differential.rs`).
+    #[test]
+    fn engines_agree_through_minibatched_training() {
+        let (ds, fz, wh, codec) = setup(30);
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let run = |engine: TrainEngine| {
+            let cfg = QppConfig {
+                epochs: 4,
+                batch_size: 8, // several chunks per epoch — the recompile path
+                train_engine: engine,
+                ..QppConfig::tiny()
+            };
+            let mut units = fresh_units(&cfg, &fz);
+            let trainer = Trainer {
+                config: &cfg,
+                featurizer: &fz,
+                whitener: &wh,
+                codec: &codec,
+                ratio_caps: None,
+            };
+            let hist = trainer.train(&mut units, &plans, None);
+            (hist, predict_plans(&units, &fz, &wh, &codec, None, &plans))
+        };
+        let (hist_p, preds_p) = run(TrainEngine::Program);
+        let (hist_c, preds_c) = run(TrainEngine::Classes);
+        assert!(hist_p.stats.program_engine && !hist_c.stats.program_engine);
+        for (l_p, l_c) in hist_p.train_loss.iter().zip(&hist_c.train_loss) {
+            let rel = (l_p - l_c).abs() / l_c.max(1e-9);
+            assert!(rel < 1e-3, "loss {l_p} vs {l_c}");
+        }
+        for (a, b) in preds_p.iter().zip(&preds_c) {
+            let rel = (a - b).abs() / (1.0 + b.abs());
+            assert!(rel < 1e-3, "prediction {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_engine_shape() {
+        let (ds, fz, wh, codec) = setup(24);
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let run = |engine: TrainEngine| {
+            let cfg = QppConfig { epochs: 2, train_engine: engine, ..QppConfig::tiny() };
+            let mut units = fresh_units(&cfg, &fz);
+            let trainer = Trainer {
+                config: &cfg,
+                featurizer: &fz,
+                whitener: &wh,
+                codec: &codec,
+                ratio_caps: None,
+            };
+            trainer.train(&mut units, &plans, None).stats
+        };
+        let p = run(TrainEngine::Program);
+        let c = run(TrainEngine::Classes);
+        let total_ops: usize = plans.iter().map(|p| p.node_count()).sum();
+        assert!(p.program_engine && p.steps_per_epoch > 0);
+        assert_eq!(p.rows_per_epoch, total_ops);
+        assert_eq!(c.rows_per_epoch, total_ops);
+        assert_eq!(p.classes, c.classes);
+        assert!(p.classes > 0);
+        assert!(!c.program_engine && c.steps_per_epoch == 0);
+        // The whole point of the wavefront layout: far fewer gemm calls
+        // for the same supervised rows.
+        assert!(
+            p.gemms_per_epoch < c.gemms_per_epoch,
+            "tape {} gemms vs per-class {}",
+            p.gemms_per_epoch,
+            c.gemms_per_epoch
+        );
+        assert!(p.rows_per_sec > 0.0 && c.rows_per_sec > 0.0);
+        let line = p.to_string();
+        assert!(line.contains("wavefront") && line.contains("rows/s"), "{line}");
+    }
+
     #[test]
     fn eval_trace_is_recorded() {
         let (ds, fz, wh, codec) = setup(30);
@@ -378,6 +607,8 @@ mod tests {
 
     /// Parallel gradient computation must match serial training: same
     /// batches, same recombination, only the f32 summation order differs.
+    /// Runs on the wavefront engine (the default), whose parallel sweeps
+    /// go through the shared level executor.
     #[test]
     fn parallel_training_matches_serial() {
         let (ds, fz, wh, codec) = setup(40);
@@ -406,6 +637,40 @@ mod tests {
         for (a, b) in preds1.iter().zip(&preds4) {
             let rel = (a - b).abs() / (1.0 + a.abs());
             assert!(rel < 1e-2, "prediction {a} vs {b}");
+        }
+    }
+
+    /// The same contract for the per-class oracle engine's data-parallel
+    /// path (classes dealt across unit-set clones).
+    #[test]
+    fn parallel_classes_training_matches_serial() {
+        let (ds, fz, wh, codec) = setup(30);
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let run = |threads: usize| {
+            let cfg = QppConfig {
+                epochs: 3,
+                threads,
+                train_engine: TrainEngine::Classes,
+                ..QppConfig::tiny()
+            };
+            let mut units = fresh_units(&cfg, &fz);
+            let trainer = Trainer {
+                config: &cfg,
+                featurizer: &fz,
+                whitener: &wh,
+                codec: &codec,
+                ratio_caps: None,
+            };
+            let hist = trainer.train(&mut units, &plans, None);
+            (hist.train_loss.clone(), predict_plans(&units, &fz, &wh, &codec, None, &plans))
+        };
+        let (loss1, preds1) = run(1);
+        let (loss4, preds4) = run(4);
+        for (a, b) in loss1.iter().zip(&loss4) {
+            assert!((a - b).abs() / a.max(1e-9) < 1e-3, "loss {a} vs {b}");
+        }
+        for (a, b) in preds1.iter().zip(&preds4) {
+            assert!((a - b).abs() / (1.0 + a.abs()) < 1e-2, "prediction {a} vs {b}");
         }
     }
 

@@ -20,10 +20,18 @@
 //!   ([`Supervision::RootOnly`]), recomputing descendants once per ancestor
 //!   exactly as the naive Equation-7 evaluation would.
 //!
-//! This is the **training** engine; serving heterogeneous batches goes
-//! through the compiled wavefront engine ([`crate::infer::PlanProgram`]),
-//! which shares this module's position numbering via [`crate::lower`] and
-//! is differentially tested against it (see DESIGN.md §6).
+//! Since the training loop moved onto the differentiable wavefront engine
+//! ([`crate::train_program::ProgramTape`], DESIGN.md §9), this module is
+//! the **reference implementation and differential oracle**: it computes
+//! gradients in the arrangement the paper describes, one equivalence
+//! class at a time, and both the serving engine
+//! ([`crate::infer::PlanProgram`]) and the training tape are held to
+//! agreement with it (`tests/infer_differential.rs`,
+//! `tests/train_differential.rs`; position numbering is shared via
+//! [`crate::lower`] so it cannot drift). It remains the *production*
+//! gradient path only for the §5.1 ablation modes — which are defined by
+//! the per-class arrangement — and via
+//! [`crate::config::TrainEngine::Classes`].
 
 use crate::config::TargetCodec;
 use crate::unit::UnitSet;

@@ -62,7 +62,7 @@ pub mod mlp;
 pub mod optim;
 pub mod pool;
 
-pub use activation::Activation;
+pub use activation::{activation_backward_inplace, Activation};
 pub use init::Init;
 pub use layer::Dense;
 pub use lstm::{LstmNodeCache, TreeLstmCell};

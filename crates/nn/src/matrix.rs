@@ -355,17 +355,50 @@ impl Matrix {
     /// Used for the input gradient `dX = dZ · Wᵀ` when weights are stored
     /// `in×out`.
     pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_a_bt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (overwritten, not accumulated) —
+    /// the allocation-free twin of [`Matrix::matmul_a_bt`] for the
+    /// wavefront training backward, which ping-pongs the running input
+    /// gradient `dX = dZ · Wᵀ` through pooled buffers.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols` or `out` is not
+    /// `self.rows × other.rows`, naming the offending shapes.
+    pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_a_bt dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        assert!(
+            out.rows == self.rows && out.cols == other.rows,
+            "matmul_a_bt output shape mismatch: got {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            other.rows
+        );
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_fma_available() {
+            // SAFETY: feature availability checked at runtime.
+            unsafe { simd::matmul_a_bt_avx2(self, other, out) };
+            return;
+        }
+        self.matmul_a_bt_scalar(other, out);
+    }
+
+    /// Portable scalar implementation of [`Matrix::matmul_a_bt_into`]
+    /// (shapes already checked by the dispatching caller).
+    fn matmul_a_bt_scalar(&self, other: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
-            let arow = self.row(i);
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
             for (j, o) in orow.iter_mut().enumerate() {
-                let brow = other.row(j);
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
                 let mut acc = 0.0f32;
                 for (&a, &b) in arow.iter().zip(brow) {
                     acc += a * b;
@@ -373,13 +406,13 @@ impl Matrix {
                 *o = acc;
             }
         }
-        out
     }
 
     /// `selfᵀ · other` (`n×r`ᵀ `· n×c = r×c`) without materializing a
     /// transpose; accumulates into `out` (callers reuse gradient buffers).
     ///
-    /// Used for the weight gradient `dW += Xᵀ · dZ`.
+    /// Used for the weight gradient `dW += Xᵀ · dZ`. Zero left-operands
+    /// (one-hot feature columns, post-ReLU activations) are skipped.
     pub fn matmul_at_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
@@ -394,6 +427,18 @@ impl Matrix {
             self.cols,
             other.cols
         );
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_fma_available() {
+            // SAFETY: feature availability checked at runtime.
+            unsafe { simd::matmul_at_b_avx2(self, other, out) };
+            return;
+        }
+        self.matmul_at_b_scalar(other, out);
+    }
+
+    /// Portable scalar implementation of [`Matrix::matmul_at_b_into`]
+    /// (shapes already checked by the dispatching caller).
+    fn matmul_at_b_scalar(&self, other: &Matrix, out: &mut Matrix) {
         let oc = other.cols;
         for n in 0..self.rows {
             let arow = self.row(n);
@@ -646,6 +691,72 @@ impl Matrix {
         }
     }
 
+    /// Adds this matrix's rows into rows of `out`: row `k` of `self` is
+    /// **accumulated** into row `indices[k]` of `out` — the adjoint of
+    /// [`Matrix::gather_rows_into`] (a gather reads each source row into
+    /// one output slot; its transpose sums every slot's gradient back into
+    /// the source row). Unlike [`Matrix::scatter_rows_into`], duplicate
+    /// indices accumulate instead of last-write-wins — exactly what a
+    /// gradient scatter needs when several gathered rows alias one source.
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != self.rows`, the column counts differ, or
+    /// an index is out of range, naming the offending shapes/index.
+    pub fn scatter_add_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            self.cols, out.cols,
+            "scatter_add_rows column mismatch: source is {}x{}, target is {}x{}",
+            self.rows, self.cols, out.rows, out.cols
+        );
+        self.scatter_add_cols_into(0, indices, out);
+    }
+
+    /// Adds an `out.cols()`-wide column block of `self` (starting at column
+    /// `start`) into the given rows of `out`:
+    /// `out.row(indices[k]) += self[k, start..start + out.cols()]`.
+    ///
+    /// This is the adjoint of the serving/training engines' *child-column
+    /// gather* (which copies whole child-output rows into column blocks of
+    /// a wavefront step's input): the backward pass routes each member's
+    /// input-gradient block back onto its child's output-gradient row.
+    /// Duplicate indices accumulate.
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != self.rows`, the block exceeds `self`'s
+    /// columns, or an index is out of range, naming the offending
+    /// shapes/index.
+    pub fn scatter_add_cols_into(&self, start: usize, indices: &[usize], out: &mut Matrix) {
+        let width = out.cols;
+        assert_eq!(
+            indices.len(),
+            self.rows,
+            "scatter_add index count mismatch: {} indices for {}x{} matrix",
+            indices.len(),
+            self.rows,
+            self.cols
+        );
+        assert!(
+            start + width <= self.cols,
+            "scatter_add column block [{start}, {}) out of range for {}x{} matrix",
+            start + width,
+            self.rows,
+            self.cols
+        );
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(
+                i < out.rows,
+                "scatter_add index {i} out of range for {}x{} target",
+                out.rows,
+                out.cols
+            );
+            let src = &self.data[k * self.cols + start..k * self.cols + start + width];
+            let dst = &mut out.data[i * width..(i + 1) * width];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
     /// Reshapes the matrix to `rows × cols`, reusing the existing
     /// allocation when it is large enough. Contents are reset to zero.
     /// See [`Matrix::resize_for_overwrite`] for the memset-free variant
@@ -862,6 +973,138 @@ mod simd {
         }
     }
 
+    /// `out = a · bᵀ` as row-pair dot products: for each output element,
+    /// a 16-lane (2 × YMM) FMA accumulation over the shared `k` axis with
+    /// a horizontal reduction at the end. This is the **training
+    /// backward's input-gradient gemm** `dX = dZ · Wᵀ` — both operand
+    /// rows are contiguous, so the dot formulation streams them without
+    /// materializing a transpose. Accumulation order differs from the
+    /// scalar path (lane-parallel then horizontal), so results may differ
+    /// by FMA/reassociation rounding — the backward makes no bitwise
+    /// promise; the gradient differential suite bounds the effect.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available (see
+    /// [`avx2_fma_available`]) and that the shapes agree:
+    /// `a: n×k`, `b: m×k`, `out: n×m`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_a_bt_avx2(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        let (n, kd, m) = (a.rows, a.cols, b.rows);
+        let ad = a.data.as_ptr();
+        let bd = b.data.as_ptr();
+        let od = out.data.as_mut_ptr();
+
+        /// Horizontal sum of one YMM accumulator.
+        #[inline(always)]
+        unsafe fn hsum(acc: __m256) -> f32 {
+            let lo = _mm256_castps256_ps128(acc);
+            let hi = _mm256_extractf128_ps(acc, 1);
+            let q = _mm_add_ps(lo, hi);
+            let q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+            let q = _mm_add_ss(q, _mm_shuffle_ps(q, q, 1));
+            _mm_cvtss_f32(q)
+        }
+
+        for i in 0..n {
+            let arow = ad.add(i * kd);
+            let orow = od.add(i * m);
+            // 4 output columns per block: each `a`-row tile is loaded once
+            // and feeds four FMA chains against four `b` rows (the dot
+            // loop is load-bound, so sharing the left operand is the win).
+            let mut jb = 0usize;
+            while jb + 4 <= m {
+                let b0 = bd.add(jb * kd);
+                let b1 = bd.add((jb + 1) * kd);
+                let b2 = bd.add((jb + 2) * kd);
+                let b3 = bd.add((jb + 3) * kd);
+                let mut acc = [_mm256_setzero_ps(); 4];
+                let mut k = 0usize;
+                while k + 8 <= kd {
+                    let av = _mm256_loadu_ps(arow.add(k));
+                    acc[0] = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0.add(k)), acc[0]);
+                    acc[1] = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1.add(k)), acc[1]);
+                    acc[2] = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2.add(k)), acc[2]);
+                    acc[3] = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3.add(k)), acc[3]);
+                    k += 8;
+                }
+                let mut s = [hsum(acc[0]), hsum(acc[1]), hsum(acc[2]), hsum(acc[3])];
+                for kk in k..kd {
+                    let x = *arow.add(kk);
+                    s[0] += x * *b0.add(kk);
+                    s[1] += x * *b1.add(kk);
+                    s[2] += x * *b2.add(kk);
+                    s[3] += x * *b3.add(kk);
+                }
+                for (r, &v) in s.iter().enumerate() {
+                    *orow.add(jb + r) = v;
+                }
+                jb += 4;
+            }
+            // Column remainder: single dots.
+            for j in jb..m {
+                let brow = bd.add(j * kd);
+                let mut acc = _mm256_setzero_ps();
+                let mut k = 0usize;
+                while k + 8 <= kd {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(arow.add(k)),
+                        _mm256_loadu_ps(brow.add(k)),
+                        acc,
+                    );
+                    k += 8;
+                }
+                let mut s = hsum(acc);
+                for kk in k..kd {
+                    s += *arow.add(kk) * *brow.add(kk);
+                }
+                *orow.add(j) = s;
+            }
+        }
+    }
+
+    /// `out += aᵀ · b` as broadcast-FMA row updates: for each nonzero
+    /// `a[n, r]`, `out.row(r) += a[n, r] · b.row(n)` across 8-lane tiles.
+    /// This is the **training backward's weight-gradient gemm**
+    /// `dW += Xᵀ · dZ`; the zero-skip matters because `x` is post-ReLU
+    /// activations or one-hot-heavy feature rows. Same elementwise
+    /// accumulation order as the scalar path per row pair, but FMA
+    /// contraction may round differently — as for [`matmul_a_bt_avx2`],
+    /// no bitwise contract is made.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available (see
+    /// [`avx2_fma_available`]) and that the shapes agree:
+    /// `a: n×r`, `b: n×c`, `out: r×c`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_at_b_avx2(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        let (n, rd, oc) = (a.rows, a.cols, b.cols);
+        let ad = a.data.as_ptr();
+        let bd = b.data.as_ptr();
+        let od = out.data.as_mut_ptr();
+        for nn in 0..n {
+            let arow = ad.add(nn * rd);
+            let brow = bd.add(nn * oc);
+            for r in 0..rd {
+                let x = *arow.add(r);
+                if x == 0.0 {
+                    continue;
+                }
+                let orow = od.add(r * oc);
+                let v = _mm256_set1_ps(x);
+                let mut j = 0usize;
+                while j + 8 <= oc {
+                    let o = _mm256_loadu_ps(orow.add(j));
+                    let bvec = _mm256_loadu_ps(brow.add(j));
+                    _mm256_storeu_ps(orow.add(j), _mm256_fmadd_ps(v, bvec, o));
+                    j += 8;
+                }
+                for jj in j..oc {
+                    *orow.add(jj) += x * *brow.add(jj);
+                }
+            }
+        }
+    }
+
     /// One row of the fused forward, with exactly the per-row operation
     /// sequence of the 4-row block in [`matmul_bias_avx2`]: 16-column FMA
     /// tiles, then an 8-column tile, then scalar mul-add columns, always
@@ -1040,6 +1283,54 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0]]);
         let mut out = Matrix::zeros(2, 1);
         a.scatter_rows_into(&[5], &mut out);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates_and_inverts_gather() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[4.0, 40.0]]);
+        // Duplicate target rows must sum, not overwrite.
+        let mut out = Matrix::zeros(2, 2);
+        a.scatter_add_rows_into(&[1, 0, 1], &mut out);
+        assert_eq!(out.row(0), &[2.0, 20.0]);
+        assert_eq!(out.row(1), &[5.0, 50.0]);
+        // Adjoint property: for a duplicate-free gather, scatter-add of the
+        // gathered rows into zeros restores them in place.
+        let idx = [2usize, 0];
+        let g = a.gather_rows(&idx);
+        let mut back = Matrix::zeros(3, 2);
+        g.scatter_add_rows_into(&idx, &mut back);
+        assert_eq!(back.row(0), a.row(0));
+        assert_eq!(back.row(2), a.row(2));
+        assert_eq!(back.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_add_cols_routes_a_column_block() {
+        // Rows hold [feat | child block]; only the child block (cols 1..3)
+        // is routed back.
+        let d_in = Matrix::from_rows(&[&[9.0, 1.0, 2.0], &[9.0, 3.0, 4.0]]);
+        let mut out = Matrix::from_rows(&[&[0.5, 0.5], &[0.0, 0.0], &[0.0, 0.0]]);
+        d_in.scatter_add_cols_into(1, &[0, 2], &mut out);
+        assert_eq!(out.row(0), &[1.5, 2.5]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_add index 7 out of range")]
+    fn scatter_add_rejects_out_of_range_index() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let mut out = Matrix::zeros(2, 1);
+        a.scatter_add_rows_into(&[7], &mut out);
+    }
+
+    #[test]
+    fn matmul_a_bt_into_matches_allocating_version() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, -1.0, 0.5]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[1.0, 1.0, 1.0], &[0.0, 3.0, -2.0], &[4.0, 0.5, 0.25]]);
+        let mut out = Matrix::from_fn(2, 4, |_, _| 55.0); // stale contents
+        a.matmul_a_bt_into(&b, &mut out);
+        assert_eq!(out, a.matmul_a_bt(&b));
     }
 
     #[test]
@@ -1232,6 +1523,38 @@ mod tests {
                     prop_assert_eq!(lo_out.row(i), full.row(i), "re-chunked row {} diverges", i);
                 }
             }
+        }
+
+        /// The backward gemm dispatch (AVX2 dots / broadcast-FMA when
+        /// available) must agree with the scalar reference across every
+        /// lane-remainder combination and under realistic sparsity, to
+        /// FMA-rounding tolerance.
+        #[test]
+        fn backward_kernel_dispatch_matches_scalar_reference(
+            n in 1usize..10, k in 1usize..40, m in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sparse = |rng: &mut rand::rngs::StdRng| {
+                if rng.gen_range(0.0..1.0) < 0.4 { 0.0 } else { rng.gen_range(-2.0..2.0) }
+            };
+            // dX = dZ · Wᵀ
+            let dz = Matrix::from_fn(n, k, |_, _| sparse(&mut rng));
+            let w = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0..1.0));
+            let mut dispatched = Matrix::zeros(n, m);
+            dz.matmul_a_bt_into(&w, &mut dispatched);
+            let mut scalar = Matrix::zeros(n, m);
+            dz.matmul_a_bt_scalar(&w, &mut scalar);
+            prop_assert!(approx_eq(&dispatched, &scalar, 1e-5));
+            // dW += Xᵀ · dZ, accumulating onto non-zero contents.
+            let x = Matrix::from_fn(n, m, |_, _| sparse(&mut rng));
+            let dz2 = Matrix::from_fn(n, k, |_, _| rng.gen_range(-1.0..1.0));
+            let mut acc_d = Matrix::from_fn(m, k, |i, j| ((i + j) % 3) as f32 * 0.25);
+            let mut acc_s = acc_d.clone();
+            x.matmul_at_b_into(&dz2, &mut acc_d);
+            x.matmul_at_b_scalar(&dz2, &mut acc_s);
+            prop_assert!(approx_eq(&acc_d, &acc_s, 1e-5));
         }
 
         #[test]

@@ -37,8 +37,15 @@
 //!
 //! Extensions: `generate --max-mpl 8` produces a concurrent workload
 //! (§8 future work), `train --load-aware true` exposes the system load as
-//! a feature, and `train --threads N` enables data-parallel gradients.
+//! a feature, and `train --threads N` runs both gradient sweeps across a
+//! worker pool. Training runs on the differentiable wavefront engine by
+//! default (one gemm per operator family per wavefront across the whole
+//! shuffled batch — see DESIGN.md §9) and prints the run's
+//! [`qpp::net::TrainStats`] line; `--train-engine classes` keeps the
+//! per-equivalence-class arrangement (the §5.1 ablation layout and the
+//! wavefront engine's differential oracle).
 
+use qpp::net::config::TrainEngine;
 use qpp::net::{permutation_importance, InferEngine, QppConfig, QppNet};
 use qpp::plansim::features::Featurizer;
 use qpp::plansim::prelude::*;
@@ -75,7 +82,7 @@ fn usage(error: &str) -> ExitCode {
         "usage:\n\
          qpp generate   --workload tpch|tpcds --sf F --queries N --seed N --out FILE [--max-mpl N]\n\
          qpp train      --dataset FILE --out FILE [--epochs N] [--batch N] [--seed N]\n\
-                        [--threads N] [--load-aware true]\n\
+                        [--threads N] [--train-engine classes|program] [--load-aware true]\n\
          qpp evaluate   --dataset FILE --model FILE [--seed N]\n\
          qpp predict    --dataset FILE --model FILE --query N\n\
          qpp predict    --input FILE --model FILE [--engine classes|program]\n\
@@ -161,6 +168,8 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     config.epochs = parse(get_or(flags, "epochs", "100"), "epochs")?;
     config.batch_size = parse(get_or(flags, "batch", "256"), "batch size")?;
     config.threads = parse(get_or(flags, "threads", "1"), "thread count")?;
+    config.train_engine = TrainEngine::parse(get_or(flags, "train-engine", "program"))
+        .ok_or_else(|| "invalid --train-engine (classes|program)".to_string())?;
     let load_aware: bool = parse(get_or(flags, "load-aware", "false"), "load-aware flag")?;
 
     let split = ds.paper_split(seed);
@@ -180,6 +189,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         history.total_seconds(),
         model.num_params()
     );
+    eprintln!("{}", history.stats);
 
     if !test.is_empty() {
         let m = model.evaluate(&test);
