@@ -38,6 +38,21 @@
 //! * `stream` — end-to-end admission-control churn: every plan of the
 //!   mixed stream is admitted, scored (full resident run) and retired
 //!   past a 32-plan sliding window, against warm caches.
+//! * `sharded_admit` — the shard-per-core front door for the same
+//!   steady-state arrival: admit + retire one plan through a
+//!   `ShardedStream` (content-hash routing on top of `admit_one`).
+//! * `microbatch_w{1,4,16}` — the micro-batching front door at batch
+//!   width W: submit W concurrent requests, flush them as one
+//!   heterogeneous resident run; reported per *batch*, so divide by W
+//!   for the per-request cost the coalescing amortizes.
+//!
+//! The tier-independent `pool` group isolates executor dispatch:
+//! `resident_pool_t{1,2,4}` runs an empty job on the parked resident
+//! pool, `spawn_per_run_t{1,2,4}` is the retired status quo of putting
+//! every one of the run's t worker shares on a freshly spawned scoped
+//! thread. The resident path must beat the spawn path at every t (t1
+//! is ~50 ns vs ~20 µs — the caller-is-worker-0 fast path never takes
+//! a lock beyond the run token), and stay under 5 µs per dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qpp_plansim::catalog::Workload;
@@ -179,8 +194,66 @@ fn bench_mixed_stream(c: &mut Criterion) {
                 acc
             })
         });
+        drop(churn_h);
+        drop(churn_ds);
+
+        // Shard-per-core front door for the steady-state arrival: the
+        // resident set is spread across 4 shards; one new plan routes by
+        // content hash, is admitted and retired again.
+        let mut sharded_h = model_h.serve_sharded(4);
+        for p in resident_h {
+            sharded_h.admit(&p.root);
+        }
+        group.bench_function(BenchmarkId::new("sharded_admit", total), |b| {
+            b.iter(|| {
+                let id = sharded_h.admit(&held_h.root);
+                sharded_h.retire(id);
+                id
+            })
+        });
+        drop(sharded_h);
+
+        // Micro-batching front door: W concurrent requests coalesce into
+        // one heterogeneous resident run (per-batch time; the per-request
+        // cost is this divided by W).
+        for width in [1usize, 4, 16] {
+            let mut stream = model_h.serve_sharded(4);
+            let mut front = qppnet::MicroBatcher::new();
+            group.bench_function(BenchmarkId::new(format!("microbatch_w{width}"), total), |b| {
+                b.iter(|| {
+                    for p in plans_h.iter().take(width) {
+                        front.submit(&p.root);
+                    }
+                    front.flush(&mut stream, 1)
+                })
+            });
+        }
         group.finish();
     }
+
+    // Executor dispatch overhead, isolated from any model work: an empty
+    // job through the parked resident pool versus the retired status quo
+    // of spawning scoped threads per run. Tier-independent.
+    let mut group = c.benchmark_group("infer_throughput/pool");
+    group.sample_size(20);
+    let exec = qpp_nn::Executor::global();
+    for t in THREADS {
+        group.bench_function(BenchmarkId::new(format!("resident_pool_t{t}"), 0usize), |b| {
+            b.iter(|| exec.run(t, &|_, _| {}))
+        });
+    }
+    for t in THREADS {
+        group.bench_function(BenchmarkId::new(format!("spawn_per_run_t{t}"), 0usize), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..t {
+                        scope.spawn(|| {});
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
 
     // Featurization alone (tier-independent): walk every node of the
     // stream through the whitened Table-2 featurizer, allocation-free —

@@ -7,11 +7,25 @@
 //! wrong) and to latency magnitudes (is the model calibrated across the
 //! five orders of magnitude the workloads span) — both computable from
 //! per-operator predictions, which plan-structured models uniquely expose.
+//!
+//! A single flat number is a known QPP evaluation failure mode: a
+//! predictor can post a respectable aggregate Q-error while being
+//! uselessly wrong on exactly the stratum a scheduler cares about (deep
+//! join pipelines, one misbehaving operator family). The stratified
+//! surface here — [`error_by_family`] with Q-error quantiles,
+//! [`error_by_height`] over plan-tree heights, bundled by
+//! [`crate::QppNet::evaluate_stratified`] into a [`StratifiedReport`] —
+//! keeps the breakdown next to the headline metrics.
 
+use crate::metrics::{sorted_quantile, Metrics};
 use crate::model::QppNet;
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::Plan;
 use serde::{Deserialize, Serialize};
+
+fn one() -> f64 {
+    1.0
+}
 
 /// Error attribution for one operator family.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,8 +39,49 @@ pub struct FamilyErrors {
     pub mae_ms: f64,
     /// Mean R(q) factor over the family's instances.
     pub mean_r: f64,
+    /// Median R(q) over the family's instances (robust to the outliers
+    /// that dominate `mean_r`).
+    #[serde(default = "one")]
+    pub median_r: f64,
+    /// 90th-percentile R(q) over the family's instances.
+    #[serde(default = "one")]
+    pub p90_r: f64,
     /// Fraction of instances within a factor 1.5 of truth.
     pub r_le_15: f64,
+}
+
+/// Plan-level error attribution for one plan-tree height: all evaluated
+/// plans whose tree height ([`Plan::depth`]) equals `height`. Deep plans
+/// chain more units root-ward, so error *compounds* with height — a flat
+/// aggregate hides exactly this axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeightErrors {
+    /// Plan tree height (a single leaf has height 1).
+    pub height: usize,
+    /// Plans evaluated at this height.
+    pub count: usize,
+    /// Mean absolute error of the root latency predictions (ms).
+    pub mae_ms: f64,
+    /// Mean R(q) over the stratum's plans.
+    pub mean_r: f64,
+    /// Median R(q) over the stratum's plans.
+    pub median_r: f64,
+    /// 90th-percentile R(q) over the stratum's plans.
+    pub p90_r: f64,
+    /// Fraction of plans within a factor 1.5 of truth.
+    pub r_le_15: f64,
+}
+
+/// Aggregate metrics plus the stratified breakdowns that qualify them:
+/// the output of [`QppNet::evaluate_stratified`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StratifiedReport {
+    /// Headline point metrics over the whole test set.
+    pub overall: Metrics,
+    /// Per-operator-family breakdown (descending MAE).
+    pub families: Vec<FamilyErrors>,
+    /// Per-plan-height breakdown (heights ascending).
+    pub heights: Vec<HeightErrors>,
 }
 
 /// One row of the calibration report: queries whose *actual* latency
@@ -60,7 +115,7 @@ pub fn error_by_family(model: &QppNet, plans: &[&Plan]) -> Vec<FamilyErrors> {
     let nk = OpKind::ALL.len();
     let mut count = vec![0usize; nk];
     let mut abs_err = vec![0.0f64; nk];
-    let mut r_sum = vec![0.0f64; nk];
+    let mut rs: Vec<Vec<f64>> = vec![Vec::new(); nk];
     let mut r_ok = vec![0usize; nk];
 
     for plan in plans {
@@ -71,7 +126,7 @@ pub fn error_by_family(model: &QppNet, plans: &[&Plan]) -> Vec<FamilyErrors> {
             count[k] += 1;
             abs_err[k] += (actual - pred).abs();
             let r = crate::metrics::r_factor(actual, pred);
-            r_sum[k] += r;
+            rs[k].push(r);
             if r <= 1.5 {
                 r_ok[k] += 1;
             }
@@ -84,17 +139,60 @@ pub fn error_by_family(model: &QppNet, plans: &[&Plan]) -> Vec<FamilyErrors> {
         .map(|&kind| {
             let k = kind.index();
             let n = count[k] as f64;
+            let r = &mut rs[k];
+            r.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
             FamilyErrors {
                 kind,
                 count: count[k],
                 mae_ms: abs_err[k] / n,
-                mean_r: r_sum[k] / n,
+                mean_r: r.iter().sum::<f64>() / n,
+                median_r: sorted_quantile(r, 0.5),
+                p90_r: sorted_quantile(r, 0.9),
                 r_le_15: r_ok[k] as f64 / n,
             }
         })
         .collect();
     out.sort_by(|a, b| b.mae_ms.partial_cmp(&a.mae_ms).expect("finite MAE"));
     out
+}
+
+/// Stratifies *plan-level* (root latency) error by plan-tree height.
+///
+/// Heights that never occur in `plans` are omitted; rows ascend by
+/// height. Deep plans route error through more chained units, so this is
+/// the first place to look when the aggregate looks fine but scheduling
+/// decisions on complex queries keep going wrong.
+///
+/// # Panics
+/// Panics if the model is unfitted or `plans` is empty.
+pub fn error_by_height(model: &QppNet, plans: &[&Plan]) -> Vec<HeightErrors> {
+    assert!(!plans.is_empty(), "cannot analyse zero plans");
+    let preds = model.predict_batch(plans);
+    let mut strata: std::collections::BTreeMap<usize, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for (plan, pred) in plans.iter().zip(preds) {
+        strata.entry(plan.depth()).or_default().push((plan.latency_ms(), pred));
+    }
+    strata
+        .into_iter()
+        .map(|(height, pairs)| {
+            let n = pairs.len() as f64;
+            let mae: f64 = pairs.iter().map(|(a, p)| (a - p).abs()).sum::<f64>() / n;
+            let mut rs: Vec<f64> =
+                pairs.iter().map(|&(a, p)| crate::metrics::r_factor(a, p)).collect();
+            rs.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
+            let ok = rs.iter().filter(|&&r| r <= 1.5).count();
+            HeightErrors {
+                height,
+                count: pairs.len(),
+                mae_ms: mae,
+                mean_r: rs.iter().sum::<f64>() / n,
+                median_r: sorted_quantile(&rs, 0.5),
+                p90_r: sorted_quantile(&rs, 0.9),
+                r_le_15: ok as f64 / n,
+            }
+        })
+        .collect()
 }
 
 /// Builds a calibration report over latency decades.
@@ -177,6 +275,45 @@ mod tests {
         let total: usize = fams.iter().map(|f| f.count).sum();
         let expected: usize = plans.iter().map(|p| p.node_count()).sum();
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn height_strata_partition_the_queries() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let heights = error_by_height(&model, &plans);
+        let total: usize = heights.iter().map(|h| h.count).sum();
+        assert_eq!(total, plans.len());
+        for h in &heights {
+            assert!(h.count > 0);
+            assert!(h.mae_ms.is_finite());
+            assert!(h.mean_r >= 1.0 && h.median_r >= 1.0);
+            assert!(h.median_r <= h.p90_r + 1e-12, "quantiles must be ordered");
+            assert!((0.0..=1.0).contains(&h.r_le_15));
+            let expected = plans.iter().filter(|p| p.depth() == h.height).count();
+            assert_eq!(h.count, expected, "height {} stratum miscounted", h.height);
+        }
+        for w in heights.windows(2) {
+            assert!(w[0].height < w[1].height, "heights must ascend");
+        }
+    }
+
+    #[test]
+    fn stratified_report_is_consistent_with_its_parts() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().take(30).collect();
+        let report = model.evaluate_stratified(&plans);
+        assert_eq!(report.overall.count, plans.len());
+        assert_eq!(report.families.len(), error_by_family(&model, &plans).len());
+        assert_eq!(report.heights.len(), error_by_height(&model, &plans).len());
+        for f in &report.families {
+            assert!(f.median_r >= 1.0 && f.median_r <= f.p90_r + 1e-12);
+        }
+        // Round-trips through serde (the CLI emits this as JSON).
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StratifiedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.overall.count, report.overall.count);
+        assert_eq!(back.heights.len(), report.heights.len());
     }
 
     #[test]

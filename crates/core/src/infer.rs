@@ -31,9 +31,12 @@
 //! level read only rows written at strictly lower heights and write
 //! disjoint row ranges of the shared output buffer, so
 //! [`PlanProgram::run_parallel`] distributes each level's cache-sized
-//! 32-row steps across a scoped worker pool (std threads only). Every worker owns its own [`qpp_nn::BufferPool`] and gather
-//! scratch, so the hot path stays lock-free and allocation-free in steady
-//! state, and a level barrier is the only synchronization. Results are
+//! 32-row steps across the **resident executor** ([`qpp_nn::Executor`]) —
+//! a process-wide pool of parked worker threads created once and reused
+//! across runs. Every resident worker owns its own persistent
+//! [`qpp_nn::BufferPool`] and gather scratch, so the hot path stays
+//! lock-free and allocation-free in steady state, and a level barrier is
+//! the only synchronization. Results are
 //! **bit-identical at any thread count** (see `DESIGN.md` §7 for the
 //! determinism contract): the partition grain is the compile-time step, so
 //! every node is computed by the same kernel on the same input rows no
@@ -59,7 +62,7 @@
 use crate::config::TargetCodec;
 use crate::tree::RatioCaps;
 use crate::unit::UnitSet;
-use qpp_nn::{BufferPool, Matrix};
+use qpp_nn::{BufferPool, Executor, Matrix};
 use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::{Plan, PlanNode};
@@ -318,10 +321,6 @@ pub struct PlanProgram {
     /// `total_nodes × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
     outputs: Matrix,
     pool: BufferPool,
-    /// One pool per worker for [`PlanProgram::run_parallel`], grown lazily
-    /// to the requested thread count and kept warm across runs so
-    /// steady-state parallel serving allocates nothing per worker.
-    worker_pools: Vec<BufferPool>,
     out_w: usize,
     /// Fingerprint of the fitted state this program was compiled against
     /// (`None` for programs compiled directly via [`PlanProgram::compile`];
@@ -396,7 +395,6 @@ impl PlanProgram {
             plans,
             outputs: Matrix::zeros(total_nodes, out_w),
             pool: BufferPool::new(),
-            worker_pools: Vec::new(),
             out_w,
             fingerprint: None,
         }
@@ -460,24 +458,32 @@ impl PlanProgram {
     ///
     /// Each height level's steps (already split into cache-sized 32-row
     /// chunks at compile time — that chunking is the partition grain) are
-    /// dealt round-robin to a scoped worker pool; a barrier separates
-    /// levels. Workers are lock-free on the hot path: every step writes a
-    /// disjoint set of output rows and reads only rows written at strictly
-    /// lower levels, and each worker gathers into scratch taken from its
-    /// own persistent [`BufferPool`], so steady-state parallel serving
+    /// dealt round-robin across the process-wide resident worker pool
+    /// ([`qpp_nn::Executor::global`] — parked threads created once, not
+    /// spawned per run); a barrier separates levels. Workers are lock-free
+    /// on the hot path: every step writes a disjoint set of output rows
+    /// and reads only rows written at strictly lower levels, and each
+    /// resident worker gathers into scratch taken from its own persistent
+    /// executor-owned [`BufferPool`], so steady-state parallel serving
     /// performs zero allocation per worker.
     ///
     /// **Determinism:** results are bit-identical for every `threads`
     /// value (the differential suite asserts exact equality at 1/2/4/8) —
     /// each node is computed by the same fused kernel on the same input
     /// rows regardless of which worker runs its step; only the assignment
-    /// of steps to workers changes. See `DESIGN.md` §7.
+    /// of steps to workers changes. See `DESIGN.md` §7 and §10.
     ///
     /// The effective thread count is capped at the widest level's step
     /// count, so small programs (or programs whose wavefronts all fit one
     /// 32-row chunk) fall back to the sequential path instead of paying
-    /// thread-spawn and barrier overhead for no available parallelism.
+    /// dispatch and barrier overhead for no available parallelism.
     pub fn run_parallel(&mut self, units: &UnitSet, threads: usize) {
+        self.run_on(units, Executor::global(), threads);
+    }
+
+    /// [`PlanProgram::run_parallel`] against an explicit executor — the
+    /// seam the tests use to observe a private pool's steady state.
+    pub(crate) fn run_on(&mut self, units: &UnitSet, exec: &Executor, threads: usize) {
         self.check_units_width(units);
         run_schedule(
             &mut self.steps,
@@ -485,7 +491,7 @@ impl PlanProgram {
             units,
             &mut self.outputs,
             &mut self.pool,
-            &mut self.worker_pools,
+            exec,
             self.out_w,
             threads,
         );
@@ -706,9 +712,9 @@ pub(crate) fn run_levels_seq(
 /// Dispatches a wavefront schedule onto the right executor — the single
 /// decision point shared by [`PlanProgram`] and the incremental builder:
 /// the thread count is capped at the widest level (no parallelism worth
-/// spawning for → the sequential in-place path, touching no worker
-/// pools), otherwise `worker_pools` is grown to the effective count and
-/// the scoped worker pool runs the levels.
+/// dispatching for → the sequential in-place path, which never touches
+/// `exec`), otherwise the levels run across `exec`'s resident worker
+/// pool, each worker using its executor-owned persistent [`BufferPool`].
 #[allow(clippy::too_many_arguments)] // two call sites; a context struct would just rename these
 pub(crate) fn run_schedule(
     steps: &mut [Step],
@@ -716,7 +722,7 @@ pub(crate) fn run_schedule(
     units: &UnitSet,
     outputs: &mut Matrix,
     pool: &mut BufferPool,
-    worker_pools: &mut Vec<BufferPool>,
+    exec: &Executor,
     out_w: usize,
     threads: usize,
 ) {
@@ -724,29 +730,29 @@ pub(crate) fn run_schedule(
     if threads <= 1 {
         run_levels_seq(steps, levels, units, outputs, pool, out_w);
     } else {
-        if worker_pools.len() < threads {
-            worker_pools.resize_with(threads, BufferPool::new);
-        }
-        run_levels_parallel(steps, levels, units, outputs, &mut worker_pools[..threads], out_w);
+        run_levels_parallel(steps, levels, units, outputs, exec, threads, out_w);
     }
 }
 
-/// Executes a wavefront schedule across one worker per pool in
-/// `worker_pools` (the caller participates as worker 0; callers must pass
-/// at least two pools and have already handled the `threads <= 1`
-/// fallback). Each height level's steps are dealt round-robin; a barrier
-/// separates levels. See [`PlanProgram::run_parallel`] for the
-/// determinism and poisoning contracts.
+/// Executes a wavefront schedule across `threads` resident workers of
+/// `exec` (the caller participates as worker 0; callers must pass
+/// `threads >= 2` and have already handled the `threads <= 1` fallback).
+/// Each height level's steps are dealt round-robin; a barrier separates
+/// levels. See [`PlanProgram::run_parallel`] for the determinism and
+/// poisoning contracts.
 pub(crate) fn run_levels_parallel(
     steps: &[Step],
     levels: &[Vec<u32>],
     units: &UnitSet,
     outputs: &mut Matrix,
-    worker_pools: &mut [BufferPool],
+    exec: &Executor,
+    threads: usize,
     out_w: usize,
 ) {
     let outputs = SharedRows::new(outputs);
-    run_levels_parallel_with(levels, false, worker_pools, &|pool: &mut BufferPool, id| {
+    // Workers carry no private state beyond their resident pool.
+    let mut workers = vec![(); threads];
+    run_levels_parallel_with(exec, levels, false, &mut workers, &|(), pool, id| {
         let step = &steps[id as usize];
         let out = if step.arity == 0 {
             // Leaves: the baked feature matrix IS the full input.
@@ -785,9 +791,9 @@ pub(crate) fn run_levels_parallel(
     });
 }
 
-/// The generic scoped level-barrier executor behind every multicore
-/// wavefront pass — serving forward ([`run_levels_parallel`]) and the
-/// training tape's forward *and* backward
+/// The generic level-barrier executor behind every multicore wavefront
+/// pass — serving forward ([`run_levels_parallel`]) and the training
+/// tape's forward *and* backward
 /// ([`crate::train_program::ProgramTape`]). Deals each level's step ids
 /// round-robin across `workers.len()` workers (the **caller participates
 /// as worker 0**; callers pass at least two worker states and handle the
@@ -796,29 +802,37 @@ pub(crate) fn run_levels_parallel(
 /// order, where a parent's gradient must be fully routed before its
 /// children's level reads it.
 ///
-/// `run_step` receives the worker's private mutable state (`W`: a
-/// [`BufferPool`], gradient accumulators, …) and a step id; everything
-/// shared (steps, units, raw output views) is captured by the closure.
-/// The round-robin deal is position-based, so which worker runs a step is
+/// Workers are **resident**: the pass dispatches onto `exec`'s parked
+/// worker pool ([`qpp_nn::Executor`]) instead of spawning scoped threads
+/// per run, so a run pays one condvar wake per worker instead of a ~0.2 ms
+/// thread spawn. Determinism is untouched — worker `w` still runs
+/// positions `w, w + threads, …` of every level, so which worker runs a
+/// step depends only on the level lists and the worker count, never on
+/// which OS thread hosts the worker.
+///
+/// `run_step` receives the worker's private mutable state (`W`: gradient
+/// accumulators, …), the worker's *resident* [`BufferPool`] (owned by the
+/// executor and kept warm across runs), and a step id; everything shared
+/// (steps, units, raw output views) is captured by the closure. The
+/// round-robin deal is position-based, so which worker runs a step is
 /// deterministic given the level lists and worker count — but `run_step`
 /// must not rely on *cross-step* ordering within a level.
 ///
 /// A panic inside a step (e.g. a shape assert against a mismatched unit
 /// set) must not strand the other workers at the barrier: each level's
 /// work is caught, a shared poison flag is raised, the barrier is still
-/// reached, and every worker exits cleanly after the wait. The caught
-/// payload itself is parked in a shared slot (first panicking worker
-/// wins) and **re-raised on the calling thread after the scope joins** —
-/// so the caller observes the original panic (same message as the
-/// sequential path) no matter which worker's share the failing step
-/// landed in; unwinding inside a spawned scoped thread instead would
-/// surface only `std::thread::scope`'s generic "a scoped thread
-/// panicked" message.
+/// reached, and every worker exits cleanly after the wait — resident
+/// workers go back to parking, poisoned run or not. The caught payload
+/// itself is parked in a shared slot (first panicking worker wins) and
+/// **re-raised on the calling thread after the run completes** — so the
+/// caller observes the original panic (same message as the sequential
+/// path) no matter which worker's share the failing step landed in.
 pub(crate) fn run_levels_parallel_with<W: Send>(
+    exec: &Executor,
     levels: &[Vec<u32>],
     reverse: bool,
     workers: &mut [W],
-    run_step: &(impl Fn(&mut W, u32) + Sync),
+    run_step: &(impl Fn(&mut W, &mut BufferPool, u32) + Sync),
 ) {
     use std::sync::atomic::Ordering;
     let threads = workers.len();
@@ -830,16 +844,16 @@ pub(crate) fn run_levels_parallel_with<W: Send>(
 
     // One worker's whole pass: its round-robin share of every level, in
     // schedule order, poison-checked at each barrier.
-    let worker_loop = |worker: usize, state: &mut W| {
+    let worker_loop = |worker: usize, state: &mut W, pool: &mut BufferPool| {
         let mut level_pass = |level: &Vec<u32>| {
             // AssertUnwindSafe: on panic the worker state may hold
             // un-given buffers and this level's outputs may be partially
             // written — the same states a sequential-path panic leaves
             // behind; the payload is re-raised on the caller after the
-            // scope, so no caller observes them.
+            // run, so no caller observes them.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 for &id in level.iter().skip(worker).step_by(threads) {
-                    run_step(state, id);
+                    run_step(state, pool, id);
                 }
             }));
             if let Err(payload) = result {
@@ -869,16 +883,16 @@ pub(crate) fn run_levels_parallel_with<W: Send>(
         }
     };
 
-    std::thread::scope(|scope| {
-        let mut states = workers.iter_mut();
-        let main_state = states.next().expect("threads >= 2");
-        for (t, state) in states.enumerate() {
-            let worker_loop = &worker_loop;
-            scope.spawn(move || worker_loop(t + 1, state));
-        }
-        // The caller participates as worker 0 — `threads` means total
-        // active workers, not extra threads.
-        worker_loop(0, main_state);
+    // Hand each resident worker its own `W` by index. The pointer is
+    // smuggled as `usize` so the dispatch closure is `Sync`.
+    let workers_addr = workers.as_mut_ptr() as usize;
+    exec.run(threads, &|worker, pool| {
+        // SAFETY: the executor calls the job with each index in
+        // `0..threads` exactly once per run, so every `&mut W` handed out
+        // here is disjoint; the slice outlives the run because `exec.run`
+        // blocks until every worker finished.
+        let state = unsafe { &mut *(workers_addr as *mut W).add(worker) };
+        worker_loop(worker, state, pool);
     });
     if let Some(payload) = panic_slot.into_inner().expect("panic slot lock") {
         std::panic::resume_unwind(payload);
@@ -1182,17 +1196,21 @@ mod tests {
         let (ds, fz, wh, units, codec) = setup();
         let roots: Vec<&PlanNode> = ds.plans.iter().map(|p| &p.root).collect();
         let mut program = PlanProgram::compile(&fz, &wh, &units, &roots);
-        // Warm-up run grows every worker's pool to its high-water mark.
-        let first = program.predict_roots_threaded(&units, &codec, 4);
-        let pooled: Vec<usize> = program.worker_pools.iter().map(|p| p.available()).collect();
-        assert!(!pooled.is_empty() && pooled.iter().all(|&n| n > 0), "workers must pool buffers");
+        // A private executor (rather than the global one) so concurrent
+        // tests cannot perturb the pooled-buffer observation.
+        let exec = Executor::new(3);
+        // Warm-up run grows every resident worker's pool to its
+        // high-water mark.
+        program.run_on(&units, &exec, 4);
+        let first = program.decode_roots(&codec);
+        let pooled = exec.pooled_buffers();
+        assert!(pooled > 0, "workers must pool buffers");
         // Steady state: repeated runs neither grow nor leak any pool, and
         // reuse is exact (every take is matched by a give).
         for _ in 0..3 {
-            let again = program.predict_roots_threaded(&units, &codec, 4);
-            assert_eq!(again, first, "stale routing between parallel runs");
-            let now: Vec<usize> = program.worker_pools.iter().map(|p| p.available()).collect();
-            assert_eq!(now, pooled, "worker pools changed in steady state");
+            program.run_on(&units, &exec, 4);
+            assert_eq!(program.decode_roots(&codec), first, "stale routing between parallel runs");
+            assert_eq!(exec.pooled_buffers(), pooled, "worker pools changed in steady state");
         }
     }
 
@@ -1200,8 +1218,8 @@ mod tests {
     fn oversubscribed_threads_fall_back_cleanly() {
         let (ds, fz, wh, units, codec) = setup();
         // A plan whose levels are all single steps (e.g. a linear chain):
-        // any thread count degrades to the sequential path (no spawn, no
-        // barrier, no worker pools).
+        // any thread count degrades to the sequential path (no dispatch,
+        // no barrier, no resident workers woken).
         let mut program = ds
             .plans
             .iter()
@@ -1209,9 +1227,13 @@ mod tests {
             .find(|prog| prog.levels.iter().all(|l| l.len() == 1))
             .expect("some plan compiles to single-step levels");
         let one = program.predict_roots(&units, &codec);
-        let many = program.predict_roots_threaded(&units, &codec, 8);
+        let exec = Executor::new(0);
+        program.run_on(&units, &exec, 8);
+        let many = program.decode_roots(&codec);
         assert_eq!(one, many);
-        assert!(program.worker_pools.is_empty(), "fallback must not build worker pools");
+        let stats = exec.stats();
+        assert_eq!(stats.runs, 0, "fallback must not dispatch to the executor");
+        assert_eq!(stats.resident_workers, 0, "fallback must not spawn resident workers");
     }
 
     #[test]
@@ -1233,17 +1255,18 @@ mod tests {
     }
 
     /// The executor's panic contract: a panic whose step lands only in a
-    /// *spawned* worker's round-robin share (never the caller's) must
-    /// still reach the caller with its original payload — not
-    /// `std::thread::scope`'s generic "a scoped thread panicked".
+    /// *resident* worker's round-robin share (never the caller's) must
+    /// still reach the caller with its original payload — and must leave
+    /// the parked pool serviceable for the next run.
     #[test]
     fn worker_only_panic_preserves_its_payload() {
         // Two workers, one level of two steps: the caller (worker 0)
-        // takes id 0, the spawned worker takes id 1 — which panics.
+        // takes id 0, the resident worker takes id 1 — which panics.
+        let exec = Executor::new(1);
         let levels = vec![vec![0u32, 1u32]];
         let mut workers = [(), ()];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_levels_parallel_with(&levels, false, &mut workers, &|(), id| {
+            run_levels_parallel_with(&exec, &levels, false, &mut workers, &|(), _pool, id| {
                 if id == 1 {
                     panic!("step {id} exploded with a diagnostic message");
                 }
@@ -1255,6 +1278,13 @@ mod tests {
             msg.contains("step 1 exploded with a diagnostic message"),
             "caller observed `{msg}` instead of the original payload"
         );
+        // The poisoned run must not kill the resident worker: the same
+        // pool serves the next run.
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        run_levels_parallel_with(&exec, &levels, false, &mut workers, &|(), _pool, _id| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 2, "pool dead after poison");
     }
 
     #[test]

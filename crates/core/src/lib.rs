@@ -43,6 +43,13 @@
 //! admitted and retired one at a time against the resident wavefront
 //! program — feature rows cached, identical subtrees shared — with
 //! predictions bit-identical to recompiling the batch from scratch.
+//! [`QppNet::serve_sharded`] scales that to shard-per-core serving
+//! ([`stream::ShardedStream`]): admissions route by content hash to
+//! per-shard builders and proceed concurrently on the process-wide
+//! resident executor ([`qpp_nn::Executor`]), a micro-batching front door
+//! ([`stream::MicroBatcher`]) coalesces concurrent predict requests into
+//! one heterogeneous run, and multiple fitted models co-host on the same
+//! pool via [`Tenants`], keyed by [`QppNet::fingerprint`].
 //!
 //! Quick start (see `examples/quickstart.rs` for a narrated version):
 //!
@@ -74,13 +81,18 @@ pub mod train_program;
 pub mod tree;
 pub mod unit;
 
-pub use analysis::{calibration, error_by_family, CalibrationBucket, FamilyErrors};
+pub use analysis::{
+    calibration, error_by_family, error_by_height, CalibrationBucket, FamilyErrors, HeightErrors,
+    StratifiedReport,
+};
 pub use config::{LrSchedule, OptMode, OptimizerKind, QppConfig, TargetTransform};
 pub use importance::{permutation_importance, FeatureImportance};
 pub use infer::{predict_plans_with, InferEngine, PlanProgram};
 pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
-pub use model::QppNet;
-pub use stream::{PlanId, ProgramBuilder, ProgramStats};
+pub use model::{QppNet, Tenants};
+pub use stream::{
+    MicroBatchStats, MicroBatcher, PlanId, ProgramBuilder, ProgramStats, ShardedStream,
+};
 pub use train::{predict_plans, TrainHistory, TrainStats, Trainer};
 pub use train_program::ProgramTape;
 pub use tree::{equivalence_classes, Supervision, TreeBatch};

@@ -102,6 +102,13 @@ impl NodeContentKey {
         k[11] = node.concurrency.to_bits();
         NodeContentKey(k)
     }
+
+    /// The raw encoded words, exposed for deterministic hashing (shard
+    /// routing in [`crate::stream`] folds these through FNV-1a so the
+    /// same plan always lands on the same shard, on every platform).
+    pub(crate) fn words(&self) -> &[u64; 12] {
+        &self.0
+    }
 }
 
 /// The structural fingerprint of one *resident subtree* in the incremental

@@ -111,10 +111,7 @@ pub fn evaluate(actual_ms: &[f64], predicted_ms: &[f64]) -> Metrics {
     }
 
     rs.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
-    let quantile = |q: f64| -> f64 {
-        let idx = ((rs.len() as f64 - 1.0) * q).round() as usize;
-        rs[idx]
-    };
+    let quantile = |q: f64| sorted_quantile(&rs, q);
 
     Metrics {
         count: actual_ms.len(),
@@ -130,6 +127,14 @@ pub fn evaluate(actual_ms: &[f64], predicted_ms: &[f64]) -> Metrics {
         p99_r: quantile(0.99),
         max_r: *rs.last().expect("non-empty"),
     }
+}
+
+/// Nearest-rank quantile of an ascending-sorted, non-empty slice — the
+/// rounding [`evaluate`] uses for its R(q) percentiles, shared with the
+/// stratified breakdowns in [`crate::analysis`].
+pub(crate) fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
 }
 
 /// The cumulative distribution of R(q) values for Figure 7b: returns

@@ -262,6 +262,31 @@ impl QppNet {
         crate::stream::ProgramBuilder::new(fz, wh, units, codec, caps)
     }
 
+    /// The fitted-state fingerprint, or `None` before [`QppNet::fit`].
+    /// This is the identity compiled programs are stamped with
+    /// ([`QppNet::predict_compiled`]) and the key resident streams are
+    /// registered under in a multi-model [`Tenants`] pool.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fitted.as_ref().map(|_| self.fitted_fingerprint())
+    }
+
+    /// Opens a shard-per-core streaming session: `shards` independent
+    /// [`crate::stream::ProgramBuilder`]s behind a
+    /// [`crate::stream::ShardedStream`] front door, so concurrent
+    /// admissions proceed in parallel on the resident executor and
+    /// coalesced predicts run one worker per shard (see
+    /// [`crate::stream::MicroBatcher`] for the batching front door).
+    /// Predictions are bit-identical to [`QppNet::serve_stream`] at every
+    /// shard and thread count.
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted.
+    pub fn serve_sharded(&self, shards: usize) -> crate::stream::ShardedStream<'_> {
+        let fingerprint = self.fitted_fingerprint();
+        let (fz, wh, units, codec, caps) = self.fitted_parts();
+        crate::stream::ShardedStream::new(fz, wh, units, codec, caps, shards, fingerprint)
+    }
+
     /// Runs a program from [`QppNet::compile_program`], returning decoded
     /// root predictions (clamped onto the structural envelope when the
     /// config enables it, exactly like [`QppNet::predict_batch`]).
@@ -319,6 +344,19 @@ impl QppNet {
         evaluate(&actual, &preds)
     }
 
+    /// [`QppNet::evaluate`] plus the stratified breakdowns that qualify
+    /// the headline numbers: per-operator-family and per-plan-height
+    /// Q-error (see [`crate::analysis::StratifiedReport`]) — a flat
+    /// aggregate can look healthy while one family or one depth stratum
+    /// carries all the error.
+    pub fn evaluate_stratified(&self, plans: &[&Plan]) -> crate::analysis::StratifiedReport {
+        crate::analysis::StratifiedReport {
+            overall: self.evaluate(plans),
+            families: crate::analysis::error_by_family(self, plans),
+            heights: crate::analysis::error_by_height(self, plans),
+        }
+    }
+
     /// Serializes the full model (config, featurization, whitening, units)
     /// to JSON.
     pub fn to_json(&self) -> String {
@@ -328,6 +366,89 @@ impl QppNet {
     /// Restores a model from [`QppNet::to_json`] output.
     pub fn from_json(json: &str) -> Result<QppNet, serde_json::Error> {
         serde_json::from_str(json)
+    }
+}
+
+/// Multi-model tenancy: a registry of resident
+/// [`ShardedStream`](crate::stream::ShardedStream)s keyed by each fitted
+/// model's [fingerprint](QppNet::fingerprint). Every tenant's serving and
+/// training work dispatches onto the *one* process-wide resident executor
+/// ([`qpp_nn::Executor::global`]), so co-hosted models (per-workload
+/// specialists, canary-vs-production fits) share the parked worker pool
+/// and its per-worker buffer arenas instead of each spawning their own
+/// threads.
+///
+/// Registration is **idempotent by fitted identity**: registering a model
+/// whose fingerprint is already resident returns the existing stream
+/// untouched (same resident plans, same caches) — the fingerprint check
+/// is what makes "is this the same fitted state?" exact rather than
+/// by-reference, so a refit model registers as a *new* tenant instead of
+/// silently serving stale weights.
+///
+/// ```
+/// use qppnet::{QppConfig, QppNet, Tenants};
+/// use qpp_plansim::prelude::*;
+///
+/// let ds = Dataset::generate(Workload::TpcH, 1.0, 24, 3);
+/// let mut model = QppNet::new(QppConfig { epochs: 1, ..QppConfig::tiny() }, &ds.catalog);
+/// model.fit(&ds.plans.iter().take(16).collect::<Vec<_>>());
+///
+/// let mut pool = Tenants::new();
+/// let key = pool.register(&model, 2);
+/// assert_eq!(Some(key), model.fingerprint());
+/// let stream = pool.stream(key).unwrap();
+/// let id = stream.admit(&ds.plans[0].root);
+/// let _ms = stream.predict_root(id);
+/// assert_eq!(pool.register(&model, 2), key); // idempotent: same tenant
+/// ```
+#[derive(Default)]
+pub struct Tenants<'m> {
+    tenants: std::collections::BTreeMap<u64, crate::stream::ShardedStream<'m>>,
+}
+
+impl<'m> Tenants<'m> {
+    /// An empty registry.
+    pub fn new() -> Tenants<'m> {
+        Tenants::default()
+    }
+
+    /// Registers `model` as a resident tenant with `shards` shards,
+    /// returning its fingerprint key. Idempotent: if this fitted state is
+    /// already registered, the existing stream (and its resident plans)
+    /// is kept and `shards` is ignored.
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted.
+    pub fn register(&mut self, model: &'m QppNet, shards: usize) -> u64 {
+        let key = model.fingerprint().expect("register an unfitted model");
+        self.tenants.entry(key).or_insert_with(|| model.serve_sharded(shards));
+        key
+    }
+
+    /// The resident stream for `fingerprint`, if registered.
+    pub fn stream(&mut self, fingerprint: u64) -> Option<&mut crate::stream::ShardedStream<'m>> {
+        self.tenants.get_mut(&fingerprint)
+    }
+
+    /// Evicts a tenant, dropping its resident plans; returns whether it
+    /// was registered.
+    pub fn evict(&mut self, fingerprint: u64) -> bool {
+        self.tenants.remove(&fingerprint).is_some()
+    }
+
+    /// Number of resident tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Registered fingerprints, ascending.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.tenants.keys().copied().collect()
     }
 }
 

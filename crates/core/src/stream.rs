@@ -53,7 +53,7 @@ use crate::infer::{clamp_plan_envelope, run_schedule, Step, STEP_CHUNK_ROWS};
 use crate::lower::{lower, Lowering, NodeContentKey, SubtreeKey};
 use crate::tree::RatioCaps;
 use crate::unit::UnitSet;
-use qpp_nn::{BufferPool, Matrix};
+use qpp_nn::{BufferPool, Executor, Matrix};
 use qpp_plansim::features::{FeatureCache, Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::PlanNode;
@@ -239,7 +239,6 @@ pub struct ProgramBuilder<'m> {
     row_free: Vec<usize>,
 
     pool: BufferPool,
-    worker_pools: Vec<BufferPool>,
 
     plans: BTreeMap<u64, Resident>,
     next_id: u64,
@@ -282,7 +281,6 @@ impl<'m> ProgramBuilder<'m> {
             outputs: Matrix::zeros(0, out_w),
             row_free: Vec::new(),
             pool: BufferPool::new(),
-            worker_pools: Vec::new(),
             plans: BTreeMap::new(),
             next_id: 0,
             logical_nodes: 0,
@@ -498,7 +496,7 @@ impl<'m> ProgramBuilder<'m> {
             self.units,
             &mut self.outputs,
             &mut self.pool,
-            &mut self.worker_pools,
+            Executor::global(),
             self.out_w,
             threads,
         );
@@ -670,6 +668,434 @@ impl<'m> ProgramBuilder<'m> {
         self.row_free.push(row);
         self.node_free.push(nid);
         self.live_nodes -= 1;
+    }
+}
+
+/// Deterministic shard-routing hash of a whole plan: FNV-1a folded over
+/// every node's lossless [`NodeContentKey`] words plus the child hashes,
+/// so structurally identical plans always land on the same shard (which
+/// is what lets the per-shard CSE maps and feature caches keep their hit
+/// rates under sharding) and the routing is stable across platforms and
+/// runs — no pointer or insertion-order dependence.
+fn plan_shard_hash(node: &PlanNode) -> u64 {
+    let mut h = qpp_plansim::util::Fnv1a::new();
+    for &w in NodeContentKey::of(node).words() {
+        h.mix(w);
+    }
+    for child in &node.children {
+        h.mix(plan_shard_hash(child));
+    }
+    h.finish()
+}
+
+/// Shard-per-core resident serving: `S` independent [`ProgramBuilder`]
+/// shards behind one front door. [`ShardedStream::admit`] routes each
+/// plan to a shard by [content hash](NodeContentKey) — admissions to
+/// different shards touch disjoint state, so a batch of arrivals admits
+/// in parallel on the resident [`Executor`] with no contention
+/// ([`ShardedStream::admit_batch`]) — and coalesced prediction runs the
+/// non-empty shards concurrently, one resident worker per shard
+/// ([`ShardedStream::predict_roots_threaded`]).
+///
+/// # Determinism
+///
+/// Per-plan predictions are **bit-identical** to admitting the same plans
+/// into a single [`ProgramBuilder`] (and to a fresh
+/// [`crate::infer::PlanProgram::compile`]) at every thread and shard
+/// count. Each shard is a complete, self-contained wavefront program, and
+/// its schedule executes *sequentially* on whichever worker it is dealt
+/// to — parallelism is across shards, never within one — so the per-shard
+/// bits are the single-threaded bits by construction, and those equal the
+/// single-builder bits by the row-invariance + lossless-cache argument in
+/// the [module docs](self). `tests/executor_differential.rs` holds random
+/// admit/retire/predict interleavings across shards to exact equality
+/// against a single builder at 1/2/4/8 threads.
+///
+/// Obtain one from [`crate::QppNet::serve_sharded`]; the stream carries
+/// the model's fingerprint so a multi-model registry
+/// ([`crate::Tenants`]) can key resident streams by fitted identity.
+pub struct ShardedStream<'m> {
+    shards: Vec<ProgramBuilder<'m>>,
+    /// Outer id → (shard index, inner per-shard id); BTreeMap so
+    /// admission order is iteration order.
+    routes: BTreeMap<u64, (usize, PlanId)>,
+    next_id: u64,
+    fingerprint: u64,
+}
+
+impl<'m> ShardedStream<'m> {
+    /// Creates an empty sharded stream of `shards` independent resident
+    /// programs over one fitted model's parts (`fingerprint` stamps the
+    /// fitted identity — see [`crate::Tenants`]). Most callers want
+    /// [`crate::QppNet::serve_sharded`], which wires everything from the
+    /// fitted model. A `shards` of 0 is promoted to 1.
+    pub fn new(
+        featurizer: &'m Featurizer,
+        whitener: &'m Whitener,
+        units: &'m UnitSet,
+        codec: &'m TargetCodec,
+        caps: Option<&'m RatioCaps>,
+        shards: usize,
+        fingerprint: u64,
+    ) -> ShardedStream<'m> {
+        let shards = shards.max(1);
+        ShardedStream {
+            shards: (0..shards)
+                .map(|_| ProgramBuilder::new(featurizer, whitener, units, codec, caps))
+                .collect(),
+            routes: BTreeMap::new(),
+            next_id: 0,
+            fingerprint,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fingerprint of the fitted model this stream serves (the
+    /// multi-model tenancy key — see [`crate::Tenants`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Admits one plan, routed to its content-hash shard. Same atomicity
+    /// contract as [`ProgramBuilder::admit`]: a malformed plan panics
+    /// before any shard state is touched.
+    pub fn admit(&mut self, root: &PlanNode) -> PlanId {
+        let shard = (plan_shard_hash(root) % self.shards.len() as u64) as usize;
+        let inner = self.shards[shard].admit(root);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.routes.insert(id, (shard, inner));
+        PlanId(id)
+    }
+
+    /// Admits a batch of plans, with admissions to *different* shards
+    /// proceeding concurrently on `threads` resident workers. Returned
+    /// ids are in argument order, and all bookkeeping (ids, routing) is
+    /// identical to calling [`ShardedStream::admit`] in a loop — only the
+    /// wall-clock differs.
+    ///
+    /// # Panics
+    /// Panics if any plan is malformed (propagated off the worker that
+    /// hit it). Plans of the batch admitted before the panic stay
+    /// resident but unreachable — callers treating admission panics as
+    /// recoverable should admit one at a time.
+    pub fn admit_batch(&mut self, roots: &[&PlanNode], threads: usize) -> Vec<PlanId> {
+        // Route up front (cheap, pure), so the parallel section below
+        // works on a fixed partition of disjoint shards.
+        let routed: Vec<usize> = roots
+            .iter()
+            .map(|r| (plan_shard_hash(r) % self.shards.len() as u64) as usize)
+            .collect();
+        let threads = threads.clamp(1, self.shards.len());
+        let mut inner: Vec<Option<PlanId>> = vec![None; roots.len()];
+        if threads <= 1 {
+            for (k, (&shard, root)) in routed.iter().zip(roots).enumerate() {
+                inner[k] = Some(self.shards[shard].admit(root));
+            }
+        } else {
+            let shards_addr = self.shards.as_mut_ptr() as usize;
+            let inner_addr = inner.as_mut_ptr() as usize;
+            let routed = &routed;
+            Executor::global().run(threads, &move |worker, _pool| {
+                // Worker `w` owns shards w, w+threads, … — every plan of
+                // a given shard is admitted by exactly one worker, in
+                // argument order (preserving per-shard admission order).
+                for (k, &shard) in routed.iter().enumerate() {
+                    if shard % threads != worker {
+                        continue;
+                    }
+                    // SAFETY: shard indices are dealt disjointly across
+                    // workers (mod `threads`), and result slot `k`
+                    // belongs to exactly one (plan, shard) pair, so both
+                    // `&mut` borrows are unaliased for the run's
+                    // duration. `run` blocks until all workers finish.
+                    unsafe {
+                        let builder = &mut *(shards_addr as *mut ProgramBuilder<'m>).add(shard);
+                        *(inner_addr as *mut Option<PlanId>).add(k) = Some(builder.admit(roots[k]));
+                    }
+                }
+            });
+        }
+        let mut ids = Vec::with_capacity(roots.len());
+        for (k, &shard) in routed.iter().enumerate() {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.routes.insert(id, (shard, inner[k].take().expect("admitted above")));
+            ids.push(PlanId(id));
+        }
+        ids
+    }
+
+    /// Retires a resident plan from its shard (see
+    /// [`ProgramBuilder::retire`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or already retired.
+    pub fn retire(&mut self, id: PlanId) {
+        let (shard, inner) = self
+            .routes
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("plan {id:?} is not resident (already retired?)"));
+        self.shards[shard].retire(inner);
+    }
+
+    /// Resident plans across all shards.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no plans are resident on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Whether `id` is currently resident.
+    pub fn contains(&self, id: PlanId) -> bool {
+        self.routes.contains_key(&id.0)
+    }
+
+    /// Ids of all resident plans, in admission order.
+    pub fn resident(&self) -> Vec<PlanId> {
+        self.routes.keys().map(|&k| PlanId(k)).collect()
+    }
+
+    /// Root-latency prediction for one resident plan; only its owning
+    /// shard runs (on `threads` workers *within* the shard — identical
+    /// bits at any count).
+    pub fn predict_root_threaded(&mut self, id: PlanId, threads: usize) -> f64 {
+        let &(shard, inner) = self.route(id);
+        self.shards[shard].predict_root_threaded(inner, threads)
+    }
+
+    /// [`ShardedStream::predict_root_threaded`] on the calling thread.
+    pub fn predict_root(&mut self, id: PlanId) -> f64 {
+        self.predict_root_threaded(id, 1)
+    }
+
+    /// Per-operator predictions (post order, milliseconds) for one
+    /// resident plan, from its owning shard.
+    pub fn predict_all(&mut self, id: PlanId) -> Vec<f64> {
+        let &(shard, inner) = self.route(id);
+        self.shards[shard].predict_all(inner)
+    }
+
+    /// Root predictions for every resident plan (admission order), with
+    /// the non-empty shards running **concurrently** — one resident
+    /// worker per shard, each shard's schedule sequential, so the bits
+    /// match single-builder execution exactly (see the type docs).
+    pub fn predict_roots_threaded(&mut self, threads: usize) -> Vec<f64> {
+        let todo: Vec<usize> =
+            (0..self.shards.len()).filter(|&s| !self.shards[s].is_empty()).collect();
+        self.run_shards(&todo, threads);
+        self.routes
+            .values()
+            .map(|&(shard, inner)| {
+                *self.shards[shard].decode_plan(inner).last().expect("plans are non-empty")
+            })
+            .collect()
+    }
+
+    /// [`ShardedStream::predict_roots_threaded`] on the calling thread.
+    pub fn predict_roots(&mut self) -> Vec<f64> {
+        self.predict_roots_threaded(1)
+    }
+
+    /// Root predictions for a specific id set (argument order), running
+    /// only the shards those ids live on — the decode half of a
+    /// micro-batched request (see [`MicroBatcher`]).
+    pub fn predict_batch_threaded(&mut self, ids: &[PlanId], threads: usize) -> Vec<f64> {
+        let mut todo: Vec<usize> = ids.iter().map(|&id| self.route(id).0).collect();
+        todo.sort_unstable();
+        todo.dedup();
+        self.run_shards(&todo, threads);
+        ids.iter()
+            .map(|&id| {
+                let &(shard, inner) = self.route(id);
+                *self.shards[shard].decode_plan(inner).last().expect("plans are non-empty")
+            })
+            .collect()
+    }
+
+    /// Per-shard statistics, in shard order (the CLI prints one line per
+    /// shard in `--stream` mode).
+    pub fn shard_stats(&self) -> Vec<ProgramStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Aggregate statistics across all shards (counts sum; note `steps`
+    /// and `levels` are per-shard program properties, so their sums
+    /// describe total work per coalesced run, not one schedule).
+    pub fn stats(&self) -> ProgramStats {
+        let mut agg = ProgramStats {
+            resident_plans: 0,
+            logical_nodes: 0,
+            shared_rows: 0,
+            steps: 0,
+            levels: 0,
+            feat_cache_entries: 0,
+            feat_cache_hits: 0,
+            feat_cache_misses: 0,
+            cse_hits: 0,
+        };
+        for s in &self.shards {
+            let st = s.stats();
+            agg.resident_plans += st.resident_plans;
+            agg.logical_nodes += st.logical_nodes;
+            agg.shared_rows += st.shared_rows;
+            agg.steps += st.steps;
+            agg.levels += st.levels;
+            agg.feat_cache_entries += st.feat_cache_entries;
+            agg.feat_cache_hits += st.feat_cache_hits;
+            agg.feat_cache_misses += st.feat_cache_misses;
+            agg.cse_hits += st.cse_hits;
+        }
+        agg
+    }
+
+    fn route(&self, id: PlanId) -> &(usize, PlanId) {
+        self.routes
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("plan {id:?} is not resident (already retired?)"))
+    }
+
+    /// Runs the shards in `todo` (distinct indices), concurrently when
+    /// `threads > 1`: worker `w` executes shards `todo[w]`,
+    /// `todo[w + threads]`, … — each shard sequentially on that worker's
+    /// thread, so per-shard output bits are thread-count-invariant.
+    fn run_shards(&mut self, todo: &[usize], threads: usize) {
+        if todo.is_empty() {
+            return;
+        }
+        let threads = threads.clamp(1, todo.len());
+        if threads <= 1 {
+            for &s in todo {
+                self.shards[s].run(1);
+            }
+            return;
+        }
+        let shards_addr = self.shards.as_mut_ptr() as usize;
+        Executor::global().run(threads, &move |worker, _pool| {
+            for &s in todo.iter().skip(worker).step_by(threads) {
+                // SAFETY: `todo` holds distinct indices and the
+                // round-robin deal hands each to exactly one worker, so
+                // the `&mut` borrows are disjoint; `run` blocks until
+                // every worker finishes before this frame returns.
+                let shard = unsafe { &mut *(shards_addr as *mut ProgramBuilder<'m>).add(s) };
+                shard.run(1);
+            }
+        });
+    }
+}
+
+/// Statistics of a [`MicroBatcher`] front door: how many coalesced runs
+/// it issued and how wide they were (the whole point of micro-batching is
+/// pushing mean width above 1 so the per-family gemms amortize).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MicroBatchStats {
+    /// Coalesced flushes issued (each is one admit-batch + one
+    /// heterogeneous wavefront run over the touched shards).
+    pub batches: u64,
+    /// Predict requests absorbed across all flushes.
+    pub requests: u64,
+}
+
+impl MicroBatchStats {
+    /// Mean requests coalesced per flush (0 when nothing flushed).
+    pub fn mean_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MicroBatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} batches coalesced, {} requests (mean width {:.2})",
+            self.batches,
+            self.requests,
+            self.mean_width()
+        )
+    }
+}
+
+/// Micro-batching front door over a [`ShardedStream`]: concurrent predict
+/// requests are [`MicroBatcher::submit`]ted as they arrive, then one
+/// [`MicroBatcher::flush`] admits them all (in parallel across shards),
+/// executes **one** coalesced heterogeneous wavefront run, and returns
+/// every answer. The engine batches by `(height, family)`, so requests
+/// that share operator families share gemm calls — cross-request batching
+/// is exactly where gemm-per-family pays, and it is accuracy-free: each
+/// plan's bits are independent of what else is in the batch (row
+/// invariance, see the [module docs](self)).
+///
+/// Flushed plans are retired immediately (a predict request is one-shot);
+/// callers that want plans to stay resident should drive the
+/// [`ShardedStream`] directly.
+#[derive(Debug, Default)]
+pub struct MicroBatcher<'p> {
+    pending: Vec<&'p PlanNode>,
+    stats: MicroBatchStats,
+}
+
+impl<'p> MicroBatcher<'p> {
+    /// An empty front door.
+    pub fn new() -> MicroBatcher<'p> {
+        MicroBatcher::default()
+    }
+
+    /// Queues one predict request for the next flush.
+    pub fn submit(&mut self, plan: &'p PlanNode) {
+        self.pending.push(plan);
+    }
+
+    /// Requests queued for the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Coalesces every queued request into one batched admission + one
+    /// wavefront run on `stream`, returning root predictions in submit
+    /// order (bit-identical to one-at-a-time serving). The flushed plans
+    /// are retired before returning.
+    pub fn flush(&mut self, stream: &mut ShardedStream<'_>, threads: usize) -> Vec<f64> {
+        let (ids, preds) = self.flush_resident(stream, threads);
+        for id in ids {
+            stream.retire(id);
+        }
+        preds
+    }
+
+    /// [`MicroBatcher::flush`] for window-managed serving: the flushed
+    /// plans **stay resident** and their ids are returned alongside the
+    /// predictions, so an admission-control loop can retire them on its
+    /// own schedule (e.g. when the query finishes).
+    pub fn flush_resident(
+        &mut self,
+        stream: &mut ShardedStream<'_>,
+        threads: usize,
+    ) -> (Vec<PlanId>, Vec<f64>) {
+        if self.pending.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        self.stats.batches += 1;
+        self.stats.requests += self.pending.len() as u64;
+        let ids = stream.admit_batch(&self.pending, threads);
+        let preds = stream.predict_batch_threaded(&ids, threads);
+        self.pending.clear();
+        (ids, preds)
+    }
+
+    /// Coalescing statistics across the batcher's lifetime.
+    pub fn stats(&self) -> MicroBatchStats {
+        self.stats
     }
 }
 
@@ -922,5 +1348,105 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(bits(&builder.predict_roots_threaded(threads)), bits(&base));
         }
+    }
+
+    #[test]
+    fn sharded_stream_matches_single_builder_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut single = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let mut sharded = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let mut single_ids = Vec::new();
+        let mut sharded_ids = Vec::new();
+        for p in ds.plans.iter().take(12) {
+            single_ids.push(single.admit(&p.root));
+            sharded_ids.push(sharded.admit(&p.root));
+        }
+        assert_eq!(sharded.len(), 12);
+        assert_eq!(sharded.num_shards(), 3);
+        // Batch views agree at every thread count, and per-plan views
+        // agree with the single builder.
+        let base = single.predict_roots();
+        for threads in [1, 2, 4] {
+            assert_eq!(bits(&sharded.predict_roots_threaded(threads)), bits(&base));
+        }
+        for (s, d) in single_ids.iter().zip(&sharded_ids) {
+            assert_eq!(sharded.predict_root(*d).to_bits(), single.predict_root(*s).to_bits());
+            assert_eq!(bits(&sharded.predict_all(*d)), bits(&single.predict_all(*s)));
+        }
+        // Retire half; survivors still agree.
+        for (s, d) in single_ids.iter().zip(&sharded_ids).step_by(2) {
+            single.retire(*s);
+            sharded.retire(*d);
+        }
+        assert_eq!(bits(&sharded.predict_roots_threaded(4)), bits(&single.predict_roots()));
+        assert!(sharded.contains(sharded_ids[1]) && !sharded.contains(sharded_ids[0]));
+    }
+
+    #[test]
+    fn identical_plans_route_to_one_shard_and_share_rows() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut sharded = ShardedStream::new(&fz, &wh, &units, &codec, None, 4, 7);
+        assert_eq!(sharded.fingerprint(), 7);
+        let plan = ds.plans.iter().max_by_key(|p| p.node_count()).unwrap();
+        for _ in 0..4 {
+            sharded.admit(&plan.root);
+        }
+        // Content-hash routing puts structurally identical plans on the
+        // same shard, where CSE collapses them to one set of rows.
+        let agg = sharded.stats();
+        assert_eq!(agg.resident_plans, 4);
+        assert_eq!(agg.shared_rows, plan.node_count());
+        let busy: Vec<_> =
+            sharded.shard_stats().into_iter().filter(|s| s.resident_plans > 0).collect();
+        assert_eq!(busy.len(), 1, "identical plans must land on one shard");
+        assert_eq!(busy[0].resident_plans, 4);
+    }
+
+    #[test]
+    fn admit_batch_matches_sequential_admission() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut seq = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let mut par = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let roots: Vec<&PlanNode> = ds.plans.iter().take(10).map(|p| &p.root).collect();
+        let seq_ids: Vec<PlanId> = roots.iter().map(|r| seq.admit(r)).collect();
+        let par_ids = par.admit_batch(&roots, 4);
+        assert_eq!(seq_ids, par_ids, "ids must be identical to the sequential loop");
+        assert_eq!(bits(&par.predict_roots_threaded(4)), bits(&seq.predict_roots()));
+    }
+
+    #[test]
+    fn microbatcher_coalesces_and_matches_oneshot_serving() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut stream = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let mut front = MicroBatcher::new();
+        assert!(front.flush(&mut stream, 4).is_empty(), "empty flush is a no-op");
+        for p in ds.plans.iter().take(8) {
+            front.submit(&p.root);
+        }
+        assert_eq!(front.pending(), 8);
+        let batched = front.flush(&mut stream, 4);
+        assert_eq!(front.pending(), 0);
+        assert!(stream.is_empty(), "one-shot requests retire after the flush");
+        // Bit-identical to serving each request alone on a fresh builder.
+        for (p, got) in ds.plans.iter().take(8).zip(&batched) {
+            let alone = fresh_compile_roots(&fz, &wh, &units, &codec, &[p]);
+            assert_eq!(got.to_bits(), alone[0].to_bits());
+        }
+        let stats = front.stats();
+        assert_eq!((stats.batches, stats.requests), (1, 8));
+        assert!((stats.mean_width() - 8.0).abs() < 1e-12);
+        assert!(stats.to_string().contains("mean width"));
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic() {
+        let (ds, _, _, _, _) = setup(Workload::TpcH);
+        for p in &ds.plans {
+            assert_eq!(plan_shard_hash(&p.root), plan_shard_hash(&p.root.clone()));
+        }
+        // Sanity: the hash actually spreads a workload (not all-one-bucket).
+        let shards: std::collections::HashSet<u64> =
+            ds.plans.iter().map(|p| plan_shard_hash(&p.root) % 4).collect();
+        assert!(shards.len() > 1, "routing must spread distinct plans");
     }
 }

@@ -39,7 +39,9 @@
 //!
 //! Both sweeps run on the shared level-barrier executor
 //! (`run_levels_parallel_with` in `crate::infer`) that powers multicore
-//! serving. The forward is parallel for the same reason serving is: steps
+//! serving — and therefore on the same resident worker pool
+//! ([`qpp_nn::Executor::global`]): training and serving are tenants of
+//! one set of parked workers and their persistent buffer pools. The forward is parallel for the same reason serving is: steps
 //! of one level write disjoint output rows and read only lower levels.
 //! The backward is the mirror image: levels run top-down, each gradient
 //! row is written by exactly one step (a node has at most one parent;
@@ -58,7 +60,7 @@ use crate::infer::{
 };
 use crate::lower::{lower, Lowering};
 use crate::unit::UnitSet;
-use qpp_nn::{activation_backward_inplace, BufferPool, Matrix};
+use qpp_nn::{activation_backward_inplace, BufferPool, Executor, Matrix};
 use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::PlanNode;
@@ -229,9 +231,10 @@ impl TrainSet {
 }
 
 /// The reusable pieces a retiring tape hands to its successor: the
-/// buffer pool (holding every drained matrix), per-worker pools and
-/// gradient accumulators, and the target buffer.
-type TapeParts = (BufferPool, Vec<BufferPool>, Vec<GradSet>, Vec<f32>);
+/// buffer pool (holding every drained matrix), per-worker gradient
+/// accumulators, and the target buffer. (Per-worker *pools* are no longer
+/// tape state — they live in the resident executor.)
+type TapeParts = (BufferPool, Vec<GradSet>, Vec<f32>);
 
 /// A compiled, differentiable wavefront program over a training batch —
 /// the gradient-carrying twin of [`crate::infer::PlanProgram`].
@@ -287,11 +290,10 @@ pub struct ProgramTape {
     out_w: usize,
     num_plans: usize,
     /// Scratch + recycling pool: gradient ping-pong buffers during
-    /// backward, and retired tape buffers between recompiles.
+    /// backward, and retired tape buffers between recompiles. (Per-worker
+    /// pools for the parallel sweeps come from the resident
+    /// [`qpp_nn::Executor`], which keeps them warm across epochs.)
     pool: BufferPool,
-    /// Per-worker pools for the parallel sweeps, grown lazily and kept
-    /// warm across epochs (index 0 is the caller's).
-    worker_pools: Vec<BufferPool>,
     /// Per-worker gradient accumulators (index 0 also serves the
     /// sequential path), grown lazily and kept warm across epochs.
     worker_grads: Vec<GradSet>,
@@ -331,9 +333,9 @@ impl ProgramTape {
         recycled: Option<ProgramTape>,
     ) -> ProgramTape {
         let out_w = units.out_size();
-        let (mut pool, worker_pools, worker_grads, mut targets) = match recycled {
+        let (mut pool, worker_grads, mut targets) = match recycled {
             Some(tape) => tape.into_parts(),
-            None => (BufferPool::new(), Vec::new(), Vec::new(), Vec::new()),
+            None => (BufferPool::new(), Vec::new(), Vec::new()),
         };
 
         let mut builder = WavefrontBuilder::new();
@@ -387,7 +389,6 @@ impl ProgramTape {
             out_w,
             num_plans: chunk.len(),
             pool,
-            worker_pools,
             worker_grads,
         }
     }
@@ -405,7 +406,7 @@ impl ProgramTape {
         }
         self.pool.give(self.outputs);
         self.pool.give(self.grad_outputs);
-        (self.pool, self.worker_pools, self.worker_grads, self.targets)
+        (self.pool, self.worker_grads, self.targets)
     }
 
     /// Number of plans in the compiled batch.
@@ -482,7 +483,8 @@ impl ProgramTape {
             // The workers carry no private state in the forward — the tape
             // buffers themselves are the storage (disjoint per step).
             let mut workers = vec![(); threads];
-            run_levels_parallel_with(&self.levels, false, &mut workers, &|(), id| {
+            let exec = Executor::global();
+            run_levels_parallel_with(exec, &self.levels, false, &mut workers, &|(), _pool, id| {
                 // SAFETY: each step id appears in exactly one level list
                 // once, and the round-robin deal hands it to exactly one
                 // worker — no two threads touch the same step's input or
@@ -575,20 +577,16 @@ impl ProgramTape {
                 }
             }
         } else {
-            if self.worker_pools.len() < threads {
-                self.worker_pools.resize_with(threads, BufferPool::new);
-            }
             let units_ro: &UnitSet = units;
             let steps = &self.steps;
             let acts = &self.acts;
             let out_w = self.out_w;
             let grad_outputs = SharedRows::new(&mut self.grad_outputs);
-            let mut workers: Vec<(&mut BufferPool, &mut GradSet)> = self
-                .worker_pools[..threads]
-                .iter_mut()
-                .zip(self.worker_grads[..threads].iter_mut())
-                .collect();
-            run_levels_parallel_with(&self.levels, true, &mut workers, &|(pool, grads), id| {
+            // Each worker's scratch pool is its resident executor pool;
+            // only the gradient accumulators are tape-owned worker state.
+            let workers = &mut self.worker_grads[..threads];
+            let exec = Executor::global();
+            run_levels_parallel_with(exec, &self.levels, true, workers, &|grads, pool, id| {
                 let id = id as usize;
                 let step = &steps[id];
                 let members = step.rows.len();

@@ -12,7 +12,9 @@
 //!   (`gather_rows_into` / `scatter_rows_into`, allocation-free `matmul_into`).
 //! * [`BufferPool`] — reusable matrix buffers and an inference-only
 //!   [`Mlp::forward_pooled`] pass, so serving hot paths allocate nothing in
-//!   steady state.
+//!   steady state — plus the resident [`Executor`]: a process-wide pool of
+//!   parked worker threads (each owning its `BufferPool`) that multicore
+//!   serving and training dispatch onto instead of spawning threads per run.
 //! * [`Dense`] / [`Mlp`] — affine layers with configurable [`Activation`]s,
 //!   batched forward passes, cached activations, and exact reverse-mode
 //!   gradients (including the *input* gradient, which plan-structured
@@ -69,4 +71,4 @@ pub use lstm::{LstmNodeCache, TreeLstmCell};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpCache};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, Executor, ExecutorStats};

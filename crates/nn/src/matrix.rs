@@ -1062,14 +1062,26 @@ mod simd {
         }
     }
 
-    /// `out += aᵀ · b` as broadcast-FMA row updates: for each nonzero
-    /// `a[n, r]`, `out.row(r) += a[n, r] · b.row(n)` across 8-lane tiles.
-    /// This is the **training backward's weight-gradient gemm**
-    /// `dW += Xᵀ · dZ`; the zero-skip matters because `x` is post-ReLU
-    /// activations or one-hot-heavy feature rows. Same elementwise
-    /// accumulation order as the scalar path per row pair, but FMA
-    /// contraction may round differently — as for [`matmul_a_bt_avx2`],
-    /// no bitwise contract is made.
+    /// `out += aᵀ · b` register-blocked over the contraction dimension:
+    /// rows of `a`/`b` are consumed **four at a time**, so each touched
+    /// 8-lane output tile `out[r, j..j+8]` is loaded and stored once per
+    /// block instead of once per contributing row — the broadcast-FMA
+    /// kernel's load/store round-trip per `(n, r)` pair was the remaining
+    /// memory traffic in the training backward's weight-gradient gemm
+    /// `dW += Xᵀ · dZ`. The per-lane zero-skip is preserved exactly
+    /// (`x` is post-ReLU activations or one-hot-heavy feature rows, and
+    /// substituting an FMA with a `±0` multiplicand is *not* bit-safe
+    /// under `-0.0` accumulators or `±Inf`/`NaN` operands).
+    ///
+    /// **Bitwise contract against [`matmul_at_b_avx2_broadcast`]**: for
+    /// every output element `out[r, j]`, both kernels apply the identical
+    /// chain of operations — one FMA (vector lanes) or one mul-then-add
+    /// (scalar tail) per nonzero `a[n, r]`, in ascending `n` — so blocking
+    /// only moves the accumulator from memory round-trips into a register
+    /// and the results are bit-identical (property-tested). The row
+    /// remainder (`n % 4`) runs the broadcast form itself. As for
+    /// [`matmul_a_bt_avx2`], no bitwise contract is made *against the
+    /// scalar fallback* (FMA contraction rounds once, not twice).
     ///
     /// # Safety
     /// Caller must ensure AVX2 and FMA are available (see
@@ -1081,7 +1093,92 @@ mod simd {
         let ad = a.data.as_ptr();
         let bd = b.data.as_ptr();
         let od = out.data.as_mut_ptr();
-        for nn in 0..n {
+        let nb_end = n - n % 4;
+        let mut nn = 0usize;
+        while nn < nb_end {
+            let arows =
+                [ad.add(nn * rd), ad.add((nn + 1) * rd), ad.add((nn + 2) * rd), ad.add((nn + 3) * rd)];
+            let brows =
+                [bd.add(nn * oc), bd.add((nn + 1) * oc), bd.add((nn + 2) * oc), bd.add((nn + 3) * oc)];
+            for r in 0..rd {
+                let xs = [
+                    *arows[0].add(r),
+                    *arows[1].add(r),
+                    *arows[2].add(r),
+                    *arows[3].add(r),
+                ];
+                if xs.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                let orow = od.add(r * oc);
+                let mut j = 0usize;
+                while j + 8 <= oc {
+                    let mut o = _mm256_loadu_ps(orow.add(j));
+                    for (l, &x) in xs.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        o = _mm256_fmadd_ps(
+                            _mm256_set1_ps(x),
+                            _mm256_loadu_ps(brows[l].add(j)),
+                            o,
+                        );
+                    }
+                    _mm256_storeu_ps(orow.add(j), o);
+                    j += 8;
+                }
+                for jj in j..oc {
+                    let mut s = *orow.add(jj);
+                    for (l, &x) in xs.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        s += x * *brows[l].add(jj);
+                    }
+                    *orow.add(jj) = s;
+                }
+            }
+            nn += 4;
+        }
+        if nb_end < n {
+            matmul_at_b_rows_broadcast(a, b, out, nb_end, n);
+        }
+    }
+
+    /// `out += aᵀ · b` as broadcast-FMA row updates: for each nonzero
+    /// `a[n, r]`, `out.row(r) += a[n, r] · b.row(n)` across 8-lane tiles.
+    /// This was the shipping kernel before the register-blocked
+    /// [`matmul_at_b_avx2`]; it stays as (a) the row-remainder path of the
+    /// blocked kernel and (b) the bitwise reference its differential
+    /// property test runs against.
+    ///
+    /// # Safety
+    /// As [`matmul_at_b_avx2`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_at_b_avx2_broadcast(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        matmul_at_b_rows_broadcast(a, b, out, 0, a.rows);
+    }
+
+    /// The broadcast-FMA update restricted to rows `n0..n1` of the
+    /// contraction dimension (shared by [`matmul_at_b_avx2`]'s remainder
+    /// and the reference kernel).
+    ///
+    /// # Safety
+    /// As [`matmul_at_b_avx2`]; additionally `n1 <= a.rows`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_at_b_rows_broadcast(
+        a: &Matrix,
+        b: &Matrix,
+        out: &mut Matrix,
+        n0: usize,
+        n1: usize,
+    ) {
+        let (rd, oc) = (a.cols, b.cols);
+        let ad = a.data.as_ptr();
+        let bd = b.data.as_ptr();
+        let od = out.data.as_mut_ptr();
+        for nn in n0..n1 {
             let arow = ad.add(nn * rd);
             let brow = bd.add(nn * oc);
             for r in 0..rd {
@@ -1555,6 +1652,41 @@ mod tests {
             x.matmul_at_b_into(&dz2, &mut acc_d);
             x.matmul_at_b_scalar(&dz2, &mut acc_s);
             prop_assert!(approx_eq(&acc_d, &acc_s, 1e-5));
+        }
+
+        /// The register-blocked `aᵀ·b` kernel promises **bit-identical**
+        /// results to the broadcast-FMA kernel it replaced (same per-
+        /// element FMA/mul-add chain, ascending `n` — blocking only keeps
+        /// the accumulator in a register). Exercised across 4-row-block
+        /// remainders (`n % 4`), every 8-lane column remainder, realistic
+        /// sparsity (the per-lane zero-skip is the delicate part) and
+        /// non-zero accumulator contents.
+        #[test]
+        fn blocked_at_b_kernel_is_bitwise_equal_to_broadcast(
+            n in 1usize..14, r in 1usize..12, c in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            if simd::avx2_fma_available() {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let sparse = |rng: &mut rand::rngs::StdRng| {
+                    if rng.gen_range(0.0..1.0) < 0.4 { 0.0 } else { rng.gen_range(-2.0..2.0) }
+                };
+                let a = Matrix::from_fn(n, r, |_, _| sparse(&mut rng));
+                let b = Matrix::from_fn(n, c, |_, _| rng.gen_range(-1.0..1.0));
+                let mut acc_new = Matrix::from_fn(r, c, |i, j| ((i * 7 + j) % 5) as f32 * 0.125);
+                let mut acc_ref = acc_new.clone();
+                // SAFETY: availability checked above; shapes agree by
+                // construction.
+                unsafe {
+                    simd::matmul_at_b_avx2(&a, &b, &mut acc_new);
+                    simd::matmul_at_b_avx2_broadcast(&a, &b, &mut acc_ref);
+                }
+                let got: Vec<u32> = acc_new.as_slice().iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = acc_ref.as_slice().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "blocked kernel diverges from broadcast reference");
+            }
         }
 
         #[test]

@@ -23,11 +23,15 @@
 //! engine — `program` (default) compiles the wavefront-batched
 //! [`qpp::net::PlanProgram`], `classes` uses per-equivalence-class
 //! evaluation — and reports throughput; `--input plans.json --stream W`
-//! replays the batch as a **live admission stream** through the
-//! incremental [`qpp::net::ProgramBuilder`]: each plan is admitted,
-//! scored, and retired once a sliding window of `W` resident plans is
-//! exceeded (`--stream 0` never retires), with per-stream
-//! [`qpp::net::ProgramStats`] (CSE dedup ratio, feature-cache hit rate)
+//! replays the batch as a **live admission stream** through the sharded
+//! incremental path ([`qpp::net::ShardedStream`]): arrivals route by
+//! content hash to `--shards` per-shard builders (default: the first
+//! `--threads` entry), bursts of `--burst` concurrent requests coalesce
+//! into one wavefront run via [`qpp::net::MicroBatcher`], and plans
+//! retire once a sliding window of `W` resident plans is exceeded
+//! (`--stream 0` never retires) — with per-shard
+//! [`qpp::net::ProgramStats`] (CSE dedup ratio, feature-cache hit rate),
+//! micro-batch coalescing stats and resident-executor pool stats
 //! reported at the end. `--threads` takes a comma list of worker counts
 //! (e.g. `--threads 1,2,4`; predictions use the first entry — thread
 //! count never changes them), and `--repeat N` (N > 1) prints one
@@ -87,6 +91,7 @@ fn usage(error: &str) -> ExitCode {
          qpp predict    --dataset FILE --model FILE --query N\n\
          qpp predict    --input FILE --model FILE [--engine classes|program]\n\
                         [--threads N[,N...]] [--repeat N] [--stream WINDOW]\n\
+                        [--shards N] [--burst N]\n\
          qpp explain    --dataset FILE --query N\n\
          qpp importance --dataset FILE --model FILE [--seed N] [--top N]"
     );
@@ -215,7 +220,8 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     if test.is_empty() {
         return Err("empty test split".into());
     }
-    let m = model.evaluate(&test);
+    let report = model.evaluate_stratified(&test);
+    let m = &report.overall;
     println!("queries evaluated:   {}", m.count);
     println!("relative error:      {:.1}%", m.relative_error_pct());
     println!("mean absolute error: {:.2} min", m.mae_minutes());
@@ -223,6 +229,44 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("R <= 1.5:            {:.0}%", m.r_le_15 * 100.0);
     println!("1.5 < R < 2:         {:.0}%", m.r_15_to_2 * 100.0);
     println!("R >= 2:              {:.0}%", m.r_ge_2 * 100.0);
+
+    // Stratified breakdowns: a flat aggregate can hide a predictor that
+    // is wrong exactly where admission control needs it (one operator
+    // family, or the deep-plan stratum).
+    println!("\nby operator family (descending MAE):");
+    println!(
+        "{:<14} {:>7} {:>12} {:>8} {:>9} {:>7} {:>8}",
+        "family", "count", "MAE (ms)", "mean R", "median R", "p90 R", "R<=1.5"
+    );
+    for f in &report.families {
+        println!(
+            "{:<14} {:>7} {:>12.2} {:>8.2} {:>9.2} {:>7.2} {:>7.0}%",
+            format!("{:?}", f.kind),
+            f.count,
+            f.mae_ms,
+            f.mean_r,
+            f.median_r,
+            f.p90_r,
+            f.r_le_15 * 100.0
+        );
+    }
+    println!("\nby plan height (root predictions):");
+    println!(
+        "{:<7} {:>7} {:>12} {:>8} {:>9} {:>7} {:>8}",
+        "height", "count", "MAE (min)", "mean R", "median R", "p90 R", "R<=1.5"
+    );
+    for h in &report.heights {
+        println!(
+            "{:<7} {:>7} {:>12.2} {:>8.2} {:>9.2} {:>7.2} {:>7.0}%",
+            h.height,
+            h.count,
+            h.mae_ms / 60_000.0,
+            h.mean_r,
+            h.median_r,
+            h.p90_r,
+            h.r_le_15 * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -307,7 +351,15 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
             return Err("--stream uses the incremental program engine; drop --engine classes".into());
         }
         let window: usize = parse(w, "stream window")?;
-        return cmd_predict_stream(&ds, &model, window, threads[0], repeat);
+        let shards: usize = parse(get_or(flags, "shards", &threads[0].to_string()), "shard count")?;
+        if shards == 0 {
+            return Err("invalid shard count: `0`".into());
+        }
+        let burst: usize = parse(get_or(flags, "burst", "1"), "burst width")?;
+        if burst == 0 {
+            return Err("invalid burst width: `0`".into());
+        }
+        return cmd_predict_stream(&ds, &model, window, threads[0], shards, burst, repeat);
     }
 
     let plans: Vec<&Plan> = ds.plans.iter().collect();
@@ -420,35 +472,47 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// `predict --input plans.json --stream W`: replay the batch as a live
-/// admission stream — each plan is admitted into the incremental
-/// [`qpp::net::ProgramBuilder`], scored immediately (the admission-control
-/// decision point), and retired once the sliding window of `W` resident
-/// plans is exceeded (`W = 0` never retires). `--repeat N` replays the
-/// stream N times against the same session: the feature cache stays warm
-/// across passes, exactly as it would across a long-lived server.
+/// admission stream through the **sharded** serving path
+/// ([`qpp::net::ShardedStream`]): arrivals are grouped into bursts of
+/// `--burst` concurrent requests, each burst is admitted in parallel
+/// across `--shards` per-shard builders (routed by plan content hash) and
+/// scored in **one** coalesced wavefront run via the micro-batching front
+/// door ([`qpp::net::MicroBatcher`]), then plans are retired once the
+/// sliding window of `W` resident plans is exceeded (`W = 0` never
+/// retires). `--repeat N` replays the stream N times against the same
+/// session: the per-shard feature caches stay warm across passes, exactly
+/// as they would across a long-lived server. Reports per-shard
+/// [`qpp::net::ProgramStats`], micro-batch coalescing stats and the
+/// resident executor's pool stats.
 fn cmd_predict_stream(
     ds: &Dataset,
     model: &QppNet,
     window: usize,
     threads: usize,
+    shards: usize,
+    burst: usize,
     repeat: usize,
 ) -> Result<(), String> {
-    let mut stream = model.serve_stream();
+    let mut stream = model.serve_sharded(shards);
+    let mut front = qpp::net::MicroBatcher::new();
     let mut resident = std::collections::VecDeque::new();
     let mut per_pass = Vec::with_capacity(repeat);
     let mut first_pass_preds = Vec::new();
     for pass in 0..repeat {
         let start = std::time::Instant::now();
-        for plan in &ds.plans {
-            let id = stream.admit(&plan.root);
-            resident.push_back(id);
-            let pred = stream.predict_root_threaded(id, threads);
-            if pass == 0 {
-                // Printed after the stopwatch — stdout must not skew the
-                // per-arrival timing this mode exists to report.
-                first_pass_preds.push(pred);
+        for chunk in ds.plans.chunks(burst) {
+            for plan in chunk {
+                front.submit(&plan.root);
             }
-            if window > 0 && resident.len() > window {
+            let (ids, preds) = front.flush_resident(&mut stream, threads);
+            if pass == 0 {
+                // Collected and printed after the stopwatch — stdout must
+                // not skew the per-arrival timing this mode exists to
+                // report.
+                first_pass_preds.extend(preds);
+            }
+            resident.extend(ids);
+            while window > 0 && resident.len() > window {
                 stream.retire(resident.pop_front().expect("window non-empty"));
             }
         }
@@ -467,7 +531,7 @@ fn cmd_predict_stream(
         }
         if pass + 1 < repeat {
             // Drain the window so every pass replays the same arrivals
-            // (the feature cache deliberately persists).
+            // (the feature caches deliberately persist).
             while let Some(id) = resident.pop_front() {
                 stream.retire(id);
             }
@@ -475,17 +539,25 @@ fn cmd_predict_stream(
     }
     let mean = per_pass.iter().sum::<f64>() / per_pass.len() as f64;
     eprintln!(
-        "stream ({} thread{}, window {}): {} arrivals in {:.2} ms -> {:.0} admissions/s\
-         {}",
+        "stream ({} thread{}, {} shard{}, burst {}, window {}): {} arrivals in {:.2} ms \
+         -> {:.0} admissions/s{}",
         threads,
         if threads == 1 { "" } else { "s" },
+        shards,
+        if shards == 1 { "" } else { "s" },
+        burst,
         window,
         ds.plans.len(),
         mean * 1e3,
         ds.plans.len() as f64 / mean,
         if repeat > 1 { format!(" (mean over {repeat} passes)") } else { String::new() }
     );
-    eprintln!("stream stats: {}", stream.stats());
+    for (i, st) in stream.shard_stats().iter().enumerate() {
+        eprintln!("shard {i}: {st}");
+    }
+    eprintln!("aggregate: {}", stream.stats());
+    eprintln!("micro-batch: {}", front.stats());
+    eprintln!("executor pool: {}", qpp::nn::Executor::global().stats());
     Ok(())
 }
 
