@@ -54,7 +54,7 @@
 //! is ~50 ns vs ~20 µs — the caller-is-worker-0 fast path never takes
 //! a lock beyond the run token), and stay under 5 µs per dispatch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use qpp_plansim::catalog::Workload;
 use qpp_plansim::dataset::Dataset;
 use qpp_plansim::features::{Featurizer, Whitener};
@@ -285,4 +285,13 @@ fn bench_mixed_stream(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_mixed_stream);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Persist the run as data (satellite: perf trajectory across PRs).
+    let rows: Vec<_> = criterion::take_records()
+        .into_iter()
+        .filter_map(|r| qpp_bench::bench_json::row_from_label(&r.label, r.mean_ns))
+        .collect();
+    qpp_bench::bench_json::write("BENCH_infer.json", &rows);
+}

@@ -32,7 +32,7 @@
 //! those rows show only the spawn/barrier overhead floor** — see the
 //! README caveat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use qpp_plansim::catalog::Workload;
 use qpp_plansim::dataset::Dataset;
 use qpp_plansim::features::{Featurizer, Whitener};
@@ -134,4 +134,13 @@ fn bench_train_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_train_throughput);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Persist the run as data (satellite: perf trajectory across PRs).
+    let rows: Vec<_> = criterion::take_records()
+        .into_iter()
+        .filter_map(|r| qpp_bench::bench_json::row_from_label(&r.label, r.mean_ns))
+        .collect();
+    qpp_bench::bench_json::write("BENCH_train.json", &rows);
+}

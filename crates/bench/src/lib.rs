@@ -212,6 +212,82 @@ pub fn fmt_minutes(ms: f64) -> String {
     format!("{:.2}", ms / 60_000.0)
 }
 
+/// Machine-readable benchmark artifacts (`BENCH_infer.json` /
+/// `BENCH_train.json`): the criterion bench mains convert the vendored
+/// harness's measurement records into [`bench_json::BenchRow`]s and persist them, so
+/// the perf trajectory is recorded as data across PRs instead of living
+/// only in README tables.
+pub mod bench_json {
+    use serde::Serialize;
+
+    /// One benchmark measurement, flattened for the JSON artifact.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct BenchRow {
+        /// Model tier axis of the bench group (`edge`, `paper`) or the
+        /// tier-independent group name (`pool`, `oneshot`).
+        pub tier: String,
+        /// Row name within the tier (e.g. `program_precompiled_t1`).
+        pub name: String,
+        /// Mean wall-clock nanoseconds per iteration.
+        pub ns_per_iter: u64,
+        /// Kernel dispatch tier the run executed under
+        /// (`qpp_nn::KernelTier::current().name()`).
+        pub kernel_tier: String,
+        /// Worker thread count of the row (parsed from a `_t<N>` suffix;
+        /// 1 where the row has no thread axis).
+        pub threads: usize,
+    }
+
+    /// Parses a harness label (`file/tier/name/param`) into a row, with
+    /// the kernel tier stamped from the current process dispatch. Labels
+    /// with fewer than three `/` segments are skipped (returns `None`).
+    pub fn row_from_label(label: &str, ns_per_iter: u64) -> Option<BenchRow> {
+        let mut parts = label.splitn(4, '/');
+        let _file = parts.next()?;
+        let tier = parts.next()?;
+        let name = parts.next()?;
+        let threads = name
+            .rsplit_once("_t")
+            .and_then(|(_, n)| n.parse::<usize>().ok())
+            .unwrap_or(1);
+        Some(BenchRow {
+            tier: tier.to_string(),
+            name: name.to_string(),
+            ns_per_iter,
+            kernel_tier: qpp_nn::KernelTier::current().name().to_string(),
+            threads,
+        })
+    }
+
+    /// Writes the rows as a JSON array, one object per line (so the
+    /// committed artifact diffs row-by-row across PRs). Bare file names
+    /// are anchored at the workspace root — `cargo bench` runs with the
+    /// package directory as cwd, and the artifact belongs next to
+    /// README's tables, not inside `crates/bench/`.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written — a bench artifact silently
+    /// missing is worse than a failed bench run.
+    pub fn write(file_name: &str, rows: &[BenchRow]) {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file_name);
+        let mut json = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            json.push_str("  ");
+            json.push_str(&serde_json::to_string(row).expect("bench row serializes"));
+            if i + 1 < rows.len() {
+                json.push(',');
+            }
+            json.push('\n');
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write bench artifact {}: {e}", path.display()));
+        println!("wrote {} rows to {}", rows.len(), path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,6 +72,35 @@ pub struct HeightErrors {
     pub r_le_15: f64,
 }
 
+/// Plan-level error attribution for one latency decile: the evaluated
+/// plans whose *actual* latency rank falls in the decile. Aggregate
+/// Q-error is dominated by whichever magnitude has the most queries; a
+/// scheduler that admission-controls the long tail needs the top decile
+/// to be calibrated on its own ("Breaking Flat": report error where the
+/// latency lives, not where the query count lives).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecileErrors {
+    /// Latency decile by actual-latency rank (0 = fastest tenth,
+    /// 9 = slowest).
+    pub decile: usize,
+    /// Plans in the decile.
+    pub count: usize,
+    /// Smallest actual latency in the decile (ms).
+    pub lo_ms: f64,
+    /// Largest actual latency in the decile (ms).
+    pub hi_ms: f64,
+    /// Mean absolute error of the root latency predictions (ms).
+    pub mae_ms: f64,
+    /// Mean R(q) over the decile's plans.
+    pub mean_r: f64,
+    /// Median R(q) over the decile's plans.
+    pub median_r: f64,
+    /// 90th-percentile R(q) over the decile's plans.
+    pub p90_r: f64,
+    /// Fraction of plans within a factor 1.5 of truth.
+    pub r_le_15: f64,
+}
+
 /// Aggregate metrics plus the stratified breakdowns that qualify them:
 /// the output of [`QppNet::evaluate_stratified`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,6 +111,10 @@ pub struct StratifiedReport {
     pub families: Vec<FamilyErrors>,
     /// Per-plan-height breakdown (heights ascending).
     pub heights: Vec<HeightErrors>,
+    /// Per-latency-decile breakdown (deciles ascending; empty when
+    /// deserialized from a pre-decile snapshot).
+    #[serde(default)]
+    pub deciles: Vec<DecileErrors>,
 }
 
 /// One row of the calibration report: queries whose *actual* latency
@@ -185,6 +218,57 @@ pub fn error_by_height(model: &QppNet, plans: &[&Plan]) -> Vec<HeightErrors> {
             HeightErrors {
                 height,
                 count: pairs.len(),
+                mae_ms: mae,
+                mean_r: rs.iter().sum::<f64>() / n,
+                median_r: sorted_quantile(&rs, 0.5),
+                p90_r: sorted_quantile(&rs, 0.9),
+                r_le_15: ok as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// Stratifies plan-level (root latency) error by *actual-latency decile*.
+///
+/// Plans are ranked by actual latency ascending; rank `i` of `n` lands in
+/// decile `i·10/n`, so the deciles partition the test set into (near-)
+/// equal-count strata regardless of how skewed the latency distribution
+/// is — unlike [`calibration`]'s fixed decade buckets, every row here has
+/// statistical weight. Ties in actual latency are broken by input order.
+/// Rows ascend by decile; with fewer than 10 plans the unoccupied
+/// deciles are omitted.
+///
+/// # Panics
+/// Panics if the model is unfitted or `plans` is empty.
+pub fn error_by_latency_decile(model: &QppNet, plans: &[&Plan]) -> Vec<DecileErrors> {
+    assert!(!plans.is_empty(), "cannot analyse zero plans");
+    let preds = model.predict_batch(plans);
+    let mut pairs: Vec<(f64, f64)> =
+        plans.iter().zip(preds).map(|(p, pred)| (p.latency_ms(), pred)).collect();
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite latencies"));
+
+    let n = pairs.len();
+    let mut strata: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 10];
+    for (rank, pair) in pairs.into_iter().enumerate() {
+        strata[rank * 10 / n].push(pair);
+    }
+
+    strata
+        .into_iter()
+        .enumerate()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .map(|(decile, pairs)| {
+            let n = pairs.len() as f64;
+            let mae: f64 = pairs.iter().map(|(a, p)| (a - p).abs()).sum::<f64>() / n;
+            let mut rs: Vec<f64> =
+                pairs.iter().map(|&(a, p)| crate::metrics::r_factor(a, p)).collect();
+            rs.sort_by(|x, y| x.partial_cmp(y).expect("finite R values"));
+            let ok = rs.iter().filter(|&&r| r <= 1.5).count();
+            DecileErrors {
+                decile,
+                count: pairs.len(),
+                lo_ms: pairs.first().expect("non-empty stratum").0,
+                hi_ms: pairs.last().expect("non-empty stratum").0,
                 mae_ms: mae,
                 mean_r: rs.iter().sum::<f64>() / n,
                 median_r: sorted_quantile(&rs, 0.5),
@@ -299,6 +383,41 @@ mod tests {
     }
 
     #[test]
+    fn latency_deciles_partition_the_queries_into_ordered_strata() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().collect();
+        let deciles = error_by_latency_decile(&model, &plans);
+        assert_eq!(deciles.len(), 10, "70 plans fill every decile");
+        let total: usize = deciles.iter().map(|d| d.count).sum();
+        assert_eq!(total, plans.len());
+        for d in &deciles {
+            assert!(d.count > 0);
+            assert!(d.lo_ms <= d.hi_ms);
+            assert!(d.mae_ms.is_finite());
+            assert!(d.mean_r >= 1.0 && d.median_r >= 1.0);
+            assert!(d.median_r <= d.p90_r + 1e-12, "quantiles must be ordered");
+            assert!((0.0..=1.0).contains(&d.r_le_15));
+        }
+        // Rank-based strata: deciles ascend, and so do their latency
+        // ranges (equal-count, not equal-width).
+        for w in deciles.windows(2) {
+            assert!(w[0].decile < w[1].decile, "deciles must ascend");
+            assert!(w[0].hi_ms <= w[1].lo_ms + 1e-9, "latency ranges must ascend");
+            assert!(w[0].count.abs_diff(w[1].count) <= 1, "near-equal counts");
+        }
+    }
+
+    #[test]
+    fn latency_deciles_omit_unoccupied_strata_on_tiny_sets() {
+        let (ds, model) = fitted();
+        let plans: Vec<&Plan> = ds.plans.iter().take(4).collect();
+        let deciles = error_by_latency_decile(&model, &plans);
+        assert_eq!(deciles.len(), 4, "4 plans occupy 4 deciles");
+        let total: usize = deciles.iter().map(|d| d.count).sum();
+        assert_eq!(total, plans.len());
+    }
+
+    #[test]
     fn stratified_report_is_consistent_with_its_parts() {
         let (ds, model) = fitted();
         let plans: Vec<&Plan> = ds.plans.iter().take(30).collect();
@@ -306,6 +425,7 @@ mod tests {
         assert_eq!(report.overall.count, plans.len());
         assert_eq!(report.families.len(), error_by_family(&model, &plans).len());
         assert_eq!(report.heights.len(), error_by_height(&model, &plans).len());
+        assert_eq!(report.deciles.len(), error_by_latency_decile(&model, &plans).len());
         for f in &report.families {
             assert!(f.median_r >= 1.0 && f.median_r <= f.p90_r + 1e-12);
         }
@@ -314,6 +434,12 @@ mod tests {
         let back: StratifiedReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.overall.count, report.overall.count);
         assert_eq!(back.heights.len(), report.heights.len());
+        assert_eq!(back.deciles.len(), report.deciles.len());
+        // Pre-decile snapshots (no `deciles` field) still deserialize.
+        let legacy = json.replace("\"deciles\"", "\"_ignored\"");
+        assert!(legacy.contains("_ignored"), "field rename must have matched");
+        let back: StratifiedReport = serde_json::from_str(&legacy).unwrap();
+        assert!(back.deciles.is_empty());
     }
 
     #[test]

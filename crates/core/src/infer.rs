@@ -61,7 +61,7 @@
 
 use crate::config::TargetCodec;
 use crate::tree::RatioCaps;
-use crate::unit::UnitSet;
+use crate::unit::{PackedUnits, UnitSet};
 use qpp_nn::{BufferPool, Executor, Matrix};
 use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
@@ -328,6 +328,17 @@ pub struct PlanProgram {
     /// different model — invalidates the program instead of silently
     /// serving stale features).
     fingerprint: Option<u64>,
+    /// Packed-panel kernel state (`qpp_nn::packed`) plus the weight-sample
+    /// digest of the unit set it was packed from. The program's documented
+    /// contract is "run against any unit set of the same shape", so the
+    /// packed copy cannot be pinned to one set; instead every run computes
+    /// the O(layers) digest (`PackedUnits::weights_digest`) and repacks —
+    /// O(params), material on paper-sized units — only when the weights
+    /// actually moved. Steady-state serving (same fitted weights every
+    /// run) therefore packs exactly once, while the panels make every
+    /// wavefront gemm stream contiguous cache-line-aligned columns at the
+    /// full SIMD tier width.
+    packed: Option<(u64, PackedUnits)>,
 }
 
 impl PlanProgram {
@@ -397,6 +408,7 @@ impl PlanProgram {
             pool: BufferPool::new(),
             out_w,
             fingerprint: None,
+            packed: None,
         }
     }
 
@@ -485,10 +497,22 @@ impl PlanProgram {
     /// seam the tests use to observe a private pool's steady state.
     pub(crate) fn run_on(&mut self, units: &UnitSet, exec: &Executor, threads: usize) {
         self.check_units_width(units);
+        // Refresh the packed panels only when the caller's weights differ
+        // from the panels' source (see the `packed` field doc).
+        // Serving-only programs never need the transposed backward panels.
+        let digest = PackedUnits::weights_digest(units);
+        match &mut self.packed {
+            Some((d, _)) if *d == digest => {}
+            Some((d, p)) => {
+                p.repack_from(units);
+                *d = digest;
+            }
+            None => self.packed = Some((digest, PackedUnits::pack(units, false))),
+        }
         run_schedule(
             &mut self.steps,
             &self.levels,
-            units,
+            &self.packed.as_ref().expect("packed above").1,
             &mut self.outputs,
             &mut self.pool,
             exec,
@@ -684,7 +708,7 @@ pub(crate) fn gather_child_columns<'a>(
 pub(crate) fn run_levels_seq(
     steps: &mut [Step],
     levels: &[Vec<u32>],
-    units: &UnitSet,
+    packed: &PackedUnits,
     outputs: &mut Matrix,
     pool: &mut BufferPool,
     out_w: usize,
@@ -702,7 +726,7 @@ pub(crate) fn run_levels_seq(
                 &mut step.input,
                 |r| outputs.row(r),
             );
-            let out = units.unit(step.kind).forward_pooled(&step.input, pool);
+            let out = packed.unit(step.kind).forward_pooled(&step.input, pool);
             out.scatter_rows_into(&step.rows, outputs);
             pool.give(out);
         }
@@ -719,7 +743,7 @@ pub(crate) fn run_levels_seq(
 pub(crate) fn run_schedule(
     steps: &mut [Step],
     levels: &[Vec<u32>],
-    units: &UnitSet,
+    packed: &PackedUnits,
     outputs: &mut Matrix,
     pool: &mut BufferPool,
     exec: &Executor,
@@ -728,9 +752,9 @@ pub(crate) fn run_schedule(
 ) {
     let threads = threads.min(max_level_width(levels));
     if threads <= 1 {
-        run_levels_seq(steps, levels, units, outputs, pool, out_w);
+        run_levels_seq(steps, levels, packed, outputs, pool, out_w);
     } else {
-        run_levels_parallel(steps, levels, units, outputs, exec, threads, out_w);
+        run_levels_parallel(steps, levels, packed, outputs, exec, threads, out_w);
     }
 }
 
@@ -743,7 +767,7 @@ pub(crate) fn run_schedule(
 pub(crate) fn run_levels_parallel(
     steps: &[Step],
     levels: &[Vec<u32>],
-    units: &UnitSet,
+    packed: &PackedUnits,
     outputs: &mut Matrix,
     exec: &Executor,
     threads: usize,
@@ -756,7 +780,7 @@ pub(crate) fn run_levels_parallel(
         let step = &steps[id as usize];
         let out = if step.arity == 0 {
             // Leaves: the baked feature matrix IS the full input.
-            units.unit(step.kind).forward_pooled(&step.input, pool)
+            packed.unit(step.kind).forward_pooled(&step.input, pool)
         } else {
             // Unlike the sequential path — which gathers child rows into
             // the step's own input matrix — workers assemble each step's
@@ -778,7 +802,7 @@ pub(crate) fn run_levels_parallel(
             gather_child_columns(&step.child_rows, step.arity, fw, out_w, &mut scratch, |r| {
                 unsafe { outputs.row(r) }
             });
-            let out = units.unit(step.kind).forward_pooled(&scratch, pool);
+            let out = packed.unit(step.kind).forward_pooled(&scratch, pool);
             pool.give(scratch);
             out
         };

@@ -82,8 +82,8 @@ pub mod tree;
 pub mod unit;
 
 pub use analysis::{
-    calibration, error_by_family, error_by_height, CalibrationBucket, FamilyErrors, HeightErrors,
-    StratifiedReport,
+    calibration, error_by_family, error_by_height, error_by_latency_decile, CalibrationBucket,
+    DecileErrors, FamilyErrors, HeightErrors, StratifiedReport,
 };
 pub use config::{LrSchedule, OptMode, OptimizerKind, QppConfig, TargetTransform};
 pub use importance::{permutation_importance, FeatureImportance};

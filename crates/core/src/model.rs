@@ -354,6 +354,7 @@ impl QppNet {
             overall: self.evaluate(plans),
             families: crate::analysis::error_by_family(self, plans),
             heights: crate::analysis::error_by_height(self, plans),
+            deciles: crate::analysis::error_by_latency_decile(self, plans),
         }
     }
 

@@ -52,7 +52,7 @@ use crate::config::TargetCodec;
 use crate::infer::{clamp_plan_envelope, run_schedule, Step, STEP_CHUNK_ROWS};
 use crate::lower::{lower, Lowering, NodeContentKey, SubtreeKey};
 use crate::tree::RatioCaps;
-use crate::unit::UnitSet;
+use crate::unit::{PackedUnits, UnitSet};
 use qpp_nn::{BufferPool, Executor, Matrix};
 use qpp_plansim::features::{FeatureCache, Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
@@ -204,6 +204,12 @@ pub struct ProgramBuilder<'m> {
     codec: &'m TargetCodec,
     caps: Option<&'m RatioCaps>,
     out_w: usize,
+    /// Packed-panel kernel state (`qpp_nn::packed`), built **once** in
+    /// [`ProgramBuilder::new`]: the `'m` borrow of `units` guarantees the
+    /// weights cannot change for the builder's whole lifetime, so the
+    /// resident stream never pays a repack — unlike the batch
+    /// [`crate::infer::PlanProgram`], which takes units per call.
+    packed: PackedUnits,
 
     /// Wavefront chunk slab; entries listed in no `wavefronts` value are
     /// retired and await reuse via `step_free`.
@@ -260,6 +266,7 @@ impl<'m> ProgramBuilder<'m> {
         ProgramBuilder {
             featurizer,
             whitener,
+            packed: PackedUnits::pack(units, false),
             units,
             codec,
             caps,
@@ -493,7 +500,7 @@ impl<'m> ProgramBuilder<'m> {
         run_schedule(
             &mut self.steps,
             &self.levels,
-            self.units,
+            &self.packed,
             &mut self.outputs,
             &mut self.pool,
             Executor::global(),

@@ -59,8 +59,8 @@ use crate::infer::{
     WavefrontBuilder,
 };
 use crate::lower::{lower, Lowering};
-use crate::unit::UnitSet;
-use qpp_nn::{activation_backward_inplace, BufferPool, Executor, Matrix};
+use crate::unit::{PackedUnits, UnitSet};
+use qpp_nn::{activation_backward_inplace, BufferPool, Executor, Matrix, PackedWeights};
 use qpp_plansim::features::{Featurizer, Whitener};
 use qpp_plansim::operators::OpKind;
 use qpp_plansim::plan::PlanNode;
@@ -80,15 +80,21 @@ pub(crate) const TRAIN_CHUNK_ROWS: usize = 128;
 /// Per-kind, per-layer weight/bias gradient accumulators, decoupled from
 /// the weights they correspond to.
 ///
-/// The tape backward reads weights from a *shared* [`UnitSet`] and
-/// accumulates into one of these — which is what lets worker threads run
-/// backward concurrently without cloning weights or locking: each worker
-/// owns a `GradSet`, and the per-parameter sums are reduced into the unit
-/// set's accumulators afterwards ([`GradSet::add_into`]).
+/// The tape backward reads weights from the tape's shared packed panels
+/// and accumulates into one of these — which is what lets worker threads
+/// run backward concurrently without cloning weights or locking: each
+/// worker owns a `GradSet`, and the per-parameter sums are reduced into
+/// the unit set's accumulators afterwards ([`GradSet::add_into`]).
+///
+/// Weight-gradient accumulators are [`PackedWeights`] panels in the same
+/// layout as the weights they correspond to, so the backward's
+/// `dW += Xᵀ·dZ` gemm writes cache-line-aligned panel groups at full
+/// SIMD width with no remainder-column tail; the panels are folded into
+/// the unit set's row-major `gw` once per sweep, not once per step.
 pub(crate) struct GradSet {
-    /// `grads[kind][layer] = (weight grad, bias grad)`, shaped like the
-    /// unit set this was built from.
-    grads: Vec<Vec<(Matrix, Vec<f32>)>>,
+    /// `grads[kind][layer] = (packed weight grad, bias grad)`, shaped
+    /// like the unit set this was built from.
+    grads: Vec<Vec<(PackedWeights, Vec<f32>)>>,
 }
 
 impl GradSet {
@@ -102,7 +108,9 @@ impl GradSet {
                         .unit(kind)
                         .layers()
                         .iter()
-                        .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
+                        .map(|l| {
+                            (PackedWeights::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()])
+                        })
                         .collect()
                 })
                 .collect(),
@@ -121,17 +129,18 @@ impl GradSet {
 
     /// Mutably borrows the `(weight grad, bias grad)` pair of one layer.
     #[inline]
-    fn layer_mut(&mut self, kind: OpKind, layer: usize) -> (&mut Matrix, &mut [f32]) {
+    fn layer_mut(&mut self, kind: OpKind, layer: usize) -> (&mut PackedWeights, &mut [f32]) {
         let (gw, gb) = &mut self.grads[kind.index()][layer];
         (gw, gb)
     }
 
     /// Adds these accumulators into `units`' gradient accumulators — the
-    /// reduction step after a backward sweep.
+    /// reduction step after a backward sweep (and the single point where
+    /// packed panel gradients unfold back into row-major `gw`).
     pub(crate) fn add_into(&self, units: &mut UnitSet) {
         for (&kind, unit) in OpKind::ALL.iter().zip(&self.grads) {
             for (layer, (gw, gb)) in units.unit_mut(kind).layers_mut().iter_mut().zip(unit) {
-                layer.gw.add_scaled(gw, 1.0);
+                gw.add_unpacked_into(&mut layer.gw);
                 for (d, &s) in layer.gb.iter_mut().zip(gb) {
                     *d += s;
                 }
@@ -232,9 +241,11 @@ impl TrainSet {
 
 /// The reusable pieces a retiring tape hands to its successor: the
 /// buffer pool (holding every drained matrix), per-worker gradient
-/// accumulators, and the target buffer. (Per-worker *pools* are no longer
-/// tape state — they live in the resident executor.)
-type TapeParts = (BufferPool, Vec<GradSet>, Vec<f32>);
+/// accumulators, the target buffer, and the packed panel state (same
+/// model shapes across a session, so the allocation carries over; every
+/// forward refreshes the contents anyway). (Per-worker *pools* are no
+/// longer tape state — they live in the resident executor.)
+type TapeParts = (BufferPool, Vec<GradSet>, Vec<f32>, PackedUnits);
 
 /// A compiled, differentiable wavefront program over a training batch —
 /// the gradient-carrying twin of [`crate::infer::PlanProgram`].
@@ -297,6 +308,13 @@ pub struct ProgramTape {
     /// Per-worker gradient accumulators (index 0 also serves the
     /// sequential path), grown lazily and kept warm across epochs.
     worker_grads: Vec<GradSet>,
+    /// Packed panel state (forward **and** transposed backward panels),
+    /// refreshed from the authoritative unit set at the start of every
+    /// forward sweep: the trainer mutates weights in place between
+    /// gradient steps, so — unlike the borrow-pinned streaming builder —
+    /// the tape can never cache panels across sweeps. Refresh is
+    /// O(params), the same order as the optimizer step it follows.
+    packed: PackedUnits,
 }
 
 impl ProgramTape {
@@ -333,9 +351,11 @@ impl ProgramTape {
         recycled: Option<ProgramTape>,
     ) -> ProgramTape {
         let out_w = units.out_size();
-        let (mut pool, worker_grads, mut targets) = match recycled {
+        let (mut pool, worker_grads, mut targets, packed) = match recycled {
             Some(tape) => tape.into_parts(),
-            None => (BufferPool::new(), Vec::new(), Vec::new()),
+            None => {
+                (BufferPool::new(), Vec::new(), Vec::new(), PackedUnits::pack(units, true))
+            }
         };
 
         let mut builder = WavefrontBuilder::new();
@@ -390,6 +410,7 @@ impl ProgramTape {
             num_plans: chunk.len(),
             pool,
             worker_grads,
+            packed,
         }
     }
 
@@ -406,7 +427,7 @@ impl ProgramTape {
         }
         self.pool.give(self.outputs);
         self.pool.give(self.grad_outputs);
-        (self.pool, self.worker_grads, self.targets)
+        (self.pool, self.worker_grads, self.targets, self.packed)
     }
 
     /// Number of plans in the compiled batch.
@@ -456,6 +477,11 @@ impl ProgramTape {
     /// buffers — only the assignment of steps to workers changes.
     pub fn forward_threaded(&mut self, units: &UnitSet, threads: usize) {
         self.check_units_width(units);
+        // Refresh the packed panels from the authoritative weights (the
+        // trainer mutates them in place between gradient steps). The
+        // following backward reads the same packed state — exactly the
+        // weights this forward used.
+        self.packed.repack_from(units);
         let threads = threads.min(max_level_width(&self.levels));
         let out_w = self.out_w;
         if threads <= 1 {
@@ -472,11 +498,12 @@ impl ProgramTape {
                         &mut step.input,
                         |r| outputs.row(r),
                     );
-                    let last = forward_layers(step, &mut self.acts[id], units);
+                    let last = forward_layers(step, &mut self.acts[id], &self.packed);
                     last.scatter_rows_into(&step.rows, outputs);
                 }
             }
         } else {
+            let packed = &self.packed;
             let steps = SharedSlab::new(&mut self.steps);
             let acts = SharedSlab::new(&mut self.acts);
             let outputs = SharedRows::new(&mut self.outputs);
@@ -502,7 +529,7 @@ impl ProgramTape {
                     &mut step.input,
                     |r| unsafe { outputs.row(r) },
                 );
-                let last = forward_layers(step, step_acts, units);
+                let last = forward_layers(step, step_acts, packed);
                 for (k, &r) in step.rows.iter().enumerate() {
                     // SAFETY: each output row belongs to exactly one step.
                     unsafe { outputs.write_row(r, last.row(k)) };
@@ -569,7 +596,8 @@ impl ProgramTape {
                     let step = &self.steps[id];
                     let mut d = self.pool.take(step.rows.len(), self.out_w);
                     self.grad_outputs.gather_rows_into(&step.rows, &mut d);
-                    let dx = backward_layers(step, &self.acts[id], units, d, grads, &mut self.pool);
+                    let dx =
+                        backward_layers(step, &self.acts[id], &self.packed, d, grads, &mut self.pool);
                     if let Some(dx) = dx {
                         route_child_grads_seq(step, &dx, &mut self.grad_outputs, self.out_w);
                         self.pool.give(dx);
@@ -577,7 +605,7 @@ impl ProgramTape {
                 }
             }
         } else {
-            let units_ro: &UnitSet = units;
+            let packed = &self.packed;
             let steps = &self.steps;
             let acts = &self.acts;
             let out_w = self.out_w;
@@ -598,7 +626,7 @@ impl ProgramTape {
                     // height: an earlier reverse level, barrier-sequenced.
                     d.row_mut(k).copy_from_slice(unsafe { grad_outputs.row(r) });
                 }
-                let dx = backward_layers(step, &acts[id], units_ro, d, grads, pool);
+                let dx = backward_layers(step, &acts[id], packed, d, grads, pool);
                 if let Some(dx) = dx {
                     // SAFETY: a node has at most one parent, so this step
                     // is the only writer of each routed child's gradient
@@ -673,8 +701,8 @@ impl ProgramSession {
 
 /// Runs one step's unit forward layer by layer into the tape's recording
 /// buffers, returning the final activation (the step's output rows).
-fn forward_layers<'a>(step: &Step, acts: &'a mut [Matrix], units: &UnitSet) -> &'a Matrix {
-    let layers = units.unit(step.kind).layers();
+fn forward_layers<'a>(step: &Step, acts: &'a mut [Matrix], packed: &PackedUnits) -> &'a Matrix {
+    let layers = packed.unit(step.kind).layers();
     debug_assert_eq!(layers.len(), acts.len(), "tape recorded a different layer count");
     for l in 0..layers.len() {
         let (done, rest) = acts.split_at_mut(l);
@@ -694,27 +722,27 @@ fn forward_layers<'a>(step: &Step, acts: &'a mut [Matrix], units: &UnitSet) -> &
 fn backward_layers(
     step: &Step,
     acts: &[Matrix],
-    units: &UnitSet,
+    packed: &PackedUnits,
     d: Matrix,
     grads: &mut GradSet,
     pool: &mut BufferPool,
 ) -> Option<Matrix> {
-    let layers = units.unit(step.kind).layers();
+    let layers = packed.unit(step.kind).layers();
     let mut d = d;
     for l in (0..layers.len()).rev() {
         let layer = &layers[l];
         let x: &Matrix = if l == 0 { &step.input } else { &acts[l - 1] };
         // dZ = dA ⊙ act'(act output) — identity layers skip the pass.
-        activation_backward_inplace(&mut d, &acts[l], layer.act);
+        activation_backward_inplace(&mut d, &acts[l], layer.act());
         let (gw, gb) = grads.layer_mut(step.kind, l);
         d.col_sum_into(gb);
-        x.matmul_at_b_into(&d, gw);
+        gw.accumulate_at_b(x, &d);
         if l == 0 && step.arity == 0 {
             pool.give(d);
             return None;
         }
-        let mut dx = pool.take(d.rows(), layer.w.rows());
-        d.matmul_a_bt_into(&layer.w, &mut dx);
+        let mut dx = pool.take(d.rows(), layer.in_dim());
+        layer.backward_input_into(&d, &mut dx);
         pool.give(std::mem::replace(&mut d, dx));
     }
     Some(d)

@@ -13,7 +13,7 @@
 //! family's arity (2 for joins, 1 for unary operators, 0 for scans).
 
 use crate::config::QppConfig;
-use qpp_nn::{Activation, Init, Mlp, Optimizer};
+use qpp_nn::{Activation, Init, Mlp, Optimizer, PackedMlp};
 use qpp_plansim::features::Featurizer;
 use qpp_plansim::operators::OpKind;
 use rand::Rng;
@@ -148,6 +148,69 @@ impl UnitSet {
         for (dst, src) in self.units.iter_mut().zip(&other.units) {
             dst.copy_params_from(src);
         }
+    }
+}
+
+/// Packed-panel acceleration state for a [`UnitSet`]: one
+/// [`PackedMlp`] per operator family, in [`OpKind::ALL`] order. The
+/// serving program and training tape run every wavefront gemm against
+/// these panels; the `UnitSet` stays the single authoritative (and
+/// serialized) parameter store, and packed state is rebuilt from it at
+/// compile / weight-update time (see `qpp_nn::packed`).
+#[derive(Debug, Clone)]
+pub(crate) struct PackedUnits {
+    units: Vec<PackedMlp>,
+}
+
+impl PackedUnits {
+    /// Packs every unit; `with_backward` additionally builds the
+    /// transposed panels the training tape's input-gradient gemm needs
+    /// (serving packs skip them).
+    pub(crate) fn pack(src: &UnitSet, with_backward: bool) -> PackedUnits {
+        PackedUnits {
+            units: src.units.iter().map(|u| PackedMlp::pack(u, with_backward)).collect(),
+        }
+    }
+
+    /// Refreshes every packed unit from `src` without reallocating
+    /// (called by the training tape after each in-place weight update).
+    ///
+    /// # Panics
+    /// Panics if `src`'s shapes differ from the packed shapes.
+    pub(crate) fn repack_from(&mut self, src: &UnitSet) {
+        assert_eq!(self.units.len(), src.units.len(), "unit count mismatch");
+        for (dst, u) in self.units.iter_mut().zip(&src.units) {
+            dst.repack_from(u);
+        }
+    }
+
+    /// Borrows the packed unit for an operator family.
+    pub(crate) fn unit(&self, kind: OpKind) -> &PackedMlp {
+        &self.units[kind.index()]
+    }
+
+    /// Cheap weight-sample digest of a unit set — shapes plus a few
+    /// deterministic weight/bias samples per layer, the same sampling
+    /// argument as `QppNet::fitted_fingerprint`: any gradient step
+    /// perturbs essentially every parameter, so a small sample tells
+    /// weight states apart. O(layers), not O(params) — cheap enough to
+    /// compute per run, which is what lets a serving program skip the
+    /// O(params) repack on every steady-state run while still refreshing
+    /// when the weights actually moved.
+    pub(crate) fn weights_digest(src: &UnitSet) -> u64 {
+        let mut h = qpp_plansim::util::Fnv1a::new();
+        for u in &src.units {
+            for layer in u.layers() {
+                let (r, c) = (layer.w.rows(), layer.w.cols());
+                h.mix(r as u64);
+                h.mix(c as u64);
+                h.mix(layer.w.get(0, 0).to_bits() as u64);
+                h.mix(layer.w.get(r / 2, c / 2).to_bits() as u64);
+                h.mix(layer.w.get(r - 1, c - 1).to_bits() as u64);
+                h.mix(layer.b[layer.b.len() / 2].to_bits() as u64);
+            }
+        }
+        h.finish()
     }
 }
 

@@ -62,7 +62,9 @@ pub mod lstm;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
+pub mod packed;
 pub mod pool;
+pub mod tier;
 
 pub use activation::{activation_backward_inplace, Activation};
 pub use init::Init;
@@ -71,4 +73,6 @@ pub use lstm::{LstmNodeCache, TreeLstmCell};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpCache};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use packed::{PackedBias, PackedDense, PackedMlp, PackedWeights};
 pub use pool::{BufferPool, Executor, ExecutorStats};
+pub use tier::KernelTier;

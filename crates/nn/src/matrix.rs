@@ -308,8 +308,11 @@ impl Matrix {
             w.cols
         );
         #[cfg(target_arch = "x86_64")]
-        if simd::avx2_fma_available() {
-            // SAFETY: feature availability checked at runtime.
+        if crate::tier::KernelTier::current().simd() {
+            // SAFETY: the tier ladder verified avx2+fma at runtime. The
+            // unpacked kernels keep their AVX2 bodies under the Avx512f
+            // tier too — they are the bitwise reference the packed-panel
+            // kernels (crate::packed) are tested against.
             unsafe { simd::matmul_bias_avx2(self, w, bias, out) };
             for i in 0..out.rows {
                 for o in out.row_mut(i).iter_mut() {
@@ -383,8 +386,8 @@ impl Matrix {
             other.rows
         );
         #[cfg(target_arch = "x86_64")]
-        if simd::avx2_fma_available() {
-            // SAFETY: feature availability checked at runtime.
+        if crate::tier::KernelTier::current().simd() {
+            // SAFETY: the tier ladder verified avx2+fma at runtime.
             unsafe { simd::matmul_a_bt_avx2(self, other, out) };
             return;
         }
@@ -428,8 +431,8 @@ impl Matrix {
             other.cols
         );
         #[cfg(target_arch = "x86_64")]
-        if simd::avx2_fma_available() {
-            // SAFETY: feature availability checked at runtime.
+        if crate::tier::KernelTier::current().simd() {
+            // SAFETY: the tier ladder verified avx2+fma at runtime.
             unsafe { simd::matmul_at_b_avx2(self, other, out) };
             return;
         }
@@ -853,7 +856,11 @@ mod simd {
     use std::arch::x86_64::*;
     use std::sync::OnceLock;
 
-    /// One-time CPUID check for AVX2 + FMA.
+    /// One-time CPUID check for AVX2 + FMA. Dispatch now goes through the
+    /// tier ladder (`crate::tier::KernelTier`), which also honours the
+    /// forced-tier override; this raw hardware check remains for tests
+    /// that compare SIMD bodies against scalar references directly.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn avx2_fma_available() -> bool {
         static AVAIL: OnceLock<bool> = OnceLock::new();
         *AVAIL
@@ -948,7 +955,10 @@ mod simd {
                 }
                 jb += 8;
             }
-            // Column remainder: scalar over the 4 rows.
+            // Column remainder: scalar over the 4 rows. `mul_add` keeps
+            // these chains fused like the vector tiles, so the
+            // packed-panel kernels (pure-FMA lanes everywhere) stay
+            // bitwise-equal to this dispatch.
             if jb < m {
                 for r in 0..4 {
                     let arow = ad.add((ib + r) * kd);
@@ -957,7 +967,7 @@ mod simd {
                         for k in 0..kd {
                             let x = *arow.add(k);
                             if x != 0.0 {
-                                s += x * *wd.add(k * m + j);
+                                s = f32::mul_add(x, *wd.add(k * m + j), s);
                             }
                         }
                         *od.add((ib + r) * m + j) = s;
@@ -1252,12 +1262,14 @@ mod simd {
             _mm256_storeu_ps(orow.add(jb), acc);
             jb += 8;
         }
+        // Column remainder: `mul_add` keeps the chains fused like the
+        // vector tiles (bitwise contract with the packed-panel kernels).
         for j in jb..m {
             let mut s = *bp.add(j);
             for k in 0..kd {
                 let x = *arow.add(k);
                 if x != 0.0 {
-                    s += x * *wd.add(k * m + j);
+                    s = f32::mul_add(x, *wd.add(k * m + j), s);
                 }
             }
             *orow.add(j) = s;

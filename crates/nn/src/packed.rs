@@ -1,0 +1,1132 @@
+//! Packed-panel weight layout: cache-line-aligned, kernel-order column
+//! panels for the wavefront gemm families.
+//!
+//! The unpacked serving kernel streams a row-major weight matrix with a
+//! `cols × 4`-byte stride per contraction step — 512 B jumps for the
+//! paper tier's 128-wide layers, so a 64 KB weight matrix is walked in a
+//! pattern the L1 can't hold, and output widths that aren't a multiple
+//! of the register tile (the paper tier's 33-wide output layer) fall
+//! into a scalar remainder loop per row. A [`PackedWeights`] fixes both
+//! at data-layout time: the matrix is repacked **once per weight
+//! update** into column panels of [`LANES`] = 16 floats — one 64-byte
+//! cache line, one AVX-512 register, two AVX2 registers — stored
+//! contraction-major inside each panel group, so the kernel's inner loop
+//! reads the panel strictly forward, 64-aligned, and the ragged last
+//! group is zero-padded once instead of masked per iteration.
+//!
+//! Three kernel families consume the layout behind the process-wide
+//! [`KernelTier`] dispatch (`Scalar | Avx2Fma | Avx512f`):
+//!
+//! * **forward** — `out = act(x · W + b)` via [`PackedDense::forward_into`];
+//! * **input gradient** — `dX = dZ · Wᵀ` via
+//!   [`PackedDense::backward_input_into`], using a second, transposed
+//!   panel set packed per weight update (cheap at update granularity —
+//!   the per-*sweep* `Wᵀ` materialization the ROADMAP measured as a loss
+//!   paid this cost per gemm call instead) and reusing the forward
+//!   kernel with a zero initializer, which also inherits its
+//!   `dZ == 0` skip — ReLU backward zeros are common;
+//! * **weight gradient** — `dW += Xᵀ · dZ` via
+//!   [`PackedWeights::accumulate_at_b`], accumulating into a packed
+//!   gradient buffer of the same panel shape as the weights it will be
+//!   folded into ([`PackedWeights::add_unpacked_into`]).
+//!
+//! # Bitwise determinism
+//!
+//! The packed forward is **bit-identical** to the unpacked dispatch at
+//! the same tier, by construction, and the SIMD tiers are bit-identical
+//! to each other:
+//!
+//! * every output element is one chain `bias + Σₖ x[k]·w[k][j]` with `k`
+//!   strictly ascending, one FMA per retained term — lane position
+//!   (ZMM vs two YMM vs unpacked tiles) never changes a lane's chain;
+//! * zero-skip decisions are free: under the crate-wide kernel caveats
+//!   (biases are never `-0.0`, weights are finite) `fma(0, w, acc)`
+//!   is exactly `acc`, so the block-skip granularity (4-row blocks vs
+//!   single rows) cannot change results;
+//! * the scalar tier replicates the unpacked scalar kernels'
+//!   multiply-then-add chains instead, so forced-scalar runs
+//!   ([`crate::tier::FORCE_TIER_ENV`]) stay bit-identical to the
+//!   unpacked scalar reference.
+//!
+//! Row invariance (a row's bits don't depend on its neighbours) carries
+//! over unchanged, so the serving engine's contracts — identical results
+//! at any thread count, streaming admission bitwise-equal to a fresh
+//! compile — survive the layout swap; property tests in this module and
+//! the differential suites enforce all of it against the retained
+//! unpacked kernels.
+//!
+//! Packed structures are **ephemeral** acceleration state: they are
+//! rebuilt from the authoritative [`Dense`]/[`Mlp`] weights at
+//! fit/load/compile time and are never serialized.
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+use crate::pool::BufferPool;
+use crate::tier::KernelTier;
+
+/// Panel width in `f32` lanes: one 64-byte cache line, one AVX-512
+/// register, two AVX2 registers.
+pub const LANES: usize = 16;
+
+/// One cache-line-sized, 64-byte-aligned lane group.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct Align64([f32; LANES]);
+
+const ZERO_GROUP: Align64 = Align64([0.0; LANES]);
+
+/// A matrix repacked into kernel-order column panels (see the module
+/// docs): logical element `(k, j)` of a `depth × width` matrix lives in
+/// group `g = j / LANES` at `data[g · depth + k]`, lane `j % LANES`;
+/// lanes past `width` in the last group are zero.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    /// Contraction length (rows of the logical matrix).
+    depth: usize,
+    /// Logical column count (lanes beyond it are zero padding).
+    width: usize,
+    /// `ceil(width / LANES)`.
+    groups: usize,
+    /// `groups × depth` lane groups, group-major.
+    data: Vec<Align64>,
+}
+
+impl PackedWeights {
+    /// Packs `src` (`depth = src.rows()`, `width = src.cols()`).
+    pub fn pack(src: &Matrix) -> PackedWeights {
+        let mut p = PackedWeights::zeros(src.rows(), src.cols());
+        p.repack_from(src);
+        p
+    }
+
+    /// Packs `srcᵀ` (`depth = src.cols()`, `width = src.rows()`) — the
+    /// input-gradient panels for `dX = dZ · Wᵀ`.
+    pub fn pack_transposed(src: &Matrix) -> PackedWeights {
+        let mut p = PackedWeights::zeros(src.cols(), src.rows());
+        p.repack_transposed_from(src);
+        p
+    }
+
+    /// A zeroed panel set of the given logical shape (the weight-gradient
+    /// accumulator layout).
+    pub fn zeros(depth: usize, width: usize) -> PackedWeights {
+        let groups = width.div_ceil(LANES);
+        PackedWeights { depth, width, groups, data: vec![ZERO_GROUP; groups * depth] }
+    }
+
+    /// Contraction length (logical row count).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Logical column count.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Rewrites the panels from `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `src`'s shape differs from the packed shape.
+    pub fn repack_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            (src.rows(), src.cols()),
+            (self.depth, self.width),
+            "repack shape mismatch"
+        );
+        self.data.fill(ZERO_GROUP);
+        for k in 0..self.depth {
+            let row = src.row(k);
+            for g in 0..self.groups {
+                let lanes = (self.width - g * LANES).min(LANES);
+                let dst = &mut self.data[g * self.depth + k].0;
+                dst[..lanes].copy_from_slice(&row[g * LANES..g * LANES + lanes]);
+            }
+        }
+    }
+
+    /// Rewrites the panels from `srcᵀ` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `srcᵀ`'s shape differs from the packed shape.
+    pub fn repack_transposed_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            (src.cols(), src.rows()),
+            (self.depth, self.width),
+            "repack shape mismatch"
+        );
+        self.data.fill(ZERO_GROUP);
+        for k in 0..self.depth {
+            // Logical row k of Wᵀ is column k of W.
+            for j in 0..self.width {
+                self.data[(j / LANES) * self.depth + k].0[j % LANES] = src.get(j, k);
+            }
+        }
+    }
+
+    /// Zeroes every lane (gradient-accumulator reset, allocation kept).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(ZERO_GROUP);
+    }
+
+    /// Logical element `(k, j)` (layout tests).
+    #[cfg(test)]
+    fn get(&self, k: usize, j: usize) -> f32 {
+        self.data[(j / LANES) * self.depth + k].0[j % LANES]
+    }
+
+    /// Adds the logical (non-padding) contents onto `dst` — the fold of a
+    /// packed gradient accumulator into a layer's unpacked `gw`.
+    ///
+    /// # Panics
+    /// Panics if `dst`'s shape differs from the packed logical shape.
+    pub fn add_unpacked_into(&self, dst: &mut Matrix) {
+        assert_eq!(
+            (dst.rows(), dst.cols()),
+            (self.depth, self.width),
+            "unpack shape mismatch"
+        );
+        for k in 0..self.depth {
+            let drow = dst.row_mut(k);
+            for g in 0..self.groups {
+                let lanes = (self.width - g * LANES).min(LANES);
+                let src = &self.data[g * self.depth + k].0;
+                for (d, s) in drow[g * LANES..g * LANES + lanes].iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    }
+
+    /// `out = a · P (+ bias)` — the packed twin of
+    /// [`Matrix::matmul_bias_act_into`]'s gemm (the caller applies the
+    /// activation, as the unpacked dispatch sites do). With `bias: None`
+    /// accumulator chains start at `+0.0` — the input-gradient family
+    /// `dX = dZ · Wᵀ` over transposed panels.
+    ///
+    /// Row-invariant and bit-identical to the unpacked dispatch at the
+    /// same [`KernelTier`] (module docs).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (same message as the unpacked kernels —
+    /// the engines' mismatched-model guards key on it).
+    pub fn gemm_into(&self, a: &Matrix, bias: Option<&PackedBias>, out: &mut Matrix) {
+        assert_eq!(
+            a.cols(),
+            self.depth,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            a.rows(),
+            a.cols(),
+            self.depth,
+            self.width
+        );
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (a.rows(), self.width),
+            "output shape mismatch"
+        );
+        if let Some(b) = bias {
+            assert_eq!(b.len, self.width, "bias length mismatch");
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let tier = KernelTier::current();
+            if tier.wide() {
+                // SAFETY: tier detection verified avx512f at runtime.
+                unsafe { self.gemm_avx512(a, bias, out) };
+                return;
+            }
+            if tier.simd() {
+                // SAFETY: tier detection verified avx2+fma at runtime.
+                unsafe { self.gemm_avx2(a, bias, out) };
+                return;
+            }
+        }
+        self.gemm_scalar(a, bias, out);
+    }
+
+    /// `self += aᵀ · b` — the packed weight-gradient family
+    /// (`dW += Xᵀ · dZ`), accumulating into these panels. `a` rows are
+    /// zero-skipped (ReLU activations make `X` sparse). SIMD tiers are
+    /// bit-identical to each other; the scalar tier matches the unpacked
+    /// scalar reference's multiply-then-add chains.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn accumulate_at_b(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.rows(), b.rows(), "matmul_at_b contraction mismatch");
+        assert_eq!(
+            (a.cols(), b.cols()),
+            (self.depth, self.width),
+            "matmul_at_b dimension mismatch: ({}x{})ᵀ · {}x{} into {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols(),
+            self.depth,
+            self.width
+        );
+        #[cfg(target_arch = "x86_64")]
+        {
+            let tier = KernelTier::current();
+            if tier.wide() {
+                // SAFETY: tier detection verified avx512f at runtime.
+                unsafe { self.at_b_avx512(a, b) };
+                return;
+            }
+            if tier.simd() {
+                // SAFETY: tier detection verified avx2+fma at runtime.
+                unsafe { self.at_b_avx2(a, b) };
+                return;
+            }
+        }
+        self.at_b_scalar(a, b);
+    }
+
+    /// Portable forward/input-gradient kernel, replicating the unpacked
+    /// scalar kernel's chains exactly: initialize from the bias, then one
+    /// multiply-then-add per nonzero `x[k]`, `k` ascending.
+    fn gemm_scalar(&self, a: &Matrix, bias: Option<&PackedBias>, out: &mut Matrix) {
+        for i in 0..a.rows() {
+            let arow = a.row(i);
+            for g in 0..self.groups {
+                let lanes = (self.width - g * LANES).min(LANES);
+                let mut acc = match bias {
+                    Some(b) => b.data[g].0,
+                    None => [0.0f32; LANES],
+                };
+                for (k, &x) in arow.iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let panel = &self.data[g * self.depth + k].0;
+                    for (o, &w) in acc.iter_mut().zip(panel) {
+                        *o += x * w;
+                    }
+                }
+                out.row_mut(i)[g * LANES..g * LANES + lanes].copy_from_slice(&acc[..lanes]);
+            }
+        }
+    }
+
+    /// Portable weight-gradient kernel: multiply-then-add per nonzero
+    /// `a[r, n]`, `r` ascending — the unpacked broadcast reference's
+    /// chains.
+    fn at_b_scalar(&mut self, a: &Matrix, b: &Matrix) {
+        for g in 0..self.groups {
+            let lanes = (self.width - g * LANES).min(LANES);
+            let base = g * LANES;
+            for n in 0..self.depth {
+                let acc = &mut self.data[g * self.depth + n].0;
+                for r in 0..a.rows() {
+                    let x = a.row(r)[n];
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.row(r)[base..base + lanes];
+                    for (o, &w) in acc[..lanes].iter_mut().zip(brow) {
+                        *o += x * w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2+FMA forward/input-gradient kernel: per group, 4-row register
+    /// blocks over two aligned 8-lane panel halves; remainder rows run
+    /// the single-row variant. Chains are pure FMA, `k` ascending.
+    ///
+    /// # Safety
+    /// Caller must verify avx2+fma at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_avx2(&self, a: &Matrix, bias: Option<&PackedBias>, out: &mut Matrix) {
+        use std::arch::x86_64::*;
+        let (n, kd, m) = (a.rows(), self.depth, self.width);
+        let ad = a.as_slice().as_ptr();
+        let od = out.as_mut_slice().as_mut_ptr();
+        let nb = n - n % 4;
+        for g in 0..self.groups {
+            let lanes = (m - g * LANES).min(LANES);
+            let pbase = self.data.as_ptr().add(g * kd) as *const f32;
+            let (init_lo, init_hi) = match bias {
+                Some(b) => {
+                    let bp = b.data.as_ptr().add(g) as *const f32;
+                    (_mm256_load_ps(bp), _mm256_load_ps(bp.add(8)))
+                }
+                None => (_mm256_setzero_ps(), _mm256_setzero_ps()),
+            };
+            let mut ib = 0;
+            while ib < nb {
+                let (a0, a1, a2, a3) =
+                    (ad.add(ib * kd), ad.add((ib + 1) * kd), ad.add((ib + 2) * kd), ad.add((ib + 3) * kd));
+                let (mut l0, mut h0) = (init_lo, init_hi);
+                let (mut l1, mut h1) = (init_lo, init_hi);
+                let (mut l2, mut h2) = (init_lo, init_hi);
+                let (mut l3, mut h3) = (init_lo, init_hi);
+                for k in 0..kd {
+                    let (x0, x1, x2, x3) = (*a0.add(k), *a1.add(k), *a2.add(k), *a3.add(k));
+                    if x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0 {
+                        continue;
+                    }
+                    let wl = _mm256_load_ps(pbase.add(k * LANES));
+                    let wh = _mm256_load_ps(pbase.add(k * LANES + 8));
+                    l0 = _mm256_fmadd_ps(_mm256_set1_ps(x0), wl, l0);
+                    h0 = _mm256_fmadd_ps(_mm256_set1_ps(x0), wh, h0);
+                    l1 = _mm256_fmadd_ps(_mm256_set1_ps(x1), wl, l1);
+                    h1 = _mm256_fmadd_ps(_mm256_set1_ps(x1), wh, h1);
+                    l2 = _mm256_fmadd_ps(_mm256_set1_ps(x2), wl, l2);
+                    h2 = _mm256_fmadd_ps(_mm256_set1_ps(x2), wh, h2);
+                    l3 = _mm256_fmadd_ps(_mm256_set1_ps(x3), wl, l3);
+                    h3 = _mm256_fmadd_ps(_mm256_set1_ps(x3), wh, h3);
+                }
+                for (r, (lo, hi)) in [(l0, h0), (l1, h1), (l2, h2), (l3, h3)].into_iter().enumerate() {
+                    store_group_avx2(od.add((ib + r) * m + g * LANES), lo, hi, lanes);
+                }
+                ib += 4;
+            }
+            for i in nb..n {
+                let arow = ad.add(i * kd);
+                let (mut lo, mut hi) = (init_lo, init_hi);
+                for k in 0..kd {
+                    let x = *arow.add(k);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let xv = _mm256_set1_ps(x);
+                    lo = _mm256_fmadd_ps(xv, _mm256_load_ps(pbase.add(k * LANES)), lo);
+                    hi = _mm256_fmadd_ps(xv, _mm256_load_ps(pbase.add(k * LANES + 8)), hi);
+                }
+                store_group_avx2(od.add(i * m + g * LANES), lo, hi, lanes);
+            }
+        }
+    }
+
+    /// AVX-512F forward/input-gradient kernel. Full 16-lane groups run
+    /// in *pairs* — 8 ZMM accumulators per 4-row block, enough
+    /// independent FMA chains to cover the FMA latency×throughput
+    /// product, and each pass over the input matrix covers 32 output
+    /// columns instead of 16. A leftover full group and the ragged tail
+    /// group run the single-group variant. Chains are identical to
+    /// [`PackedWeights::gemm_avx2`]'s lane for lane: the 4-row zero-skip
+    /// tests the same `x` values whether one or two groups share the
+    /// pass, so pairing never changes which FMAs reach a given lane.
+    ///
+    /// Full-group stores are deliberately unmasked: a masked store —
+    /// even with an all-ones mask — blocks store-to-load forwarding
+    /// into the next chained layer's scalar broadcast reads, which
+    /// measured as a ~1.7x whole-MLP slowdown despite identical
+    /// isolated-gemm speed.
+    ///
+    /// # Safety
+    /// Caller must verify avx512f at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gemm_avx512(&self, a: &Matrix, bias: Option<&PackedBias>, out: &mut Matrix) {
+        use std::arch::x86_64::*;
+        let (n, kd, m) = (a.rows(), self.depth, self.width);
+        let ad = a.as_slice().as_ptr();
+        let od = out.as_mut_slice().as_mut_ptr();
+        let nb = n - n % 4;
+        let full = m / LANES;
+        let mut g = 0;
+        while g + 2 <= full {
+            let pb0 = self.data.as_ptr().add(g * kd) as *const f32;
+            let pb1 = self.data.as_ptr().add((g + 1) * kd) as *const f32;
+            let (init0, init1) = match bias {
+                Some(b) => (
+                    _mm512_load_ps(b.data.as_ptr().add(g) as *const f32),
+                    _mm512_load_ps(b.data.as_ptr().add(g + 1) as *const f32),
+                ),
+                None => (_mm512_setzero_ps(), _mm512_setzero_ps()),
+            };
+            let mut ib = 0;
+            while ib < nb {
+                let (a0, a1, a2, a3) =
+                    (ad.add(ib * kd), ad.add((ib + 1) * kd), ad.add((ib + 2) * kd), ad.add((ib + 3) * kd));
+                let (mut c00, mut c10, mut c20, mut c30) = (init0, init0, init0, init0);
+                let (mut c01, mut c11, mut c21, mut c31) = (init1, init1, init1, init1);
+                // No zero-skip here, on purpose: with 8 accumulators the
+                // FMA pipeline is saturated, so the data-dependent skip
+                // branch's mispredictions cost more than the ~6% of
+                // all-4-zero iterations it saves on ReLU-sparse input.
+                // Skipping is arithmetically a no-op under the packing
+                // caveats (finite weights, biases never -0.0): each
+                // skipped lane would compute `fma(±0·w, acc) == acc`
+                // bit for bit, so dropping the branch leaves every
+                // lane's chain unchanged.
+                for k in 0..kd {
+                    let (x0, x1, x2, x3) = (*a0.add(k), *a1.add(k), *a2.add(k), *a3.add(k));
+                    let w0 = _mm512_load_ps(pb0.add(k * LANES));
+                    let w1 = _mm512_load_ps(pb1.add(k * LANES));
+                    let v0 = _mm512_set1_ps(x0);
+                    c00 = _mm512_fmadd_ps(v0, w0, c00);
+                    c01 = _mm512_fmadd_ps(v0, w1, c01);
+                    let v1 = _mm512_set1_ps(x1);
+                    c10 = _mm512_fmadd_ps(v1, w0, c10);
+                    c11 = _mm512_fmadd_ps(v1, w1, c11);
+                    let v2 = _mm512_set1_ps(x2);
+                    c20 = _mm512_fmadd_ps(v2, w0, c20);
+                    c21 = _mm512_fmadd_ps(v2, w1, c21);
+                    let v3 = _mm512_set1_ps(x3);
+                    c30 = _mm512_fmadd_ps(v3, w0, c30);
+                    c31 = _mm512_fmadd_ps(v3, w1, c31);
+                }
+                for (r, (ca, cb)) in
+                    [(c00, c01), (c10, c11), (c20, c21), (c30, c31)].into_iter().enumerate()
+                {
+                    let dst = od.add((ib + r) * m + g * LANES);
+                    _mm512_storeu_ps(dst, ca);
+                    _mm512_storeu_ps(dst.add(LANES), cb);
+                }
+                ib += 4;
+            }
+            for i in nb..n {
+                let arow = ad.add(i * kd);
+                let (mut acc0, mut acc1) = (init0, init1);
+                for k in 0..kd {
+                    let x = *arow.add(k);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let xv = _mm512_set1_ps(x);
+                    acc0 = _mm512_fmadd_ps(xv, _mm512_load_ps(pb0.add(k * LANES)), acc0);
+                    acc1 = _mm512_fmadd_ps(xv, _mm512_load_ps(pb1.add(k * LANES)), acc1);
+                }
+                let dst = od.add(i * m + g * LANES);
+                _mm512_storeu_ps(dst, acc0);
+                _mm512_storeu_ps(dst.add(LANES), acc1);
+            }
+            g += 2;
+        }
+        while g < self.groups {
+            let lanes = (m - g * LANES).min(LANES);
+            let mask: __mmask16 = if lanes == LANES { !0 } else { (1u16 << lanes) - 1 };
+            let pbase = self.data.as_ptr().add(g * kd) as *const f32;
+            let init = match bias {
+                Some(b) => _mm512_load_ps(b.data.as_ptr().add(g) as *const f32),
+                None => _mm512_setzero_ps(),
+            };
+            let mut ib = 0;
+            while ib < nb {
+                let (a0, a1, a2, a3) =
+                    (ad.add(ib * kd), ad.add((ib + 1) * kd), ad.add((ib + 2) * kd), ad.add((ib + 3) * kd));
+                let (mut c0, mut c1, mut c2, mut c3) = (init, init, init, init);
+                for k in 0..kd {
+                    let (x0, x1, x2, x3) = (*a0.add(k), *a1.add(k), *a2.add(k), *a3.add(k));
+                    if x0 == 0.0 && x1 == 0.0 && x2 == 0.0 && x3 == 0.0 {
+                        continue;
+                    }
+                    let w = _mm512_load_ps(pbase.add(k * LANES));
+                    c0 = _mm512_fmadd_ps(_mm512_set1_ps(x0), w, c0);
+                    c1 = _mm512_fmadd_ps(_mm512_set1_ps(x1), w, c1);
+                    c2 = _mm512_fmadd_ps(_mm512_set1_ps(x2), w, c2);
+                    c3 = _mm512_fmadd_ps(_mm512_set1_ps(x3), w, c3);
+                }
+                for (r, c) in [c0, c1, c2, c3].into_iter().enumerate() {
+                    let dst = od.add((ib + r) * m + g * LANES);
+                    if lanes == LANES {
+                        _mm512_storeu_ps(dst, c);
+                    } else {
+                        _mm512_mask_storeu_ps(dst, mask, c);
+                    }
+                }
+                ib += 4;
+            }
+            for i in nb..n {
+                let arow = ad.add(i * kd);
+                let mut acc = init;
+                for k in 0..kd {
+                    let x = *arow.add(k);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    acc = _mm512_fmadd_ps(_mm512_set1_ps(x), _mm512_load_ps(pbase.add(k * LANES)), acc);
+                }
+                let dst = od.add(i * m + g * LANES);
+                if lanes == LANES {
+                    _mm512_storeu_ps(dst, acc);
+                } else {
+                    _mm512_mask_storeu_ps(dst, mask, acc);
+                }
+            }
+            g += 1;
+        }
+    }
+
+    /// AVX2+FMA weight-gradient kernel. Full groups run two 8-lane FMA
+    /// halves; the ragged last group runs scalar `mul_add` lanes (still
+    /// FMA chains, so the SIMD tiers stay bit-identical).
+    ///
+    /// # Safety
+    /// Caller must verify avx2+fma at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn at_b_avx2(&mut self, a: &Matrix, b: &Matrix) {
+        use std::arch::x86_64::*;
+        let (rows, nn, m) = (a.rows(), self.depth, self.width);
+        let ad = a.as_slice().as_ptr();
+        let bd = b.as_slice().as_ptr();
+        for g in 0..self.groups {
+            let lanes = (m - g * LANES).min(LANES);
+            let base = g * LANES;
+            for n in 0..nn {
+                let acc = self.data.as_mut_ptr().add(g * nn + n) as *mut f32;
+                if lanes == LANES {
+                    let mut lo = _mm256_load_ps(acc);
+                    let mut hi = _mm256_load_ps(acc.add(8));
+                    for r in 0..rows {
+                        let x = *ad.add(r * nn + n);
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let xv = _mm256_set1_ps(x);
+                        let brow = bd.add(r * m + base);
+                        lo = _mm256_fmadd_ps(xv, _mm256_loadu_ps(brow), lo);
+                        hi = _mm256_fmadd_ps(xv, _mm256_loadu_ps(brow.add(8)), hi);
+                    }
+                    _mm256_store_ps(acc, lo);
+                    _mm256_store_ps(acc.add(8), hi);
+                } else {
+                    for r in 0..rows {
+                        let x = *ad.add(r * nn + n);
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let brow = bd.add(r * m + base);
+                        for l in 0..lanes {
+                            *acc.add(l) = f32::mul_add(x, *brow.add(l), *acc.add(l));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX-512F weight-gradient kernel. Full groups block 4 consecutive
+    /// contraction columns `n` into 4 ZMM accumulators — the `dZ` row
+    /// vector loads once per `r` and feeds all four chains, and four
+    /// independent chains cover the FMA latency the single-accumulator
+    /// form stalled on. The blocked path is branchless for the same
+    /// reason as [`PackedWeights::gemm_avx512`]'s paired path: with the
+    /// pipeline saturated, the activation zero-skip's mispredictions
+    /// cost more than the skipped work, and the skip is arithmetically
+    /// a no-op (gradient panels start at `+0.0` and `±0` contributions
+    /// can never flip an accumulator to `-0.0`). Chains remain
+    /// identical to [`PackedWeights::at_b_avx2`]'s lane for lane: per
+    /// `(group, n)`, ascending-`r` FMAs. Leftover columns and the
+    /// ragged tail group run the single-accumulator masked variant.
+    ///
+    /// # Safety
+    /// Caller must verify avx512f at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn at_b_avx512(&mut self, a: &Matrix, b: &Matrix) {
+        use std::arch::x86_64::*;
+        let (rows, nn, m) = (a.rows(), self.depth, self.width);
+        let ad = a.as_slice().as_ptr();
+        let bd = b.as_slice().as_ptr();
+        for g in 0..self.groups {
+            let lanes = (m - g * LANES).min(LANES);
+            let mask: __mmask16 = if lanes == LANES { !0 } else { (1u16 << lanes) - 1 };
+            let base = g * LANES;
+            let mut n = 0;
+            if lanes == LANES {
+                while n + 4 <= nn {
+                    let accp = self.data.as_mut_ptr().add(g * nn + n) as *mut f32;
+                    let mut acc0 = _mm512_load_ps(accp);
+                    let mut acc1 = _mm512_load_ps(accp.add(LANES));
+                    let mut acc2 = _mm512_load_ps(accp.add(2 * LANES));
+                    let mut acc3 = _mm512_load_ps(accp.add(3 * LANES));
+                    for r in 0..rows {
+                        let xp = ad.add(r * nn + n);
+                        let bvec = _mm512_loadu_ps(bd.add(r * m + base));
+                        acc0 = _mm512_fmadd_ps(_mm512_set1_ps(*xp), bvec, acc0);
+                        acc1 = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(1)), bvec, acc1);
+                        acc2 = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(2)), bvec, acc2);
+                        acc3 = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(3)), bvec, acc3);
+                    }
+                    _mm512_store_ps(accp, acc0);
+                    _mm512_store_ps(accp.add(LANES), acc1);
+                    _mm512_store_ps(accp.add(2 * LANES), acc2);
+                    _mm512_store_ps(accp.add(3 * LANES), acc3);
+                    n += 4;
+                }
+            }
+            while n < nn {
+                let accp = self.data.as_mut_ptr().add(g * nn + n) as *mut f32;
+                let mut acc = _mm512_load_ps(accp);
+                for r in 0..rows {
+                    let x = *ad.add(r * nn + n);
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let bvec = _mm512_maskz_loadu_ps(mask, bd.add(r * m + base));
+                    acc = _mm512_fmadd_ps(_mm512_set1_ps(x), bvec, acc);
+                }
+                _mm512_store_ps(accp, acc);
+                n += 1;
+            }
+        }
+    }
+}
+
+/// Stores one 16-lane group (two YMM halves) to an unaligned output
+/// location, spilling through an aligned buffer when the group is the
+/// ragged last one.
+///
+/// # Safety
+/// `dst` must be valid for `lanes` writes; caller must verify avx2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn store_group_avx2(
+    dst: *mut f32,
+    lo: std::arch::x86_64::__m256,
+    hi: std::arch::x86_64::__m256,
+    lanes: usize,
+) {
+    use std::arch::x86_64::*;
+    if lanes == LANES {
+        _mm256_storeu_ps(dst, lo);
+        _mm256_storeu_ps(dst.add(8), hi);
+    } else {
+        let mut tmp = ZERO_GROUP;
+        _mm256_store_ps(tmp.0.as_mut_ptr(), lo);
+        _mm256_store_ps(tmp.0.as_mut_ptr().add(8), hi);
+        std::ptr::copy_nonoverlapping(tmp.0.as_ptr(), dst, lanes);
+    }
+}
+
+/// A bias vector padded to whole lane groups with `+0.0` (never `-0.0` —
+/// the kernel caveat the zero-skip argument rests on), 64-byte aligned
+/// so group initializers are single aligned loads.
+#[derive(Debug, Clone)]
+pub struct PackedBias {
+    len: usize,
+    data: Vec<Align64>,
+}
+
+impl PackedBias {
+    /// Packs `src` into padded lane groups.
+    pub fn pack(src: &[f32]) -> PackedBias {
+        let mut b = PackedBias { len: src.len(), data: vec![ZERO_GROUP; src.len().div_ceil(LANES)] };
+        b.repack_from(src);
+        b
+    }
+
+    /// Rewrites from `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `src.len()` differs from the packed length.
+    pub fn repack_from(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.len, "bias length mismatch");
+        self.data.fill(ZERO_GROUP);
+        for (j, &v) in src.iter().enumerate() {
+            self.data[j / LANES].0[j % LANES] = v;
+        }
+    }
+}
+
+/// A [`Dense`] layer's packed acceleration state: forward panels, the
+/// padded bias, the activation, and (when built for training) transposed
+/// panels for the input-gradient gemm. Rebuilt from the authoritative
+/// layer at pack/repack time; never serialized.
+#[derive(Debug, Clone)]
+pub struct PackedDense {
+    w: PackedWeights,
+    /// Transposed panels for `dX = dZ · Wᵀ`; `None` on serving-only packs.
+    wt: Option<PackedWeights>,
+    b: PackedBias,
+    act: Activation,
+}
+
+impl PackedDense {
+    /// Packs `src`; `with_backward` additionally builds the transposed
+    /// panels the input-gradient gemm needs (training tapes only —
+    /// serving packs skip the second copy).
+    pub fn pack(src: &Dense, with_backward: bool) -> PackedDense {
+        PackedDense {
+            w: PackedWeights::pack(&src.w),
+            wt: with_backward.then(|| PackedWeights::pack_transposed(&src.w)),
+            b: PackedBias::pack(&src.b),
+            act: src.act,
+        }
+    }
+
+    /// Refreshes every packed buffer from `src` without reallocating
+    /// (called once per weight update by the training tape).
+    ///
+    /// # Panics
+    /// Panics if `src`'s shape differs from the packed shape.
+    pub fn repack_from(&mut self, src: &Dense) {
+        self.w.repack_from(&src.w);
+        if let Some(wt) = &mut self.wt {
+            wt.repack_transposed_from(&src.w);
+        }
+        self.b.repack_from(&src.b);
+        self.act = src.act;
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.depth
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.width
+    }
+
+    /// The layer's activation (the tape's fused activation backward
+    /// reads it from here).
+    pub fn act(&self) -> Activation {
+        self.act
+    }
+
+    /// `out = act(x · W + b)` — the packed twin of
+    /// [`Dense::forward_into`]: panel gemm, then the same separate
+    /// activation pass over the output the unpacked dispatch performs.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.w.gemm_into(x, Some(&self.b), out);
+        if self.act != Activation::Identity {
+            let act = self.act;
+            for v in out.as_mut_slice() {
+                *v = act.apply(*v);
+            }
+        }
+    }
+
+    /// `out = dz · Wᵀ` over the transposed panels (no bias, no
+    /// activation): the input-gradient gemm.
+    ///
+    /// # Panics
+    /// Panics if the layer was packed without backward panels.
+    pub fn backward_input_into(&self, dz: &Matrix, out: &mut Matrix) {
+        let wt = self.wt.as_ref().expect("layer packed without backward panels");
+        wt.gemm_into(dz, None, out);
+    }
+}
+
+/// An [`Mlp`]'s packed layers — what the serving and training engines
+/// actually run their wavefront gemms against.
+#[derive(Debug, Clone)]
+pub struct PackedMlp {
+    layers: Vec<PackedDense>,
+}
+
+impl PackedMlp {
+    /// Packs every layer of `src` (see [`PackedDense::pack`]).
+    pub fn pack(src: &Mlp, with_backward: bool) -> PackedMlp {
+        PackedMlp { layers: src.layers().iter().map(|l| PackedDense::pack(l, with_backward)).collect() }
+    }
+
+    /// Refreshes every layer from `src` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `src`'s layer count or shapes differ.
+    pub fn repack_from(&mut self, src: &Mlp) {
+        assert_eq!(self.layers.len(), src.num_layers(), "layer count mismatch");
+        for (dst, l) in self.layers.iter_mut().zip(src.layers()) {
+            dst.repack_from(l);
+        }
+    }
+
+    /// The packed layer stack.
+    pub fn layers(&self) -> &[PackedDense] {
+        &self.layers
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Inference forward through pooled ping-pong buffers — the packed
+    /// twin of [`Mlp::forward_pooled`], used by every wavefront step.
+    pub fn forward_pooled(&self, x: &Matrix, pool: &mut BufferPool) -> Matrix {
+        let rows = x.rows();
+        let mut cur = pool.take(rows, self.layers[0].out_dim());
+        self.layers[0].forward_into(x, &mut cur);
+        for layer in &self.layers[1..] {
+            let mut next = pool.take(rows, layer.out_dim());
+            layer.forward_into(&cur, &mut next);
+            pool.give(cur);
+            cur = next;
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random matrix with ~`sparsity` of entries exactly zero (the
+    /// kernels' skip paths must be exercised, including `-0.0`).
+    fn sparse(rows: usize, cols: usize, sparsity: f64, rng: &mut StdRng) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            let r: f64 = rng.gen();
+            if r < sparsity {
+                if rng.gen::<f64>() < 0.1 {
+                    -0.0
+                } else {
+                    0.0
+                }
+            } else {
+                (rng.gen::<f32>() - 0.5) * 2.0
+            }
+        })
+    }
+
+    fn random_dense(in_dim: usize, out_dim: usize, act: Activation, rng: &mut StdRng) -> Dense {
+        let mut d = Dense::new(in_dim, out_dim, act, Init::He, rng);
+        for b in &mut d.b {
+            *b = (rng.gen::<f32>() - 0.5) * 0.8;
+        }
+        d
+    }
+
+    #[test]
+    fn pack_round_trips_every_element_and_pads_with_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (r, c) in [(1, 1), (3, 16), (5, 17), (128, 33), (2, 40)] {
+            let m = sparse(r, c, 0.3, &mut rng);
+            let p = PackedWeights::pack(&m);
+            assert_eq!((p.depth(), p.width()), (r, c));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(p.get(i, j).to_bits(), m.get(i, j).to_bits());
+                }
+                for j in c..p.groups * LANES {
+                    assert_eq!(p.data[(j / LANES) * r + i].0[j % LANES], 0.0);
+                }
+            }
+            let t = PackedWeights::pack_transposed(&m);
+            assert_eq!((t.depth(), t.width()), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i).to_bits(), m.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    /// The tentpole contract: the packed forward is bit-identical to the
+    /// unpacked dispatch at the process tier — across shapes that hit
+    /// full groups, ragged groups, 4-row blocks and remainder rows. The
+    /// forced-scalar CI leg re-runs this with the scalar tier, where both
+    /// sides take the multiply-then-add scalar kernels.
+    #[test]
+    fn packed_forward_is_bitwise_equal_to_unpacked_dispatch() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (n, k, m) in [(1, 1, 1), (4, 7, 16), (5, 13, 17), (9, 128, 33), (32, 40, 24), (3, 8, 64)]
+        {
+            for act in [Activation::Relu, Activation::Identity] {
+                let d = random_dense(k, m, act, &mut rng);
+                let x = sparse(n, k, 0.4, &mut rng);
+                let mut want = Matrix::zeros(n, m);
+                match act {
+                    Activation::Identity => x.matmul_bias_act_into(&d.w, &d.b, |v| v, &mut want),
+                    a => x.matmul_bias_act_into(&d.w, &d.b, |v| a.apply(v), &mut want),
+                }
+                let p = PackedDense::pack(&d, false);
+                let mut got = Matrix::zeros(n, m);
+                p.forward_into(&x, &mut got);
+                for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{n}x{k}x{m} {act:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// Row invariance: each output row's bits are independent of which
+    /// rows surround it (single-row re-runs match the batched call) —
+    /// the property thread-count invariance and streaming admission
+    /// lean on.
+    #[test]
+    fn packed_forward_rows_are_bitwise_position_invariant() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (n, k, m) in [(6, 19, 33), (7, 8, 16), (5, 30, 9)] {
+            let d = random_dense(k, m, Activation::Relu, &mut rng);
+            let p = PackedDense::pack(&d, false);
+            let x = sparse(n, k, 0.4, &mut rng);
+            let mut full = Matrix::zeros(n, m);
+            p.forward_into(&x, &mut full);
+            for i in 0..n {
+                let single = Matrix::from_rows(&[x.row(i)]);
+                let mut out = Matrix::zeros(1, m);
+                p.forward_into(&single, &mut out);
+                for (a, b) in full.row(i).iter().zip(out.row(0)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// The input-gradient gemm over transposed panels must agree with the
+    /// unpacked `dZ · Wᵀ` dispatch to float tolerance (the two use
+    /// different, but each internally deterministic, summation orders).
+    #[test]
+    fn packed_backward_input_matches_unpacked_a_bt() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for (n, kd, m) in [(4, 33, 128), (3, 16, 17), (7, 9, 40), (1, 1, 1)] {
+            let d = random_dense(m, kd, Activation::Relu, &mut rng);
+            let p = PackedDense::pack(&d, true);
+            let dz = sparse(n, kd, 0.5, &mut rng);
+            let mut want = Matrix::zeros(n, m);
+            dz.matmul_a_bt_into(&d.w, &mut want);
+            let mut got = Matrix::zeros(n, m);
+            p.backward_input_into(&dz, &mut got);
+            for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                let rel = (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+                assert!(rel < 1e-5, "{n}x{kd}x{m}: {a} vs {b} (rel {rel})");
+            }
+        }
+    }
+
+    /// The packed weight-gradient accumulator must agree with the
+    /// unpacked `Xᵀ · dZ` dispatch to float tolerance, including its
+    /// accumulate-don't-overwrite contract.
+    #[test]
+    fn packed_at_b_accumulates_like_unpacked() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for (rows, n, m) in [(9, 40, 33), (5, 16, 16), (12, 7, 17), (4, 128, 5)] {
+            let x = sparse(rows, n, 0.5, &mut rng);
+            let dz = sparse(rows, m, 0.3, &mut rng);
+            let seed = sparse(n, m, 0.0, &mut rng);
+            let mut want = seed.clone();
+            x.matmul_at_b_into(&dz, &mut want);
+            let mut packed = PackedWeights::zeros(n, m);
+            let mut got = seed.clone();
+            // Two half-accumulations: fold must add, not overwrite.
+            packed.accumulate_at_b(&x, &dz);
+            packed.add_unpacked_into(&mut got);
+            for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                let rel = (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+                assert!(rel < 1e-5, "{rows}x{n}x{m}: {a} vs {b} (rel {rel})");
+            }
+            packed.fill_zero();
+            let before = got.clone();
+            packed.add_unpacked_into(&mut got);
+            assert_eq!(before, got, "zeroed panels must fold to a no-op");
+        }
+    }
+
+    /// On hosts with both SIMD tiers, the packed kernels must be
+    /// bit-identical across them (pure-FMA chains, lane position aside).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn packed_simd_tiers_are_bitwise_identical() {
+        if !(is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma"))
+        {
+            return; // needs both tiers in hardware
+        }
+        let mut rng = StdRng::seed_from_u64(67);
+        for (n, kd, m) in [(5, 13, 17), (9, 128, 33), (4, 16, 16), (2, 40, 64)] {
+            let w = sparse(kd, m, 0.2, &mut rng);
+            let p = PackedWeights::pack(&w);
+            let bias = PackedBias::pack(
+                &(0..m).map(|_| (rng.gen::<f32>() - 0.5) * 0.8).collect::<Vec<_>>(),
+            );
+            let x = sparse(n, kd, 0.4, &mut rng);
+            let mut a2 = Matrix::zeros(n, m);
+            let mut a5 = Matrix::zeros(n, m);
+            // SAFETY: features checked above.
+            unsafe {
+                p.gemm_avx2(&x, Some(&bias), &mut a2);
+                p.gemm_avx512(&x, Some(&bias), &mut a5);
+            }
+            for (a, b) in a2.as_slice().iter().zip(a5.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gemm {n}x{kd}x{m}: {a} vs {b}");
+            }
+
+            let xt = sparse(n, kd, 0.5, &mut rng);
+            let dz = sparse(n, m, 0.3, &mut rng);
+            let mut g2 = PackedWeights::zeros(kd, m);
+            let mut g5 = PackedWeights::zeros(kd, m);
+            // SAFETY: features checked above.
+            unsafe {
+                g2.at_b_avx2(&xt, &dz);
+                g5.at_b_avx512(&xt, &dz);
+            }
+            for (a, b) in g2.data.iter().zip(&g5.data) {
+                for (x2, x5) in a.0.iter().zip(&b.0) {
+                    assert_eq!(x2.to_bits(), x5.to_bits(), "at_b {n}x{kd}x{m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_mlp_forward_matches_unpacked_pooled_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mlp = Mlp::new(&[19, 32, 33], Activation::Relu, Activation::Identity, Init::He, &mut rng);
+        let packed = PackedMlp::pack(&mlp, false);
+        assert_eq!((packed.in_dim(), packed.out_dim(), packed.num_layers()), (19, 33, 2));
+        let x = sparse(6, 19, 0.4, &mut rng);
+        let mut pool = BufferPool::new();
+        let want = mlp.forward_pooled(&x, &mut pool);
+        let got = packed.forward_pooled(&x, &mut pool);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        pool.give(want);
+        pool.give(got);
+        // Steady state: a second packed pass allocates nothing new.
+        let before = pool.available();
+        let again = packed.forward_pooled(&x, &mut pool);
+        pool.give(again);
+        assert_eq!(pool.available(), before);
+    }
+
+    #[test]
+    fn repack_tracks_weight_updates() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut mlp =
+            Mlp::new(&[9, 16, 5], Activation::Relu, Activation::Identity, Init::He, &mut rng);
+        let mut packed = PackedMlp::pack(&mlp, true);
+        let x = sparse(3, 9, 0.3, &mut rng);
+        let mut pool = BufferPool::new();
+        // Mutate weights in place (an optimizer step), then repack.
+        for l in mlp.layers_mut() {
+            l.w.map_inplace(|v| v * 1.5 + 0.01);
+            for b in &mut l.b {
+                *b -= 0.05;
+            }
+        }
+        packed.repack_from(&mlp);
+        let want = mlp.forward_pooled(&x, &mut pool);
+        let got = packed.forward_pooled(&x, &mut pool);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn mismatched_input_width_panics_like_the_unpacked_kernels() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let d = random_dense(8, 4, Activation::Relu, &mut rng);
+        let p = PackedDense::pack(&d, false);
+        let x = Matrix::zeros(2, 9);
+        let mut out = Matrix::zeros(2, 4);
+        p.forward_into(&x, &mut out);
+    }
+}

@@ -63,6 +63,12 @@ const _: () = {
     assert_send::<Matrix>();
     assert_sync::<Matrix>();
     assert_sync::<crate::mlp::Mlp>();
+    // Packed panel state is shared by reference across the same workers
+    // (serving forward) and owned per training tape.
+    assert_send::<crate::packed::PackedMlp>();
+    assert_sync::<crate::packed::PackedMlp>();
+    assert_send::<crate::packed::PackedWeights>();
+    assert_sync::<crate::packed::PackedWeights>();
     // The resident executor is handed around by shared reference (the
     // global instance) and its workers outlive any one caller.
     assert_send::<Executor>();

@@ -189,10 +189,11 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let history = model.fit(&train);
     eprintln!(
-        "trained {} epochs in {:.1}s ({} parameters)",
+        "trained {} epochs in {:.1}s ({} parameters, {} kernels)",
         history.train_loss.len(),
         history.total_seconds(),
-        model.num_params()
+        model.num_params(),
+        qpp::nn::KernelTier::current()
     );
     eprintln!("{}", history.stats);
 
@@ -265,6 +266,27 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
             h.median_r,
             h.p90_r,
             h.r_le_15 * 100.0
+        );
+    }
+    // Rank-based latency strata: equal query counts per row, so the
+    // slow tail (where admission control lives) gets its own Q-error
+    // instead of disappearing into the aggregate.
+    println!("\nby actual-latency decile (0 = fastest tenth):");
+    println!(
+        "{:<7} {:>7} {:>21} {:>12} {:>8} {:>9} {:>7} {:>8}",
+        "decile", "count", "latency range (s)", "MAE (min)", "mean R", "median R", "p90 R", "R<=1.5"
+    );
+    for d in &report.deciles {
+        println!(
+            "{:<7} {:>7} {:>21} {:>12.2} {:>8.2} {:>9.2} {:>7.2} {:>7.0}%",
+            d.decile,
+            d.count,
+            format!("{:.1} - {:.1}", d.lo_ms / 1000.0, d.hi_ms / 1000.0),
+            d.mae_ms / 60_000.0,
+            d.mean_r,
+            d.median_r,
+            d.p90_r,
+            d.r_le_15 * 100.0
         );
     }
     Ok(())
@@ -393,10 +415,11 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
         // above — no extra pipeline pass just to hold a stopwatch.
         let elapsed = first_run;
         eprintln!(
-            "engine {} ({} thread{}): {} plans ({} distinct shapes) in {:.2} ms -> {:.0} plans/s",
+            "engine {} ({} thread{}, {} kernels): {} plans ({} distinct shapes) in {:.2} ms -> {:.0} plans/s",
             engine.name(),
             engine.threads(),
             if engine.threads() == 1 { "" } else { "s" },
+            qpp::nn::KernelTier::current(),
             plans.len(),
             shapes.len(),
             elapsed * 1e3,
@@ -410,9 +433,10 @@ fn cmd_predict_batch(flags: &HashMap<String, String>) -> Result<(), String> {
     // numbers reproduce with a single command. An explicit --engine flag
     // restricts the table to that engine.
     eprintln!(
-        "\nthroughput, mean over {repeat} runs ({} plans, {} distinct shapes):",
+        "\nthroughput, mean over {repeat} runs ({} plans, {} distinct shapes, {} kernels):",
         plans.len(),
-        shapes.len()
+        shapes.len(),
+        qpp::nn::KernelTier::current()
     );
     eprintln!("{:<22} {:>7} {:>12} {:>10} {:>8}", "engine", "threads", "ms/batch", "plans/s", "vs 1st");
     let mut baseline = None;

@@ -12,7 +12,31 @@
 #![warn(clippy::all)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement, as recorded by the global store (see
+/// [`take_records`]).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark label, `group/function/parameter` style.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Best (minimum) sampled nanoseconds per iteration.
+    pub best_ns: u64,
+    /// Worst (maximum) sampled nanoseconds per iteration.
+    pub worst_ns: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far (in execution order), so a
+/// bench `main` can persist the run as machine-readable data after the
+/// groups finish.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("bench records poisoned"))
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -187,10 +211,18 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let mut b = Bencher { sample_size, result: None };
     f(&mut b);
     match b.result {
-        Some(s) => println!(
-            "  {label}: mean {:?} (best {:?}, worst {:?}; {} samples x {} iters)",
-            s.mean, s.best, s.worst, sample_size, s.iters_per_sample
-        ),
+        Some(s) => {
+            println!(
+                "  {label}: mean {:?} (best {:?}, worst {:?}; {} samples x {} iters)",
+                s.mean, s.best, s.worst, sample_size, s.iters_per_sample
+            );
+            RECORDS.lock().expect("bench records poisoned").push(BenchRecord {
+                label: label.to_string(),
+                mean_ns: s.mean.as_nanos() as u64,
+                best_ns: s.best.as_nanos() as u64,
+                worst_ns: s.worst.as_nanos() as u64,
+            });
+        }
         None => println!("  {label}: no measurement (Bencher::iter never called)"),
     }
 }
