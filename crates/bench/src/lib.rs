@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod load;
+
 use qpp_baselines::rbf::RbfModel;
 use qpp_baselines::svm::SvmModel;
 use qpp_baselines::tam::TamModel;

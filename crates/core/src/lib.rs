@@ -75,6 +75,7 @@ pub mod infer;
 pub mod lower;
 pub mod metrics;
 pub mod model;
+pub mod serve;
 pub mod stream;
 pub mod train;
 pub mod train_program;
@@ -90,6 +91,7 @@ pub use importance::{permutation_importance, FeatureImportance};
 pub use infer::{predict_plans_with, InferEngine, PlanProgram};
 pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
 pub use model::{QppNet, Tenants};
+pub use serve::{Client, ServeAddr, ServeConfig, Server};
 pub use stream::{
     MicroBatchStats, MicroBatcher, PlanId, ProgramBuilder, ProgramStats, ShardedStream,
 };

@@ -451,6 +451,15 @@ impl<'m> Tenants<'m> {
     pub fn fingerprints(&self) -> Vec<u64> {
         self.tenants.keys().copied().collect()
     }
+
+    /// Iterates `(fingerprint, stream)` pairs in ascending fingerprint
+    /// order without requiring `&mut` — read-only aggregation (e.g. the
+    /// serve daemon's `stats` verb) over every tenant's resident state.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (u64, &crate::stream::ShardedStream<'m>)> {
+        self.tenants.iter().map(|(fp, s)| (*fp, s))
+    }
 }
 
 #[cfg(test)]

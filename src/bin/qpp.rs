@@ -10,6 +10,7 @@
 //! qpp predict    --input plans.json --model model.json --engine program
 //! qpp explain    --dataset dataset.json --query 3
 //! qpp importance --dataset dataset.json --model model.json --top 15
+//! qpp serve      --model model.json --addr 127.0.0.1:7878 --shards 4 --burst 8
 //! ```
 //!
 //! `generate` writes an executed workload (plans with EXPLAIN-style
@@ -48,6 +49,14 @@
 //! [`qpp::net::TrainStats`] line; `--train-engine classes` keeps the
 //! per-equivalence-class arrangement (the §5.1 ablation layout and the
 //! wavefront engine's differential oracle).
+//!
+//! `serve` turns a fitted snapshot into a long-running prediction daemon
+//! ([`qpp::net::serve`]): resident [`qpp::net::ShardedStream`]s behind a
+//! JSON-lines wire protocol (admit / retire / predict / admit_predict /
+//! stats / shutdown) over TCP or `unix:` sockets, with `--burst W`
+//! micro-batch coalescing of concurrent one-shot predictions and
+//! multi-model tenancy via a comma-separated `--model` list. Drive it
+//! with the `serve_load` bench bin for saturation curves.
 
 use qpp::net::config::TrainEngine;
 use qpp::net::{permutation_importance, InferEngine, QppConfig, QppNet};
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "explain" => cmd_explain(&flags),
         "importance" => cmd_importance(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     match result {
@@ -93,7 +103,9 @@ fn usage(error: &str) -> ExitCode {
                         [--threads N[,N...]] [--repeat N] [--stream WINDOW]\n\
                         [--shards N] [--burst N]\n\
          qpp explain    --dataset FILE --query N\n\
-         qpp importance --dataset FILE --model FILE [--seed N] [--top N]"
+         qpp importance --dataset FILE --model FILE [--seed N] [--top N]\n\
+         qpp serve      --model FILE[,FILE...] [--addr HOST:PORT|unix:PATH]\n\
+                        [--shards N] [--burst W] [--threads N] [--burst-wait-us U]"
     );
     ExitCode::from(2)
 }
@@ -611,4 +623,48 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("signature: {}", plan.signature());
     println!("{}", plan.explain());
     Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use qpp::net::serve::{ServeAddr, ServeConfig, Server};
+
+    let addr = ServeAddr::parse(get_or(flags, "addr", "127.0.0.1:7878"))?;
+    let cfg = ServeConfig {
+        shards: parse(get_or(flags, "shards", "1"), "shard count")?,
+        threads: parse(get_or(flags, "threads", "1"), "thread count")?,
+        burst: parse(get_or(flags, "burst", "1"), "burst width")?,
+        burst_wait_us: parse(get_or(flags, "burst-wait-us", "200"), "burst wait")?,
+        ..ServeConfig::default()
+    };
+    if cfg.shards == 0 || cfg.threads == 0 || cfg.burst == 0 {
+        return Err("--shards/--threads/--burst must be >= 1".into());
+    }
+
+    // One or more fitted model snapshots; the first is the default
+    // tenant, the rest are addressable by fingerprint.
+    let mut models = Vec::new();
+    for path in get(flags, "model")?.split(',') {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let model = QppNet::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+        if !model.is_fitted() {
+            return Err(format!("{path}: model is not fitted"));
+        }
+        models.push((path.to_string(), model));
+    }
+
+    let mut server =
+        Server::bind(&addr, cfg.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
+    for (path, model) in &models {
+        let fp = server.register(model);
+        println!("tenant {fp:016x} <- {path}");
+    }
+    println!(
+        "qpp serve: listening on {} ({} shards, {} threads, burst {})",
+        server.local_addr(),
+        cfg.shards,
+        cfg.threads,
+        cfg.burst
+    );
+    println!("protocol: one JSON object per line; send {{\"v\":1,\"op\":\"shutdown\"}} to stop");
+    server.run().map_err(|e| format!("serve loop failed: {e}"))
 }

@@ -1,0 +1,279 @@
+//! Differential tests for the serving daemon: random admit / retire /
+//! predict interleavings driven **through the socket** must produce
+//! predictions **bitwise-equal** to an in-process `ProgramBuilder`
+//! replaying the same sequence — at 1 and 4 wavefront threads, clamped
+//! and unclamped, over TCP loopback and unix sockets.
+//!
+//! Why bit-equality survives the wire: the incremental/sharded engines
+//! are already bit-transparent against a single builder
+//! (`tests/stream_differential.rs`, `tests/executor_differential.rs`),
+//! and the vendored JSON formatter prints non-integral `f64`s with
+//! Rust's shortest-round-trip `Display`, which parses back to the exact
+//! bits. So the only thing this suite can catch — and the thing it is
+//! for — is the daemon layer itself (session maps, tenant routing,
+//! micro-batch coalescing) corrupting results.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use qpp::net::serve::{Client, ServeAddr, ServeConfig, Server};
+use qpp::net::{PlanId, QppConfig, QppNet};
+use qpp::plansim::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Shared fixture: one dataset plus a clamped and an unclamped fitted
+/// model (tiny tier, 2 epochs — learned weights are irrelevant to the
+/// bit-equality contract, the data flow is what's under test).
+fn fixture() -> &'static (Dataset, QppNet, QppNet) {
+    static FIXTURE: OnceLock<(Dataset, QppNet, QppNet)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = Dataset::generate(Workload::TpcDs, 1.0, 20, 11);
+        let train: Vec<&Plan> = ds.plans.iter().collect();
+        let mut clamped = QppNet::new(
+            QppConfig { epochs: 2, monotone_clamp: true, ..QppConfig::tiny() },
+            &ds.catalog,
+        );
+        clamped.fit(&train);
+        // One extra epoch so the two models' weights (and therefore
+        // fingerprints — the fingerprint hashes fitted state, not
+        // config flags) differ, which multi-tenancy relies on.
+        let mut unclamped = QppNet::new(
+            QppConfig { epochs: 3, monotone_clamp: false, ..QppConfig::tiny() },
+            &ds.catalog,
+        );
+        unclamped.fit(&train);
+        (ds, clamped, unclamped)
+    })
+}
+
+/// Drives one random interleaving through a live daemon and mirrors
+/// every operation on an in-process builder, asserting bitwise-equal
+/// predictions at every step.
+fn served_bits_match_inprocess(
+    addr: &ServeAddr,
+    cfg: ServeConfig,
+    clamped: bool,
+    seed: u64,
+    ops: usize,
+) {
+    let (ds, clamped_model, unclamped_model) = fixture();
+    let model = if clamped { clamped_model } else { unclamped_model };
+
+    let mut server = Server::bind(addr, cfg).expect("bind");
+    server.register(model);
+    let addr = server.local_addr().clone();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.run().expect("server run"));
+
+        let mut client = Client::connect(&addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+        // The in-process reference: a single sequential builder.
+        let mut builder = model.serve_stream();
+        // Parallel session maps: wire id ↔ builder PlanId.
+        let mut resident: Vec<(u64, PlanId)> = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5EED5);
+
+        for _ in 0..ops {
+            match rng.gen_range(0..4u32) {
+                // Admit (repeats allowed — the CSE-heavy case).
+                0 => {
+                    let pick = rng.gen_range(0..ds.plans.len());
+                    let plan = &ds.plans[pick].root;
+                    let wire = client.admit(plan).expect("admit");
+                    let pid = builder.admit(plan);
+                    resident.push((wire, pid));
+                }
+                // Retire a random resident plan.
+                1 if !resident.is_empty() => {
+                    let victim = rng.gen_range(0..resident.len());
+                    let (wire, pid) = resident.remove(victim);
+                    client.retire(wire).expect("retire");
+                    builder.retire(pid);
+                }
+                // Predict a random resident plan: bits must match.
+                2 if !resident.is_empty() => {
+                    let &(wire, pid) = &resident[rng.gen_range(0..resident.len())];
+                    let served = client.predict(wire).expect("predict");
+                    let local = builder.predict_root(pid);
+                    assert_eq!(
+                        served.to_bits(),
+                        local.to_bits(),
+                        "seed={seed} clamped={clamped}: served {served} != local {local}"
+                    );
+                }
+                // One-shot admit_predict (keep=false): bits must match
+                // admitting/predicting/retiring on the local builder.
+                _ => {
+                    let pick = rng.gen_range(0..ds.plans.len());
+                    let plan = &ds.plans[pick].root;
+                    let (kept, served) = client.admit_predict(plan, false).expect("admit_predict");
+                    assert!(kept.is_none(), "keep=false must not return an id");
+                    let pid = builder.admit(plan);
+                    let local = builder.predict_root(pid);
+                    builder.retire(pid);
+                    assert_eq!(
+                        served.to_bits(),
+                        local.to_bits(),
+                        "seed={seed} clamped={clamped}: one-shot {served} != local {local}"
+                    );
+                }
+            }
+        }
+
+        // Final checkpoint: every remaining resident plan, both ways.
+        for &(wire, pid) in &resident {
+            let served = client.predict(wire).expect("final predict");
+            assert_eq!(served.to_bits(), builder.predict_root(pid).to_bits());
+        }
+        client.shutdown().expect("shutdown");
+    });
+}
+
+#[test]
+fn tcp_served_bits_match_inprocess_t1() {
+    for seed in [1u64, 2, 3] {
+        for clamped in [false, true] {
+            let cfg = ServeConfig { threads: 1, ..ServeConfig::default() };
+            let addr = ServeAddr::parse("127.0.0.1:0").unwrap();
+            served_bits_match_inprocess(&addr, cfg, clamped, seed, 30);
+        }
+    }
+}
+
+#[test]
+fn tcp_served_bits_match_inprocess_t4_sharded() {
+    // 4 wavefront threads + 3 shards: the full concurrent configuration
+    // must still match the single sequential builder bit-for-bit.
+    for seed in [4u64, 5] {
+        for clamped in [false, true] {
+            let cfg = ServeConfig { threads: 4, shards: 3, ..ServeConfig::default() };
+            let addr = ServeAddr::parse("127.0.0.1:0").unwrap();
+            served_bits_match_inprocess(&addr, cfg, clamped, seed, 30);
+        }
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_served_bits_match_inprocess() {
+    let path = std::env::temp_dir().join(format!("qpp_serve_diff_{}.sock", std::process::id()));
+    let addr = ServeAddr::Unix(path);
+    let cfg = ServeConfig { threads: 4, shards: 2, ..ServeConfig::default() };
+    served_bits_match_inprocess(&addr, cfg, true, 6, 30);
+}
+
+/// Multi-tenant routing: two models co-hosted on one daemon, each
+/// client request explicitly targeting one tenant; every prediction
+/// must match that tenant's own in-process builder.
+#[test]
+fn multi_tenant_served_bits_match_each_model() {
+    let (ds, clamped_model, unclamped_model) = fixture();
+    let mut server = Server::bind(
+        &ServeAddr::parse("127.0.0.1:0").unwrap(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let fp_a = server.register(clamped_model);
+    let fp_b = server.register(unclamped_model);
+    assert_ne!(fp_a, fp_b, "distinct configs must fingerprint differently");
+    let addr = server.local_addr().clone();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.run().expect("server run"));
+
+        let mut client = Client::connect(&addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut builder_a = clamped_model.serve_stream();
+        let mut builder_b = unclamped_model.serve_stream();
+
+        for (i, plan) in ds.plans.iter().take(10).enumerate() {
+            let (fp, builder) =
+                if i % 2 == 0 { (fp_a, &mut builder_a) } else { (fp_b, &mut builder_b) };
+            let (_, served) =
+                client.admit_predict_to(&plan.root, false, Some(fp)).expect("routed predict");
+            let pid = builder.admit(&plan.root);
+            let local = builder.predict_root(pid);
+            builder.retire(pid);
+            assert_eq!(
+                served.to_bits(),
+                local.to_bits(),
+                "tenant {fp:016x} plan {i}: served {served} != local {local}"
+            );
+        }
+        client.shutdown().expect("shutdown");
+    });
+}
+
+/// Concurrent clients under burst coalescing: 4 threads fire one-shot
+/// predictions simultaneously with burst=4, so requests genuinely
+/// coalesce into micro-batched flushes. Coalescing is accuracy-free, so
+/// every reply must carry the same bits as serving that plan alone.
+#[test]
+fn concurrent_burst_coalescing_is_bit_transparent() {
+    let (ds, model, _) = fixture();
+    let cfg = ServeConfig { burst: 4, burst_wait_us: 2_000, ..ServeConfig::default() };
+    let mut server = Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), cfg).expect("bind");
+    server.register(model);
+    let addr = server.local_addr().clone();
+
+    // Reference bits: each plan served alone on a fresh builder.
+    let mut reference = Vec::new();
+    for plan in ds.plans.iter().take(8) {
+        let mut b = model.serve_stream();
+        let pid = b.admit(&plan.root);
+        reference.push(b.predict_root(pid).to_bits());
+    }
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.run().expect("server run"));
+
+        let workers: Vec<_> = (0..4usize)
+            .map(|w| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                    // Each worker sends each of its 2 plans 3 times.
+                    let mut got = Vec::new();
+                    for round in 0..3 {
+                        for k in 0..2 {
+                            let idx = w * 2 + k;
+                            let (_, served) = client
+                                .admit_predict(&fixture().0.plans[idx].root, false)
+                                .expect("burst predict");
+                            got.push((idx, round, served.to_bits()));
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        for h in workers {
+            for (idx, round, bits) in h.join().expect("worker") {
+                assert_eq!(
+                    bits, reference[idx],
+                    "plan {idx} round {round}: coalesced bits diverged from solo serving"
+                );
+            }
+        }
+
+        let mut ctl = Client::connect(&addr).expect("control");
+        let stats = ctl.stats().expect("stats");
+        assert_eq!(stats.batched_requests, 24, "every one-shot goes through the batcher");
+        assert!(
+            stats.batches < stats.batched_requests,
+            "4 concurrent workers with burst=4 must coalesce at least once \
+             ({} batches for {} requests)",
+            stats.batches,
+            stats.batched_requests
+        );
+        assert_eq!(stats.resident_plans, 0, "one-shots must not leak residency");
+        ctl.shutdown().expect("shutdown");
+    });
+}
