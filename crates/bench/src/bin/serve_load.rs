@@ -16,10 +16,13 @@
 //! ```text
 //! serve_load [--queries N] [--requests N] [--rates r1,r2,...]
 //!            [--conns C] [--burst W] [--shards S] [--zipf S]
-//!            [--tiers edge,paper] [--smoke]
+//!            [--tiers edge,paper] [--fast-path both|0|1] [--smoke]
 //! ```
 //!
 //! `--smoke` shrinks everything for a seconds-scale CI run.
+//! `--fast-path both` (the default) runs every tier twice — fast path
+//! off, then on — in the same process, so `BENCH_serve.json` carries
+//! same-run before/after rows for the zero-allocation request path.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -80,6 +83,12 @@ fn main() {
             .split(',')
             .map(|t| t.trim().to_string())
             .collect();
+    let fast_legs: Vec<bool> = match get(&flags, "fast-path", "both") {
+        "both" => vec![false, true],
+        "0" => vec![false],
+        "1" => vec![true],
+        other => panic!("bad --fast-path `{other}` (want both|0|1)"),
+    };
 
     let ds = Dataset::generate(Workload::TpcH, 100.0, queries, 9);
     let templates: Vec<PlanNode> = ds.plans.iter().map(|p| p.root.clone()).collect();
@@ -101,69 +110,74 @@ fn main() {
             other => panic!("unknown tier `{other}` (want edge|paper)"),
         };
         let model = fitted_model(&ds, &cfg);
-        let serve_cfg = ServeConfig { shards, burst, ..ServeConfig::default() };
-        let mut server =
-            Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), serve_cfg).unwrap();
-        server.register(&model);
-        let addr = server.local_addr().clone();
-        println!("[{tier}] daemon on {addr}");
+        for &fast_path in &fast_legs {
+            let serve_cfg = ServeConfig { shards, burst, fast_path, ..ServeConfig::default() };
+            let mut server =
+                Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), serve_cfg).unwrap();
+            server.register(&model);
+            let addr = server.local_addr().clone();
+            println!("[{tier}] daemon on {addr} (fast_path={fast_path})");
 
-        std::thread::scope(|scope| {
-            let server = &server;
-            scope.spawn(move || server.run().expect("server run failed"));
+            std::thread::scope(|scope| {
+                let server = &server;
+                scope.spawn(move || server.run().expect("server run failed"));
 
-            let mut legs: Vec<LoadMode> = vec![LoadMode::Closed];
-            legs.extend(rates.iter().map(|&r| LoadMode::Open { rate_hz: r }));
-            for mode in legs {
-                let spec = LoadSpec {
-                    addr: addr.clone(),
-                    templates: &templates,
-                    mode,
-                    connections: conns,
-                    requests,
-                    zipf_s,
-                    seed: 42,
-                    timeout: Duration::from_secs(2),
-                };
-                let report = run_load(&spec);
-                let row = ServeRow::from_report(tier, &spec, &report);
-                println!(
-                    "[{tier}] {:>6} target {:>7.0}/s -> {:>7.0}/s | p50 {:>7}µs p95 {:>7}µs \
-                     p99 {:>7}µs p999 {:>7}µs | sent {} done {} drop {} err {}",
-                    row.mode,
-                    row.target_rate_hz,
-                    row.achieved_rate_hz,
-                    row.p50_us,
-                    row.p95_us,
-                    row.p99_us,
-                    row.p999_us,
-                    row.sent,
-                    row.completed,
-                    row.dropped,
-                    row.errors
-                );
-                if report.completed == 0 || report.hist.is_empty() {
-                    eprintln!("[{tier}] FAILED: empty histogram for {:?}", spec.mode);
-                    failed = true;
+                let mut legs: Vec<LoadMode> = vec![LoadMode::Closed];
+                legs.extend(rates.iter().map(|&r| LoadMode::Open { rate_hz: r }));
+                for mode in legs {
+                    let spec = LoadSpec {
+                        addr: addr.clone(),
+                        templates: &templates,
+                        mode,
+                        connections: conns,
+                        requests,
+                        zipf_s,
+                        seed: 42,
+                        timeout: Duration::from_secs(2),
+                    };
+                    let report = run_load(&spec);
+                    let row = ServeRow::from_report(tier, &spec, &report, fast_path);
+                    println!(
+                        "[{tier}] fast={} {:>6} target {:>7.0}/s -> {:>7.0}/s | p50 {:>7}µs \
+                         p95 {:>7}µs p99 {:>7}µs p999 {:>7}µs | sent {} done {} drop {} err {}",
+                        u8::from(fast_path),
+                        row.mode,
+                        row.target_rate_hz,
+                        row.achieved_rate_hz,
+                        row.p50_us,
+                        row.p95_us,
+                        row.p99_us,
+                        row.p999_us,
+                        row.sent,
+                        row.completed,
+                        row.dropped,
+                        row.errors
+                    );
+                    if report.completed == 0 || report.hist.is_empty() {
+                        eprintln!("[{tier}] FAILED: empty histogram for {:?}", spec.mode);
+                        failed = true;
+                    }
+                    rows.push(row);
                 }
-                rows.push(row);
-            }
 
-            let mut ctl = Client::connect(&addr).expect("control connection");
-            let stats = ctl.stats().expect("stats verb");
-            println!(
-                "[{tier}] server counters: {} conns, {} reqs, {} errors, {} batches \
-                 ({} coalesced), {} resident",
-                stats.connections,
-                stats.requests,
-                stats.errors,
-                stats.batches,
-                stats.batched_requests,
-                stats.resident_plans
-            );
-            ctl.shutdown().expect("clean shutdown");
-        });
-        println!("[{tier}] daemon stopped cleanly");
+                let mut ctl = Client::connect(&addr).expect("control connection");
+                let stats = ctl.stats().expect("stats verb");
+                println!(
+                    "[{tier}] server counters: {} conns, {} reqs, {} errors, {} batches \
+                     ({} coalesced), {} fast-path, {} resident, {} steady allocs",
+                    stats.connections,
+                    stats.requests,
+                    stats.errors,
+                    stats.batches,
+                    stats.batched_requests,
+                    stats.fast_path_predicted,
+                    stats.resident_plans,
+                    stats.steady_allocs
+                );
+                ctl.shutdown().expect("clean shutdown");
+            });
+            println!("[{tier}] daemon stopped cleanly");
+        }
     }
 
     qpp_bench::load::write_serve_rows("BENCH_serve.json", &rows);

@@ -443,11 +443,37 @@ pub struct ServeRow {
     pub p999_us: u64,
     /// Kernel dispatch tier of the serving process.
     pub kernel_tier: String,
+    /// Whether the daemon's zero-allocation fast path was enabled for
+    /// this run (`ServeConfig::fast_path`, burst permitting).
+    pub fast_path: bool,
+    /// `git describe --always --dirty` of the benched tree, so
+    /// before/after rows in one artifact are attributable.
+    pub git: String,
+}
+
+/// `git describe --always --dirty` of the workspace tree, or
+/// `"unknown"` when git is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 impl ServeRow {
     /// Flattens a report into an artifact row.
-    pub fn from_report(tier: &str, spec: &LoadSpec<'_>, report: &LoadReport) -> ServeRow {
+    pub fn from_report(
+        tier: &str,
+        spec: &LoadSpec<'_>,
+        report: &LoadReport,
+        fast_path: bool,
+    ) -> ServeRow {
         let (mode, target_rate_hz) = match spec.mode {
             LoadMode::Open { rate_hz } => ("open", rate_hz),
             LoadMode::Closed => ("closed", 0.0),
@@ -467,6 +493,8 @@ impl ServeRow {
             p99_us: report.quantile_us(0.99),
             p999_us: report.quantile_us(0.999),
             kernel_tier: qpp_nn::KernelTier::current().name().to_string(),
+            fast_path,
+            git: git_describe(),
         }
     }
 }

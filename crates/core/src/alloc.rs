@@ -1,0 +1,107 @@
+//! Thread-local allocation counting behind the process allocator.
+//!
+//! The serve fast path's contract is *measured*, not claimed: "zero
+//! allocation at steady state" is asserted by tests and surfaced as a
+//! live counter in `ServeStats::steady_allocs`. That needs a way to ask
+//! "how many heap allocations has **this thread** performed?" —
+//! [`thread_alloc_count`] — which in turn needs the global allocator to
+//! count. [`CountingAlloc`] forwards every call to [`std::alloc::System`]
+//! and bumps a thread-local counter on the allocating entry points
+//! (`alloc`, `alloc_zeroed`, and `realloc`; frees are not counted — the
+//! contract is about *acquiring* memory on the hot path).
+//!
+//! The counter is a `Cell<u64>` in a `const`-initialized `thread_local!`,
+//! which itself never allocates and has no destructor to register, so the
+//! bookkeeping cannot recurse into the allocator.
+//!
+//! Overhead is one thread-local increment per allocation — noise next to
+//! the allocation itself — and the crate installs it as the
+//! `#[global_allocator]` unconditionally so test, bench and production
+//! binaries all measure the same code.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`]-forwarding allocator that counts allocating calls per
+/// thread (see the [module docs](self)).
+pub struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[inline]
+fn bump() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: pure forwarding to `System`; the only addition is a
+// thread-local counter increment, which neither allocates nor panics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Number of heap allocations (`alloc` + `alloc_zeroed` + `realloc`)
+/// performed by the **calling thread** since it started. Monotonic;
+/// subtract two readings to count a region's allocations.
+pub fn thread_alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_allocations_on_this_thread() {
+        let before = thread_alloc_count();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let after = thread_alloc_count();
+        assert!(after > before, "an allocation must bump the counter");
+        drop(v);
+        // Frees don't count.
+        assert_eq!(thread_alloc_count(), after);
+        // A no-alloc region reads zero delta.
+        let base = thread_alloc_count();
+        let x = std::hint::black_box(3u64) + 4;
+        assert_eq!(thread_alloc_count() - base, 0, "x={x}");
+    }
+
+    #[test]
+    fn other_threads_do_not_bleed_into_this_counter() {
+        let before = thread_alloc_count();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut v = Vec::new();
+                for i in 0..1000u64 {
+                    v.push(i);
+                }
+                assert!(thread_alloc_count() > 0);
+            });
+        });
+        // Spawning the scope thread allocates *on this thread* (stack
+        // handle etc.), but the worker's 1000-element growth must not.
+        let delta = thread_alloc_count() - before;
+        assert!(delta < 100, "worker allocations bled into the parent: {delta}");
+    }
+}

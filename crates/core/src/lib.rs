@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc;
 pub mod analysis;
 pub mod config;
 pub mod importance;
@@ -93,7 +94,8 @@ pub use metrics::{evaluate, r_cdf, r_factor, Metrics};
 pub use model::{QppNet, Tenants};
 pub use serve::{Client, ServeAddr, ServeConfig, Server};
 pub use stream::{
-    MicroBatchStats, MicroBatcher, PlanId, ProgramBuilder, ProgramStats, ShardedStream,
+    plan_shard_hash, MicroBatchStats, MicroBatcher, OneshotRun, PlanId, ProgramBuilder,
+    ProgramStats, ScratchPlan, ShardedStream,
 };
 pub use train::{predict_plans, TrainHistory, TrainStats, Trainer};
 pub use train_program::ProgramTape;

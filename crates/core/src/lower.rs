@@ -164,6 +164,45 @@ impl Lowering {
     pub fn height_of(&self, k: usize) -> usize {
         self.heights[k]
     }
+
+    /// Resets to the empty pre-sentinel state, keeping capacity. Used by
+    /// the scratch decoder (`qppnet::serve::scratch`) to rebuild a reused
+    /// lowering without allocating; callers must finish with
+    /// [`Lowering::seal`] before reading.
+    pub(crate) fn clear(&mut self) {
+        self.child_offsets.clear();
+        self.children.clear();
+        self.heights.clear();
+    }
+
+    /// Appends one post-order position with the given child positions,
+    /// computing its height, and returns its position index. Children
+    /// must already be present (post order).
+    pub(crate) fn push_node(&mut self, kids: &[usize]) -> usize {
+        let my = self.heights.len();
+        let h = kids.iter().map(|&c| self.heights[c] + 1).max().unwrap_or(0);
+        self.child_offsets.push(self.children.len());
+        self.children.extend_from_slice(kids);
+        self.heights.push(h);
+        my
+    }
+
+    /// Truncates back to `n` positions, discarding later nodes and their
+    /// child lists. Used when a duplicate `children` key forces a re-parse
+    /// of a subtree range (last-wins JSON semantics).
+    pub(crate) fn truncate_nodes(&mut self, n: usize) {
+        let child_len = self.child_offsets.get(n).copied().unwrap_or(self.children.len());
+        self.child_offsets.truncate(n);
+        self.children.truncate(child_len);
+        self.heights.truncate(n);
+    }
+
+    /// Pushes the final CSR sentinel offset. Must be called exactly once
+    /// after the last [`Lowering::push_node`]; [`lower`] does the
+    /// equivalent internally.
+    pub(crate) fn seal(&mut self) {
+        self.child_offsets.push(self.children.len());
+    }
 }
 
 /// Lowers `root`'s subtree to flat post-order form.

@@ -28,6 +28,16 @@
 //!   poisoned run is reported as an `internal` error to the offending
 //!   client while the daemon keeps serving (the PR 3/6 executor contract
 //!   already guarantees the worker pool itself survives panics).
+//! * **Fast path** ([`scratch`], DESIGN.md §13): eligible one-shot
+//!   `admit_predict` lines (when [`ServeConfig::fast_path`] is on and
+//!   `burst <= 1`) parse directly into per-connection scratch CSR
+//!   arrays, run `ShardedStream::predict_oneshot` without touching a
+//!   builder, and reply from a reused buffer in one write — zero heap
+//!   allocations per request at steady state (after a per-connection
+//!   warmup window; measured by the `steady_allocs` counter and a
+//!   regression test). Anything the scratch decoder cannot prove
+//!   eligible falls back to the general path, so error replies come
+//!   from exactly one code path and stay byte-identical.
 //! * **Why served bits equal in-process bits**: the wavefront kernels
 //!   are row-invariant and [`ShardedStream`] routing is content-hashed
 //!   (thread- and shard-count invariant), so any admit/retire/predict
@@ -49,9 +59,9 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::model::{QppNet, Tenants};
 use crate::stream::{MicroBatcher, PlanId};
@@ -248,6 +258,23 @@ pub mod proto {
         pub logical_nodes: u64,
         /// Physical feature rows after CSE, across all tenants.
         pub shared_rows: u64,
+        /// One-shot `admit_predict` replies served by the zero-allocation
+        /// fast path (scratch decode → one-shot run → hand-rolled reply).
+        pub fast_path_predicted: u64,
+        /// Cumulative wall time decoding fast-path request lines (ns).
+        pub parse_ns: u64,
+        /// Cumulative wall time featurizing fast-path plans (ns).
+        pub featurize_ns: u64,
+        /// Cumulative wall time in fast-path forward runs (ns).
+        pub run_ns: u64,
+        /// Cumulative wall time serializing fast-path replies (ns).
+        pub serialize_ns: u64,
+        /// Heap allocations observed across whole fast-path request
+        /// lifecycles (read → decode → run → reply write) after each
+        /// connection's warmup window. Stays 0 at steady state on a
+        /// warmed plan mix; novel feature rows still cost their
+        /// one-time cache inserts.
+        pub steady_allocs: u64,
     }
 
     // --- field-level codecs -----------------------------------------------
@@ -430,6 +457,12 @@ pub mod proto {
             ("resident_plans", Value::Number(s.resident_plans as f64)),
             ("logical_nodes", Value::Number(s.logical_nodes as f64)),
             ("shared_rows", Value::Number(s.shared_rows as f64)),
+            ("fast_path_predicted", Value::Number(s.fast_path_predicted as f64)),
+            ("parse_ns", Value::Number(s.parse_ns as f64)),
+            ("featurize_ns", Value::Number(s.featurize_ns as f64)),
+            ("run_ns", Value::Number(s.run_ns as f64)),
+            ("serialize_ns", Value::Number(s.serialize_ns as f64)),
+            ("steady_allocs", Value::Number(s.steady_allocs as f64)),
         ])
     }
 
@@ -463,6 +496,12 @@ pub mod proto {
             resident_plans: stats_field(m, "resident_plans")?,
             logical_nodes: stats_field(m, "logical_nodes")?,
             shared_rows: stats_field(m, "shared_rows")?,
+            fast_path_predicted: stats_field(m, "fast_path_predicted")?,
+            parse_ns: stats_field(m, "parse_ns")?,
+            featurize_ns: stats_field(m, "featurize_ns")?,
+            run_ns: stats_field(m, "run_ns")?,
+            serialize_ns: stats_field(m, "serialize_ns")?,
+            steady_allocs: stats_field(m, "steady_allocs")?,
         })
     }
 
@@ -592,6 +631,8 @@ pub mod proto {
     }
 }
 
+pub mod scratch;
+
 // --- framing ---------------------------------------------------------------
 
 /// Default per-line byte cap (1 MiB — a paper-tier plan line is ~10 KiB).
@@ -643,6 +684,20 @@ pub enum LineEvent {
     Eof,
 }
 
+/// One framing event from [`LineBuf::read_line_ref`]: like [`LineEvent`]
+/// but the line borrows the reader's internal buffer, so a warmed
+/// steady-state read performs zero heap allocations.
+#[derive(Debug)]
+pub enum LineRef<'a> {
+    /// A complete line (without the trailing newline / carriage return).
+    Line(&'a str),
+    /// A line exceeded the cap; its bytes were discarded up to the next
+    /// newline and the stream is resynchronized.
+    TooLong,
+    /// Clean end of stream (a partial trailing line is dropped).
+    Eof,
+}
+
 /// Buffered, length-capped line reader over any [`Read`].
 ///
 /// Unlike [`std::io::BufReader`], an oversized line does not grow the
@@ -658,38 +713,84 @@ pub struct LineBuf {
     buf: Vec<u8>,
     /// Bytes `buf[..filled]` hold unconsumed input.
     filled: usize,
+    /// Bytes `buf[..consumed]` were handed out by the previous
+    /// [`LineBuf::read_line_ref`] call and are shifted out lazily on the
+    /// next call (the borrowed line must stay put while the caller
+    /// holds it).
+    consumed: usize,
     max_line: usize,
     discarding: bool,
+    /// Reusable scratch for the rare invalid-UTF-8 line.
+    lossy: String,
 }
 
 impl LineBuf {
     /// A reader enforcing `max_line` bytes per line.
     pub fn new(max_line: usize) -> LineBuf {
-        LineBuf { buf: vec![0u8; 8192], filled: 0, max_line, discarding: false }
+        LineBuf {
+            buf: vec![0u8; 8192],
+            filled: 0,
+            consumed: 0,
+            max_line,
+            discarding: false,
+            lossy: String::new(),
+        }
     }
 
-    /// Pops one framing event, reading from `r` as needed.
+    /// Pops one framing event, reading from `r` as needed. Allocating
+    /// wrapper over [`LineBuf::read_line_ref`], kept for callers that
+    /// need an owned line.
     pub fn read_line(&mut self, r: &mut impl Read) -> io::Result<LineEvent> {
+        Ok(match self.read_line_ref(r)? {
+            LineRef::Line(s) => LineEvent::Line(s.to_owned()),
+            LineRef::TooLong => LineEvent::TooLong,
+            LineRef::Eof => LineEvent::Eof,
+        })
+    }
+
+    /// Pops one framing event, reading from `r` as needed; the returned
+    /// line borrows this reader's buffer (valid until the next call).
+    /// Once the buffer has grown to the connection's working line size,
+    /// steady-state calls on valid-UTF-8 input allocate nothing.
+    pub fn read_line_ref(&mut self, r: &mut impl Read) -> io::Result<LineRef<'_>> {
+        // Shift out the line handed to the caller by the previous call.
+        if self.consumed > 0 {
+            self.buf.copy_within(self.consumed..self.filled, 0);
+            self.filled -= self.consumed;
+            self.consumed = 0;
+        }
         loop {
             if let Some(pos) = self.buf[..self.filled].iter().position(|&b| b == b'\n') {
-                let rest = self.filled - (pos + 1);
-                let line: Vec<u8> = self.buf[..pos].to_vec();
-                self.buf.copy_within(pos + 1..self.filled, 0);
-                self.filled = rest;
+                self.consumed = pos + 1;
                 if self.discarding {
                     self.discarding = false;
-                    return Ok(LineEvent::TooLong);
+                    return Ok(LineRef::TooLong);
                 }
-                if line.len() > self.max_line {
+                if pos > self.max_line {
                     // The whole line fit in the read buffer but still
                     // exceeds the cap.
-                    return Ok(LineEvent::TooLong);
+                    return Ok(LineRef::TooLong);
                 }
-                let mut line = line;
+                let mut line = &self.buf[..pos];
                 if line.last() == Some(&b'\r') {
-                    line.pop();
+                    line = &line[..pos - 1];
                 }
-                return Ok(LineEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+                return Ok(LineRef::Line(match std::str::from_utf8(line) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Same replacement-character semantics as
+                        // `String::from_utf8_lossy`, into a reusable
+                        // buffer.
+                        self.lossy.clear();
+                        for chunk in line.utf8_chunks() {
+                            self.lossy.push_str(chunk.valid());
+                            if !chunk.invalid().is_empty() {
+                                self.lossy.push(char::REPLACEMENT_CHARACTER);
+                            }
+                        }
+                        &self.lossy
+                    }
+                }));
             }
             if self.discarding {
                 // Throw away everything buffered; keep scanning for '\n'.
@@ -710,7 +811,7 @@ impl LineBuf {
             }
             let n = r.read(&mut self.buf[self.filled..])?;
             if n == 0 {
-                return Ok(LineEvent::Eof);
+                return Ok(LineRef::Eof);
             }
             self.filled += n;
         }
@@ -884,6 +985,13 @@ pub struct ServeConfig {
     /// Handler read-timeout granularity: how often a blocked handler
     /// wakes to poll the shutdown flag (milliseconds).
     pub poll_ms: u64,
+    /// Serve eligible one-shot `admit_predict` requests over the
+    /// zero-allocation fast path (scratch decode → one-shot run →
+    /// hand-rolled reply, bitwise-equal to the builder path). Only
+    /// engages when `burst <= 1`; micro-batch coalescing takes
+    /// precedence. The default honors the `QPP_SERVE_FAST_PATH` env var
+    /// (`0` disables, anything else — including unset — enables).
+    pub fast_path: bool,
 }
 
 impl Default for ServeConfig {
@@ -895,6 +1003,7 @@ impl Default for ServeConfig {
             burst_wait_us: 200,
             max_line: MAX_LINE_DEFAULT,
             poll_ms: 25,
+            fast_path: std::env::var("QPP_SERVE_FAST_PATH").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -918,6 +1027,27 @@ pub fn validate_plan(plan: &PlanNode) -> Result<(), String> {
     match bad {
         Some(why) => Err(why),
         None => Ok(()),
+    }
+}
+
+/// Serializes `resp` through the oracle encoder into `out` and sends it
+/// as one `write` call — replies are single lines, one syscall each.
+fn write_reply(conn: &mut Conn, resp: &Response, out: &mut Vec<u8>) -> io::Result<()> {
+    out.clear();
+    out.extend_from_slice(proto::encode_response(resp).as_bytes());
+    out.push(b'\n');
+    conn.write_all(out)
+}
+
+/// Writes an `f64` exactly as the vendored JSON writer does: integral
+/// values with magnitude below 2^53 print as integers, everything else
+/// via shortest-round-trip `Display`. Streams into `out` without
+/// allocating. The caller has already rejected non-finite values.
+fn write_wire_f64(n: f64, out: &mut Vec<u8>) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -949,6 +1079,24 @@ struct State<'m> {
     stats: proto::ServeStats,
 }
 
+/// Fast-path requests a connection serves before its allocation deltas
+/// start feeding [`ServeStats::steady_allocs`] — the first few requests
+/// legitimately grow per-connection scratch to the working-set size.
+const FAST_WARMUP: u64 = 64;
+
+/// Fast-path counters, kept as atomics outside the state lock so the
+/// post-unlock phases (reply serialization, allocation accounting) never
+/// retake it. Folded into [`ServeStats`] by the `stats` verb.
+#[derive(Debug, Default)]
+struct FastStats {
+    predicted: AtomicU64,
+    parse_ns: AtomicU64,
+    featurize_ns: AtomicU64,
+    run_ns: AtomicU64,
+    serialize_ns: AtomicU64,
+    steady_allocs: AtomicU64,
+}
+
 /// The serving daemon: owns registered models' resident streams and
 /// serves the [`proto`] protocol to any number of blocking clients.
 ///
@@ -972,6 +1120,7 @@ pub struct Server<'m> {
     addr: ServeAddr,
     cfg: ServeConfig,
     state: Mutex<State<'m>>,
+    fast: FastStats,
     shutdown: AtomicBool,
 }
 
@@ -992,6 +1141,7 @@ impl<'m> Server<'m> {
                 pending: Vec::new(),
                 stats: proto::ServeStats::default(),
             }),
+            fast: FastStats::default(),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -1053,11 +1203,18 @@ impl<'m> Server<'m> {
     fn handle(&self, mut conn: Conn) {
         let _ = conn.set_read_timeout(Some(Duration::from_millis(self.cfg.poll_ms)));
         let mut lb = LineBuf::new(self.cfg.max_line);
+        // Coalescing parks handlers on a condvar mid-request; the fast
+        // path only engages when bursts are disabled.
+        let fast = self.cfg.fast_path && self.cfg.burst <= 1;
+        let mut scratch = scratch::RequestScratch::new();
+        let mut out: Vec<u8> = Vec::with_capacity(256);
+        let mut fast_served = 0u64;
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let event = match lb.read_line(&mut conn) {
+            let allocs0 = crate::alloc::thread_alloc_count();
+            let event = match lb.read_line_ref(&mut conn) {
                 Ok(ev) => ev,
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -1069,19 +1226,30 @@ impl<'m> Server<'m> {
                 Err(_) => return,
             };
             let reply = match event {
-                LineEvent::Eof => return,
-                LineEvent::TooLong => {
+                LineRef::Eof => return,
+                LineRef::TooLong => {
                     self.count_request(true);
                     Response::Error(ErrorReply::new(
                         ErrorCode::LineTooLong,
                         format!("line exceeded {} bytes and was discarded", self.cfg.max_line),
                     ))
                 }
-                LineEvent::Line(line) => {
+                LineRef::Line(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    match proto::decode_request(&line) {
+                    if fast && self.try_fast_path(line, &mut scratch, &mut out) {
+                        if conn.write_all(&out).is_err() {
+                            return;
+                        }
+                        fast_served += 1;
+                        if fast_served > FAST_WARMUP {
+                            let delta = crate::alloc::thread_alloc_count() - allocs0;
+                            self.fast.steady_allocs.fetch_add(delta, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    match proto::decode_request(line) {
                         Err(rep) => {
                             self.count_request(true);
                             Response::Error(rep)
@@ -1090,9 +1258,9 @@ impl<'m> Server<'m> {
                             let is_shutdown = matches!(req, Request::Shutdown);
                             let resp = self.dispatch(req);
                             self.count_request(matches!(resp, Response::Error(_)));
-                            let line = proto::encode_response(&resp);
-                            let _ = writeln!(conn, "{line}");
-                            let _ = conn.flush();
+                            if write_reply(&mut conn, &resp, &mut out).is_err() {
+                                return;
+                            }
                             if is_shutdown {
                                 self.request_shutdown();
                             }
@@ -1101,11 +1269,72 @@ impl<'m> Server<'m> {
                     }
                 }
             };
-            let line = proto::encode_response(&reply);
-            if writeln!(conn, "{line}").is_err() || conn.flush().is_err() {
+            if write_reply(&mut conn, &reply, &mut out).is_err() {
                 return;
             }
         }
+    }
+
+    /// Attempts the zero-allocation fast path on one request line. On
+    /// success the complete reply line (newline included) is in `out`.
+    /// Any ineligibility — decode fallback, unknown tenant, no
+    /// registered models, non-finite prediction, panicked run — returns
+    /// `false` *without* replying, and the caller re-runs the line
+    /// through the oracle decoder so every error reply stays
+    /// byte-identical to the slow path.
+    fn try_fast_path(
+        &self,
+        line: &str,
+        scratch: &mut scratch::RequestScratch,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let t0 = Instant::now();
+        let tenant = match scratch.decode(line) {
+            scratch::FastDecode::Ready { tenant } => tenant,
+            scratch::FastDecode::Fallback => return false,
+        };
+        let parse_ns = t0.elapsed().as_nanos() as u64;
+        let run = {
+            let mut st = self.lock();
+            let st = &mut *st;
+            let Some(fp) = tenant.or(st.default_fp) else {
+                return false;
+            };
+            let Some(stream) = st.tenants.stream(fp) else {
+                return false;
+            };
+            let plan = scratch.plan();
+            let Ok(run) = catch_unwind(AssertUnwindSafe(|| stream.predict_oneshot(plan))) else {
+                return false;
+            };
+            if !run.latency_ms.is_finite() {
+                // The oracle writer refuses non-finite numbers; let the
+                // slow path reproduce its exact behavior.
+                return false;
+            }
+            st.stats.requests += 1;
+            st.stats.admitted += 1;
+            st.stats.predicted += 1;
+            st.stats.retired += 1;
+            run
+        };
+        // Hand-rolled reply, field order matching the oracle encoder's
+        // BTreeMap (alphabetical) serialization of
+        // `Response::Predicted { id: None, .. }`.
+        let t1 = Instant::now();
+        out.clear();
+        out.extend_from_slice(b"{\"latency_ms\":");
+        write_wire_f64(run.latency_ms, out);
+        out.extend_from_slice(b",\"ok\":true,\"op\":\"predict\",\"v\":");
+        write_wire_f64(proto::VERSION as f64, out);
+        out.extend_from_slice(b"}\n");
+        let serialize_ns = t1.elapsed().as_nanos() as u64;
+        self.fast.predicted.fetch_add(1, Ordering::Relaxed);
+        self.fast.parse_ns.fetch_add(parse_ns, Ordering::Relaxed);
+        self.fast.featurize_ns.fetch_add(run.featurize_ns, Ordering::Relaxed);
+        self.fast.run_ns.fetch_add(run.run_ns, Ordering::Relaxed);
+        self.fast.serialize_ns.fetch_add(serialize_ns, Ordering::Relaxed);
+        true
     }
 
     fn count_request(&self, is_error: bool) {
@@ -1334,6 +1563,12 @@ impl<'m> Server<'m> {
             stats.logical_nodes += ps.logical_nodes as u64;
             stats.shared_rows += ps.shared_rows as u64;
         }
+        stats.fast_path_predicted = self.fast.predicted.load(Ordering::Relaxed);
+        stats.parse_ns = self.fast.parse_ns.load(Ordering::Relaxed);
+        stats.featurize_ns = self.fast.featurize_ns.load(Ordering::Relaxed);
+        stats.run_ns = self.fast.run_ns.load(Ordering::Relaxed);
+        stats.serialize_ns = self.fast.serialize_ns.load(Ordering::Relaxed);
+        stats.steady_allocs = self.fast.steady_allocs.load(Ordering::Relaxed);
         Response::Stats(stats)
     }
 }

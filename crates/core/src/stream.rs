@@ -51,6 +51,7 @@
 use crate::config::TargetCodec;
 use crate::infer::{clamp_plan_envelope, run_schedule, Step, STEP_CHUNK_ROWS};
 use crate::lower::{lower, Lowering, NodeContentKey, SubtreeKey};
+use qpp_plansim::util::Fnv1a;
 use crate::tree::RatioCaps;
 use crate::unit::{PackedUnits, UnitSet};
 use qpp_nn::{BufferPool, Executor, Matrix};
@@ -237,6 +238,8 @@ pub struct ProgramBuilder<'m> {
     feat_cache: FeatureCache<NodeContentKey>,
     feat_scratch: Vec<f32>,
     child_scratch: Vec<usize>,
+    /// One-shot predict buffers (see [`ProgramBuilder::predict_oneshot`]).
+    oneshot: OneshotScratch,
 
     /// `shared rows × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
     /// Retired rows are recycled through `row_free` before the matrix
@@ -285,6 +288,7 @@ impl<'m> ProgramBuilder<'m> {
             feat_cache: FeatureCache::new(),
             feat_scratch: Vec::new(),
             child_scratch: Vec::new(),
+            oneshot: OneshotScratch::default(),
             outputs: Matrix::zeros(0, out_w),
             row_free: Vec::new(),
             pool: BufferPool::new(),
@@ -492,6 +496,86 @@ impl<'m> ProgramBuilder<'m> {
         self.decode_plan(id)
     }
 
+    /// One-shot root prediction of a non-resident plan: featurizes
+    /// through the shared feature cache and runs the packed kernels over
+    /// the plan's post order directly — no admission, no wavefront
+    /// placement, no retire compaction, and (warm) no allocation. This is
+    /// the serve fast path behind `admit_predict` with immediate retire.
+    ///
+    /// # Bitwise equality
+    ///
+    /// The result equals `admit` → `predict_root` → `retire` bit for bit:
+    /// the feature cache is keyed by the lossless [`NodeContentKey`]
+    /// (identical feature bits either way), the packed kernels are
+    /// row-invariant (a node's 1-row forward here produces the same bits
+    /// as its slot in a chunked wavefront gemm, because the input row —
+    /// feature prefix ⌢ child output blocks — is identical by induction
+    /// over heights), and decode/clamp are the same code. The differential
+    /// suite (`tests/serve_scratch.rs`) holds this across kernel tiers.
+    ///
+    /// # Panics
+    /// Panics on a featurizer/model shape mismatch (same contract as
+    /// [`ProgramBuilder::admit`]); callers must pre-check arity via
+    /// [`ScratchPlan::arity_ok`].
+    pub fn predict_oneshot(&mut self, plan: &ScratchPlan) -> OneshotRun {
+        let n = plan.len();
+        assert!(n > 0, "plans are non-empty");
+        let mut sc = std::mem::take(&mut self.oneshot);
+
+        let t0 = std::time::Instant::now();
+        sc.feats.clear();
+        sc.spans.clear();
+        for (k, node) in plan.nodes().iter().enumerate() {
+            let kind = plan.kinds()[k];
+            assert_eq!(
+                self.featurizer.feature_size(kind) + kind.arity() * self.out_w,
+                self.units.unit(kind).in_dim(),
+                "feature/model shape mismatch for {kind:?}"
+            );
+            let content = NodeContentKey::of(node);
+            self.feat_cache.features_into(
+                self.featurizer,
+                self.whitener,
+                node,
+                content,
+                &mut sc.feat,
+            );
+            let off = sc.feats.len() as u32;
+            sc.feats.extend_from_slice(&sc.feat);
+            sc.spans.push((off, sc.feat.len() as u32));
+        }
+        let featurize_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = std::time::Instant::now();
+        sc.outputs.resize_for_overwrite(n, self.out_w);
+        for k in 0..n {
+            let kind = plan.kinds()[k];
+            let (off, len) = sc.spans[k];
+            let (off, fw) = (off as usize, len as usize);
+            let kids = plan.lowering().children_of(k);
+            sc.input.resize_for_overwrite(1, fw + kids.len() * self.out_w);
+            let row = sc.input.row_mut(0);
+            row[..fw].copy_from_slice(&sc.feats[off..off + fw]);
+            for (j, &c) in kids.iter().enumerate() {
+                let dst = fw + j * self.out_w;
+                row[dst..dst + self.out_w].copy_from_slice(sc.outputs.row(c));
+            }
+            let out = self.packed.unit(kind).forward_pooled(&sc.input, &mut self.pool);
+            sc.outputs.row_mut(k).copy_from_slice(out.row(0));
+            self.pool.give(out);
+        }
+        sc.preds.clear();
+        sc.preds.extend((0..n).map(|k| self.codec.decode(sc.outputs.get(k, 0))));
+        if let Some(caps) = self.caps {
+            clamp_plan_envelope(&mut sc.preds, plan.lowering(), plan.kinds(), caps);
+        }
+        let latency_ms = *sc.preds.last().expect("plans are non-empty");
+        let run_ns = t1.elapsed().as_nanos() as u64;
+
+        self.oneshot = sc;
+        OneshotRun { latency_ms, featurize_ns, run_ns }
+    }
+
     /// Executes the resident program (rebuilding the level schedule if
     /// admissions/retirements dirtied it), leaving every live output row
     /// fresh for decoding.
@@ -684,8 +768,8 @@ impl<'m> ProgramBuilder<'m> {
 /// is what lets the per-shard CSE maps and feature caches keep their hit
 /// rates under sharding) and the routing is stable across platforms and
 /// runs — no pointer or insertion-order dependence.
-fn plan_shard_hash(node: &PlanNode) -> u64 {
-    let mut h = qpp_plansim::util::Fnv1a::new();
+pub fn plan_shard_hash(node: &PlanNode) -> u64 {
+    let mut h = Fnv1a::new();
     for &w in NodeContentKey::of(node).words() {
         h.mix(w);
     }
@@ -693,6 +777,184 @@ fn plan_shard_hash(node: &PlanNode) -> u64 {
         h.mix(plan_shard_hash(child));
     }
     h.finish()
+}
+
+/// A plan decoded straight into lowering-ready form, bypassing the
+/// `PlanNode` tree: post-order node records (children lists live in the
+/// CSR [`Lowering`], so each stored node's own `children` vec stays
+/// empty — every consumer of a node's content is node-local, see
+/// [`NodeContentKey`]), the per-position [`OpKind`]s, and a bottom-up
+/// replica of [`plan_shard_hash`] per position.
+///
+/// This is the reusable target of the serve fast path's scratch decoder
+/// (`crate::serve::scratch`): [`ScratchPlan::clear`] keeps every
+/// allocation, so a warm instance rebuilds from wire bytes without
+/// touching the allocator. It is also valid mid-construction — a decoder
+/// hitting a duplicate JSON key can [`ScratchPlan::truncate`] back to a
+/// mark and re-parse (last-wins semantics) because post-order suffixes
+/// are self-contained.
+#[derive(Default)]
+pub struct ScratchPlan {
+    nodes: Vec<PlanNode>,
+    kinds: Vec<OpKind>,
+    lowering: Lowering,
+    hashes: Vec<u64>,
+}
+
+impl ScratchPlan {
+    /// An empty plan (no capacity reserved yet).
+    pub fn new() -> ScratchPlan {
+        ScratchPlan::default()
+    }
+
+    /// Resets to empty, keeping all capacity. Must be called before each
+    /// rebuild; [`ScratchPlan::seal`] finishes one.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.kinds.clear();
+        self.lowering.clear();
+        self.hashes.clear();
+    }
+
+    /// Appends one post-order node whose children are the already-pushed
+    /// positions `kids` (in order), returning its position. `node.children`
+    /// must be empty — the child structure lives only in the CSR.
+    pub fn push_node(&mut self, node: PlanNode, kids: &[usize]) -> usize {
+        debug_assert!(node.children.is_empty(), "scratch nodes carry no child vecs");
+        let mut h = Fnv1a::new();
+        for &w in NodeContentKey::of(&node).words() {
+            h.mix(w);
+        }
+        for &c in kids {
+            h.mix(self.hashes[c]);
+        }
+        self.hashes.push(h.finish());
+        self.kinds.push(node.op.kind());
+        self.nodes.push(node);
+        self.lowering.push_node(kids)
+    }
+
+    /// Discards every position from `n` on (a decoder backing out of a
+    /// re-parsed or semantically-bad subtree range).
+    pub fn truncate(&mut self, n: usize) {
+        self.nodes.truncate(n);
+        self.kinds.truncate(n);
+        self.hashes.truncate(n);
+        self.lowering.truncate_nodes(n);
+    }
+
+    /// Finishes construction (writes the CSR sentinel). Call exactly once
+    /// per rebuild, after the last [`ScratchPlan::push_node`].
+    pub fn seal(&mut self) {
+        self.lowering.seal();
+    }
+
+    /// Rebuilds from an ordinary plan tree (post-order traversal). The
+    /// serve fast path decodes straight from wire bytes instead; this is
+    /// the reference constructor the differential tests compare against.
+    pub fn rebuild_from_tree(&mut self, root: &PlanNode) {
+        fn rec(sp: &mut ScratchPlan, node: &PlanNode, kid_stack: &mut Vec<usize>) -> usize {
+            let mark = kid_stack.len();
+            for c in &node.children {
+                let pos = rec(sp, c, kid_stack);
+                kid_stack.push(pos);
+            }
+            let bare = PlanNode {
+                op: node.op.clone(),
+                est: node.est,
+                actual: node.actual,
+                learned_rows: node.learned_rows,
+                concurrency: node.concurrency,
+                children: Vec::new(),
+            };
+            let pos = sp.push_node(bare, &kid_stack[mark..]);
+            kid_stack.truncate(mark);
+            pos
+        }
+        self.clear();
+        rec(self, root, &mut Vec::new());
+        self.seal();
+    }
+
+    /// Nodes pushed so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are resident.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True when every position's child count matches its operator
+    /// family's arity (the check `ProgramBuilder::admit` enforces by
+    /// panic; the fast path rejects before running instead).
+    pub fn arity_ok(&self) -> bool {
+        (0..self.len())
+            .all(|k| self.lowering.children_of(k).len() == self.kinds[k].arity())
+    }
+
+    /// The root's [`plan_shard_hash`] replica (the last post-order
+    /// position). Zero on an empty plan.
+    pub fn shard_hash(&self) -> u64 {
+        self.hashes.last().copied().unwrap_or(0)
+    }
+
+    /// Post-order node records (children vecs intentionally empty).
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Per-position operator families.
+    pub fn kinds(&self) -> &[OpKind] {
+        &self.kinds
+    }
+
+    /// The CSR child structure.
+    pub fn lowering(&self) -> &Lowering {
+        &self.lowering
+    }
+}
+
+/// Timing breakdown of one [`ProgramBuilder::predict_oneshot`] call —
+/// the serve fast path folds these into its per-phase counters.
+#[derive(Debug, Clone, Copy)]
+pub struct OneshotRun {
+    /// Decoded (and, under caps, envelope-clamped) root-latency
+    /// prediction in milliseconds.
+    pub latency_ms: f64,
+    /// Wall time of the featurization pass (feature-cache lookups).
+    pub featurize_ns: u64,
+    /// Wall time of the forward + decode + clamp pass.
+    pub run_ns: u64,
+}
+
+/// Reusable buffers of the one-shot predict path; lives on the builder so
+/// steady-state calls never allocate.
+struct OneshotScratch {
+    /// Flat feature rows, `spans[k]` delimiting node `k`'s row.
+    feats: Vec<f32>,
+    spans: Vec<(u32, u32)>,
+    /// Single-row output of `FeatureCache::features_into`.
+    feat: Vec<f32>,
+    /// `n × out_w` per-node unit outputs (post-order).
+    outputs: Matrix,
+    /// One-row gemm input `(feat prefix ⌢ child₁ ⌢ … ⌢ childₖ)`.
+    input: Matrix,
+    preds: Vec<f64>,
+}
+
+impl Default for OneshotScratch {
+    fn default() -> OneshotScratch {
+        OneshotScratch {
+            feats: Vec::new(),
+            spans: Vec::new(),
+            feat: Vec::new(),
+            outputs: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            preds: Vec::new(),
+        }
+    }
 }
 
 /// Shard-per-core resident serving: `S` independent [`ProgramBuilder`]
@@ -881,6 +1143,17 @@ impl<'m> ShardedStream<'m> {
     /// [`ShardedStream::predict_root_threaded`] on the calling thread.
     pub fn predict_root(&mut self, id: PlanId) -> f64 {
         self.predict_root_threaded(id, 1)
+    }
+
+    /// One-shot root prediction of a non-resident plan (see
+    /// [`ProgramBuilder::predict_oneshot`]), routed to the same
+    /// content-hash shard [`ShardedStream::admit`] would pick — the
+    /// [`ScratchPlan`] carries a bottom-up replica of
+    /// [`plan_shard_hash`] — so it warms exactly the feature cache that
+    /// resident admissions of the same templates would hit.
+    pub fn predict_oneshot(&mut self, plan: &ScratchPlan) -> OneshotRun {
+        let shard = (plan.shard_hash() % self.shards.len() as u64) as usize;
+        self.shards[shard].predict_oneshot(plan)
     }
 
     /// Per-operator predictions (post order, milliseconds) for one
@@ -1443,6 +1716,136 @@ mod tests {
         assert_eq!((stats.batches, stats.requests), (1, 8));
         assert!((stats.mean_width() - 8.0).abs() < 1e-12);
         assert!(stats.to_string().contains("mean width"));
+    }
+
+    #[test]
+    fn scratch_plan_replicates_lowering_and_shard_hash() {
+        let (ds, _, _, _, _) = setup(Workload::TpcDs);
+        let mut sp = ScratchPlan::new();
+        for p in &ds.plans {
+            sp.rebuild_from_tree(&p.root);
+            let oracle = lower(&p.root);
+            let po = p.root.postorder();
+            assert_eq!(sp.len(), oracle.len());
+            for (k, node) in po.iter().enumerate() {
+                assert_eq!(sp.lowering().children_of(k), oracle.children_of(k));
+                assert_eq!(sp.lowering().height_of(k), oracle.height_of(k));
+                assert_eq!(
+                    NodeContentKey::of(&sp.nodes()[k]),
+                    NodeContentKey::of(node),
+                    "content key drift at position {k}"
+                );
+                assert_eq!(sp.kinds()[k], node.op.kind());
+            }
+            assert_eq!(sp.shard_hash(), plan_shard_hash(&p.root));
+            assert!(sp.arity_ok());
+        }
+    }
+
+    #[test]
+    fn scratch_plan_truncate_backs_out_a_suffix() {
+        let (ds, _, _, _, _) = setup(Workload::TpcDs);
+        let deep = ds.plans.iter().max_by_key(|p| p.node_count()).unwrap();
+        let mut sp = ScratchPlan::new();
+        // Build the full tree, remember its state, truncate to a prefix,
+        // then re-push the suffix: everything must match the clean build.
+        sp.rebuild_from_tree(&deep.root);
+        let want_hash = sp.shard_hash();
+        let want_len = sp.len();
+        // Rebuild by hand so we can interrupt: push all, then truncate the
+        // root off and re-push it.
+        sp.clear();
+        let po = deep.root.postorder();
+        let lw = lower(&deep.root);
+        for (k, node) in po.iter().enumerate() {
+            let mut bare = (*node).clone();
+            bare.children = Vec::new();
+            sp.push_node(bare, lw.children_of(k));
+        }
+        let root_kids: Vec<usize> = lw.children_of(want_len - 1).to_vec();
+        sp.truncate(want_len - 1);
+        assert_eq!(sp.len(), want_len - 1);
+        let mut bare = po[want_len - 1].clone();
+        bare.children = Vec::new();
+        sp.push_node(bare, &root_kids);
+        sp.seal();
+        assert_eq!(sp.len(), want_len);
+        assert_eq!(sp.shard_hash(), want_hash);
+        for k in 0..want_len {
+            assert_eq!(sp.lowering().children_of(k), lw.children_of(k));
+        }
+    }
+
+    #[test]
+    fn oneshot_predict_matches_admit_predict_retire_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        for caps in [None, Some(&caps)] {
+            let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, caps);
+            let mut sp = ScratchPlan::new();
+            // Interleave with resident plans so the one-shot path runs
+            // against a warm, non-trivial builder.
+            for p in ds.plans.iter().take(4) {
+                builder.admit(&p.root);
+            }
+            for p in &ds.plans {
+                sp.rebuild_from_tree(&p.root);
+                let fast = builder.predict_oneshot(&sp);
+                let id = builder.admit(&p.root);
+                let slow = builder.predict_root(id);
+                builder.retire(id);
+                assert_eq!(
+                    fast.latency_ms.to_bits(),
+                    slow.to_bits(),
+                    "one-shot drift (caps={})",
+                    builder.caps.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_oneshot_routes_like_admit_and_matches_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut sharded = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let mut sp = ScratchPlan::new();
+        for p in &ds.plans {
+            sp.rebuild_from_tree(&p.root);
+            let fast = sharded.predict_oneshot(&sp);
+            let id = sharded.admit(&p.root);
+            let slow = sharded.predict_root(id);
+            sharded.retire(id);
+            assert_eq!(fast.latency_ms.to_bits(), slow.to_bits());
+        }
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn oneshot_predict_is_allocation_free_when_warm() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let plans: Vec<ScratchPlan> = ds
+            .plans
+            .iter()
+            .map(|p| {
+                let mut sp = ScratchPlan::new();
+                sp.rebuild_from_tree(&p.root);
+                sp
+            })
+            .collect();
+        // Warm every scratch buffer, the feature cache and the pool.
+        for sp in &plans {
+            builder.predict_oneshot(sp);
+        }
+        let before = crate::alloc::thread_alloc_count();
+        for sp in &plans {
+            builder.predict_oneshot(sp);
+        }
+        assert_eq!(
+            crate::alloc::thread_alloc_count() - before,
+            0,
+            "warm one-shot predict must not allocate"
+        );
     }
 
     #[test]

@@ -82,6 +82,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&flags),
         "importance" => cmd_importance(&flags),
         "serve" => cmd_serve(&flags),
+        "serve-stats" => cmd_serve_stats(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     match result {
@@ -105,7 +106,9 @@ fn usage(error: &str) -> ExitCode {
          qpp explain    --dataset FILE --query N\n\
          qpp importance --dataset FILE --model FILE [--seed N] [--top N]\n\
          qpp serve      --model FILE[,FILE...] [--addr HOST:PORT|unix:PATH]\n\
-                        [--shards N] [--burst W] [--threads N] [--burst-wait-us U]"
+                        [--shards N] [--burst W] [--threads N] [--burst-wait-us U]\n\
+                        [--fast-path 0|1]\n\
+         qpp serve-stats [--addr HOST:PORT|unix:PATH]"
     );
     ExitCode::from(2)
 }
@@ -629,12 +632,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use qpp::net::serve::{ServeAddr, ServeConfig, Server};
 
     let addr = ServeAddr::parse(get_or(flags, "addr", "127.0.0.1:7878"))?;
+    let env_default = ServeConfig::default();
     let cfg = ServeConfig {
         shards: parse(get_or(flags, "shards", "1"), "shard count")?,
         threads: parse(get_or(flags, "threads", "1"), "thread count")?,
         burst: parse(get_or(flags, "burst", "1"), "burst width")?,
         burst_wait_us: parse(get_or(flags, "burst-wait-us", "200"), "burst wait")?,
-        ..ServeConfig::default()
+        // --fast-path overrides the QPP_SERVE_FAST_PATH env default.
+        fast_path: match flags.get("fast-path").map(String::as_str) {
+            None => env_default.fast_path,
+            Some("0") => false,
+            Some("1") => true,
+            Some(other) => return Err(format!("invalid --fast-path: `{other}` (want 0|1)")),
+        },
+        ..env_default
     };
     if cfg.shards == 0 || cfg.threads == 0 || cfg.burst == 0 {
         return Err("--shards/--threads/--burst must be >= 1".into());
@@ -665,6 +676,54 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.threads,
         cfg.burst
     );
+    println!(
+        "kernel tier: {}; fast path: {}",
+        qpp::nn::KernelTier::current(),
+        if cfg.fast_path && cfg.burst <= 1 {
+            "on (zero-allocation one-shot predicts)"
+        } else if cfg.fast_path {
+            "off (burst coalescing takes precedence)"
+        } else {
+            "off"
+        }
+    );
     println!("protocol: one JSON object per line; send {{\"v\":1,\"op\":\"shutdown\"}} to stop");
     server.run().map_err(|e| format!("serve loop failed: {e}"))
+}
+
+/// Connects to a running daemon, fetches the `stats` verb, and renders
+/// the counters — including the fast path's per-phase latency breakdown
+/// and the steady-state allocation counter.
+fn cmd_serve_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    use qpp::net::serve::{Client, ServeAddr};
+
+    let addr = ServeAddr::parse(get_or(flags, "addr", "127.0.0.1:7878"))?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let s = client.stats().map_err(|e| format!("stats request failed: {e}"))?;
+
+    println!("server:   {} connections, {} requests, {} errors", s.connections, s.requests, s.errors);
+    println!(
+        "plans:    {} admitted, {} retired, {} predicted ({} batches / {} batched requests)",
+        s.admitted, s.retired, s.predicted, s.batches, s.batched_requests
+    );
+    println!(
+        "resident: {} tenants, {} plans, {} logical nodes, {} shared rows",
+        s.tenants, s.resident_plans, s.logical_nodes, s.shared_rows
+    );
+    println!("fast path: {} one-shot predicts served", s.fast_path_predicted);
+    if s.fast_path_predicted > 0 {
+        let per = |ns: u64| ns as f64 / s.fast_path_predicted as f64 / 1_000.0;
+        println!(
+            "  per-request: parse {:.1}us, featurize {:.1}us, run {:.1}us, serialize {:.1}us",
+            per(s.parse_ns),
+            per(s.featurize_ns),
+            per(s.run_ns),
+            per(s.serialize_ns)
+        );
+        println!("  steady-state allocations: {}", s.steady_allocs);
+    }
+    Ok(())
 }

@@ -143,6 +143,21 @@ fn tcp_served_bits_match_inprocess_t1() {
     }
 }
 
+/// The fast-path toggle is bit-transparent: the same interleavings with
+/// the zero-allocation fast path forced on and forced off (overriding
+/// whatever `QPP_SERVE_FAST_PATH` says) must both match the in-process
+/// builder bit-for-bit.
+#[test]
+fn tcp_served_bits_match_with_fast_path_forced_on_and_off() {
+    for fast_path in [true, false] {
+        for clamped in [false, true] {
+            let cfg = ServeConfig { threads: 1, fast_path, ..ServeConfig::default() };
+            let addr = ServeAddr::parse("127.0.0.1:0").unwrap();
+            served_bits_match_inprocess(&addr, cfg, clamped, 7, 30);
+        }
+    }
+}
+
 #[test]
 fn tcp_served_bits_match_inprocess_t4_sharded() {
     // 4 wavefront threads + 3 shards: the full concurrent configuration

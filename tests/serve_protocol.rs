@@ -102,6 +102,8 @@ proptest! {
             admitted: d, retired: e, predicted: f,
             batches: a % 1000, batched_requests: b % 1000, tenants: c % 16,
             resident_plans: d % 10_000, logical_nodes: e % 100_000, shared_rows: f % 100_000,
+            fast_path_predicted: f % 100_000, parse_ns: a, featurize_ns: b,
+            run_ns: c, serialize_ns: d, steady_allocs: e % 1000,
         };
         roundtrip_response(&Response::Stats(stats));
     }
@@ -157,6 +159,17 @@ fn wire_shapes_are_stable() {
         r#"{"id":"17","op":"predict","v":1}"#
     );
     assert_eq!(encode_response(&Response::Bye), r#"{"ok":true,"op":"shutdown","v":1}"#);
+    // The one-shot predict reply: this exact shape (alphabetical field
+    // order, integral f64 printed as integer) is what the serve fast
+    // path hand-rolls, so it is pinned here against the oracle encoder.
+    assert_eq!(
+        encode_response(&Response::Predicted { id: None, latency_ms: 12.5 }),
+        r#"{"latency_ms":12.5,"ok":true,"op":"predict","v":1}"#
+    );
+    assert_eq!(
+        encode_response(&Response::Predicted { id: None, latency_ms: 3.0 }),
+        r#"{"latency_ms":3,"ok":true,"op":"predict","v":1}"#
+    );
     assert_eq!(
         encode_response(&Response::Error(ErrorReply::new(ErrorCode::UnknownOp, "nope"))),
         r#"{"error":{"code":"unknown_op","msg":"nope"},"ok":false,"v":1}"#
