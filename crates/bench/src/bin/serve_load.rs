@@ -7,7 +7,11 @@
 //!   this leg doubles as the CI smoke run), then
 //! * an **open-loop rate sweep** per tier with Zipf(0.99)-skewed
 //!   template selection, recording p50/p95/p99/p999 latency (measured
-//!   from *scheduled* arrival, so queueing shows) and drop counts.
+//!   from *scheduled* arrival, so queueing shows) and drop counts, then
+//! * a closed-loop **adversarial leg** with all-distinct plans
+//!   (`--unique`), which defeats the Zipf skew so the daemon's
+//!   whole-plan prediction memo can never hit — its probe+insert
+//!   overhead is what that row measures.
 //!
 //! Results print as a table and persist to `BENCH_serve.json` at the
 //! workspace root. Exits nonzero if any leg completes zero requests or
@@ -16,13 +20,18 @@
 //! ```text
 //! serve_load [--queries N] [--requests N] [--rates r1,r2,...]
 //!            [--conns C] [--burst W] [--shards S] [--zipf S]
-//!            [--tiers edge,paper] [--fast-path both|0|1] [--smoke]
+//!            [--tiers edge,paper] [--fast-path both|0|1]
+//!            [--cache both|0|1] [--unique both|0|1] [--smoke]
 //! ```
 //!
 //! `--smoke` shrinks everything for a seconds-scale CI run.
-//! `--fast-path both` (the default) runs every tier twice — fast path
-//! off, then on — in the same process, so `BENCH_serve.json` carries
-//! same-run before/after rows for the zero-allocation request path.
+//! `--fast-path both` and `--cache both` (the defaults) cross the two
+//! serving-path switches in the same process, so `BENCH_serve.json`
+//! carries same-run before/after rows for both the zero-allocation
+//! request path and the prediction memo. `--unique both` (the default)
+//! keeps the standard legs Zipf-skewed and appends one all-distinct
+//! closed-loop leg per daemon; `1` makes every leg all-distinct, `0`
+//! drops the adversarial leg.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -89,6 +98,21 @@ fn main() {
         "1" => vec![true],
         other => panic!("bad --fast-path `{other}` (want both|0|1)"),
     };
+    let cache_legs: Vec<bool> = match get(&flags, "cache", "both") {
+        "both" => vec![false, true],
+        "0" => vec![false],
+        "1" => vec![true],
+        other => panic!("bad --cache `{other}` (want both|0|1)"),
+    };
+    // both = standard legs stay Zipf-skewed, one adversarial all-distinct
+    // closed-loop leg rides along per daemon; 1 = every leg all-distinct;
+    // 0 = no adversarial leg.
+    let (unique_all, unique_extra) = match get(&flags, "unique", "both") {
+        "both" => (false, true),
+        "0" => (false, false),
+        "1" => (true, false),
+        other => panic!("bad --unique `{other}` (want both|0|1)"),
+    };
 
     let ds = Dataset::generate(Workload::TpcH, 100.0, queries, 9);
     let templates: Vec<PlanNode> = ds.plans.iter().map(|p| p.root.clone()).collect();
@@ -111,72 +135,98 @@ fn main() {
         };
         let model = fitted_model(&ds, &cfg);
         for &fast_path in &fast_legs {
-            let serve_cfg = ServeConfig { shards, burst, fast_path, ..ServeConfig::default() };
-            let mut server =
-                Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), serve_cfg).unwrap();
-            server.register(&model);
-            let addr = server.local_addr().clone();
-            println!("[{tier}] daemon on {addr} (fast_path={fast_path})");
+            for &cache in &cache_legs {
+                let serve_cfg =
+                    ServeConfig { shards, burst, fast_path, cache, ..ServeConfig::default() };
+                let mut server =
+                    Server::bind(&ServeAddr::parse("127.0.0.1:0").unwrap(), serve_cfg).unwrap();
+                server.register(&model);
+                let addr = server.local_addr().clone();
+                println!("[{tier}] daemon on {addr} (fast_path={fast_path}, cache={cache})");
 
-            std::thread::scope(|scope| {
-                let server = &server;
-                scope.spawn(move || server.run().expect("server run failed"));
+                std::thread::scope(|scope| {
+                    let server = &server;
+                    scope.spawn(move || server.run().expect("server run failed"));
 
-                let mut legs: Vec<LoadMode> = vec![LoadMode::Closed];
-                legs.extend(rates.iter().map(|&r| LoadMode::Open { rate_hz: r }));
-                for mode in legs {
-                    let spec = LoadSpec {
-                        addr: addr.clone(),
-                        templates: &templates,
-                        mode,
-                        connections: conns,
-                        requests,
-                        zipf_s,
-                        seed: 42,
-                        timeout: Duration::from_secs(2),
-                    };
-                    let report = run_load(&spec);
-                    let row = ServeRow::from_report(tier, &spec, &report, fast_path);
-                    println!(
-                        "[{tier}] fast={} {:>6} target {:>7.0}/s -> {:>7.0}/s | p50 {:>7}µs \
-                         p95 {:>7}µs p99 {:>7}µs p999 {:>7}µs | sent {} done {} drop {} err {}",
-                        u8::from(fast_path),
-                        row.mode,
-                        row.target_rate_hz,
-                        row.achieved_rate_hz,
-                        row.p50_us,
-                        row.p95_us,
-                        row.p99_us,
-                        row.p999_us,
-                        row.sent,
-                        row.completed,
-                        row.dropped,
-                        row.errors
-                    );
-                    if report.completed == 0 || report.hist.is_empty() {
-                        eprintln!("[{tier}] FAILED: empty histogram for {:?}", spec.mode);
-                        failed = true;
+                    let mut ctl = Client::connect(&addr).expect("control connection");
+
+                    let mut legs: Vec<(LoadMode, bool)> = vec![(LoadMode::Closed, unique_all)];
+                    legs.extend(rates.iter().map(|&r| (LoadMode::Open { rate_hz: r }, unique_all)));
+                    if unique_extra {
+                        legs.push((LoadMode::Closed, true));
                     }
-                    rows.push(row);
-                }
+                    for (mode, unique) in legs {
+                        let spec = LoadSpec {
+                            addr: addr.clone(),
+                            templates: &templates,
+                            mode,
+                            connections: conns,
+                            requests,
+                            zipf_s,
+                            seed: 42,
+                            timeout: Duration::from_secs(2),
+                            unique,
+                        };
+                        // The memo hit rate of *this leg* comes from the
+                        // daemon's stats delta around the run.
+                        let before = ctl.stats().expect("stats verb");
+                        let report = run_load(&spec);
+                        let after = ctl.stats().expect("stats verb");
+                        let dh = after.cache_hits - before.cache_hits;
+                        let dm = after.cache_misses - before.cache_misses;
+                        let hit_rate =
+                            if dh + dm == 0 { 0.0 } else { dh as f64 / (dh + dm) as f64 };
+                        let row =
+                            ServeRow::from_report(tier, &spec, &report, fast_path, cache, hit_rate);
+                        println!(
+                            "[{tier}] fast={} cache={} uniq={} {:>6} target {:>7.0}/s -> {:>7.0}/s \
+                             | hit {:>4.0}% | p50 {:>7}µs p95 {:>7}µs p99 {:>7}µs p999 {:>7}µs \
+                             | sent {} done {} drop {} err {}",
+                            u8::from(fast_path),
+                            u8::from(cache),
+                            u8::from(unique),
+                            row.mode,
+                            row.target_rate_hz,
+                            row.achieved_rate_hz,
+                            row.cache_hit_rate * 100.0,
+                            row.p50_us,
+                            row.p95_us,
+                            row.p99_us,
+                            row.p999_us,
+                            row.sent,
+                            row.completed,
+                            row.dropped,
+                            row.errors
+                        );
+                        if report.completed == 0 || report.hist.is_empty() {
+                            eprintln!("[{tier}] FAILED: empty histogram for {:?}", spec.mode);
+                            failed = true;
+                        }
+                        rows.push(row);
+                    }
 
-                let mut ctl = Client::connect(&addr).expect("control connection");
-                let stats = ctl.stats().expect("stats verb");
-                println!(
-                    "[{tier}] server counters: {} conns, {} reqs, {} errors, {} batches \
-                     ({} coalesced), {} fast-path, {} resident, {} steady allocs",
-                    stats.connections,
-                    stats.requests,
-                    stats.errors,
-                    stats.batches,
-                    stats.batched_requests,
-                    stats.fast_path_predicted,
-                    stats.resident_plans,
-                    stats.steady_allocs
-                );
-                ctl.shutdown().expect("clean shutdown");
-            });
-            println!("[{tier}] daemon stopped cleanly");
+                    let stats = ctl.stats().expect("stats verb");
+                    println!(
+                        "[{tier}] server counters: {} conns, {} reqs, {} errors, {} batches \
+                         ({} coalesced), {} fast-path, {} resident, {} steady allocs, \
+                         cache {}/{} hits ({} entries, {} evicted)",
+                        stats.connections,
+                        stats.requests,
+                        stats.errors,
+                        stats.batches,
+                        stats.batched_requests,
+                        stats.fast_path_predicted,
+                        stats.resident_plans,
+                        stats.steady_allocs,
+                        stats.cache_hits,
+                        stats.cache_hits + stats.cache_misses,
+                        stats.cache_entries,
+                        stats.cache_evictions
+                    );
+                    ctl.shutdown().expect("clean shutdown");
+                });
+                println!("[{tier}] daemon stopped cleanly");
+            }
         }
     }
 

@@ -244,6 +244,12 @@ pub struct LoadSpec<'a> {
     /// Per-request reply timeout; in open loop also the shed bound (a
     /// request this far behind schedule is dropped unsent).
     pub timeout: Duration,
+    /// Adversarial all-distinct mode: every request perturbs its
+    /// template's root estimate by the (globally unique) schedule index,
+    /// so no two plans in the run share a whole-plan key — the server's
+    /// prediction memo can never hit. Measures the memo's probe+insert
+    /// overhead with the skew defeated.
+    pub unique: bool,
 }
 
 /// Outcome of one [`run_load`] call.
@@ -375,7 +381,20 @@ fn drive_connection(
             LoadMode::Closed => started.elapsed(),
         };
         out.sent += 1;
-        match client.admit_predict(&spec.templates[template], false) {
+        let plan_storage;
+        let plan = if spec.unique {
+            // All-distinct plans: bump the root's estimated cardinality
+            // by this request's schedule index (unique across
+            // connections), which lands in the node content key and so
+            // defeats any exact-match reuse downstream.
+            let mut p = spec.templates[template].clone();
+            p.est.rows += (i + 1) as f64;
+            plan_storage = p;
+            &plan_storage
+        } else {
+            &spec.templates[template]
+        };
+        match client.admit_predict(plan, false) {
             Ok((_, latency)) => {
                 debug_assert!(latency.is_finite());
                 let ns = started.elapsed().saturating_sub(t0).as_nanos().min(u64::MAX as u128);
@@ -446,6 +465,20 @@ pub struct ServeRow {
     /// Whether the daemon's zero-allocation fast path was enabled for
     /// this run (`ServeConfig::fast_path`, burst permitting).
     pub fast_path: bool,
+    /// Whether the daemon's whole-plan prediction memo was enabled for
+    /// this run (`ServeConfig::cache`).
+    pub cache: bool,
+    /// Fraction of the daemon's memo probes that hit *during this run*
+    /// (from the server's stats delta; 0.0 with the memo off).
+    pub cache_hit_rate: f64,
+    /// Zipf skew the template draw used (0 = uniform).
+    pub zipf_s: f64,
+    /// Whether the run used the all-distinct adversarial mode
+    /// (`LoadSpec::unique`).
+    pub unique: bool,
+    /// Logical cores of the benching host (0 when undetectable) —
+    /// provenance for cross-host row comparisons.
+    pub cpu_cores: usize,
     /// `git describe --always --dirty` of the benched tree, so
     /// before/after rows in one artifact are attributable.
     pub git: String,
@@ -473,6 +506,8 @@ impl ServeRow {
         spec: &LoadSpec<'_>,
         report: &LoadReport,
         fast_path: bool,
+        cache: bool,
+        cache_hit_rate: f64,
     ) -> ServeRow {
         let (mode, target_rate_hz) = match spec.mode {
             LoadMode::Open { rate_hz } => ("open", rate_hz),
@@ -494,6 +529,11 @@ impl ServeRow {
             p999_us: report.quantile_us(0.999),
             kernel_tier: qpp_nn::KernelTier::current().name().to_string(),
             fast_path,
+            cache,
+            cache_hit_rate,
+            zipf_s: spec.zipf_s,
+            unique: spec.unique,
+            cpu_cores: std::thread::available_parallelism().map(usize::from).unwrap_or(0),
             git: git_describe(),
         }
     }
@@ -506,6 +546,13 @@ impl ServeRow {
 /// # Panics
 /// Panics if the file cannot be written.
 pub fn write_serve_rows(file_name: &str, rows: &[ServeRow]) {
+    if let Some(row) = rows.iter().find(|r| r.git.ends_with("-dirty")) {
+        eprintln!(
+            "warning: recording benchmark rows from a dirty tree ({}); \
+             commit first so before/after rows stay attributable",
+            row.git
+        );
+    }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file_name);
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {

@@ -275,6 +275,18 @@ pub mod proto {
         /// warmed plan mix; novel feature rows still cost their
         /// one-time cache inserts.
         pub steady_allocs: u64,
+        /// Predict requests answered from the whole-plan prediction memo
+        /// ([`qppnet::stream::PredictionCache`](crate::stream::PredictionCache)),
+        /// across all tenants and serve surfaces.
+        pub cache_hits: u64,
+        /// Predict requests that missed the memo (and then seeded it).
+        pub cache_misses: u64,
+        /// Memo entries dropped by generational resets at the entry cap.
+        pub cache_evictions: u64,
+        /// Whole-plan predictions currently memoized across all tenants.
+        pub cache_entries: u64,
+        /// Cumulative wall time of memo hits (key assembly + probe), ns.
+        pub cache_hit_ns: u64,
     }
 
     // --- field-level codecs -----------------------------------------------
@@ -463,6 +475,11 @@ pub mod proto {
             ("run_ns", Value::Number(s.run_ns as f64)),
             ("serialize_ns", Value::Number(s.serialize_ns as f64)),
             ("steady_allocs", Value::Number(s.steady_allocs as f64)),
+            ("cache_hits", Value::Number(s.cache_hits as f64)),
+            ("cache_misses", Value::Number(s.cache_misses as f64)),
+            ("cache_evictions", Value::Number(s.cache_evictions as f64)),
+            ("cache_entries", Value::Number(s.cache_entries as f64)),
+            ("cache_hit_ns", Value::Number(s.cache_hit_ns as f64)),
         ])
     }
 
@@ -502,6 +519,11 @@ pub mod proto {
             run_ns: stats_field(m, "run_ns")?,
             serialize_ns: stats_field(m, "serialize_ns")?,
             steady_allocs: stats_field(m, "steady_allocs")?,
+            cache_hits: stats_field(m, "cache_hits")?,
+            cache_misses: stats_field(m, "cache_misses")?,
+            cache_evictions: stats_field(m, "cache_evictions")?,
+            cache_entries: stats_field(m, "cache_entries")?,
+            cache_hit_ns: stats_field(m, "cache_hit_ns")?,
         })
     }
 
@@ -992,6 +1014,14 @@ pub struct ServeConfig {
     /// precedence. The default honors the `QPP_SERVE_FAST_PATH` env var
     /// (`0` disables, anything else — including unset — enables).
     pub fast_path: bool,
+    /// Serve exact repeats of previously-answered plans from the
+    /// whole-plan prediction memo
+    /// ([`PredictionCache`](crate::stream::PredictionCache)): a lossless
+    /// full-key match, bitwise-equal to a fresh run, on every predict
+    /// surface (fast path, one-shot, micro-batch). The default honors
+    /// the `QPP_SERVE_CACHE` env var (`0` disables, anything else —
+    /// including unset — enables).
+    pub cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -1004,6 +1034,7 @@ impl Default for ServeConfig {
             max_line: MAX_LINE_DEFAULT,
             poll_ms: 25,
             fast_path: std::env::var("QPP_SERVE_FAST_PATH").map_or(true, |v| v != "0"),
+            cache: std::env::var("QPP_SERVE_CACHE").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -1160,6 +1191,9 @@ impl<'m> Server<'m> {
     pub fn register(&mut self, model: &'m QppNet) -> u64 {
         let st = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
         let fp = st.tenants.register(model, self.cfg.shards);
+        if let Some(stream) = st.tenants.stream(fp) {
+            stream.set_prediction_cache(self.cfg.cache);
+        }
         st.default_fp.get_or_insert(fp);
         fp
     }
@@ -1562,6 +1596,11 @@ impl<'m> Server<'m> {
             stats.resident_plans += ps.resident_plans as u64;
             stats.logical_nodes += ps.logical_nodes as u64;
             stats.shared_rows += ps.shared_rows as u64;
+            stats.cache_hits += ps.pred_cache_hits;
+            stats.cache_misses += ps.pred_cache_misses;
+            stats.cache_evictions += ps.pred_cache_evictions;
+            stats.cache_entries += ps.pred_cache_entries as u64;
+            stats.cache_hit_ns += ps.pred_cache_hit_ns;
         }
         stats.fast_path_predicted = self.fast.predicted.load(Ordering::Relaxed);
         stats.parse_ns = self.fast.parse_ns.load(Ordering::Relaxed);

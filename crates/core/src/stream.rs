@@ -25,7 +25,13 @@
 //!   node-for-node identical ([`crate::lower::SubtreeKey`]) map to *one*
 //!   set of wavefront rows, reference-counted across plans — template-
 //!   heavy workloads (TPC-DS) share scans and whole join arms, shrinking
-//!   every gemm.
+//!   every gemm;
+//! * a **whole-plan prediction memo** ([`PredictionCache`]) keyed by the
+//!   full lossless plan key (every node's content words + the CSR child
+//!   structure + the clamp mode) turns an exact repeat of a previously
+//!   served plan — the dominant request class under Zipfian template
+//!   skew — into a hash probe instead of a wavefront run, on every
+//!   predict surface (one-shot, sharded, micro-batched).
 //!
 //! # Determinism
 //!
@@ -122,6 +128,17 @@ pub struct ProgramStats {
     pub feat_cache_misses: u64,
     /// Cumulative admissions that mapped a subtree onto existing rows.
     pub cse_hits: u64,
+    /// Whole-plan predictions currently memoized (this generation of the
+    /// [`PredictionCache`]).
+    pub pred_cache_entries: usize,
+    /// Predict requests answered straight from the whole-plan memo.
+    pub pred_cache_hits: u64,
+    /// Predict requests that missed the memo (and then seeded it).
+    pub pred_cache_misses: u64,
+    /// Memo entries dropped by generational resets at the entry cap.
+    pub pred_cache_evictions: u64,
+    /// Cumulative wall time of memo hits (key assembly + probe), ns.
+    pub pred_cache_hit_ns: u64,
 }
 
 impl ProgramStats {
@@ -144,6 +161,16 @@ impl ProgramStats {
             self.feat_cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of whole-plan predict probes served from the memo.
+    pub fn pred_hit_rate(&self) -> f64 {
+        let total = self.pred_cache_hits + self.pred_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pred_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ProgramStats {
@@ -151,7 +178,8 @@ impl std::fmt::Display for ProgramStats {
         write!(
             f,
             "{} resident plans, {} nodes -> {} gemm rows (dedup {:.2}x), \
-             {} steps / {} levels, feature cache {} shapes ({:.0}% hit)",
+             {} steps / {} levels, feature cache {} shapes ({:.0}% hit), \
+             plan memo {} plans ({:.0}% hit)",
             self.resident_plans,
             self.logical_nodes,
             self.shared_rows,
@@ -160,7 +188,152 @@ impl std::fmt::Display for ProgramStats {
             self.levels,
             self.feat_cache_entries,
             self.feat_hit_rate() * 100.0,
+            self.pred_cache_entries,
+            self.pred_hit_rate() * 100.0,
         )
+    }
+}
+
+/// Default per-shard entry cap of the whole-plan [`PredictionCache`].
+/// A memoized plan key is a few hundred words at paper-tier plan sizes,
+/// so 16 Ki entries bound one shard's memo to a few tens of MiB worst
+/// case while comfortably covering any templated workload's working set.
+pub const PREDICTION_CACHE_MAX_ENTRIES: usize = 1 << 14;
+
+/// Exact-match memo from a **lossless whole-plan key** to the decoded,
+/// envelope-clamped root prediction — the per-shard cache that turns an
+/// exact repeat of a served plan into a hash probe instead of a run.
+///
+/// The key is not a hash of the plan: it is a parseable *encoding* of
+/// everything the prediction depends on — the clamp mode, the node
+/// count, and per post-order node its 12 [`NodeContentKey`] content
+/// words followed by its CSR child positions. An [`Fnv1a`] digest of
+/// those words only **routes** a probe to a bucket; full key-word
+/// equality **decides** the hit, so digest collisions are disambiguated
+/// by comparison and false positives are impossible. A hit is therefore
+/// bitwise-equal to a fresh run by construction: the content key is the
+/// same lossless superset featurization reads (see
+/// [`FeatureCache`]), the structure words pin the exact gemm inputs,
+/// and the model itself cannot change under the cache — builders borrow
+/// the fitted parts for `'m`, and across tenants each stream (and its
+/// shard caches) lives under its model's checkpoint fingerprint in
+/// [`crate::Tenants`], so a different checkpoint is a different cache.
+///
+/// Memory is bounded by the same generational-reset idiom as
+/// [`FeatureCache`]: inserting at the entry cap clears the whole memo
+/// (counted in `evictions`) rather than paying per-entry LRU
+/// bookkeeping on the hit path.
+#[derive(Debug)]
+pub struct PredictionCache {
+    /// Key digest → entries whose full key words fold to it. The inner
+    /// vec is almost always a singleton; it exists so digest collisions
+    /// are harmless rather than wrong.
+    buckets: HashMap<u64, Vec<(Vec<u64>, f64)>>,
+    entries: usize,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_ns: u64,
+}
+
+impl Default for PredictionCache {
+    fn default() -> PredictionCache {
+        PredictionCache::new()
+    }
+}
+
+impl PredictionCache {
+    /// An empty memo with the default entry cap
+    /// ([`PREDICTION_CACHE_MAX_ENTRIES`]).
+    pub fn new() -> PredictionCache {
+        PredictionCache {
+            buckets: HashMap::new(),
+            entries: 0,
+            max_entries: PREDICTION_CACHE_MAX_ENTRIES,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            hit_ns: 0,
+        }
+    }
+
+    /// Replaces the entry cap (clamped to at least 1). Takes effect at
+    /// the next insert; existing entries are kept until then.
+    pub fn set_max_entries(&mut self, max_entries: usize) {
+        self.max_entries = max_entries.max(1);
+    }
+
+    /// Routing digest of a key's words (FNV-1a, same mixer as
+    /// [`plan_shard_hash`] — deterministic across platforms and runs).
+    fn digest(key: &[u64]) -> u64 {
+        let mut h = Fnv1a::new();
+        for &w in key {
+            h.mix(w);
+        }
+        h.finish()
+    }
+
+    /// Probes the memo. A hit compares the full key words; counters are
+    /// bumped either way. Allocation-free.
+    fn lookup(&mut self, key: &[u64]) -> Option<f64> {
+        let hit = self
+            .buckets
+            .get(&Self::digest(key))
+            .and_then(|b| b.iter().find(|(k, _)| k == key))
+            .map(|&(_, v)| v);
+        match hit {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        hit
+    }
+
+    /// Memoizes `value` under `key`, generationally resetting first when
+    /// the cap is reached. Re-inserting a present key is a no-op (the
+    /// value would be bit-identical anyway — see the type docs).
+    fn insert(&mut self, key: &[u64], value: f64) {
+        if self.entries >= self.max_entries {
+            self.evictions += self.entries as u64;
+            self.buckets.clear();
+            self.entries = 0;
+        }
+        let bucket = self.buckets.entry(Self::digest(key)).or_default();
+        if bucket.iter().any(|(k, _)| k == key) {
+            return;
+        }
+        bucket.push((key.to_vec(), value));
+        self.entries += 1;
+    }
+
+    /// Entries memoized in the current generation.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Probes answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped by generational resets.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Cumulative wall time of hits (key assembly + probe), ns.
+    pub fn hit_ns(&self) -> u64 {
+        self.hit_ns
     }
 }
 
@@ -240,6 +413,12 @@ pub struct ProgramBuilder<'m> {
     child_scratch: Vec<usize>,
     /// One-shot predict buffers (see [`ProgramBuilder::predict_oneshot`]).
     oneshot: OneshotScratch,
+    /// Whole-plan → prediction memo (see [`PredictionCache`]).
+    pred_cache: PredictionCache,
+    pred_cache_on: bool,
+    /// Reusable whole-plan key words; a warm probe assembles the key
+    /// here without touching the allocator.
+    key_scratch: Vec<u64>,
 
     /// `shared rows × out_w`; row `r` holds node `r`'s `(latency ⌢ data)`.
     /// Retired rows are recycled through `row_free` before the matrix
@@ -289,6 +468,9 @@ impl<'m> ProgramBuilder<'m> {
             feat_scratch: Vec::new(),
             child_scratch: Vec::new(),
             oneshot: OneshotScratch::default(),
+            pred_cache: PredictionCache::new(),
+            pred_cache_on: true,
+            key_scratch: Vec::new(),
             outputs: Matrix::zeros(0, out_w),
             row_free: Vec::new(),
             pool: BufferPool::new(),
@@ -451,6 +633,11 @@ impl<'m> ProgramBuilder<'m> {
             feat_cache_hits: self.feat_cache.hits(),
             feat_cache_misses: self.feat_cache.misses(),
             cse_hits: self.cse_hits,
+            pred_cache_entries: self.pred_cache.len(),
+            pred_cache_hits: self.pred_cache.hits(),
+            pred_cache_misses: self.pred_cache.misses(),
+            pred_cache_evictions: self.pred_cache.evictions(),
+            pred_cache_hit_ns: self.pred_cache.hit_ns(),
         }
     }
 
@@ -520,6 +707,18 @@ impl<'m> ProgramBuilder<'m> {
     pub fn predict_oneshot(&mut self, plan: &ScratchPlan) -> OneshotRun {
         let n = plan.len();
         assert!(n > 0, "plans are non-empty");
+
+        // Whole-plan memo probe: an exact repeat of a served plan skips
+        // featurize + run entirely. The key lives in reusable scratch,
+        // so a warm probe — hit or miss — never allocates.
+        if self.pred_cache_on {
+            let tc = std::time::Instant::now();
+            Self::scratch_key(&mut self.key_scratch, self.caps.is_some(), plan);
+            if let Some(latency_ms) = self.pred_cache.lookup(&self.key_scratch) {
+                self.pred_cache.hit_ns += tc.elapsed().as_nanos() as u64;
+                return OneshotRun { latency_ms, featurize_ns: 0, run_ns: 0, cache_hit: true };
+            }
+        }
         let mut sc = std::mem::take(&mut self.oneshot);
 
         let t0 = std::time::Instant::now();
@@ -532,7 +731,7 @@ impl<'m> ProgramBuilder<'m> {
                 self.units.unit(kind).in_dim(),
                 "feature/model shape mismatch for {kind:?}"
             );
-            let content = NodeContentKey::of(node);
+            let content = plan.contents[k];
             self.feat_cache.features_into(
                 self.featurizer,
                 self.whitener,
@@ -573,7 +772,102 @@ impl<'m> ProgramBuilder<'m> {
         let run_ns = t1.elapsed().as_nanos() as u64;
 
         self.oneshot = sc;
-        OneshotRun { latency_ms, featurize_ns, run_ns }
+        if self.pred_cache_on {
+            // `key_scratch` still holds this plan's key from the missed
+            // probe above — nothing between there and here touches it.
+            self.pred_cache.insert(&self.key_scratch, latency_ms);
+        }
+        OneshotRun { latency_ms, featurize_ns, run_ns, cache_hit: false }
+    }
+
+    /// Enables or disables the whole-plan prediction memo (on by
+    /// default). Disabling stops probes and inserts without clearing the
+    /// memo, so re-enabling resumes with the entries already learned.
+    pub fn set_prediction_cache(&mut self, enabled: bool) {
+        self.pred_cache_on = enabled;
+    }
+
+    /// Caps the prediction memo's entry count (generational reset on
+    /// overflow; see [`PredictionCache`]).
+    pub fn set_prediction_cache_capacity(&mut self, max_entries: usize) {
+        self.pred_cache.set_max_entries(max_entries);
+    }
+
+    /// Assembles the lossless whole-plan key of a [`ScratchPlan`] into
+    /// `key`: `[clamp mode, node count, (content words ⌢ child count ⌢
+    /// child positions) per post-order node]`. The encoding parses back
+    /// unambiguously left to right, so equal keys mean equal plans (and
+    /// equal clamp policy) — never merely equal hashes.
+    fn scratch_key(key: &mut Vec<u64>, clamp: bool, plan: &ScratchPlan) {
+        key.clear();
+        key.push(clamp as u64);
+        key.push(plan.len() as u64);
+        for k in 0..plan.len() {
+            key.extend_from_slice(plan.contents[k].words());
+            let kids = plan.lowering.children_of(k);
+            key.push(kids.len() as u64);
+            key.extend(kids.iter().map(|&c| c as u64));
+        }
+    }
+
+    /// [`ProgramBuilder::scratch_key`] for an ordinary plan tree — the
+    /// resident/micro-batch surfaces hold trees, not scratch CSR. The two
+    /// encoders agree word for word on the same plan
+    /// (`whole_plan_key_agrees_across_encodings` pins it), so a memo
+    /// warmed by one surface serves the others.
+    fn tree_key(&mut self, root: &PlanNode) {
+        fn rec(
+            node: &PlanNode,
+            key: &mut Vec<u64>,
+            kid_stack: &mut Vec<u64>,
+            next: &mut u64,
+        ) -> u64 {
+            let mark = kid_stack.len();
+            for c in &node.children {
+                let pos = rec(c, key, kid_stack, next);
+                kid_stack.push(pos);
+            }
+            key.extend_from_slice(NodeContentKey::of(node).words());
+            key.push((kid_stack.len() - mark) as u64);
+            key.extend_from_slice(&kid_stack[mark..]);
+            kid_stack.truncate(mark);
+            let pos = *next;
+            *next += 1;
+            pos
+        }
+        self.key_scratch.clear();
+        self.key_scratch.push(self.caps.is_some() as u64);
+        self.key_scratch.push(0); // node count, patched below
+        let mut next = 0u64;
+        rec(root, &mut self.key_scratch, &mut Vec::new(), &mut next);
+        self.key_scratch[1] = next;
+    }
+
+    /// Memo probe for a tree-shaped predict request (the micro-batch
+    /// surface). Counts a hit or miss; `None` without counting when the
+    /// memo is disabled.
+    fn cache_probe_tree(&mut self, root: &PlanNode) -> Option<f64> {
+        if !self.pred_cache_on {
+            return None;
+        }
+        let tc = std::time::Instant::now();
+        self.tree_key(root);
+        let hit = self.pred_cache.lookup(&self.key_scratch);
+        if hit.is_some() {
+            self.pred_cache.hit_ns += tc.elapsed().as_nanos() as u64;
+        }
+        hit
+    }
+
+    /// Memoizes a freshly-computed tree prediction (no-op when the memo
+    /// is disabled). Re-assembles the key: between a batch's probes and
+    /// its inserts, other members' probes clobber `key_scratch`.
+    fn cache_insert_tree(&mut self, root: &PlanNode, latency_ms: f64) {
+        if !self.pred_cache_on {
+            return;
+        }
+        self.tree_key(root);
+        self.pred_cache.insert(&self.key_scratch, latency_ms);
     }
 
     /// Executes the resident program (rebuilding the level schedule if
@@ -799,6 +1093,10 @@ pub struct ScratchPlan {
     kinds: Vec<OpKind>,
     lowering: Lowering,
     hashes: Vec<u64>,
+    /// Per-position content keys, captured during the same single-pass
+    /// scan that computes `hashes` — the whole-plan memo key and the
+    /// featurization pass both read these without re-deriving them.
+    contents: Vec<NodeContentKey>,
 }
 
 impl ScratchPlan {
@@ -814,6 +1112,7 @@ impl ScratchPlan {
         self.kinds.clear();
         self.lowering.clear();
         self.hashes.clear();
+        self.contents.clear();
     }
 
     /// Appends one post-order node whose children are the already-pushed
@@ -821,14 +1120,16 @@ impl ScratchPlan {
     /// must be empty — the child structure lives only in the CSR.
     pub fn push_node(&mut self, node: PlanNode, kids: &[usize]) -> usize {
         debug_assert!(node.children.is_empty(), "scratch nodes carry no child vecs");
+        let content = NodeContentKey::of(&node);
         let mut h = Fnv1a::new();
-        for &w in NodeContentKey::of(&node).words() {
+        for &w in content.words() {
             h.mix(w);
         }
         for &c in kids {
             h.mix(self.hashes[c]);
         }
         self.hashes.push(h.finish());
+        self.contents.push(content);
         self.kinds.push(node.op.kind());
         self.nodes.push(node);
         self.lowering.push_node(kids)
@@ -840,6 +1141,7 @@ impl ScratchPlan {
         self.nodes.truncate(n);
         self.kinds.truncate(n);
         self.hashes.truncate(n);
+        self.contents.truncate(n);
         self.lowering.truncate_nodes(n);
     }
 
@@ -924,9 +1226,15 @@ pub struct OneshotRun {
     /// prediction in milliseconds.
     pub latency_ms: f64,
     /// Wall time of the featurization pass (feature-cache lookups).
+    /// Zero on a memo hit (the pass is skipped).
     pub featurize_ns: u64,
-    /// Wall time of the forward + decode + clamp pass.
+    /// Wall time of the forward + decode + clamp pass. Zero on a memo
+    /// hit.
     pub run_ns: u64,
+    /// True when the prediction was served from the whole-plan memo
+    /// ([`PredictionCache`]) instead of running the kernels. Bitwise
+    /// equality holds either way.
+    pub cache_hit: bool,
 }
 
 /// Reusable buffers of the one-shot predict path; lives on the builder so
@@ -1156,6 +1464,37 @@ impl<'m> ShardedStream<'m> {
         self.shards[shard].predict_oneshot(plan)
     }
 
+    /// Enables or disables every shard's whole-plan prediction memo (see
+    /// [`ProgramBuilder::set_prediction_cache`]).
+    pub fn set_prediction_cache(&mut self, enabled: bool) {
+        for s in &mut self.shards {
+            s.set_prediction_cache(enabled);
+        }
+    }
+
+    /// Caps every shard's prediction-memo entry count (see
+    /// [`PredictionCache`]).
+    pub fn set_prediction_cache_capacity(&mut self, max_entries: usize) {
+        for s in &mut self.shards {
+            s.set_prediction_cache_capacity(max_entries);
+        }
+    }
+
+    /// Memo probe for a tree-shaped predict request, routed to the same
+    /// content-hash shard [`ShardedStream::admit`] picks — so one
+    /// coherent per-shard memo is warmed by every surface.
+    fn cache_probe(&mut self, root: &PlanNode) -> Option<f64> {
+        let shard = (plan_shard_hash(root) % self.shards.len() as u64) as usize;
+        self.shards[shard].cache_probe_tree(root)
+    }
+
+    /// Memoizes a freshly-computed tree prediction on its content-hash
+    /// shard.
+    fn cache_insert(&mut self, root: &PlanNode, latency_ms: f64) {
+        let shard = (plan_shard_hash(root) % self.shards.len() as u64) as usize;
+        self.shards[shard].cache_insert_tree(root, latency_ms);
+    }
+
     /// Per-operator predictions (post order, milliseconds) for one
     /// resident plan, from its owning shard.
     pub fn predict_all(&mut self, id: PlanId) -> Vec<f64> {
@@ -1220,6 +1559,11 @@ impl<'m> ShardedStream<'m> {
             feat_cache_hits: 0,
             feat_cache_misses: 0,
             cse_hits: 0,
+            pred_cache_entries: 0,
+            pred_cache_hits: 0,
+            pred_cache_misses: 0,
+            pred_cache_evictions: 0,
+            pred_cache_hit_ns: 0,
         };
         for s in &self.shards {
             let st = s.stats();
@@ -1232,6 +1576,11 @@ impl<'m> ShardedStream<'m> {
             agg.feat_cache_hits += st.feat_cache_hits;
             agg.feat_cache_misses += st.feat_cache_misses;
             agg.cse_hits += st.cse_hits;
+            agg.pred_cache_entries += st.pred_cache_entries;
+            agg.pred_cache_hits += st.pred_cache_hits;
+            agg.pred_cache_misses += st.pred_cache_misses;
+            agg.pred_cache_evictions += st.pred_cache_evictions;
+            agg.pred_cache_hit_ns += st.pred_cache_hit_ns;
         }
         agg
     }
@@ -1281,6 +1630,10 @@ pub struct MicroBatchStats {
     pub batches: u64,
     /// Predict requests absorbed across all flushes.
     pub requests: u64,
+    /// Requests answered from the whole-plan memo — admitted like every
+    /// other member (residency is unchanged) but excluded from the
+    /// wavefront run.
+    pub cache_hits: u64,
 }
 
 impl MicroBatchStats {
@@ -1367,10 +1720,34 @@ impl<'p> MicroBatcher<'p> {
         }
         self.stats.batches += 1;
         self.stats.requests += self.pending.len() as u64;
+        // Admission is unchanged by the memo — resident bookkeeping (ids,
+        // routing, CSE rows) must be identical with the cache on or off.
+        // Only the wavefront run shrinks: members whose whole-plan key is
+        // memoized take their prediction from the memo and drop out of
+        // the coalesced run; the rest run and then seed the memo.
         let ids = stream.admit_batch(&self.pending, threads);
-        let preds = stream.predict_batch_threaded(&ids, threads);
+        let mut preds: Vec<Option<f64>> =
+            self.pending.iter().map(|p| stream.cache_probe(p)).collect();
+        let miss_ids: Vec<PlanId> = ids
+            .iter()
+            .zip(&preds)
+            .filter(|(_, p)| p.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        self.stats.cache_hits += (ids.len() - miss_ids.len()) as u64;
+        if !miss_ids.is_empty() {
+            let fresh = stream.predict_batch_threaded(&miss_ids, threads);
+            let mut fresh = fresh.into_iter();
+            for (k, slot) in preds.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let v = fresh.next().expect("one prediction per miss");
+                    stream.cache_insert(self.pending[k], v);
+                    *slot = Some(v);
+                }
+            }
+        }
         self.pending.clear();
-        (ids, preds)
+        (ids, preds.into_iter().map(|p| p.expect("filled above")).collect())
     }
 
     /// Coalescing statistics across the batcher's lifetime.
@@ -1846,6 +2223,111 @@ mod tests {
             0,
             "warm one-shot predict must not allocate"
         );
+    }
+
+    #[test]
+    fn whole_plan_key_agrees_across_encodings() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let caps = crate::tree::fit_ratio_caps(ds.plans.iter(), 2.0);
+        for caps in [None, Some(&caps)] {
+            let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, caps);
+            let mut sp = ScratchPlan::new();
+            for p in &ds.plans {
+                sp.rebuild_from_tree(&p.root);
+                let mut from_scratch = Vec::new();
+                ProgramBuilder::scratch_key(&mut from_scratch, builder.caps.is_some(), &sp);
+                builder.tree_key(&p.root);
+                assert_eq!(
+                    builder.key_scratch,
+                    from_scratch,
+                    "key encoder drift (caps={})",
+                    builder.caps.is_some()
+                );
+                assert_eq!(from_scratch[0], builder.caps.is_some() as u64);
+                assert_eq!(from_scratch[1], sp.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn oneshot_memo_hit_matches_fresh_run_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut cached = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        let mut uncached = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        uncached.set_prediction_cache(false);
+        let mut sp = ScratchPlan::new();
+        for p in &ds.plans {
+            sp.rebuild_from_tree(&p.root);
+            let first = cached.predict_oneshot(&sp);
+            let again = cached.predict_oneshot(&sp);
+            assert!(again.cache_hit, "an exact repeat must hit the memo");
+            assert_eq!((again.featurize_ns, again.run_ns), (0, 0));
+            assert_eq!(again.latency_ms.to_bits(), first.latency_ms.to_bits());
+            let fresh = uncached.predict_oneshot(&sp);
+            assert!(!fresh.cache_hit, "a disabled memo never reports hits");
+            assert_eq!(again.latency_ms.to_bits(), fresh.latency_ms.to_bits());
+        }
+        let st = cached.stats();
+        assert!(st.pred_cache_hits >= ds.plans.len() as u64);
+        assert!(st.pred_cache_entries > 0);
+        assert!(st.pred_hit_rate() > 0.0);
+        let off = uncached.stats();
+        assert_eq!((off.pred_cache_hits, off.pred_cache_misses, off.pred_cache_entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn prediction_memo_generational_reset_bounds_entries() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcH);
+        let mut builder = ProgramBuilder::new(&fz, &wh, &units, &codec, None);
+        builder.set_prediction_cache_capacity(8);
+        let mut sp = ScratchPlan::new();
+        let mut root = ds.plans[0].root.clone();
+        for i in 0..100u32 {
+            // A never-repeating plan stream: each arrival's estimate block
+            // (part of the content key) is distinct, so nothing ever hits.
+            root.est.rows = 1000.0 + f64::from(i);
+            sp.rebuild_from_tree(&root);
+            builder.predict_oneshot(&sp);
+            assert!(
+                builder.stats().pred_cache_entries <= 8,
+                "memo must never outgrow its cap"
+            );
+        }
+        let st = builder.stats();
+        assert!(st.pred_cache_evictions > 0, "the cap must have forced resets");
+        assert_eq!((st.pred_cache_hits, st.pred_cache_misses), (0, 100));
+    }
+
+    #[test]
+    fn microbatcher_memo_hits_drop_out_of_the_run_bitwise() {
+        let (ds, fz, wh, units, codec) = setup(Workload::TpcDs);
+        let mut cached = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        let mut uncached = ShardedStream::new(&fz, &wh, &units, &codec, None, 3, 0);
+        uncached.set_prediction_cache(false);
+        let mut front_c = MicroBatcher::new();
+        let mut front_u = MicroBatcher::new();
+        for _round in 0..3 {
+            for p in ds.plans.iter().take(6) {
+                front_c.submit(&p.root);
+                front_u.submit(&p.root);
+            }
+            // A duplicate *within* one batch: both members probe before
+            // either inserts, so the first round runs both (and the
+            // batch's bookkeeping stays identical either way).
+            front_c.submit(&ds.plans[0].root);
+            front_u.submit(&ds.plans[0].root);
+            let a = front_c.flush(&mut cached, 4);
+            let b = front_u.flush(&mut uncached, 4);
+            assert_eq!(bits(&a), bits(&b), "memoized flush drifted from uncached");
+        }
+        assert!(cached.is_empty() && uncached.is_empty());
+        assert!(
+            front_c.stats().cache_hits >= 14,
+            "rounds 2 and 3 must serve every member from the memo (got {})",
+            front_c.stats().cache_hits
+        );
+        assert_eq!(front_u.stats().cache_hits, 0);
+        assert_eq!(uncached.stats().pred_cache_misses, 0, "disabled memo never probes");
     }
 
     #[test]

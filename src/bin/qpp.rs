@@ -107,7 +107,7 @@ fn usage(error: &str) -> ExitCode {
          qpp importance --dataset FILE --model FILE [--seed N] [--top N]\n\
          qpp serve      --model FILE[,FILE...] [--addr HOST:PORT|unix:PATH]\n\
                         [--shards N] [--burst W] [--threads N] [--burst-wait-us U]\n\
-                        [--fast-path 0|1]\n\
+                        [--fast-path 0|1] [--cache 0|1]\n\
          qpp serve-stats [--addr HOST:PORT|unix:PATH]"
     );
     ExitCode::from(2)
@@ -645,6 +645,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             Some("1") => true,
             Some(other) => return Err(format!("invalid --fast-path: `{other}` (want 0|1)")),
         },
+        // --cache overrides the QPP_SERVE_CACHE env default.
+        cache: match flags.get("cache").map(String::as_str) {
+            None => env_default.cache,
+            Some("0") => false,
+            Some("1") => true,
+            Some(other) => return Err(format!("invalid --cache: `{other}` (want 0|1)")),
+        },
         ..env_default
     };
     if cfg.shards == 0 || cfg.threads == 0 || cfg.burst == 0 {
@@ -677,7 +684,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.burst
     );
     println!(
-        "kernel tier: {}; fast path: {}",
+        "kernel tier: {}; fast path: {}; prediction cache: {}",
         qpp::nn::KernelTier::current(),
         if cfg.fast_path && cfg.burst <= 1 {
             "on (zero-allocation one-shot predicts)"
@@ -685,7 +692,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             "off (burst coalescing takes precedence)"
         } else {
             "off"
-        }
+        },
+        if cfg.cache { "on (whole-plan memo)" } else { "off" }
     );
     println!("protocol: one JSON object per line; send {{\"v\":1,\"op\":\"shutdown\"}} to stop");
     server.run().map_err(|e| format!("serve loop failed: {e}"))
@@ -724,6 +732,21 @@ fn cmd_serve_stats(flags: &HashMap<String, String>) -> Result<(), String> {
             per(s.serialize_ns)
         );
         println!("  steady-state allocations: {}", s.steady_allocs);
+    }
+    let probes = s.cache_hits + s.cache_misses;
+    println!(
+        "cache:    {} hits / {} misses ({:.0}% hit), {} entries, {} evicted",
+        s.cache_hits,
+        s.cache_misses,
+        if probes == 0 { 0.0 } else { s.cache_hits as f64 / probes as f64 * 100.0 },
+        s.cache_entries,
+        s.cache_evictions
+    );
+    if s.cache_hits > 0 {
+        println!(
+            "  per-hit probe: {:.1}us",
+            s.cache_hit_ns as f64 / s.cache_hits as f64 / 1_000.0
+        );
     }
     Ok(())
 }

@@ -1,0 +1,414 @@
+//! Differential tests for the whole-plan prediction memo
+//! (`qppnet::stream::PredictionCache`): a cache-on daemon must emit
+//! reply lines **byte-identical** to a cache-off daemon for the same
+//! request stream — random admit / retire / predict / admit_predict
+//! interleavings, at 1 and 4 wavefront threads, over TCP loopback and
+//! unix sockets, single- and multi-tenant, clamped and unclamped.
+//!
+//! Why byte-equality is the right bar: a memo hit replays an `f64`
+//! produced by a bitwise-identical earlier run, and the wire encoder
+//! prints shortest-round-trip `f64`s — so any divergence at all means
+//! the memo returned a value a fresh run would not have produced
+//! (a false positive, a stale entry surviving fingerprint rotation, or
+//! id-allocation drift from the cache changing admission bookkeeping).
+//!
+//! Also here: the eviction-cap bound (a never-repeating plan stream
+//! cannot grow the memo past its entry cap) and the zero-allocation
+//! regression extended to the hit path (steady-state fast-path load
+//! with the memo ON still allocates nothing — hits included).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use qpp::net::serve::proto::{self, Request, Response};
+use qpp::net::serve::{Client, ServeAddr, ServeConfig, Server};
+use qpp::net::{QppConfig, QppNet, ScratchPlan};
+use qpp::plansim::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Shared fixture: one dataset plus a clamped and an unclamped fitted
+/// model. The extra epoch on the unclamped model makes the two
+/// fingerprints differ, which the multi-tenant leg relies on.
+fn fixture() -> &'static (Dataset, QppNet, QppNet) {
+    static FIXTURE: OnceLock<(Dataset, QppNet, QppNet)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = Dataset::generate(Workload::TpcDs, 1.0, 20, 11);
+        let train: Vec<&Plan> = ds.plans.iter().collect();
+        let mut clamped = QppNet::new(
+            QppConfig { epochs: 2, monotone_clamp: true, ..QppConfig::tiny() },
+            &ds.catalog,
+        );
+        clamped.fit(&train);
+        let mut unclamped = QppNet::new(
+            QppConfig { epochs: 3, monotone_clamp: false, ..QppConfig::tiny() },
+            &ds.catalog,
+        );
+        unclamped.fit(&train);
+        (ds, clamped, unclamped)
+    })
+}
+
+/// A raw line-level client over TCP or unix sockets: writes request
+/// lines verbatim and returns reply lines verbatim, so replies can be
+/// compared byte-for-byte across daemons.
+struct RawClient {
+    w: Box<dyn Write>,
+    r: BufReader<Box<dyn Read>>,
+}
+
+impl RawClient {
+    fn connect(addr: &ServeAddr) -> RawClient {
+        match addr {
+            ServeAddr::Tcp(a) => {
+                let s = TcpStream::connect(a).expect("connect tcp");
+                s.set_nodelay(true).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                RawClient { r: BufReader::new(Box::new(s.try_clone().unwrap())), w: Box::new(s) }
+            }
+            #[cfg(unix)]
+            ServeAddr::Unix(p) => {
+                let s = UnixStream::connect(p).expect("connect unix");
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                RawClient { r: BufReader::new(Box::new(s.try_clone().unwrap())), w: Box::new(s) }
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.w.write_all(line.as_bytes()).expect("send");
+        self.w.write_all(b"\n").expect("send nl");
+        let mut reply = String::new();
+        self.r.read_line(&mut reply).expect("reply");
+        assert!(reply.ends_with('\n'), "unterminated reply to {line}");
+        reply
+    }
+}
+
+/// Wire id carried by an `admitted` or kept-`predicted` reply, if any.
+fn reply_id(reply: &str) -> Option<u64> {
+    match proto::decode_response(reply.trim_end()) {
+        Ok(Response::Admitted { id }) => Some(id),
+        Ok(Response::Predicted { id, .. }) => id,
+        _ => None,
+    }
+}
+
+/// One leg: drives `lines` (or, when `lines` is `None`, a seeded random
+/// interleaving whose id-carrying ops are resolved against live
+/// replies) through a fresh daemon. Returns the request lines sent, the
+/// reply lines received, and the daemon's final stats.
+fn run_leg(
+    addr: &ServeAddr,
+    cfg: ServeConfig,
+    multi_tenant: bool,
+    seed: u64,
+    ops: usize,
+    lines: Option<&[String]>,
+) -> (Vec<String>, Vec<String>, proto::ServeStats) {
+    let (ds, clamped_model, unclamped_model) = fixture();
+    let mut server = Server::bind(addr, cfg).expect("bind");
+    let fp_a = server.register(clamped_model);
+    let fp_b = multi_tenant.then(|| server.register(unclamped_model));
+    let addr = server.local_addr().clone();
+
+    std::thread::scope(|scope| {
+        let server = &server;
+        scope.spawn(move || server.run().expect("server run"));
+
+        let mut raw = RawClient::connect(&addr);
+        let mut requests: Vec<String> = Vec::new();
+        let mut replies: Vec<String> = Vec::new();
+
+        if let Some(lines) = lines {
+            // Replay leg: the exact byte stream the first leg sent.
+            for line in lines {
+                replies.push(raw.roundtrip(line));
+                requests.push(line.clone());
+            }
+        } else {
+            // Generator leg: a seeded interleaving over a small plan
+            // pool (repeats are the point — they are what the memo
+            // serves). Wire ids for retire/predict come from live
+            // replies; both daemons allocate ids in sequence, so the
+            // replay leg sees the same ids if and only if the memo
+            // leaves admission bookkeeping untouched.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xCACE);
+            let mut resident: Vec<u64> = Vec::new();
+            let pool = 6usize.min(ds.plans.len());
+            let mut send = |line: String,
+                            requests: &mut Vec<String>,
+                            replies: &mut Vec<String>|
+             -> String {
+                let reply = raw.roundtrip(&line);
+                requests.push(line);
+                replies.push(reply.clone());
+                reply
+            };
+            for _ in 0..ops {
+                let pick = rng.gen_range(0..pool);
+                let plan = Box::new(ds.plans[pick].root.clone());
+                let tenant = match (multi_tenant, rng.gen_range(0..3u32)) {
+                    (true, 0) => Some(fp_a),
+                    (true, 1) => fp_b,
+                    _ => None,
+                };
+                match rng.gen_range(0..8u32) {
+                    // Admit into residency (repeats allowed — CSE-heavy).
+                    0 | 1 => {
+                        let line = proto::encode_request(&Request::Admit { plan, tenant });
+                        let reply = send(line, &mut requests, &mut replies);
+                        resident.push(reply_id(&reply).expect("admit reply id"));
+                    }
+                    // Retire a random resident plan.
+                    2 if !resident.is_empty() => {
+                        let victim = resident.remove(rng.gen_range(0..resident.len()));
+                        let line = proto::encode_request(&Request::Retire { id: victim });
+                        send(line, &mut requests, &mut replies);
+                    }
+                    // Predict a random resident plan.
+                    3 if !resident.is_empty() => {
+                        let id = resident[rng.gen_range(0..resident.len())];
+                        let line = proto::encode_request(&Request::Predict { id });
+                        send(line, &mut requests, &mut replies);
+                    }
+                    // Kept one-shot: admits residency, reply carries id.
+                    7 => {
+                        let line = proto::encode_request(&Request::AdmitPredict {
+                            plan,
+                            keep: true,
+                            tenant,
+                        });
+                        let reply = send(line, &mut requests, &mut replies);
+                        resident.push(reply_id(&reply).expect("kept one-shot id"));
+                    }
+                    // One-shot admit_predict — the memo's main surface.
+                    _ => {
+                        let line = proto::encode_request(&Request::AdmitPredict {
+                            plan,
+                            keep: false,
+                            tenant,
+                        });
+                        send(line, &mut requests, &mut replies);
+                    }
+                }
+            }
+            // Deterministic tail: each of three plans twice, so the
+            // cache-on leg is guaranteed live memo hits regardless of
+            // how the random phase went.
+            for pick in 0..3usize.min(ds.plans.len()) {
+                for _ in 0..2 {
+                    let line = proto::encode_request(&Request::AdmitPredict {
+                        plan: Box::new(ds.plans[pick].root.clone()),
+                        keep: false,
+                        tenant: multi_tenant.then_some(fp_a),
+                    });
+                    send(line, &mut requests, &mut replies);
+                }
+            }
+        }
+
+        let mut ctl = Client::connect(&addr).expect("control");
+        let stats = match ctl.call(&Request::Stats).expect("stats") {
+            Response::Stats(s) => s,
+            other => panic!("wrong stats reply: {other:?}"),
+        };
+        ctl.shutdown().expect("shutdown");
+        (requests, replies, stats)
+    })
+}
+
+/// The differential itself: generate the interleaving against a
+/// cache-on daemon, replay the identical byte stream against a
+/// cache-off daemon, and demand byte-identical replies — plus memo
+/// counters that move only on the cache-on side.
+fn cache_on_replies_match_cache_off(
+    mk_addr: &dyn Fn() -> ServeAddr,
+    base: &ServeConfig,
+    multi_tenant: bool,
+    seed: u64,
+    ops: usize,
+) {
+    let on_cfg = ServeConfig { cache: true, ..base.clone() };
+    let (requests, on_replies, on_stats) =
+        run_leg(&mk_addr(), on_cfg, multi_tenant, seed, ops, None);
+    let off_cfg = ServeConfig { cache: false, ..base.clone() };
+    let (_, off_replies, off_stats) =
+        run_leg(&mk_addr(), off_cfg, multi_tenant, seed, ops, Some(&requests));
+
+    assert_eq!(on_replies.len(), off_replies.len());
+    for (i, (on, off)) in on_replies.iter().zip(&off_replies).enumerate() {
+        assert_eq!(
+            on, off,
+            "seed={seed}: reply {i} diverged under the memo for request {}",
+            requests[i]
+        );
+    }
+    assert!(
+        on_stats.cache_hits >= 3,
+        "seed={seed}: the deterministic tail guarantees memo hits, saw {}",
+        on_stats.cache_hits
+    );
+    assert!(on_stats.cache_misses > 0, "seed={seed}: first appearances must miss");
+    assert_eq!(off_stats.cache_hits, 0, "disabled memo must not count hits");
+    assert_eq!(off_stats.cache_misses, 0, "disabled memo must not count misses");
+    assert_eq!(off_stats.cache_entries, 0, "disabled memo must not grow");
+}
+
+fn tcp() -> ServeAddr {
+    ServeAddr::parse("127.0.0.1:0").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random interleavings at 1 thread over TCP, single-tenant, both
+    /// clamp modes (the clamp flag feeds the whole-plan key, so the two
+    /// models must memoize independently even within one proptest case).
+    #[test]
+    fn random_interleavings_are_memo_transparent(seed in any::<u64>()) {
+        let cfg = ServeConfig { threads: 1, ..ServeConfig::default() };
+        cache_on_replies_match_cache_off(&tcp, &cfg, false, seed, 28);
+    }
+}
+
+/// 4 wavefront threads + 3 shards: the sharded surface routes probes
+/// and inserts per shard; replies must still match cache-off exactly.
+#[test]
+fn t4_sharded_replies_are_memo_transparent() {
+    for seed in [11u64, 12] {
+        let cfg = ServeConfig { threads: 4, shards: 3, ..ServeConfig::default() };
+        cache_on_replies_match_cache_off(&tcp, &cfg, false, seed, 30);
+    }
+}
+
+/// Burst coalescing: with `burst > 1` one-shots flow through the
+/// micro-batcher, where memo hits drop out of the wavefront run before
+/// it happens — the surviving run's bits must be unaffected.
+#[test]
+fn coalesced_batches_are_memo_transparent() {
+    let cfg = ServeConfig { burst: 4, burst_wait_us: 500, ..ServeConfig::default() };
+    cache_on_replies_match_cache_off(&tcp, &cfg, false, 21, 30);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_replies_are_memo_transparent() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static N: AtomicU32 = AtomicU32::new(0);
+    let mk = || {
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        ServeAddr::Unix(
+            std::env::temp_dir().join(format!("qpp_serve_cache_{}_{n}.sock", std::process::id())),
+        )
+    };
+    let cfg = ServeConfig { threads: 4, shards: 2, ..ServeConfig::default() };
+    cache_on_replies_match_cache_off(&mk, &cfg, false, 31, 30);
+}
+
+/// Multi-tenant: two co-hosted models, requests routed by fingerprint
+/// (and by default-tenant fallback). Each tenant's stream owns its own
+/// memo keyed under that model's checkpoint fingerprint, so hits can
+/// never leak predictions across tenants — byte-equality against the
+/// cache-off daemon proves it.
+#[test]
+fn multi_tenant_replies_are_memo_transparent() {
+    for seed in [41u64, 42] {
+        cache_on_replies_match_cache_off(&tcp, &ServeConfig::default(), true, seed, 30);
+    }
+}
+
+/// Eviction-cap bound at the stream API level: a never-repeating plan
+/// stream (every plan's `est.rows` perturbed, which lands in the
+/// content key) can never grow the memo past its entry cap; the
+/// generational reset fires and counts, and nothing ever hits.
+#[test]
+fn never_repeating_stream_cannot_grow_memo_past_cap() {
+    let (ds, model, _) = fixture();
+    let mut builder = model.serve_stream();
+    builder.set_prediction_cache_capacity(8);
+    let mut scratch = ScratchPlan::new();
+    for i in 0..100u32 {
+        let mut root = ds.plans[i as usize % ds.plans.len()].root.clone();
+        root.est.rows = 1_000.0 + f64::from(i);
+        scratch.rebuild_from_tree(&root);
+        let run = builder.predict_oneshot(&scratch);
+        assert!(run.latency_ms.is_finite() && !run.cache_hit);
+        let st = builder.stats();
+        assert!(
+            st.pred_cache_entries <= 8,
+            "memo grew past its cap: {} entries after {} plans",
+            st.pred_cache_entries,
+            i + 1
+        );
+    }
+    let st = builder.stats();
+    assert_eq!(st.pred_cache_hits, 0, "all-distinct stream cannot hit");
+    assert_eq!(st.pred_cache_misses, 100);
+    assert!(st.pred_cache_evictions > 0, "the generational reset must have fired");
+}
+
+/// The zero-allocation regression, extended to the memo hit path: a
+/// warmed connection cycling a fixed 8-plan mix with fast path AND
+/// memo forced on must stay at zero steady-state allocations — and the
+/// stats must show the memo actually served hits, so the alloc-free
+/// claim covers the hit path itself, not just warmed misses.
+#[test]
+fn steady_state_memo_hit_path_is_allocation_free() {
+    let (ds, model, _) = fixture();
+    for (threads, conns) in [(1usize, 1usize), (4, 4)] {
+        let cfg =
+            ServeConfig { threads, fast_path: true, cache: true, ..ServeConfig::default() };
+        let mut server = Server::bind(&tcp(), cfg).expect("bind");
+        server.register(model);
+        let addr = server.local_addr().clone();
+        std::thread::scope(|scope| {
+            let server = &server;
+            scope.spawn(move || server.run().expect("server run"));
+            std::thread::scope(|inner| {
+                for c in 0..conns {
+                    let addr = addr.clone();
+                    inner.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("connect");
+                        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                        for i in 0..200usize {
+                            let plan = &ds.plans[(c + i) % 8].root;
+                            let (id, latency) =
+                                client.admit_predict(plan, false).expect("predict");
+                            assert!(id.is_none() && latency.is_finite());
+                        }
+                    });
+                }
+            });
+            let mut ctl = Client::connect(&addr).expect("control");
+            let stats = ctl.stats().expect("stats");
+            assert_eq!(
+                stats.fast_path_predicted,
+                200 * conns as u64,
+                "threads={threads}: every one-shot must take the fast path"
+            );
+            assert_eq!(
+                stats.steady_allocs, 0,
+                "threads={threads} conns={conns}: memo-on steady state allocated"
+            );
+            // The tenant stream (and so its memo) is shared across
+            // connections and probed under the server lock: the 8-plan
+            // mix misses exactly once per distinct plan, everything
+            // else is a hit.
+            assert_eq!(
+                stats.cache_misses, 8,
+                "threads={threads}: exactly one miss per distinct plan"
+            );
+            assert_eq!(
+                stats.cache_hits,
+                200 * conns as u64 - 8,
+                "threads={threads}: every repeat must be a memo hit"
+            );
+            ctl.shutdown().expect("shutdown");
+        });
+    }
+}

@@ -104,6 +104,9 @@ proptest! {
             resident_plans: d % 10_000, logical_nodes: e % 100_000, shared_rows: f % 100_000,
             fast_path_predicted: f % 100_000, parse_ns: a, featurize_ns: b,
             run_ns: c, serialize_ns: d, steady_allocs: e % 1000,
+            cache_hits: a % 100_000, cache_misses: b % 100_000,
+            cache_evictions: c % 100_000, cache_entries: d % 100_000,
+            cache_hit_ns: e,
         };
         roundtrip_response(&Response::Stats(stats));
     }
